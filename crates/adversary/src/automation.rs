@@ -1,0 +1,200 @@
+//! Automated-hijacking baseline (the taxonomy contrast).
+//!
+//! §2's Figure 1 positions manual hijacking against *automated*
+//! hijacking: botnets compromising "large quantities of accounts …
+//! carried out entirely by automated tools that monetize the most common
+//! resources across all compromised accounts (e.g. spamming via a
+//! victim's email)". The baseline bot exists so the taxonomy experiment
+//! can quantify the volume-vs-depth trade-off and so defense ablations
+//! can show which signals catch bots but miss crews (per-IP fan-out
+//! being the canonical example).
+
+use crate::world::{HijackerWorld, LoginAttemptOutcome};
+use mhw_simclock::SimRng;
+use mhw_types::{AccountId, CrewId, DeviceId, EmailAddress, IpAddr, SimDuration, SimTime};
+
+/// A botnet node usable for credential stuffing + spam blasting.
+#[derive(Debug, Clone)]
+pub struct SpamBot {
+    /// Ground-truth id used for log labelling (bots log as
+    /// `Actor::Bot`, but the world interface keys on `CrewId`; the
+    /// orchestrator maps this id to the Bot actor).
+    pub id: CrewId,
+    /// Exit IPs (botnets burn through few IPs for many accounts —
+    /// the opposite discipline of manual crews).
+    pub ips: Vec<IpAddr>,
+    /// Spam messages per compromised account.
+    pub spam_per_account: u32,
+    /// Recipients per spam message.
+    pub recipients_per_message: usize,
+}
+
+/// Outcome summary for one automated campaign.
+#[derive(Debug, Clone, Default)]
+pub struct BotCampaignReport {
+    pub attempts: u32,
+    pub compromised: u32,
+    pub messages_sent: u32,
+}
+
+impl SpamBot {
+    /// Stuff `credentials` (address, password) pairs as fast as possible
+    /// and blast spam from each success. No profiling, no retention, no
+    /// discipline — the automated half of Figure 1.
+    pub fn run_campaign(
+        &self,
+        credentials: &[(EmailAddress, String)],
+        world: &mut dyn HijackerWorld,
+        start: SimTime,
+        rng: &mut SimRng,
+    ) -> BotCampaignReport {
+        let mut report = BotCampaignReport::default();
+        let mut now = start;
+        for (i, (address, password)) in credentials.iter().enumerate() {
+            // One IP serves hundreds of accounts.
+            let ip = self.ips[i % self.ips.len().max(1)];
+            report.attempts += 1;
+            let outcome =
+                world.try_login(self.id, address, password, ip, DeviceId(9_000_000), now);
+            now += SimDuration::from_secs(1 + rng.below(3)); // machine speed
+            if let LoginAttemptOutcome::Success(account) = outcome {
+                report.compromised += 1;
+                self.blast(account, world, &mut now, rng);
+                report.messages_sent += self.spam_per_account;
+            }
+        }
+        report
+    }
+
+    fn blast(
+        &self,
+        account: AccountId,
+        world: &mut dyn HijackerWorld,
+        now: &mut SimTime,
+        rng: &mut SimRng,
+    ) {
+        for _ in 0..self.spam_per_account {
+            let recipients: Vec<EmailAddress> = (0..self.recipients_per_message)
+                .map(|j| EmailAddress::new(format!("target{}", rng.below(1 << 24) + j as u64), "elsewhere.net"))
+                .collect();
+            world.send_mail(
+                self.id,
+                account,
+                recipients,
+                "Amazing offer inside".to_string(),
+                "buy cheap meds at http://spam.example/pharma".to_string(),
+                false,
+                None,
+                *now,
+            );
+            *now += SimDuration::from_secs(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{Folder, ProfileView};
+    use mhw_types::PhoneNumber;
+
+    struct CountingWorld {
+        logins: Vec<IpAddr>,
+        sends: u32,
+        accept: bool,
+    }
+
+    impl HijackerWorld for CountingWorld {
+        fn try_login(
+            &mut self,
+            _c: CrewId,
+            _a: &EmailAddress,
+            _p: &str,
+            ip: IpAddr,
+            _d: DeviceId,
+            _t: SimTime,
+        ) -> LoginAttemptOutcome {
+            self.logins.push(ip);
+            if self.accept {
+                LoginAttemptOutcome::Success(AccountId(self.logins.len() as u32))
+            } else {
+                LoginAttemptOutcome::Blocked
+            }
+        }
+        fn variant_retry_would_succeed(&self, _a: &EmailAddress, _c: &str) -> bool {
+            false
+        }
+        fn search(&mut self, _c: CrewId, _a: AccountId, _q: &str, _t: SimTime) -> usize {
+            0
+        }
+        fn open_folder(&mut self, _c: CrewId, _a: AccountId, _f: Folder, _t: SimTime) -> usize {
+            0
+        }
+        fn view_profile(&mut self, _c: CrewId, _a: AccountId, _t: SimTime) -> ProfileView {
+            ProfileView::default()
+        }
+        #[allow(clippy::too_many_arguments)]
+        fn send_mail(
+            &mut self,
+            _c: CrewId,
+            _a: AccountId,
+            _to: Vec<EmailAddress>,
+            _s: String,
+            _b: String,
+            _p: bool,
+            _r: Option<EmailAddress>,
+            _t: SimTime,
+        ) {
+            self.sends += 1;
+        }
+        fn create_forward_filter(&mut self, _c: CrewId, _a: AccountId, _to: EmailAddress, _t: SimTime) {}
+        fn set_reply_to(&mut self, _c: CrewId, _a: AccountId, _to: EmailAddress, _t: SimTime) {}
+        fn change_password(&mut self, _c: CrewId, _a: AccountId, _t: SimTime) {}
+        fn change_recovery_options(&mut self, _c: CrewId, _a: AccountId, _t: SimTime) {}
+        fn enable_two_factor(&mut self, _c: CrewId, _a: AccountId, _p: PhoneNumber, _t: SimTime) {}
+        fn mass_delete(&mut self, _c: CrewId, _a: AccountId, _t: SimTime) {}
+        fn proxy_exit_in(&mut self, _country: mhw_types::CountryCode) -> IpAddr {
+            IpAddr::new(99, 0, 0, 2)
+        }
+        fn account_disabled(&self, _a: AccountId) -> bool {
+            false
+        }
+    }
+
+    fn bot() -> SpamBot {
+        SpamBot {
+            id: CrewId(99),
+            ips: vec![IpAddr::new(50, 0, 0, 1), IpAddr::new(50, 0, 0, 2)],
+            spam_per_account: 5,
+            recipients_per_message: 50,
+        }
+    }
+
+    fn creds(n: usize) -> Vec<(EmailAddress, String)> {
+        (0..n)
+            .map(|i| (EmailAddress::new(format!("v{i}"), "homemail.com"), "pw".to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn bot_reuses_few_ips_for_many_accounts() {
+        let mut world = CountingWorld { logins: vec![], sends: 0, accept: true };
+        let mut rng = SimRng::from_seed(1);
+        let report = bot().run_campaign(&creds(100), &mut world, SimTime::EPOCH, &mut rng);
+        assert_eq!(report.attempts, 100);
+        assert_eq!(report.compromised, 100);
+        let distinct: std::collections::HashSet<_> = world.logins.iter().collect();
+        // 100 accounts over 2 IPs — 50 accounts/IP, vs the crews' ≤10.
+        assert_eq!(distinct.len(), 2);
+        assert_eq!(world.sends, 500);
+    }
+
+    #[test]
+    fn blocked_bot_sends_nothing() {
+        let mut world = CountingWorld { logins: vec![], sends: 0, accept: false };
+        let mut rng = SimRng::from_seed(2);
+        let report = bot().run_campaign(&creds(20), &mut world, SimTime::EPOCH, &mut rng);
+        assert_eq!(report.compromised, 0);
+        assert_eq!(world.sends, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # mhw-adversary
+//!
+//! Manual-hijacking crews — the behavioural heart of the reproduction.
+//!
+//! §5.5 ("Manual Hijacking — an Ordinary Office Job?") observed crews
+//! that start at the same time every day, share a one-hour lunch break,
+//! rest on weekends, follow a common playbook and share resources. This
+//! crate models exactly that:
+//!
+//! * [`crew`] — organized groups with a home country, office-hours
+//!   schedule, proxy pool (per-IP discipline: §5.1's ~9.6 accounts/IP/
+//!   day), burner phones, and an era-dependent tactics profile;
+//! * [`terms`] — the Table 3 search-term distribution used during
+//!   account value assessment;
+//! * [`scamgen`] — scam text generation instantiating the five
+//!   principles of §5.3 (credible story, sympathy, limited-risk framing,
+//!   anti-verification, untraceable transfer), localized to the crew's
+//!   working language;
+//! * [`retention`] — era-dependent account-retention tactics (lockout,
+//!   recovery-option changes, mass deletion, filters, Reply-To,
+//!   doppelgangers, the short-lived 2012 2FA lockout);
+//! * [`playbook`] — the per-credential hijack session state machine:
+//!   login (with trivial-variant retries) → ~3-minute value assessment →
+//!   exploit or abandon → retention → logout;
+//! * [`automation`] — the automated (botnet) hijacking baseline used by
+//!   the Figure 1 taxonomy comparison;
+//! * [`world`] — the [`HijackerWorld`] trait
+//!   through which crews act on the ecosystem, implemented by
+//!   `mhw-core` (and by mocks in tests).
+
+pub mod automation;
+pub mod crew;
+pub mod playbook;
+pub mod retention;
+pub mod scamgen;
+pub mod terms;
+pub mod world;
+
+pub use crew::{Crew, CrewRoster, CrewSpec};
+pub use playbook::{ExploitKind, HijackPlaybook, SessionReport};
+pub use retention::{Era, RetentionReport, RetentionTactics};
+pub use scamgen::{generate_scam, ScamStyle};
+pub use terms::{SearchTermModel, TermCategory};
+pub use world::{HijackerWorld, LoginAttemptOutcome, ProfileView};

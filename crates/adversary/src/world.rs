@@ -1,0 +1,124 @@
+//! The crew's interface to the ecosystem.
+//!
+//! Crews act on the world only through [`HijackerWorld`]; `mhw-core`
+//! implements it over the real substrates (login pipeline, mail
+//! provider, identity stores), and the playbook unit tests implement it
+//! with a mock. The interface intentionally exposes *only* what a
+//! logged-in webmail user could do — crews have no magic powers.
+
+use mhw_types::{
+    AccountId, CrewId, DeviceId, EmailAddress, IpAddr, PhoneNumber, SimTime,
+};
+
+/// Result of a login attempt as the crew perceives it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoginAttemptOutcome {
+    /// Logged in.
+    Success(AccountId),
+    /// Password rejected.
+    WrongPassword,
+    /// Redirected to a challenge and failed it.
+    ChallengeFailed,
+    /// Hard blocked (or account disabled by anti-abuse).
+    Blocked,
+    /// The target address is not an account at this provider.
+    NoSuchAccount,
+}
+
+/// Mailbox folders the playbook opens (re-exported to avoid a direct
+/// mailsys dependency in the trait's consumers).
+pub use mhw_mailsys::Folder;
+
+/// What the crew reads off the account while profiling.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileView {
+    /// Contacts visible in the account (addresses; internal flag kept
+    /// opaque to the crew).
+    pub contacts: Vec<EmailAddress>,
+    /// First names the crew can glean for personalization.
+    pub owner_first_name: String,
+}
+
+/// Everything a crew can do to the ecosystem.
+pub trait HijackerWorld {
+    /// Attempt a login with a literal password string.
+    #[allow(clippy::too_many_arguments)]
+    fn try_login(
+        &mut self,
+        crew: CrewId,
+        address: &EmailAddress,
+        password: &str,
+        ip: IpAddr,
+        device: DeviceId,
+        at: SimTime,
+    ) -> LoginAttemptOutcome;
+
+    /// Whether a retry with a trivial password variant would succeed
+    /// (the simulator adjudicates §5.1's variant retries; the crew
+    /// only knows its captured string).
+    fn variant_retry_would_succeed(&self, address: &EmailAddress, captured: &str) -> bool;
+
+    /// Search the mailbox; returns the number of hits.
+    fn search(&mut self, crew: CrewId, account: AccountId, query: &str, at: SimTime) -> usize;
+
+    /// Open a folder view; returns the number of messages shown.
+    fn open_folder(&mut self, crew: CrewId, account: AccountId, folder: Folder, at: SimTime)
+        -> usize;
+
+    /// Read the contact list and owner metadata.
+    fn view_profile(&mut self, crew: CrewId, account: AccountId, at: SimTime) -> ProfileView;
+
+    /// Send mail from the account. `reply_to` optionally diverts replies
+    /// to a doppelganger.
+    #[allow(clippy::too_many_arguments)]
+    fn send_mail(
+        &mut self,
+        crew: CrewId,
+        account: AccountId,
+        to: Vec<EmailAddress>,
+        subject: String,
+        body: String,
+        is_phishing: bool,
+        reply_to: Option<EmailAddress>,
+        at: SimTime,
+    );
+
+    /// Install a forward-all filter to `to`.
+    fn create_forward_filter(
+        &mut self,
+        crew: CrewId,
+        account: AccountId,
+        to: EmailAddress,
+        at: SimTime,
+    );
+
+    /// Set the account-level Reply-To.
+    fn set_reply_to(&mut self, crew: CrewId, account: AccountId, to: EmailAddress, at: SimTime);
+
+    /// Change the password (lockout).
+    fn change_password(&mut self, crew: CrewId, account: AccountId, at: SimTime);
+
+    /// Clear/replace recovery options (delay recovery).
+    fn change_recovery_options(&mut self, crew: CrewId, account: AccountId, at: SimTime);
+
+    /// Enable 2FA with a crew burner phone (the 2012 lockout tactic).
+    fn enable_two_factor(
+        &mut self,
+        crew: CrewId,
+        account: AccountId,
+        phone: PhoneNumber,
+        at: SimTime,
+    );
+
+    /// Mass-delete mailbox content and contacts.
+    fn mass_delete(&mut self, crew: CrewId, account: AccountId, at: SimTime);
+
+    /// Rent a cloaking-proxy exit located in `country` (§8.1: crews
+    /// have "some additional knowledge of using IP cloaking services").
+    /// Each call may return a fresh address.
+    fn proxy_exit_in(&mut self, country: mhw_types::CountryCode) -> IpAddr;
+
+    /// Whether the provider's anti-abuse systems have disabled the
+    /// account (ends the session early).
+    fn account_disabled(&self, account: AccountId) -> bool;
+}

@@ -1,0 +1,22 @@
+//! # mhw-analysis
+//!
+//! The measurement/statistics toolkit the experiments are written in:
+//!
+//! * [`stats`] — ECDFs, percentiles, histograms and hourly time series
+//!   (the shapes behind Figures 5–9);
+//! * [`breakdown`] — categorical breakdown tables (Tables 2–3, Figures
+//!   3, 4, 10, 11, 12);
+//! * [`render`] — plain-text rendering of tables, bar charts and
+//!   series, plus the paper-vs-measured [`Comparison`]
+//!   rows that `repro` writes into EXPERIMENTS.md.
+//!
+//! Everything operates on plain numbers extracted from the substrates'
+//! logs; nothing in here knows about hijackers.
+
+pub mod breakdown;
+pub mod render;
+pub mod stats;
+
+pub use breakdown::Breakdown;
+pub use render::{bar_chart, markdown_table, Comparison, ComparisonTable};
+pub use stats::{Ecdf, Histogram, HourlySeries};

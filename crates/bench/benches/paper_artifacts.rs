@@ -1,0 +1,283 @@
+//! Criterion benches: one target per paper table/figure (the cost of
+//! regenerating each artifact from the logs) plus the simulation-kernel
+//! and ablation benches DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mhw_analysis::{Breakdown, Ecdf, HourlySeries};
+use mhw_bench::{bench_forms, bench_world};
+use mhw_core::datasets::{
+    hijacker_logins, hijacker_phones, hijacker_search_queries, reported_messages,
+};
+use mhw_core::{DatasetInventory, Ecosystem, ScenarioConfig};
+use mhw_experiments::{all_experiments, Context, Scale};
+use std::sync::OnceLock;
+
+fn quick_context() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(|| Context::new(Scale::Quick, 0xBE9C))
+}
+
+/// Table 1: dataset inventory extraction.
+fn bench_table1(c: &mut Criterion) {
+    let eco = bench_world();
+    c.bench_function("table1_dataset_inventory", |b| {
+        b.iter(|| DatasetInventory::from_run(eco, 100, 200, 600))
+    });
+}
+
+/// Table 2: reported-corpus curation is covered by the experiment run
+/// below; here we bench the raw report extraction.
+fn bench_table2(c: &mut Criterion) {
+    let eco = bench_world();
+    c.bench_function("table2_reported_messages", |b| b.iter(|| reported_messages(eco)));
+}
+
+/// Table 3: hijacker search-term extraction + tabulation.
+fn bench_table3(c: &mut Criterion) {
+    let eco = bench_world();
+    c.bench_function("table3_search_terms", |b| {
+        b.iter(|| {
+            let queries = hijacker_search_queries(eco);
+            let mut breakdown = Breakdown::new();
+            for q in queries {
+                breakdown.add(q);
+            }
+            breakdown.top(10)
+        })
+    });
+}
+
+/// Figure 3: referrer breakdown over page HTTP logs.
+fn bench_fig3(c: &mut Criterion) {
+    let forms = bench_forms();
+    c.bench_function("fig3_referrer_breakdown", |b| {
+        b.iter(|| {
+            let mut blank = 0u64;
+            let mut nonblank = Breakdown::new();
+            for p in &forms.pages {
+                for r in &p.http_log {
+                    match r.referrer {
+                        mhw_netmodel::referrer::Referrer::Blank => blank += 1,
+                        mhw_netmodel::referrer::Referrer::From(w) => nonblank.add(w.label()),
+                    }
+                }
+            }
+            (blank, nonblank.rows().len())
+        })
+    });
+}
+
+/// Figure 4: TLD breakdown of phished addresses.
+fn bench_fig4(c: &mut Criterion) {
+    let forms = bench_forms();
+    c.bench_function("fig4_tld_breakdown", |b| {
+        b.iter(|| {
+            let mut tlds = Breakdown::new();
+            for subs in &forms.submissions {
+                for s in subs {
+                    tlds.add(s.victim.address.tld().to_string());
+                }
+            }
+            tlds.fraction_of("edu")
+        })
+    });
+}
+
+/// Figure 5: per-page conversion ECDF.
+fn bench_fig5(c: &mut Criterion) {
+    let forms = bench_forms();
+    c.bench_function("fig5_conversion_ecdf", |b| {
+        b.iter(|| {
+            let rates: Vec<f64> =
+                forms.pages.iter().filter_map(|p| p.success_rate()).collect();
+            Ecdf::new(rates).mean()
+        })
+    });
+}
+
+/// Figure 6: hourly submission series construction.
+fn bench_fig6(c: &mut Criterion) {
+    let forms = bench_forms();
+    c.bench_function("fig6_hourly_series", |b| {
+        b.iter(|| {
+            let series: Vec<HourlySeries> = forms
+                .pages
+                .iter()
+                .map(|p| HourlySeries::from_counts(p.hourly_submissions()))
+                .collect();
+            HourlySeries::average(&series)
+        })
+    });
+}
+
+/// Figure 7: the decoy experiment end to end (small).
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_decoy_experiment");
+    group.sample_size(10);
+    group.bench_function("run", |b| {
+        b.iter_batched(
+            || {
+                let mut config = ScenarioConfig::small_test(0xF17);
+                config.days = 6;
+                config.population.n_users = 200;
+                config
+            },
+            |config| mhw_core::run_decoy_experiment(config, 20, 3),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+/// Figure 8: per-IP discipline measurement over the login log.
+fn bench_fig8(c: &mut Criterion) {
+    let eco = bench_world();
+    c.bench_function("fig8_per_ip_accounts", |b| {
+        b.iter(|| {
+            let mut max = 0usize;
+            for r in hijacker_logins(eco) {
+                let n = eco
+                    .login_log
+                    .distinct_accounts_from_ip_on_day(r.ip, r.at.day_index());
+                max = max.max(n);
+            }
+            max
+        })
+    });
+}
+
+/// Figures 9 & 10: recovery latency ECDF + per-method success.
+fn bench_fig9_fig10(c: &mut Criterion) {
+    let eco = bench_world();
+    c.bench_function("fig9_recovery_latency_ecdf", |b| {
+        b.iter(|| {
+            let latencies: Vec<f64> = eco
+                .real_incidents()
+                .filter_map(|i| Some(i.recovered_at?.since(i.flagged_at?).as_hours_f64()))
+                .collect();
+            if latencies.is_empty() {
+                0.0
+            } else {
+                Ecdf::new(latencies).fraction_at_or_below(13.0)
+            }
+        })
+    });
+    c.bench_function("fig10_method_success", |b| {
+        b.iter(|| eco.recovery.success_rate_by_method())
+    });
+}
+
+/// Figures 11 & 12: attribution breakdowns.
+fn bench_fig11_fig12(c: &mut Criterion) {
+    let eco = bench_world();
+    c.bench_function("fig11_ip_geolocation", |b| {
+        b.iter(|| {
+            let mut countries = Breakdown::new();
+            for r in hijacker_logins(eco) {
+                if let Some(code) = eco.geo.locate(r.ip) {
+                    countries.add(code.code().to_string());
+                }
+            }
+            countries.rows().len()
+        })
+    });
+    c.bench_function("fig12_phone_attribution", |b| {
+        b.iter(|| {
+            let mut countries = Breakdown::new();
+            for p in hijacker_phones(eco) {
+                if let Some(code) = p.country() {
+                    countries.add(code.code().to_string());
+                }
+            }
+            countries.rows().len()
+        })
+    });
+}
+
+/// The simulation kernel itself: one full simulated day.
+fn bench_simulation_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_kernel");
+    group.sample_size(10);
+    group.bench_function("one_simulated_day_400_users", |b| {
+        b.iter_batched(
+            || {
+                let mut config = ScenarioConfig::small_test(0xDA7);
+                config.days = 1;
+                Ecosystem::build(config)
+            },
+            |mut eco| {
+                eco.run_day(0);
+                eco
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+/// Ablation benches: risk scoring and classification throughput — the
+/// per-login / per-message costs a provider would actually pay.
+fn bench_defense_kernels(c: &mut Criterion) {
+    use mhw_defense::{classify_mail, LoginSignals, RiskEngine, RiskWeights};
+    let engine = RiskEngine::default();
+    let ablated = RiskEngine {
+        weights: RiskWeights::default().without("ip_fanout"),
+        ..RiskEngine::default()
+    };
+    let signals = LoginSignals {
+        new_country: 1.0,
+        impossible_travel: 0.0,
+        new_device: 1.0,
+        ip_fanout: 0.4,
+        odd_hour: 0.0,
+        failure_burst: 0.2,
+    };
+    c.bench_function("risk_score_full", |b| b.iter(|| engine.evaluate(&signals)));
+    c.bench_function("risk_score_ablated_fanout", |b| b.iter(|| ablated.evaluate(&signals)));
+
+    let eco = bench_world();
+    let messages: Vec<_> = eco
+        .provider
+        .mailbox(mhw_types::AccountId(0))
+        .all_messages()
+        .cloned()
+        .collect();
+    c.bench_function("scam_classifier_per_mailbox", |b| {
+        b.iter(|| messages.iter().filter(|m| classify_mail(m) != mhw_defense::MailClass::Clean).count())
+    });
+}
+
+/// The full quick experiment battery (the repro binary's workload).
+fn bench_full_battery(c: &mut Criterion) {
+    let ctx = quick_context();
+    let mut group = c.benchmark_group("experiment_battery");
+    group.sample_size(10);
+    for (name, runner) in all_experiments() {
+        // Skip the two experiments that build their own worlds per call —
+        // they are benchmarked implicitly via fig7/simulation_kernel.
+        if name.contains("§5 —") || name.contains("§8") || name.contains("taxonomy") {
+            continue;
+        }
+        group.bench_function(name, |b| b.iter(|| runner(ctx)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9_fig10,
+    bench_fig11_fig12,
+    bench_simulation_day,
+    bench_defense_kernels,
+    bench_full_battery
+);
+criterion_main!(benches);

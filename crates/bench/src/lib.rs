@@ -1,0 +1,39 @@
+//! # mhw-bench
+//!
+//! Shared fixtures for the Criterion benchmark harness. Each bench
+//! target regenerates one of the paper's tables/figures (or one of the
+//! design-choice ablations DESIGN.md calls out); building the simulated
+//! worlds is expensive, so fixtures are constructed once per process
+//! and reused across benchmark iterations.
+
+use mhw_core::{run_form_campaigns, Ecosystem, FormCampaignOutput, ScenarioConfig};
+use std::sync::OnceLock;
+
+/// A small finished ecosystem run shared by the extraction benches.
+pub fn bench_world() -> &'static Ecosystem {
+    static WORLD: OnceLock<Ecosystem> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut config = ScenarioConfig::small_test(0xBE7C);
+        config.days = 10;
+        let mut eco = Ecosystem::build(config);
+        eco.run();
+        eco
+    })
+}
+
+/// A finished form-campaign batch shared by the Figures 3–6 benches.
+pub fn bench_forms() -> &'static FormCampaignOutput {
+    static FORMS: OnceLock<FormCampaignOutput> = OnceLock::new();
+    FORMS.get_or_init(|| run_form_campaigns(25, true, 0xBE7C))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert!(bench_world().stats.organic_logins > 0);
+        assert!(!bench_forms().pages.is_empty());
+    }
+}

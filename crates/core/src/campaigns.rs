@@ -1,0 +1,188 @@
+//! External phishing-form campaigns — the §4.2 dataset generator.
+//!
+//! Dataset 3 of the paper is the HTTP logs of 100 provider-hosted forms
+//! used as phishing pages until takedown. This module reproduces that
+//! dataset: a batch of pages, each fed by a mass-mail click process that
+//! decays from the blast instant, plus (optionally) the one large-scale
+//! outlier campaign with its pre-launch quiet period and multi-day
+//! diurnal plateau (Figure 6, bottom panel).
+
+use mhw_netmodel::{DomainModel, ReferrerModel};
+use mhw_phishkit::campaign::{external_victim_sampler, Campaign, CampaignShape, Submission};
+use mhw_phishkit::{DetectionPipeline, PageQuality, PhishingPage, TakedownRecord};
+use mhw_simclock::SimRng;
+use mhw_types::{AccountCategory, CampaignId, CrewId, PageId, SimDuration, SimTime, DAY, HOUR};
+
+/// Output of a form-campaign batch.
+pub struct FormCampaignOutput {
+    pub pages: Vec<PhishingPage>,
+    pub takedowns: Vec<TakedownRecord>,
+    /// Submissions per page (aligned with `pages`).
+    pub submissions: Vec<Vec<Submission>>,
+    /// Index of the outlier page, if one was included.
+    pub outlier: Option<usize>,
+}
+
+impl FormCampaignOutput {
+    /// Pages with at least one view (the paper's per-page success-rate
+    /// panel only includes visited pages).
+    pub fn visited_pages(&self) -> impl Iterator<Item = &PhishingPage> {
+        self.pages.iter().filter(|p| p.views() > 0)
+    }
+}
+
+/// Run `n_pages` standard campaigns (plus one outlier if requested).
+pub fn run_form_campaigns(n_pages: usize, include_outlier: bool, seed: u64) -> FormCampaignOutput {
+    let domains = DomainModel::standard();
+    let referrers = ReferrerModel::paper_calibrated();
+    let detection = DetectionPipeline::paper_calibrated();
+    let mut rng = SimRng::stream(seed, "form-campaigns");
+    let mut pages = Vec::new();
+    let mut takedowns = Vec::new();
+    let mut submissions = Vec::new();
+
+    for i in 0..n_pages {
+        // Stagger launches across a quarter.
+        let launched = SimTime::from_secs(rng.below(90 * DAY));
+        let quality = PageQuality::sample(&mut rng);
+        let mut page = PhishingPage::new(
+            PageId(i as u32),
+            CampaignId(i as u32),
+            mhw_phishkit::TargetMix::pages().sample(&mut rng),
+            quality,
+            launched,
+        );
+        let takedown = detection.process(&mut page, &mut rng);
+        let campaign = Campaign {
+            id: CampaignId(i as u32),
+            crew: CrewId(0),
+            category: page.category,
+            shape: CampaignShape::MassBlast {
+                peak_rate_per_hour: 15.0 + rng.f64() * 120.0,
+                half_life: SimDuration::from_hours(4 + rng.below(12)),
+            },
+            launched_at: launched,
+        };
+        let horizon = takedown.taken_down_at.min(launched.plus(SimDuration::from_days(14)));
+        let mut sampler = external_victim_sampler(&domains);
+        let subs = campaign.run_traffic(&mut page, &referrers, &mut sampler, horizon, &mut rng);
+        takedowns.push(takedown);
+        submissions.push(subs);
+        pages.push(page);
+    }
+
+    let outlier = include_outlier.then(|| {
+        let launched = SimTime::from_secs(rng.below(60 * DAY));
+        let id = PageId(pages.len() as u32);
+        let mut page = PhishingPage::new(
+            id,
+            CampaignId(id.0),
+            AccountCategory::Mail,
+            PageQuality::Excellent,
+            launched,
+        );
+        // The outlier ran for several days before takedown ended it
+        // abruptly (§4.2).
+        let taken_down = launched.plus(SimDuration::from_secs(15 * HOUR + 4 * DAY));
+        page.taken_down_at = Some(taken_down);
+        takedowns.push(TakedownRecord {
+            page: id,
+            detected_at: taken_down,
+            taken_down_at: taken_down,
+        });
+        let campaign = Campaign {
+            id: CampaignId(id.0),
+            crew: CrewId(0),
+            category: AccountCategory::Mail,
+            shape: CampaignShape::LargeScaleOutlier {
+                quiet: SimDuration::from_hours(15),
+                plateau_rate_per_hour: 160.0,
+            },
+            launched_at: launched,
+        };
+        let mut sampler = external_victim_sampler(&domains);
+        let subs =
+            campaign.run_traffic(&mut page, &referrers, &mut sampler, taken_down, &mut rng);
+        submissions.push(subs);
+        pages.push(page);
+        pages.len() - 1
+    });
+
+    FormCampaignOutput { pages, takedowns, submissions, outlier }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_produces_traffic_on_most_pages() {
+        let out = run_form_campaigns(30, false, 1);
+        assert_eq!(out.pages.len(), 30);
+        let visited = out.visited_pages().count();
+        assert!(visited >= 25, "visited {visited}");
+        assert!(out.outlier.is_none());
+    }
+
+    #[test]
+    fn success_rates_are_in_figure5_band() {
+        let out = run_form_campaigns(60, false, 2);
+        let rates: Vec<f64> = out
+            .pages
+            .iter()
+            .filter(|p| p.views() >= 50)
+            .filter_map(|p| p.success_rate())
+            .collect();
+        assert!(rates.len() >= 30);
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!((mean - 0.137).abs() < 0.05, "mean conversion {mean}");
+        let max = rates.iter().cloned().fold(0.0f64, f64::max);
+        let min = rates.iter().cloned().fold(1.0f64, f64::min);
+        assert!(max > 0.25, "max {max}");
+        assert!(min < 0.10, "min {min}");
+    }
+
+    #[test]
+    fn outlier_runs_for_days() {
+        let out = run_form_campaigns(3, true, 3);
+        let outlier = &out.pages[out.outlier.unwrap()];
+        let series = outlier.hourly_submissions();
+        assert!(series.len() > 90, "outlier series {} hours", series.len());
+        // Quiet first 15 hours.
+        assert!(series[..12].iter().all(|c| *c == 0), "quiet period violated");
+        // Busy afterwards.
+        let total: u32 = series.iter().sum();
+        assert!(total > 2000, "outlier total {total}");
+    }
+
+    #[test]
+    fn standard_pages_decay() {
+        let out = run_form_campaigns(40, false, 4);
+        let mut decaying = 0;
+        let mut eligible = 0;
+        for p in &out.pages {
+            let series = mhw_analysis::HourlySeries::from_counts(p.hourly_submissions());
+            if series.total() >= 30 {
+                eligible += 1;
+                if series.is_decaying(2.0) {
+                    decaying += 1;
+                }
+            }
+        }
+        assert!(eligible >= 10, "eligible {eligible}");
+        assert!(
+            decaying as f64 / eligible as f64 > 0.7,
+            "{decaying}/{eligible} decaying"
+        );
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = run_form_campaigns(10, true, 9);
+        let b = run_form_campaigns(10, true, 9);
+        for (pa, pb) in a.pages.iter().zip(&b.pages) {
+            assert_eq!(pa.views(), pb.views());
+            assert_eq!(pa.submissions(), pb.submissions());
+        }
+    }
+}

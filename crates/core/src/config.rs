@@ -1,0 +1,130 @@
+//! Scenario configuration.
+
+use mhw_adversary::{CrewSpec, Era};
+use mhw_population::PopulationConfig;
+use serde::{Deserialize, Serialize};
+
+/// Defense toggles (the §8 ablation surface).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefenseConfig {
+    /// Login risk analysis + challenge (§8.2's primary defense).
+    pub login_risk_analysis: bool,
+    /// Post-login behavioral monitoring.
+    pub activity_monitor: bool,
+    /// Proactive notifications on critical events.
+    pub notifications: bool,
+    /// Inbound scam/phishing classification into the Spam folder.
+    pub mail_classifier: bool,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig {
+            login_risk_analysis: true,
+            activity_monitor: true,
+            notifications: true,
+            mail_classifier: true,
+        }
+    }
+}
+
+impl DefenseConfig {
+    /// Everything off — the undefended baseline.
+    pub fn none() -> Self {
+        DefenseConfig {
+            login_risk_analysis: false,
+            activity_monitor: false,
+            notifications: false,
+            mail_classifier: false,
+        }
+    }
+}
+
+/// One scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    pub seed: u64,
+    pub era: Era,
+    /// Simulated days.
+    pub days: u64,
+    pub population: PopulationConfig,
+    pub crews: Vec<CrewSpec>,
+    pub defense: DefenseConfig,
+    /// Mean phishing lures delivered per user per day (pre-filtering).
+    /// The main volume knob: more lures ⇒ more captured credentials ⇒
+    /// more hijackings.
+    pub lures_per_user_day: f64,
+    /// Max credentials one crew processes per working hour.
+    pub crew_creds_per_hour: u64,
+    /// Probability per day that a crew's dropbox gets suspended by the
+    /// provider hosting it (§5.1: decoys unaccessed when "the email
+    /// account used by the hijacker to collect credentials" was
+    /// suspended).
+    pub dropbox_suspension_per_day: f64,
+    /// Spam-filter leniency multiplier for mail arriving from one of the
+    /// recipient's own contacts (§5.3: contact-origin mail receives
+    /// "more lenient and trusting treatment"). 0 = no leniency.
+    pub contact_leniency: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 0xC0FFEE,
+            era: Era::Y2012,
+            days: 30,
+            population: PopulationConfig::default(),
+            crews: CrewSpec::paper_roster(),
+            defense: DefenseConfig::default(),
+            lures_per_user_day: 0.2,
+            crew_creds_per_hour: 6,
+            dropbox_suspension_per_day: 0.08,
+            contact_leniency: 0.75,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A small, fast configuration for unit/integration tests.
+    pub fn small_test(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            days: 14,
+            population: PopulationConfig { n_users: 400, ..PopulationConfig::default() },
+            lures_per_user_day: 1.2,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// A measurement-scale configuration (the experiments' default).
+    pub fn measurement(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            days: 45,
+            population: PopulationConfig { n_users: 3000, ..PopulationConfig::default() },
+            lures_per_user_day: 0.9,
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_defenses() {
+        let d = DefenseConfig::default();
+        assert!(d.login_risk_analysis && d.activity_monitor && d.notifications && d.mail_classifier);
+        let n = DefenseConfig::none();
+        assert!(!n.login_risk_analysis && !n.activity_monitor && !n.notifications && !n.mail_classifier);
+    }
+
+    #[test]
+    fn scenario_presets_differ_in_scale() {
+        let small = ScenarioConfig::small_test(1);
+        let big = ScenarioConfig::measurement(1);
+        assert!(small.population.n_users < big.population.n_users);
+        assert!(small.days < big.days);
+    }
+}

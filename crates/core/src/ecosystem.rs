@@ -1,0 +1,1442 @@
+//! The ecosystem: one closed world, simulated day by day.
+//!
+//! Each simulated day interleaves, in time order:
+//!
+//! 1. **phishing lures** delivered to users (through the mail
+//!    classifier — most land in Spam, §4.2's delivery asymmetry);
+//! 2. **organic user activity** — logins through the risk engine,
+//!    personal mail, mailbox searches, spam reporting, and the
+//!    occasional fatal click on a lure;
+//! 3. **crew shifts** — during office hours, crews drain their
+//!    credential dropboxes and run the §5 playbook against each one;
+//! 4. **victim awareness and recovery** — notifications, dead
+//!    passwords and disabled accounts lead to claims, verification,
+//!    password resets and §6.4 remission.
+//!
+//! Everything measurable by the paper falls out of the logs this loop
+//! produces.
+
+use crate::config::ScenarioConfig;
+use crate::world::{WorldAdapter, VARIANT_CORRECT};
+use mhw_adversary::{CrewRoster, HijackPlaybook, SessionReport};
+use mhw_defense::{
+    ActivityMonitor, AnswererCapabilities, LoginPipeline, LoginRequest, MailClassifier,
+    NotificationEngine, RiskEngine,
+};
+use mhw_identity::{
+    CredentialStore, LoginLog, LoginOutcome, RecoveryOptions, TwoFactorState,
+};
+use mhw_mailsys::{Folder, MailProvider, MessageDraft, MessageKind};
+use mhw_netmodel::{DomainModel, GeoDb, PhonePlan, ReferrerModel};
+use mhw_phishkit::{
+    CapturedCredential, CredentialExactness, DetectionPipeline, Dropbox, PageQuality,
+    PhishingPage, TakedownRecord,
+};
+use mhw_population::{Population, PopulationBuilder};
+use mhw_recovery::{run_remission, ClaimTrigger, RecoveryService, RemissionReport};
+use mhw_simclock::SimRng;
+use mhw_types::{
+    AccountId, Actor, CampaignId, CrewId, EmailAddress, IncidentId, MessageId, PageId,
+    SimDuration, SimTime, DAY, HOUR,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Where a delivered lure leads, for credential-capture mechanics.
+#[derive(Debug, Clone, Copy)]
+enum LureSource {
+    /// Link lure to a crew's phishing page (index into `pages`).
+    Page(usize, CrewId),
+    /// Reply-with-credentials lure straight to the crew dropbox.
+    Direct(CrewId),
+}
+
+/// Per-user dynamic state.
+#[derive(Debug, Clone)]
+struct UserState {
+    /// The password the user believes is theirs.
+    known_password: String,
+    travelling_today: bool,
+    /// When the user (will) realize the account is hijacked.
+    aware_at: Option<SimTime>,
+    /// Next recovery-claim attempt.
+    next_claim_at: Option<SimTime>,
+    claim_attempts: u32,
+    /// Methods that already failed for the active incident.
+    failed_methods: Vec<mhw_recovery::RecoveryMethod>,
+    active_incident: Option<usize>,
+}
+
+/// One confirmed manual-hijacking incident.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    pub id: IncidentId,
+    pub account: AccountId,
+    pub crew: CrewId,
+    /// First successful hijacker login.
+    pub hijack_start: SimTime,
+    /// Index into [`Ecosystem::sessions`].
+    pub session: usize,
+    /// When anti-abuse disabled the account mid-exploitation, if it did.
+    pub disabled_at: Option<SimTime>,
+    /// When the provider's systems flagged the account as hijacked
+    /// (monitor disable, or first claim filing) — the Figure 9 anchor.
+    pub flagged_at: Option<SimTime>,
+    pub recovered_at: Option<SimTime>,
+    pub remission: Option<RemissionReport>,
+    pub is_decoy: bool,
+}
+
+/// Aggregate counters for a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    pub organic_logins: u64,
+    pub organic_challenges: u64,
+    pub organic_challenge_failures: u64,
+    pub lures_delivered: u64,
+    pub lures_spam_foldered: u64,
+    pub credentials_captured: u64,
+    /// Captures attributable to lures sent from a hijacked contact.
+    pub contact_lure_captures: u64,
+    /// Lures from hijacked contacts that reached an inbox and were read.
+    pub contact_lures_read: u64,
+    pub sessions_run: u64,
+    pub incidents: u64,
+    pub exploited: u64,
+    pub recovered: u64,
+}
+
+/// The assembled world.
+pub struct Ecosystem {
+    pub config: ScenarioConfig,
+    pub geo: GeoDb,
+    pub domains: DomainModel,
+    pub phones: PhonePlan,
+    pub provider: MailProvider,
+    pub credentials: CredentialStore,
+    pub options: RecoveryOptions,
+    pub twofactor: TwoFactorState,
+    pub population: Population,
+    pub crews: CrewRoster,
+    pub playbook: HijackPlaybook,
+    pub login: LoginPipeline,
+    pub login_log: LoginLog,
+    pub classifier: MailClassifier,
+    pub monitor: ActivityMonitor,
+    pub notifications: NotificationEngine,
+    pub recovery: RecoveryService,
+    pub detection: DetectionPipeline,
+    pub referrers: ReferrerModel,
+    pub pages: Vec<PhishingPage>,
+    pub takedowns: Vec<TakedownRecord>,
+    pub incidents: Vec<Incident>,
+    pub sessions: Vec<SessionReport>,
+    pub disabled: HashSet<AccountId>,
+    pub stats: RunStats,
+    /// Decoy accounts injected by the Figure 7 experiment.
+    pub decoy_accounts: HashSet<AccountId>,
+    users: Vec<UserState>,
+    /// Decoy submissions scheduled by the Figure 7 experiment.
+    pending_decoys: Vec<(SimTime, AccountId, CrewId)>,
+    /// Prompt dropbox pickups queued by capture_credential, run between
+    /// events (never re-entrantly).
+    pending_pickups: Vec<(usize, CapturedCredential, SimTime)>,
+    lure_index: HashMap<MessageId, LureSource>,
+    /// Per-crew current link-lure page (index into `pages`).
+    crew_pages: Vec<Option<usize>>,
+    /// Per-crew (hour index, sessions run that hour) budget tracker.
+    crew_hour_used: Vec<(u64, u64)>,
+    log_cursor: usize,
+    now: SimTime,
+    next_campaign: u32,
+    rng_world: SimRng,
+    rng_organic: SimRng,
+    rng_crew: SimRng,
+    rng_campaign: SimRng,
+    rng_recovery: SimRng,
+}
+
+/// A day's worth of scheduled happenings, processed in time order.
+enum Event {
+    Lure { at: SimTime, target: AccountId, crew: CrewId },
+    OrganicLogin { at: SimTime, user: AccountId },
+    CrewShift { at: SimTime, crew_index: usize },
+    ClaimSweep { at: SimTime },
+    DecoySubmission { at: SimTime, account: AccountId, crew: CrewId },
+}
+
+impl Event {
+    fn at(&self) -> SimTime {
+        match self {
+            Event::Lure { at, .. }
+            | Event::OrganicLogin { at, .. }
+            | Event::CrewShift { at, .. }
+            | Event::ClaimSweep { at }
+            | Event::DecoySubmission { at, .. } => *at,
+        }
+    }
+}
+
+impl Ecosystem {
+    /// Build the world (population day 0 content is backdated).
+    pub fn build(config: ScenarioConfig) -> Self {
+        let geo = GeoDb::new();
+        let domains = DomainModel::standard();
+        let mut phones = PhonePlan::new();
+        let mut provider = MailProvider::new();
+        let mut credentials = CredentialStore::new();
+        let mut options = RecoveryOptions::new();
+        let mut twofactor = TwoFactorState::new();
+        let mut rng_pop = SimRng::stream(config.seed, "population");
+        let population = PopulationBuilder {
+            provider: &mut provider,
+            credentials: &mut credentials,
+            options: &mut options,
+            twofactor: &mut twofactor,
+            phones: &mut phones,
+            geo: &geo,
+            domains: &domains,
+        }
+        .build(&config.population, SimTime::EPOCH, &mut rng_pop);
+
+        let engine = if config.defense.login_risk_analysis {
+            RiskEngine::default()
+        } else {
+            RiskEngine::disabled()
+        };
+        let mut login = LoginPipeline::new(engine);
+        for u in &population.users {
+            login.register(u.account);
+        }
+        // Seed login histories so day-0 organic logins are not all
+        // cold-start: replay 10 synthetic home logins per user.
+        let mut login_log = LoginLog::new();
+        for u in &population.users {
+            let country = geo.locate(u.home_ip).expect("home IP is in plan");
+            for d in 0..10u64 {
+                let at = SimTime::from_secs(d * DAY / 10 + (9 + d % 10) * HOUR % DAY);
+                login.history.get_mut(u.account).record_success(at, country, u.device);
+            }
+            let _ = &mut login_log; // appended during the run only
+        }
+
+        let mut rng_crews = SimRng::stream(config.seed, "crews");
+        let crews = CrewRoster::build(config.crews.clone(), config.era, &geo, &mut rng_crews);
+        let crew_pages = vec![None; crews.crews.len()];
+        let crew_hour_used = vec![(u64::MAX, 0); crews.crews.len()];
+
+        let users = population
+            .users
+            .iter()
+            .map(|u| UserState {
+                known_password: credentials.password_for_capture(u.account).to_string(),
+                travelling_today: false,
+                aware_at: None,
+                next_claim_at: None,
+                claim_attempts: 0,
+                failed_methods: Vec::new(),
+                active_incident: None,
+            })
+            .collect();
+
+        Ecosystem {
+            geo,
+            domains,
+            phones,
+            provider,
+            credentials,
+            options,
+            twofactor,
+            population,
+            crews,
+            playbook: HijackPlaybook::default(),
+            login,
+            login_log,
+            classifier: MailClassifier::default(),
+            monitor: ActivityMonitor::default(),
+            notifications: NotificationEngine::new(),
+            recovery: RecoveryService::new(),
+            detection: DetectionPipeline::paper_calibrated(),
+            referrers: ReferrerModel::paper_calibrated(),
+            pages: Vec::new(),
+            takedowns: Vec::new(),
+            incidents: Vec::new(),
+            sessions: Vec::new(),
+            disabled: HashSet::new(),
+            stats: RunStats::default(),
+            decoy_accounts: HashSet::new(),
+            users,
+            pending_decoys: Vec::new(),
+            pending_pickups: Vec::new(),
+            lure_index: HashMap::new(),
+            crew_pages,
+            crew_hour_used,
+            log_cursor: 0,
+            now: SimTime::EPOCH,
+            next_campaign: 0,
+            rng_world: SimRng::stream(config.seed, "world"),
+            rng_organic: SimRng::stream(config.seed, "organic"),
+            rng_crew: SimRng::stream(config.seed, "crew"),
+            rng_campaign: SimRng::stream(config.seed, "campaign"),
+            rng_recovery: SimRng::stream(config.seed, "recovery"),
+            config,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Register an extra (decoy) account that is not part of the organic
+    /// population. Returns its id.
+    pub fn add_decoy_account(&mut self, local: &str) -> AccountId {
+        let address = EmailAddress::new(local, self.domains.home.name.clone());
+        let account = self.provider.create_account(address);
+        self.credentials
+            .register(account, &format!("decoy-pw-{}", account.index()));
+        self.options.register(account);
+        self.twofactor.register(account);
+        self.login.register(account);
+        self.decoy_accounts.insert(account);
+        account
+    }
+
+    /// Deliver a captured credential into a crew's dropbox (used by the
+    /// lure-click path and the decoy experiment). If the crew is at its
+    /// desks with hourly budget left, an operator picks the head of the
+    /// queue up within minutes — the fast quantile of Figure 7.
+    pub fn capture_credential(&mut self, crew: CrewId, credential: CapturedCredential) -> bool {
+        let at = credential.captured_at;
+        let delivered = self.crews.crews[crew.index()].dropbox.deliver(credential);
+        if !delivered {
+            return false;
+        }
+        self.stats.credentials_captured += 1;
+        let idx = crew.index();
+        if self.crews.crews[idx].is_working(at) && self.hour_budget_left(idx, at) {
+            if let Some(next) = self.crews.crews[idx].dropbox.pop() {
+                self.note_hour_use(idx, at);
+                // Operator reaction time: minutes, occasionally longer
+                // when busy (log-normal, median ≈ 35 min). The session
+                // itself runs after the current event finishes (no
+                // re-entrancy into in-flight organic activity).
+                let delay = self
+                    .rng_crew
+                    .lognormal((25.0 * 60.0f64).ln(), 1.0)
+                    .clamp(120.0, 3.0 * 3600.0) as u64;
+                let start = at.plus(SimDuration::from_secs(delay));
+                self.pending_pickups.push((idx, next, start));
+            }
+        }
+        true
+    }
+
+    fn hour_budget_left(&self, crew_index: usize, at: SimTime) -> bool {
+        let hour = at.as_secs() / HOUR;
+        let (h, used) = self.crew_hour_used[crew_index];
+        h != hour || used < self.config.crew_creds_per_hour
+    }
+
+    fn note_hour_use(&mut self, crew_index: usize, at: SimTime) {
+        let hour = at.as_secs() / HOUR;
+        let entry = &mut self.crew_hour_used[crew_index];
+        if entry.0 != hour {
+            *entry = (hour, 1);
+        } else {
+            entry.1 += 1;
+        }
+    }
+
+    /// Run the full scenario.
+    pub fn run(&mut self) {
+        for day in 0..self.config.days {
+            self.run_day(day);
+        }
+    }
+
+    /// Run one day.
+    pub fn run_day(&mut self, day: u64) {
+        let day_start = SimTime::from_secs(day * DAY);
+        self.now = self.now.max(day_start);
+        self.rotate_dropboxes(day_start);
+        let mut events = self.schedule_day(day);
+        events.sort_by_key(|e| e.at());
+        for event in events {
+            self.now = self.now.max(event.at());
+            match event {
+                Event::Lure { at, target, crew } => self.deliver_lure(at, target, crew),
+                Event::OrganicLogin { at, user } => self.organic_session(at, user),
+                Event::CrewShift { at, crew_index } => self.crew_shift(at, crew_index),
+                Event::ClaimSweep { at } => self.claim_sweep(at),
+                Event::DecoySubmission { at, account, crew } => {
+                    self.submit_credential(account, crew, PageId(u32::MAX), at)
+                }
+            }
+            // Prompt pickups triggered by this event (operators grabbing
+            // freshly captured credentials off the dropbox).
+            while let Some((idx, credential, start)) = self.pending_pickups.pop() {
+                self.run_hijack_session(idx, &credential, start);
+            }
+        }
+    }
+
+    // ---- scheduling ----
+
+    fn schedule_day(&mut self, day: u64) -> Vec<Event> {
+        let day_start = SimTime::from_secs(day * DAY);
+        let mut events = Vec::new();
+
+        // Organic logins, diurnal per user timezone.
+        for u in &self.population.users {
+            let st = &mut self.users[u.account.index()];
+            st.travelling_today = self.rng_organic.chance(u.travel_propensity);
+            let n = self.rng_organic.poisson(u.logins_per_day);
+            for _ in 0..n {
+                // Local waking hours 7..23.
+                let local_hour = 7 + self.rng_organic.below(16);
+                let utc_hour =
+                    (local_hour as i64 - u.country.utc_offset_hours() as i64).rem_euclid(24) as u64;
+                let at = day_start
+                    .plus(SimDuration::from_secs(utc_hour * HOUR + self.rng_organic.below(HOUR)));
+                events.push(Event::OrganicLogin { at, user: u.account });
+            }
+        }
+
+        // Lure blasts.
+        let n_users = self.population.users.len();
+        let expected = self.config.lures_per_user_day * n_users as f64;
+        let n_lures = self.rng_campaign.poisson(expected);
+        for _ in 0..n_lures {
+            let target =
+                self.population.users[self.rng_campaign.below(n_users as u64) as usize].account;
+            let crew_idx = self.crews.sample_crew(&mut self.rng_campaign);
+            let at = day_start.plus(SimDuration::from_secs(self.rng_campaign.below(DAY)));
+            events.push(Event::Lure { at, target, crew: CrewId::from_index(crew_idx) });
+        }
+
+        // Crew shifts: one per working hour per crew.
+        for (i, crew) in self.crews.crews.iter().enumerate() {
+            for h in 0..24u64 {
+                let at = day_start.plus(SimDuration::from_secs(h * HOUR));
+                if crew.is_working(at) {
+                    events.push(Event::CrewShift { at, crew_index: i });
+                }
+            }
+        }
+
+        // Claim sweeps every 20 minutes (victims file as soon as they
+        // are aware; coarse sweeps would quantize Figure 9's fast tail).
+        for h in 0..24u64 {
+            for m in [10u64, 30, 50] {
+                events.push(Event::ClaimSweep {
+                    at: day_start.plus(SimDuration::from_secs(h * HOUR + m * 60)),
+                });
+            }
+        }
+
+        // Decoy submissions due today.
+        let day_end = day_start.plus(SimDuration::from_days(1));
+        let mut remaining = Vec::new();
+        for (at, account, crew) in self.pending_decoys.drain(..) {
+            if at < day_end {
+                events.push(Event::DecoySubmission { at: at.max(day_start), account, crew });
+            } else {
+                remaining.push((at, account, crew));
+            }
+        }
+        self.pending_decoys = remaining;
+        events
+    }
+
+    /// Schedule a decoy-credential submission (the §5.1 honeypot
+    /// experiment): at time `at` the defender "types" the decoy's valid
+    /// credentials into a phishing page belonging to `crew`.
+    pub fn schedule_decoy_submission(&mut self, at: SimTime, account: AccountId, crew: CrewId) {
+        assert!(
+            self.decoy_accounts.contains(&account),
+            "decoy submissions need a registered decoy account"
+        );
+        self.pending_decoys.push((at, account, crew));
+    }
+
+    fn rotate_dropboxes(&mut self, day_start: SimTime) {
+        for crew in &mut self.crews.crews {
+            if !crew.dropbox.is_active(day_start) {
+                // The crew stands up a fresh dropbox overnight.
+                crew.dropbox = Dropbox::new(crew.id);
+            } else if self.rng_campaign.chance(self.config.dropbox_suspension_per_day) {
+                crew.dropbox.suspend(day_start.plus(SimDuration::from_secs(
+                    self.rng_campaign.below(DAY),
+                )));
+            }
+        }
+    }
+
+    // ---- lures ----
+
+    /// Ensure crew `idx` has a live phishing page; returns its index.
+    fn ensure_crew_page(&mut self, idx: usize, at: SimTime) -> usize {
+        if let Some(p) = self.crew_pages[idx] {
+            if self.pages[p].is_live(at) {
+                return p;
+            }
+        }
+        let id = PageId(self.pages.len() as u32);
+        let campaign = CampaignId(self.next_campaign);
+        self.next_campaign += 1;
+        let mut page = PhishingPage::new(
+            id,
+            campaign,
+            mhw_types::AccountCategory::Mail,
+            PageQuality::sample(&mut self.rng_campaign),
+            at,
+        );
+        let takedown = self.detection.process(&mut page, &mut self.rng_campaign);
+        self.takedowns.push(takedown);
+        self.pages.push(page);
+        let index = self.pages.len() - 1;
+        self.crew_pages[idx] = Some(index);
+        index
+    }
+
+    fn deliver_lure(&mut self, at: SimTime, target: AccountId, crew: CrewId) {
+        let link = self.rng_campaign.chance(0.62); // §4.1 structure mix
+        let source = if link {
+            let page = self.ensure_crew_page(crew.index(), at);
+            LureSource::Page(page, crew)
+        } else {
+            LureSource::Direct(crew)
+        };
+        let structure = if link {
+            mhw_phishkit::targets::LureStructure::LinkToPage
+        } else {
+            mhw_phishkit::targets::LureStructure::ReplyWithCredentials
+        };
+        // Phishers A/B-test wording; a minority of lures use evasive
+        // phrasing that slips past the content classifier (no filter is
+        // perfect — §8.1's false-negative side).
+        let evasive = self.rng_campaign.chance(0.25);
+        let (subject, body) = if evasive {
+            match structure {
+                mhw_phishkit::targets::LureStructure::LinkToPage => (
+                    "Important notice about your mailbox".to_string(),
+                    "Due to a system migration, your mailbox access will be \
+                     interrupted. Kindly re-validate your access at \
+                     http://mail-migration.example/start to avoid any \
+                     inconvenience."
+                        .to_string(),
+                ),
+                mhw_phishkit::targets::LureStructure::ReplyWithCredentials => (
+                    "Mailbox re-validation".to_string(),
+                    "Due to a system migration, kindly send back your mailbox \
+                     sign-in details so our team can migrate your data without \
+                     interruption."
+                        .to_string(),
+                ),
+            }
+        } else {
+            mhw_phishkit::targets::lure_text(mhw_types::AccountCategory::Mail, structure)
+        };
+        let draft = MessageDraft {
+            to: vec![self.provider.address_of(target).clone()],
+            subject,
+            body,
+            attachments: Vec::new(),
+            kind: MessageKind::PhishingLure,
+            reply_to: None,
+        };
+        let from = EmailAddress::new(
+            format!("security-team{}", self.rng_campaign.below(50)),
+            "account-alerts.net",
+        );
+        let classifier_enabled = self.config.defense.mail_classifier;
+        let classifier = &self.classifier;
+        let id = self.provider.deliver_external(target, from, &draft, at, |m| {
+            classifier_enabled && classifier.should_spam_folder(m)
+        });
+        self.stats.lures_delivered += 1;
+        if self.provider.mailbox(target).folder_of(id) == Some(Folder::Spam) {
+            self.stats.lures_spam_foldered += 1;
+        }
+        self.lure_index.insert(id, source);
+        self.drain_monitor_top();
+    }
+
+    fn drain_monitor_top(&mut self) {
+        if !self.config.defense.activity_monitor {
+            self.log_cursor = self.provider.log().len();
+            return;
+        }
+        let log = self.provider.log();
+        let mut flagged = Vec::new();
+        for event in &log[self.log_cursor..] {
+            let v = self.monitor.observe(event);
+            if v.flagged && !self.disabled.contains(&event.account) {
+                flagged.push((event.account, event.at));
+            }
+        }
+        self.log_cursor = log.len();
+        for (account, at) in flagged {
+            self.disabled.insert(account);
+            if self.config.defense.notifications {
+                self.notifications.notify(
+                    account,
+                    mhw_defense::NotificationEvent::UnusualActivity,
+                    &self.options,
+                    at,
+                    &mut self.rng_world,
+                );
+            }
+            // Anti-abuse disable interrupts any ongoing incident.
+            if let Some(idx) = self.users.get(account.index()).and_then(|s| s.active_incident) {
+                let inc = &mut self.incidents[idx];
+                if inc.disabled_at.is_none() {
+                    inc.disabled_at = Some(at);
+                }
+            }
+        }
+    }
+
+    // ---- organic activity ----
+
+    fn owner_capabilities(&self, account: AccountId) -> AnswererCapabilities {
+        let opts = self.options.get(account);
+        let phone_ok = opts.phone.as_ref().map(|p| p.up_to_date).unwrap_or(false);
+        let recall = opts.question.as_ref().map(|q| q.owner_recall).unwrap_or(0.75);
+        // The owner controls the enrolled second factor unless a crew
+        // swapped the enrolled phone (the 2FA-lockout tactic).
+        let controls_2fa = self
+            .twofactor
+            .audit(account)
+            .last()
+            .map(|e| !e.actor.is_hijacker())
+            .unwrap_or(true);
+        AnswererCapabilities::owner(phone_ok, recall).with_second_factor(controls_2fa)
+    }
+
+    fn organic_session(&mut self, at: SimTime, account: AccountId) {
+        // Skip decoys (they have no owner).
+        if self.decoy_accounts.contains(&account) {
+            return;
+        }
+        if self.disabled.contains(&account) {
+            // The provider disabled the account; the owner finds out now.
+            self.mark_aware(account, at);
+            return;
+        }
+        let user = self.population.users[account.index()].clone();
+        let st_travelling = self.users[account.index()].travelling_today;
+        let (ip, _) = user.login_origin(&self.geo, &mut self.rng_organic, st_travelling);
+        let password = self.users[account.index()].known_password.clone();
+        let request = LoginRequest {
+            at,
+            account,
+            ip,
+            device: user.device,
+            password,
+            actor: Actor::Owner,
+            capabilities: self.owner_capabilities(account),
+        };
+        let outcome = self.login.attempt(
+            &request,
+            &self.credentials,
+            &self.options,
+            &self.twofactor,
+            &self.geo,
+            &mut self.login_log,
+            &mut self.rng_organic,
+        );
+        self.stats.organic_logins += 1;
+        if let Some(record) = self.login_log.records().last() {
+            if record.challenge.is_some() {
+                self.stats.organic_challenges += 1;
+                if !record.outcome.is_success() {
+                    self.stats.organic_challenge_failures += 1;
+                }
+            }
+        }
+        match outcome {
+            LoginOutcome::WrongPassword => {
+                // If a hijacker rotated the password, the owner now knows.
+                if self
+                    .users[account.index()]
+                    .active_incident
+                    .map(|i| {
+                        self.credentials
+                            .hijacker_changed_since(account, self.incidents[i].hijack_start)
+                    })
+                    .unwrap_or(false)
+                {
+                    self.mark_aware(account, at);
+                }
+            }
+            LoginOutcome::Success => self.organic_mail_activity(at, account, &user),
+            LoginOutcome::SecondFactorFailed => {
+                // A second factor the owner does not control means a
+                // crew swapped it: the lockout is unmistakable.
+                if self.users[account.index()].active_incident.is_some() {
+                    self.mark_aware(account, at);
+                }
+            }
+            LoginOutcome::ChallengeFailed | LoginOutcome::Blocked => {}
+        }
+    }
+
+    fn organic_mail_activity(
+        &mut self,
+        at: SimTime,
+        account: AccountId,
+        user: &mhw_population::UserProfile,
+    ) {
+        let mut t = at.plus(SimDuration::from_secs(30));
+        // Read a few unread inbox messages; react to abuse.
+        let inbox = self.provider.mailbox(account).list_folder(Folder::Inbox);
+        let unread: Vec<MessageId> = inbox
+            .iter()
+            .rev()
+            .filter(|id| {
+                self.provider
+                    .mailbox(account)
+                    .get(**id)
+                    .map(|m| !m.read)
+                    .unwrap_or(false)
+            })
+            .take(12)
+            .copied()
+            .collect();
+        for id in unread {
+            // The message can vanish mid-session (a hijack session for a
+            // *different* captured credential may purge mail between
+            // events); skip silently like a real UI would.
+            let Some((kind, from)) = self
+                .provider
+                .mailbox(account)
+                .get(id)
+                .map(|m| (m.kind, m.from.clone()))
+            else {
+                continue;
+            };
+            self.provider.read_message(account, Actor::Owner, id, t);
+            t += SimDuration::from_secs(20 + self.rng_organic.below(60));
+            if kind.is_abusive() && self.rng_organic.chance(user.report_propensity) {
+                self.provider.report_spam(account, id, t);
+                continue;
+            }
+            if kind == MessageKind::PhishingLure {
+                if self.provider.resolve(&from).is_some() {
+                    self.stats.contact_lures_read += 1;
+                }
+                self.maybe_fall_for_lure(t, account, user, id, &from);
+            }
+        }
+        // Personal mail to contacts.
+        let sends = self
+            .rng_organic
+            .poisson(user.sends_per_day / user.logins_per_day.max(0.2));
+        for _ in 0..sends.min(6) {
+            let contacts = self.population.graph.sample_contacts(account, 2, &mut self.rng_organic);
+            if contacts.is_empty() {
+                break;
+            }
+            let to: Vec<EmailAddress> = contacts
+                .iter()
+                .map(|c| self.provider.address_of(*c).clone())
+                .collect();
+            let draft = MessageDraft::personal(to, "catching up", "hey, quick note — let's talk soon");
+            self.send_as(account, Actor::Owner, draft, t);
+            t += SimDuration::from_secs(60 + self.rng_organic.below(120));
+        }
+        // Occasional own-mailbox search (FP material for the monitor).
+        if self
+            .rng_organic
+            .chance(user.searches_per_day / user.logins_per_day.max(0.2))
+        {
+            let queries = [
+                "meeting notes",
+                "flight confirmation",
+                "photos",
+                "bank statement",
+                "invoice",
+                "recipe",
+            ];
+            let q = queries[self.rng_organic.below(queries.len() as u64) as usize];
+            self.provider.search_mailbox(account, Actor::Owner, q, t);
+        }
+        self.drain_monitor_top();
+    }
+
+    fn send_as(&mut self, from: AccountId, actor: Actor, draft: MessageDraft, at: SimTime) {
+        let classifier_enabled = self.config.defense.mail_classifier;
+        let classifier = &self.classifier;
+        let leniency = self.config.contact_leniency;
+        let graph = &self.population.graph;
+        let rng = &mut self.rng_world;
+        self.provider.send(from, actor, draft, at, |m| {
+            if !classifier_enabled || !classifier.should_spam_folder(m) {
+                return false;
+            }
+            let recipient = m.owner;
+            if recipient.index() < graph.len() && graph.contacts_of(recipient).contains(&from) {
+                // Contact-origin leniency (§5.3).
+                if rng.chance(leniency) {
+                    return false;
+                }
+            }
+            true
+        });
+    }
+
+    fn maybe_fall_for_lure(
+        &mut self,
+        at: SimTime,
+        account: AccountId,
+        user: &mhw_population::UserProfile,
+        message: MessageId,
+        from: &EmailAddress,
+    ) {
+        let Some(mut source) = self.lure_index.get(&message).copied() else {
+            return; // a hijacker-forwarded copy or seeded mail
+        };
+        // A share of contact-phished credentials gets sold on rather
+        // than exploited by the phishing crew itself (§5.5 notes shared
+        // resources; credential markets spread the spoils).
+        if let LureSource::Direct(_) = source {
+            if self.rng_organic.chance(0.3) {
+                let resold = self.crews.sample_crew(&mut self.rng_organic);
+                source = LureSource::Direct(CrewId::from_index(resold));
+            }
+        }
+        // Trust boost when the lure came from a contact's (hijacked)
+        // account — §5.3's rationale for contact phishing.
+        let from_contact = self
+            .provider
+            .resolve(from)
+            .map(|sender| {
+                sender.index() < self.population.graph.len()
+                    && self.population.graph.contacts_of(account).contains(&sender)
+            })
+            .unwrap_or(false);
+        let trust = if from_contact { 1.8 } else { 1.0 };
+        match source {
+            LureSource::Page(page_idx, crew) => {
+                let click = (user.gullibility * 0.9 * trust).clamp(0.0, 0.9);
+                if !self.rng_organic.chance(click) {
+                    return;
+                }
+                // Page may already be down.
+                let live = self.pages[page_idx].is_live(at);
+                let referrer = self.referrers.sample_referrer(&mut self.rng_organic);
+                if !live {
+                    return;
+                }
+                self.pages[page_idx].record_get(at, referrer);
+                let submit = (self.pages[page_idx].quality.base_conversion()
+                    * user.gullibility
+                    * 4.5
+                    * trust)
+                    .clamp(0.0, 0.9);
+                if self.rng_organic.chance(submit) {
+                    self.pages[page_idx]
+                        .record_post(at, referrer, self.provider.address_of(account).clone());
+                    self.submit_credential(account, crew, source_page_id(&self.pages[page_idx]), at);
+                }
+            }
+            LureSource::Direct(crew) => {
+                let reply = (user.gullibility * 0.42 * trust).clamp(0.0, 0.8);
+                if self.rng_organic.chance(reply) {
+                    if from_contact {
+                        self.stats.contact_lure_captures += 1;
+                    }
+                    self.submit_credential(account, crew, PageId(u32::MAX), at);
+                }
+            }
+        }
+    }
+
+    /// Victim typo model + dropbox delivery.
+    fn submit_credential(&mut self, account: AccountId, crew: CrewId, page: PageId, at: SimTime) {
+        let real = self.credentials.password_for_capture(account).to_string();
+        // Exactness mix calibrated so crews end up presenting a correct
+        // password (incl. variant retries) ~75% of the time (§5.1).
+        let (typed, exactness) = {
+            let r = self.rng_organic.f64();
+            if r < 0.64 {
+                (real.clone(), CredentialExactness::Exact)
+            } else if r < 0.77 {
+                // A trivial variant: case slip on the first character.
+                let mut v: Vec<char> = real.chars().collect();
+                if let Some(c) = v.first_mut() {
+                    *c = c.to_ascii_uppercase();
+                }
+                (v.into_iter().collect(), CredentialExactness::TrivialVariant)
+            } else {
+                (format!("{real}-oops-wrong"), CredentialExactness::Wrong)
+            }
+        };
+        let is_decoy = self.decoy_accounts.contains(&account);
+        let victim_country = (!is_decoy && account.index() < self.population.users.len())
+            .then(|| self.population.users[account.index()].country);
+        let credential = CapturedCredential {
+            address: self.provider.address_of(account).clone(),
+            password_typed: typed,
+            exactness,
+            page,
+            captured_at: at,
+            victim_country,
+            is_decoy,
+        };
+        self.capture_credential(crew, credential);
+    }
+
+    // ---- crew shifts ----
+
+    fn crew_shift(&mut self, at: SimTime, crew_index: usize) {
+        // The shift covers [at, at + 1h): operators pick queued
+        // credentials up within minutes of arrival while at their desks
+        // (Figure 7's fast quantile), bounded by the hourly budget.
+        let budget = self.config.crew_creds_per_hour;
+        let hour_end = at.plus(SimDuration::from_secs(HOUR));
+        for k in 0..budget {
+            if !self.hour_budget_left(crew_index, at) {
+                break;
+            }
+            let Some(credential) = ({
+                let crew = &mut self.crews.crews[crew_index];
+                match crew.dropbox.peek() {
+                    Some(c) if c.captured_at < hour_end => crew.dropbox.pop(),
+                    _ => None,
+                }
+            }) else {
+                break;
+            };
+            self.note_hour_use(crew_index, at);
+            let queue_slot = at.plus(SimDuration::from_secs(k * (HOUR / budget.max(1))));
+            let pickup = credential
+                .captured_at
+                .plus(SimDuration::from_secs(240 + self.rng_crew.below(900)));
+            let start = queue_slot.max(pickup);
+            self.run_hijack_session(crew_index, &credential, start);
+        }
+    }
+
+    fn run_hijack_session(
+        &mut self,
+        crew_index: usize,
+        credential: &CapturedCredential,
+        start: SimTime,
+    ) {
+        let mut lure_sink: Vec<(MessageId, CrewId)> = Vec::new();
+        let report = {
+            let Ecosystem {
+                provider,
+                credentials,
+                options,
+                twofactor,
+                login,
+                login_log,
+                geo,
+                population,
+                classifier,
+                monitor,
+                notifications,
+                disabled,
+                log_cursor,
+                rng_world,
+                rng_crew,
+                crews,
+                playbook,
+                phones,
+                config,
+                ..
+            } = self;
+            let mut adapter = WorldAdapter {
+                provider,
+                credentials,
+                options,
+                twofactor,
+                login,
+                login_log,
+                geo,
+                population,
+                classifier,
+                classifier_enabled: config.defense.mail_classifier,
+                contact_leniency: config.contact_leniency,
+                monitor: config.defense.activity_monitor.then_some(monitor),
+                notifications: Some(notifications),
+                notifications_enabled: config.defense.notifications,
+                disabled,
+                log_cursor,
+                lure_sink: &mut lure_sink,
+                rng: rng_world,
+            };
+            playbook.run_session(
+                &mut crews.crews[crew_index],
+                credential,
+                &mut adapter,
+                phones,
+                start,
+                rng_crew,
+            )
+        };
+        for (id, crew) in lure_sink {
+            self.lure_index.insert(id, LureSource::Direct(crew));
+        }
+        self.stats.sessions_run += 1;
+        self.register_session(report);
+    }
+
+    /// Record a finished session: incident bookkeeping and victim
+    /// awareness scheduling.
+    fn register_session(&mut self, report: SessionReport) {
+        let session_index = self.sessions.len();
+        let logged_in = report.logged_in;
+        let account = report.account;
+        self.sessions.push(report);
+        let Some(account) = account else {
+            return;
+        };
+        if !logged_in {
+            return;
+        }
+        let report = &self.sessions[session_index];
+        self.stats.incidents += 1;
+        if report.exploited {
+            self.stats.exploited += 1;
+        }
+        let id = IncidentId(self.incidents.len() as u32);
+        let disabled_at = self
+            .disabled
+            .contains(&account)
+            .then_some(report.ended_at);
+        let incident = Incident {
+            id,
+            account,
+            crew: report.crew,
+            hijack_start: report.started_at,
+            session: session_index,
+            disabled_at,
+            // The provider's risk systems mark the anomalous login; the
+            // Figure 9 clock starts here (§6.2: "the time our risk
+            // analysis system flagged the account as hijacked").
+            flagged_at: Some(disabled_at.unwrap_or(report.started_at)),
+            recovered_at: None,
+            remission: None,
+            is_decoy: report.was_decoy,
+        };
+        let incident_index = self.incidents.len();
+        self.incidents.push(incident);
+        if account.index() < self.users.len() {
+            self.users[account.index()].active_incident = Some(incident_index);
+            self.schedule_awareness(incident_index);
+        }
+    }
+
+    fn schedule_awareness(&mut self, incident_index: usize) {
+        let (account, started, ended, scam_count, locked_out) = {
+            let inc = &self.incidents[incident_index];
+            let report = &self.sessions[inc.session];
+            (
+                inc.account,
+                inc.hijack_start,
+                report.ended_at,
+                report.messages_sent,
+                report.retention.password_changed,
+            )
+        };
+        let mut candidates: Vec<SimTime> = Vec::new();
+        // Notifications reach the victim out of band.
+        if let Some(n) = self.notifications.first_delivered_after(account, started) {
+            let reaction = self
+                .rng_recovery
+                .lognormal((0.6 * 3600.0f64).ln(), 1.3)
+                .clamp(180.0, 48.0 * 3600.0) as u64;
+            candidates.push(n.at.plus(SimDuration::from_secs(reaction)));
+        }
+        // Contacts who received a scam may warn the victim.
+        if scam_count > 0 {
+            let p = 1.0 - (-0.20 * scam_count as f64).exp();
+            if self.rng_recovery.chance(p) {
+                let delay = self
+                    .rng_recovery
+                    .lognormal((14.0 * 3600.0f64).ln(), 0.8)
+                    .clamp(3600.0, 5.0 * 24.0 * 3600.0) as u64;
+                candidates.push(ended.plus(SimDuration::from_secs(delay)));
+            }
+        }
+        // Locked-out victims notice at their next login attempt — no
+        // schedule needed (the organic path marks awareness); but a
+        // rarely-active locked-out user eventually tries email and
+        // fails: add a backstop at +3 days.
+        if locked_out {
+            candidates.push(ended.plus(SimDuration::from_days(2)));
+        }
+        if let Some(min) = candidates.into_iter().min() {
+            let st = &mut self.users[account.index()];
+            st.aware_at = Some(st.aware_at.map_or(min, |a| a.min(min)));
+        }
+    }
+
+    fn mark_aware(&mut self, account: AccountId, at: SimTime) {
+        if account.index() >= self.users.len() {
+            return;
+        }
+        let st = &mut self.users[account.index()];
+        if st.active_incident.is_none() {
+            return;
+        }
+        st.aware_at = Some(st.aware_at.map_or(at, |a| a.min(at)));
+        if st.next_claim_at.is_none() {
+            // Filing takes a little while (finding the form, §6.1).
+            let delay = 120 + self.rng_recovery.below(1200);
+            st.next_claim_at = Some(at.plus(SimDuration::from_secs(delay)));
+        }
+    }
+
+    // ---- recovery ----
+
+    fn claim_sweep(&mut self, at: SimTime) {
+        let due: Vec<AccountId> = self
+            .population
+            .users
+            .iter()
+            .map(|u| u.account)
+            .filter(|a| {
+                let st = &self.users[a.index()];
+                if st.active_incident.is_none() || st.claim_attempts >= 8 {
+                    return false;
+                }
+                match (st.aware_at, st.next_claim_at) {
+                    (Some(aw), Some(next)) => aw <= at && next <= at,
+                    (Some(aw), None) => aw <= at,
+                    _ => false,
+                }
+            })
+            .collect();
+        for account in due {
+            self.file_claim(account, at);
+        }
+    }
+
+    fn file_claim(&mut self, account: AccountId, at: SimTime) {
+        let incident_index = self.users[account.index()].active_incident.expect("checked");
+        let (hijacked_at, disabled_at, recovered) = {
+            let inc = &self.incidents[incident_index];
+            (inc.hijack_start, inc.disabled_at, inc.recovered_at.is_some())
+        };
+        if recovered {
+            self.users[account.index()].active_incident = None;
+            return;
+        }
+        let trigger = if disabled_at.is_some() {
+            ClaimTrigger::AccountDisabled
+        } else if self.notifications.first_delivered_after(account, hijacked_at).is_some() {
+            ClaimTrigger::Notification
+        } else {
+            ClaimTrigger::SelfNoticed
+        };
+        let _ = disabled_at;
+        let failed_methods = self.users[account.index()].failed_methods.clone();
+        let resolution = self.recovery.process_claim(
+            account,
+            hijacked_at,
+            self.incidents[incident_index].flagged_at.expect("just set"),
+            trigger,
+            at,
+            &self.options,
+            &mut self.credentials,
+            &failed_methods,
+            &mut self.rng_recovery,
+        );
+        let st = &mut self.users[account.index()];
+        st.claim_attempts += 1;
+        if resolution.claim.succeeded {
+            let resolved_at = resolution.claim.resolved_at.expect("resolved");
+            let mut remission = run_remission(
+                account,
+                hijacked_at,
+                resolved_at,
+                &mut self.provider,
+                &mut self.options,
+                &mut self.twofactor,
+            );
+            // §5.4's recovery checklist: review any surviving redirect
+            // settings against doppelganger heuristics (this is the
+            // provider-visible path — no ground-truth actor labels).
+            let owner_addr = self.provider.address_of(account).clone();
+            let flagged: Vec<_> =
+                mhw_defense::review_filters(&owner_addr, self.provider.filters(account))
+                    .into_iter()
+                    .filter(|(_, v)| v.needs_review())
+                    .map(|(id, _)| id)
+                    .collect();
+            for id in flagged {
+                self.provider.remove_filter(account, Actor::System, id, resolved_at);
+                remission.filters_removed += 1;
+            }
+            if let Some(reply_to) = self.provider.reply_to(account).cloned() {
+                if mhw_defense::classify_redirect(&owner_addr, &reply_to).needs_review() {
+                    self.provider.set_reply_to(account, Actor::System, None, resolved_at);
+                    remission.reply_to_reverted = true;
+                }
+            }
+            let inc = &mut self.incidents[incident_index];
+            inc.recovered_at = Some(resolved_at);
+            inc.remission = Some(remission);
+            self.stats.recovered += 1;
+            let st = &mut self.users[account.index()];
+            st.active_incident = None;
+            st.aware_at = None;
+            st.next_claim_at = None;
+            st.claim_attempts = 0;
+            st.failed_methods.clear();
+            st.known_password = self.credentials.password_for_capture(account).to_string();
+            self.disabled.remove(&account);
+            // Monitoring state should not immediately re-flag the owner.
+        } else {
+            if let Some(m) = resolution.claim.method {
+                if !st.failed_methods.contains(&m) {
+                    st.failed_methods.push(m);
+                }
+            }
+            // Users retry a failed claim later the same day or the next
+            // morning (§6.3: multiple options are offered), switching to
+            // a different channel.
+            let delay = 6 * HOUR + self.rng_recovery.below(12 * HOUR);
+            st.next_claim_at = Some(at.plus(SimDuration::from_secs(delay)));
+        }
+    }
+
+    /// Run an automated-hijacking (botnet) campaign through the same
+    /// defenses — the Figure 1 taxonomy baseline. The bot's logins and
+    /// spam go through the identical pipeline crews face.
+    pub fn run_bot_campaign(
+        &mut self,
+        bot: &mhw_adversary::automation::SpamBot,
+        credentials: &[(EmailAddress, String)],
+        start: SimTime,
+    ) -> mhw_adversary::automation::BotCampaignReport {
+        let Ecosystem {
+            provider,
+            credentials: cred_store,
+            options,
+            twofactor,
+            login,
+            login_log,
+            geo,
+            population,
+            classifier,
+            monitor,
+            notifications,
+            disabled,
+            log_cursor,
+            rng_world,
+            rng_crew,
+            config,
+            ..
+        } = self;
+        let mut bot_lures = Vec::new();
+        let mut adapter = WorldAdapter {
+            provider,
+            credentials: cred_store,
+            options,
+            twofactor,
+            login,
+            login_log,
+            geo,
+            population,
+            classifier,
+            classifier_enabled: config.defense.mail_classifier,
+            contact_leniency: config.contact_leniency,
+            monitor: config.defense.activity_monitor.then_some(monitor),
+            notifications: Some(notifications),
+            notifications_enabled: config.defense.notifications,
+            disabled,
+            log_cursor,
+            lure_sink: &mut bot_lures,
+            rng: rng_world,
+        };
+        bot.run_campaign(credentials, &mut adapter, start, rng_crew)
+    }
+
+    /// Incidents against real users (excluding decoy probes).
+    pub fn real_incidents(&self) -> impl Iterator<Item = &Incident> {
+        self.incidents.iter().filter(|i| !i.is_decoy)
+    }
+
+    /// The literal string a hijacker presents for a correct-variant
+    /// retry (exposed for tests).
+    pub fn variant_sentinel() -> &'static str {
+        VARIANT_CORRECT
+    }
+}
+
+fn source_page_id(page: &PhishingPage) -> PageId {
+    page.id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DefenseConfig, ScenarioConfig};
+
+    fn small(seed: u64) -> Ecosystem {
+        let mut config = ScenarioConfig::small_test(seed);
+        config.days = 10;
+        Ecosystem::build(config)
+    }
+
+    #[test]
+    fn world_builds_and_runs() {
+        let mut eco = small(1);
+        eco.run();
+        assert!(eco.stats.organic_logins > 1000, "{:?}", eco.stats);
+        assert!(eco.stats.lures_delivered > 300, "{:?}", eco.stats);
+        assert!(eco.stats.credentials_captured > 0, "{:?}", eco.stats);
+        assert!(eco.stats.sessions_run > 0, "{:?}", eco.stats);
+    }
+
+    #[test]
+    fn incidents_happen_and_some_recover() {
+        let mut eco = small(2);
+        eco.run();
+        assert!(eco.stats.incidents > 0, "{:?}", eco.stats);
+        assert!(eco.stats.recovered > 0, "{:?}", eco.stats);
+        // Recovered incidents have consistent timelines.
+        for inc in &eco.incidents {
+            if let Some(r) = inc.recovered_at {
+                assert!(r > inc.hijack_start);
+                assert!(inc.flagged_at.is_some());
+                assert!(inc.flagged_at.unwrap() <= r);
+            }
+        }
+    }
+
+    #[test]
+    fn most_lures_are_spam_foldered() {
+        let mut eco = small(3);
+        eco.run();
+        let frac = eco.stats.lures_spam_foldered as f64 / eco.stats.lures_delivered.max(1) as f64;
+        assert!(frac > 0.65, "spam-folder rate {frac}");
+        assert!(frac < 1.0, "some lures must reach inboxes");
+    }
+
+    #[test]
+    fn hijacker_logins_recorded_with_ground_truth() {
+        let mut eco = small(4);
+        eco.run();
+        let crew_logins = eco
+            .login_log
+            .records()
+            .iter()
+            .filter(|r| matches!(r.actor, Actor::Hijacker(_)))
+            .count();
+        assert!(crew_logins > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = small(42);
+        let mut b = small(42);
+        a.run();
+        b.run();
+        assert_eq!(a.stats.organic_logins, b.stats.organic_logins);
+        assert_eq!(a.stats.incidents, b.stats.incidents);
+        assert_eq!(a.stats.credentials_captured, b.stats.credentials_captured);
+        assert_eq!(a.login_log.len(), b.login_log.len());
+        assert_eq!(a.sessions.len(), b.sessions.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = small(7);
+        let mut b = small(8);
+        a.run();
+        b.run();
+        assert_ne!(
+            (a.stats.organic_logins, a.login_log.len()),
+            (b.stats.organic_logins, b.login_log.len())
+        );
+    }
+
+    #[test]
+    fn disabling_defenses_increases_exploitation() {
+        let mut defended = small(9);
+        defended.run();
+        let mut config = ScenarioConfig::small_test(9);
+        config.days = 10;
+        config.defense = DefenseConfig::none();
+        let mut undefended = Ecosystem::build(config);
+        undefended.run();
+        // Without defenses, at least as many sessions succeed end-to-end.
+        assert!(
+            undefended.stats.exploited >= defended.stats.exploited,
+            "undefended {:?} vs defended {:?}",
+            undefended.stats,
+            defended.stats
+        );
+        // And nobody gets challenged.
+        assert_eq!(undefended.stats.organic_challenges, 0);
+        assert!(defended.stats.organic_challenges > 0);
+    }
+
+    #[test]
+    fn recovered_accounts_get_password_reset_and_remission() {
+        let mut config = ScenarioConfig::small_test(10);
+        config.days = 16; // enough runway for claims to resolve
+        config.lures_per_user_day = 2.0; // plenty of incidents
+        let mut eco = Ecosystem::build(config);
+        eco.run();
+        let recovered: Vec<_> = eco
+            .incidents
+            .iter()
+            .filter(|i| i.recovered_at.is_some())
+            .collect();
+        assert!(!recovered.is_empty());
+        for inc in recovered {
+            assert!(inc.remission.is_some());
+            // Owner's known password works again — unless the account
+            // was hijacked *again* after this recovery.
+            let rehijacked = eco
+                .credentials
+                .hijacker_changed_since(inc.account, inc.recovered_at.unwrap());
+            if !rehijacked {
+                let st = &eco.users[inc.account.index()];
+                assert!(eco.credentials.verify(inc.account, &st.known_password));
+            }
+        }
+    }
+
+    #[test]
+    fn decoy_accounts_are_isolated_from_population() {
+        let mut eco = small(11);
+        let d = eco.add_decoy_account("decoy-probe-0");
+        assert!(eco.decoy_accounts.contains(&d));
+        // Decoys never generate organic logins; run and verify no Owner
+        // records exist for the decoy.
+        eco.run();
+        let owner_logins = eco
+            .login_log
+            .records()
+            .iter()
+            .filter(|r| r.account == d && r.actor == Actor::Owner)
+            .count();
+        assert_eq!(owner_logins, 0);
+    }
+
+    #[test]
+    fn crew_sessions_respect_office_hours() {
+        let mut eco = small(12);
+        eco.run();
+        for s in &eco.sessions {
+            let crew = eco.crews.get(s.crew);
+            // Sessions start during a shift, or within the operator
+            // pickup-delay bound (≤3 h) after one — crews finish what
+            // they picked up near close of business.
+            let started_recently_working = (0..=3).any(|h| {
+                crew.schedule
+                    .is_active(SimTime::from_secs(s.started_at.as_secs().saturating_sub(h * HOUR)))
+            });
+            assert!(started_recently_working, "session at {} outside crew hours", s.started_at);
+        }
+    }
+}

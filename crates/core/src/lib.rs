@@ -1,0 +1,33 @@
+//! # mhw-core
+//!
+//! The ecosystem orchestrator: wires every substrate into one closed
+//! simulated world and runs scenarios.
+//!
+//! * [`config`] — scenario configuration: era (2011/2012 tactics),
+//!   population size, crew roster, attack volume, and defense toggles
+//!   (for the §8 ablations);
+//! * [`ecosystem`] — the [`Ecosystem`]: the main
+//!   day-by-day simulation loop interleaving organic user activity,
+//!   phishing campaigns, crew work shifts, defense reactions and
+//!   account recovery;
+//! * [`world`] — the adapter implementing the adversary's
+//!   [`HijackerWorld`](mhw_adversary::HijackerWorld) over the real
+//!   substrates;
+//! * [`campaigns`] — standalone external phishing-form campaigns (the
+//!   §4.2 Google-Forms dataset generator behind Figures 3–6);
+//! * [`decoy`] — the §5.1 decoy-credential experiment (Figure 7);
+//! * [`datasets`] — extraction of the paper's 14 datasets (Table 1)
+//!   from the raw logs.
+
+pub mod campaigns;
+pub mod config;
+pub mod datasets;
+pub mod decoy;
+pub mod ecosystem;
+pub mod world;
+
+pub use campaigns::{run_form_campaigns, FormCampaignOutput};
+pub use config::{DefenseConfig, ScenarioConfig};
+pub use datasets::DatasetInventory;
+pub use decoy::{run_decoy_experiment, DecoyOutcome, DecoyReport};
+pub use ecosystem::{Ecosystem, Incident, RunStats};

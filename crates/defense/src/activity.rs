@@ -1,0 +1,267 @@
+//! Post-login behavioral detection.
+//!
+//! §5.2 suggests "an approach that models manual hijacker initial
+//! activity on hijacked accounts and compares a logged-in user's
+//! activity to this model in order to flag those that exhibit excessive
+//! similarity to hijacker activity". §8.2 cautions that behavioral
+//! detection is a *last resort* — by the time it fires, the hijacker has
+//! already seen the mailbox — but it still interrupts exploitation and
+//! triggers proactive account protection.
+//!
+//! The detector consumes the provider activity log ([`MailEvent`]s) and
+//! scores sliding per-account windows on the hijacker-playbook features:
+//! finance-hunting searches, special-folder sweeps, contact-list reads,
+//! settings changes (filters / Reply-To), outbound fan-out spikes and
+//! mass deletion. §8.1's caveat is preserved: every one of these
+//! features also occurs in legitimate traffic, so thresholds trade
+//! false positives against detection.
+
+use mhw_mailsys::{Folder, MailEvent, MailEventKind};
+use mhw_types::{AccountId, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Features accumulated over one account's recent activity window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActivityFeatures {
+    /// Searches whose query matches finance/credential hunting terms.
+    pub hunting_searches: u32,
+    /// Other searches.
+    pub other_searches: u32,
+    /// Distinct special folders opened (Starred/Drafts/Sent/Trash).
+    pub special_folders_opened: u32,
+    /// Contact-list views.
+    pub contact_views: u32,
+    /// Filters created or Reply-To changes.
+    pub settings_changes: u32,
+    /// Messages sent and the max recipient count among them.
+    pub messages_sent: u32,
+    pub max_recipients: u32,
+    /// Messages purged.
+    pub purges: u32,
+}
+
+/// Terms whose presence in a search marks it as "hunting" — the Table 3
+/// vocabulary (finance, linked credentials, blackmail material).
+const HUNTING_TERMS: [&str; 16] = [
+    "wire transfer",
+    "bank transfer",
+    "transfer",
+    "wire",
+    "bank",
+    "transferencia",
+    "banco",
+    "investment",
+    "账单",
+    "password",
+    "username",
+    "paypal",
+    "passport",
+    "sex",
+    "is:starred",
+    "filename:",
+];
+
+/// Whether a raw search query looks like hijacker hunting.
+pub fn is_hunting_query(query: &str) -> bool {
+    let q = query.to_ascii_lowercase();
+    HUNTING_TERMS.iter().any(|t| q.contains(t))
+}
+
+/// Verdict for one account window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityVerdict {
+    pub score: f64,
+    pub flagged: bool,
+}
+
+/// Sliding-window behavioral monitor.
+#[derive(Debug)]
+pub struct ActivityMonitor {
+    /// Window length.
+    pub window: SimDuration,
+    /// Flag threshold on the combined score.
+    pub threshold: f64,
+    windows: HashMap<AccountId, (SimTime, ActivityFeatures)>,
+}
+
+impl Default for ActivityMonitor {
+    fn default() -> Self {
+        ActivityMonitor {
+            window: SimDuration::from_hours(1),
+            // High bar: §8.1 stresses that hijacker actions look like
+            // normal-user actions, so only strong combinations flag.
+            threshold: 0.75,
+            windows: HashMap::new(),
+        }
+    }
+}
+
+impl ActivityMonitor {
+    pub fn new(window: SimDuration, threshold: f64) -> Self {
+        ActivityMonitor { window, threshold, windows: HashMap::new() }
+    }
+
+    /// Feed one provider log event; returns the verdict for the
+    /// account's current window.
+    pub fn observe(&mut self, event: &MailEvent) -> ActivityVerdict {
+        let entry = self
+            .windows
+            .entry(event.account)
+            .or_insert_with(|| (event.at, ActivityFeatures::default()));
+        // Window expiry: start fresh.
+        if event.at.since(entry.0) > self.window {
+            *entry = (event.at, ActivityFeatures::default());
+        }
+        let f = &mut entry.1;
+        match &event.kind {
+            MailEventKind::Searched { query } => {
+                if is_hunting_query(query) {
+                    f.hunting_searches += 1;
+                } else {
+                    f.other_searches += 1;
+                }
+            }
+            MailEventKind::FolderOpened { folder } => {
+                if matches!(folder, Folder::Starred | Folder::Drafts | Folder::Sent | Folder::Trash)
+                {
+                    f.special_folders_opened += 1;
+                }
+            }
+            MailEventKind::ContactsViewed { .. } => f.contact_views += 1,
+            MailEventKind::FilterCreated { .. } | MailEventKind::ReplyToChanged { .. } => {
+                f.settings_changes += 1
+            }
+            MailEventKind::Sent { recipients, .. } => {
+                f.messages_sent += 1;
+                f.max_recipients = f.max_recipients.max(*recipients as u32);
+            }
+            MailEventKind::Purged { .. } => f.purges += 1,
+            _ => {}
+        }
+        let score = Self::score(f);
+        ActivityVerdict { score, flagged: score >= self.threshold }
+    }
+
+    /// Current features for an account (None if never seen).
+    pub fn features(&self, account: AccountId) -> Option<&ActivityFeatures> {
+        self.windows.get(&account).map(|(_, f)| f)
+    }
+
+    /// Score a feature window with a noisy-OR over sub-scores.
+    ///
+    /// Sub-scores are shaped so that *combinations* matter: a lone
+    /// finance search (owners do that) contributes little; finance
+    /// search + folder sweep + contacts view + high fan-out — the §5.2
+    /// playbook — crosses the threshold.
+    pub fn score(f: &ActivityFeatures) -> f64 {
+        let hunt = (f.hunting_searches as f64 / 3.0).clamp(0.0, 1.0) * 0.40;
+        let sweep = (f.special_folders_opened as f64 / 3.0).clamp(0.0, 1.0) * 0.25;
+        let contacts = (f.contact_views as f64).clamp(0.0, 1.0) * 0.15;
+        let settings = (f.settings_changes as f64 / 2.0).clamp(0.0, 1.0) * 0.35;
+        let fanout = if f.max_recipients >= 10 { 0.25 } else { 0.0 };
+        let purge = (f.purges as f64 / 20.0).clamp(0.0, 1.0) * 0.45;
+        let subs = [hunt, sweep, contacts, settings, fanout, purge];
+        1.0 - subs.iter().fold(1.0, |acc, s| acc * (1.0 - s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhw_types::Actor;
+
+    fn ev(at: u64, kind: MailEventKind) -> MailEvent {
+        MailEvent {
+            at: SimTime::from_secs(at),
+            account: AccountId(0),
+            actor: Actor::Owner, // the monitor never reads this
+            kind,
+        }
+    }
+
+    #[test]
+    fn hunting_query_detection() {
+        assert!(is_hunting_query("wire transfer"));
+        assert!(is_hunting_query("Bank statement 2012"));
+        assert!(is_hunting_query("账单"));
+        assert!(is_hunting_query("filename:(jpg or png)"));
+        assert!(!is_hunting_query("lunch plans"));
+        assert!(!is_hunting_query("meeting notes q3"));
+    }
+
+    #[test]
+    fn lone_owner_search_is_not_flagged() {
+        let mut m = ActivityMonitor::default();
+        let v = m.observe(&ev(10, MailEventKind::Searched { query: "wire transfer".into() }));
+        assert!(!v.flagged, "score {}", v.score);
+    }
+
+    #[test]
+    fn full_playbook_is_flagged() {
+        let mut m = ActivityMonitor::default();
+        // The §5.2 profiling sequence compressed into minutes.
+        m.observe(&ev(0, MailEventKind::Searched { query: "wire transfer".into() }));
+        m.observe(&ev(30, MailEventKind::Searched { query: "bank".into() }));
+        m.observe(&ev(60, MailEventKind::Searched { query: "password".into() }));
+        m.observe(&ev(90, MailEventKind::FolderOpened { folder: Folder::Starred }));
+        m.observe(&ev(120, MailEventKind::FolderOpened { folder: Folder::Drafts }));
+        let v = m.observe(&ev(150, MailEventKind::ContactsViewed { count: 80 }));
+        assert!(v.score > 0.5, "profiling alone score {}", v.score);
+        // Exploitation alone stays under the bar (§8.2: last resort)…
+        m.observe(&ev(400, MailEventKind::Sent { message: mhw_types::MessageId(1), recipients: 40 }));
+        let v1 = m.observe(&ev(420, MailEventKind::FilterCreated { filter: mhw_types::FilterId(0) }));
+        assert!(!v1.flagged, "mid-exploitation score {}", v1.score);
+        // …but the full retention combination crosses it.
+        let v2 = m.observe(&ev(440, MailEventKind::ReplyToChanged { to: None }));
+        assert!(v2.flagged, "playbook score {}", v2.score);
+    }
+
+    #[test]
+    fn window_expiry_resets_features() {
+        let mut m = ActivityMonitor::default();
+        m.observe(&ev(0, MailEventKind::Searched { query: "wire transfer".into() }));
+        m.observe(&ev(10, MailEventKind::Searched { query: "bank".into() }));
+        // Two hours later (window is 1h) the slate is clean.
+        let v = m.observe(&ev(2 * 3600 + 11, MailEventKind::Searched { query: "paypal".into() }));
+        assert_eq!(m.features(AccountId(0)).unwrap().hunting_searches, 1);
+        assert!(!v.flagged);
+    }
+
+    #[test]
+    fn mass_deletion_dominates() {
+        let mut m = ActivityMonitor::default();
+        let mut last = ActivityVerdict { score: 0.0, flagged: false };
+        for i in 0..25 {
+            last = m.observe(&ev(i, MailEventKind::Purged { message: mhw_types::MessageId(i as u32) }));
+        }
+        // Mass deletion alone: strong but sub-threshold; §8.2 notes the
+        // lockout *signals* but the combination seals it.
+        assert!(last.score >= 0.44, "purge score {}", last.score);
+        let v = m.observe(&ev(30, MailEventKind::ReplyToChanged { to: None }));
+        assert!(v.score > last.score);
+    }
+
+    #[test]
+    fn organic_mail_reading_scores_zero() {
+        let mut m = ActivityMonitor::default();
+        let v1 = m.observe(&ev(0, MailEventKind::Read { message: mhw_types::MessageId(0) }));
+        let v2 = m.observe(&ev(
+            5,
+            MailEventKind::Delivered { message: mhw_types::MessageId(1), spam_foldered: false },
+        ));
+        assert_eq!(v1.score, 0.0);
+        assert_eq!(v2.score, 0.0);
+    }
+
+    #[test]
+    fn score_monotone_in_hunting_searches() {
+        let mut f = ActivityFeatures::default();
+        let mut prev = ActivityMonitor::score(&f);
+        for _ in 0..5 {
+            f.hunting_searches += 1;
+            let s = ActivityMonitor::score(&f);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+}

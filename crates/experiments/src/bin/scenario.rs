@@ -1,0 +1,130 @@
+//! `scenario` — run one configurable ecosystem scenario and print a
+//! full situation report. The knobs cover everything DESIGN.md lists
+//! as calibration parameters, so reviewers can probe the model without
+//! writing code.
+//!
+//! ```text
+//! scenario [--users N] [--days N] [--seed N] [--era 2011|2012]
+//!          [--lures F] [--no-defense] [--no-classifier] [--no-monitor]
+//!          [--no-challenge] [--twofactor F]
+//! ```
+
+use mhw_adversary::Era;
+use mhw_analysis::{bar_chart, Breakdown, Ecdf};
+use mhw_core::{Ecosystem, ScenarioConfig};
+use mhw_types::Actor;
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = ScenarioConfig::measurement(value(&args, "--seed").unwrap_or(0x5C3A));
+    if let Some(n) = value::<usize>(&args, "--users") {
+        config.population.n_users = n;
+    }
+    if let Some(d) = value::<u64>(&args, "--days") {
+        config.days = d;
+    }
+    if let Some(l) = value::<f64>(&args, "--lures") {
+        config.lures_per_user_day = l;
+    }
+    if let Some(t) = value::<f64>(&args, "--twofactor") {
+        config.population.twofactor_rate = t;
+    }
+    if value::<u32>(&args, "--era") == Some(2011) {
+        config.era = Era::Y2011;
+    }
+    if flag(&args, "--no-defense") {
+        config.defense = mhw_core::DefenseConfig::none();
+    }
+    if flag(&args, "--no-classifier") {
+        config.defense.mail_classifier = false;
+    }
+    if flag(&args, "--no-monitor") {
+        config.defense.activity_monitor = false;
+    }
+    if flag(&args, "--no-challenge") {
+        config.defense.login_risk_analysis = false;
+    }
+
+    eprintln!(
+        "running: {} users, {} days, era {:?}, lures/user/day {}, seed {:#x}",
+        config.population.n_users, config.days, config.era, config.lures_per_user_day, config.seed
+    );
+    let t0 = std::time::Instant::now();
+    let mut eco = Ecosystem::build(config);
+    eco.run();
+    eprintln!("done in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    let s = &eco.stats;
+    println!("== traffic ==");
+    println!("organic logins          {:>10}", s.organic_logins);
+    println!("owner challenges        {:>10}  ({:.2}% FP rate)", s.organic_challenges, s.organic_challenges as f64 / s.organic_logins.max(1) as f64 * 100.0);
+    println!("lures delivered         {:>10}  ({:.0}% spam-foldered)", s.lures_delivered, s.lures_spam_foldered as f64 / s.lures_delivered.max(1) as f64 * 100.0);
+    println!("credentials captured    {:>10}  ({} via hijacked contacts)", s.credentials_captured, s.contact_lure_captures);
+
+    println!("\n== hijacking ==");
+    println!("sessions run            {:>10}", s.sessions_run);
+    println!("successful hijacks      {:>10}", s.incidents);
+    println!("exploited               {:>10}", s.exploited);
+    println!("recovered               {:>10}", s.recovered);
+    let rate = eco.real_incidents().count() as f64
+        / (eco.population.len() as f64 * eco.config.days as f64)
+        * 1e6;
+    println!("rate                    {rate:>10.1}  per M active users per day");
+
+    // Session outcome mix.
+    let mut outcomes = Breakdown::new();
+    for sess in &eco.sessions {
+        outcomes.add(if sess.exploited {
+            "exploited"
+        } else if sess.logged_in {
+            "abandoned after profiling"
+        } else if sess.password_eventually_correct {
+            "stopped at login defense"
+        } else {
+            "bad credentials"
+        });
+    }
+    println!("\n== session outcomes ==");
+    print!("{}", bar_chart(&outcomes, 36));
+
+    // Hijacker IP origins.
+    let mut countries = Breakdown::new();
+    for r in eco.login_log.records() {
+        if matches!(r.actor, Actor::Hijacker(_)) {
+            if let Some(c) = eco.geo.locate(r.ip) {
+                countries.add(c.code().to_string());
+            }
+        }
+    }
+    println!("\n== hijacker login origins ==");
+    print!("{}", bar_chart(&countries, 36));
+
+    // Recovery latency.
+    let latencies: Vec<f64> = eco
+        .real_incidents()
+        .filter_map(|i| Some(i.recovered_at?.since(i.flagged_at?).as_hours_f64()))
+        .collect();
+    if !latencies.is_empty() {
+        let e = Ecdf::new(latencies);
+        println!("\n== recovery latency (hours from flagging) ==");
+        println!(
+            "n={}  p25 {:.1}  median {:.1}  p75 {:.1}  max {:.1}",
+            e.len(),
+            e.quantile(0.25),
+            e.quantile(0.5),
+            e.quantile(0.75),
+            e.max().unwrap_or(0.0)
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared experiment context: the finished simulation runs every
+//! experiment reads from.
+
+use mhw_adversary::Era;
+use mhw_analysis::ComparisonTable;
+use mhw_core::{
+    run_decoy_experiment, run_form_campaigns, DecoyReport, Ecosystem, FormCampaignOutput,
+    ScenarioConfig,
+};
+
+/// Run scale: `Quick` for tests (seconds), `Full` for the repro binary
+/// (paper-scale sample sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+/// The output of one experiment.
+pub struct ExperimentResult {
+    /// Paper-vs-measured rows (EXPERIMENTS.md).
+    pub table: ComparisonTable,
+    /// Plain-text rendering of the figure/table itself.
+    pub rendering: String,
+}
+
+/// All the simulation runs the experiments share.
+pub struct Context {
+    pub scale: Scale,
+    pub seed: u64,
+    /// The main 2012-era measurement run.
+    pub eco_2012: Ecosystem,
+    /// The 2011-era run for the §5.4 longitudinal comparison.
+    pub eco_2011: Ecosystem,
+    /// A 2012 run during the brief period crews experimented with the
+    /// 2FA-lockout tactic at full intensity (Figure 12's dataset was
+    /// collected exactly then).
+    pub eco_lockout: Ecosystem,
+    /// The §4.2 hosted-form campaign batch (Figures 3–6).
+    pub forms: FormCampaignOutput,
+    /// The §5.1 decoy experiment (Figure 7) and its world.
+    pub decoy_eco: Ecosystem,
+    pub decoys: DecoyReport,
+}
+
+impl Context {
+    /// Build and run everything.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let (base, n_forms, n_decoys): (fn(u64) -> ScenarioConfig, usize, usize) = match scale {
+            Scale::Quick => (ScenarioConfig::small_test as fn(u64) -> _, 30, 60),
+            Scale::Full => (ScenarioConfig::measurement as fn(u64) -> _, 100, 200),
+        };
+
+        let mut eco_2012 = Ecosystem::build(base(seed));
+        eco_2012.run();
+
+        let mut config_2011 = base(seed ^ 0x2011);
+        config_2011.era = Era::Y2011;
+        let mut eco_2011 = Ecosystem::build(config_2011);
+        eco_2011.run();
+
+        // The 2FA-lockout burst: same era, tactic at full intensity.
+        let mut config_lockout = base(seed ^ 0x2fa);
+        if scale == Scale::Quick {
+            config_lockout.days = config_lockout.days.min(14);
+        }
+        let mut eco_lockout = Ecosystem::build(config_lockout);
+        for crew in &mut eco_lockout.crews.crews {
+            if crew.spec.uses_2fa_lockout {
+                crew.tactics.p_twofactor_lockout = 0.55;
+            }
+        }
+        eco_lockout.run();
+
+        let forms = run_form_campaigns(n_forms, true, seed ^ 0xf0f0);
+
+        let mut decoy_config = base(seed ^ 0xdec0);
+        let (decoy_eco, decoys) = run_decoy_experiment(decoy_config.clone(), n_decoys, {
+            decoy_config.days = decoy_config.days.max(10);
+            (decoy_config.days / 2).max(3)
+        });
+
+        Context { scale, seed, eco_2012, eco_2011, eco_lockout, forms, decoy_eco, decoys }
+    }
+
+    /// Tolerance width scaling: quick runs have smaller samples, so
+    /// match bands widen.
+    pub fn tol(&self, full: f64, quick: f64) -> f64 {
+        match self.scale {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// Format a fraction as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Convenience for building a comparison row with a |measured−paper| ≤
+/// tol match rule on fractional values.
+pub fn frac_row(
+    metric: &str,
+    paper_value: f64,
+    measured_value: f64,
+    tol: f64,
+) -> mhw_analysis::Comparison {
+    mhw_analysis::Comparison::new(
+        metric,
+        pct(paper_value),
+        pct(measured_value),
+        (measured_value - paper_value).abs() <= tol,
+        format!("tolerance ±{:.0}pp", tol * 100.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_builds() {
+        let ctx = Context::new(Scale::Quick, 0xAB);
+        assert!(ctx.eco_2012.stats.incidents > 0);
+        assert!(ctx.eco_2011.stats.incidents > 0);
+        assert!(!ctx.forms.pages.is_empty());
+        assert_eq!(ctx.decoys.outcomes.len(), 60);
+        assert!(ctx.tol(0.05, 0.15) > ctx.tol(0.05, 0.15) - 1.0);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.2091), "20.9%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn frac_row_match_rule() {
+        let ok = frac_row("x", 0.20, 0.22, 0.05);
+        assert!(ok.matches);
+        let bad = frac_row("x", 0.20, 0.30, 0.05);
+        assert!(!bad.matches);
+    }
+}

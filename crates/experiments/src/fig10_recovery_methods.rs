@@ -1,0 +1,62 @@
+//! Figure 10 — success rate per recovery method.
+//!
+//! §6.3: SMS 80.91%, secondary email 74.57%, fallback options 14.20%.
+
+use crate::context::{Context, ExperimentResult};
+use mhw_analysis::{Comparison, ComparisonTable};
+use mhw_recovery::RecoveryMethod;
+
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let rates = ctx.eco_2012.recovery.success_rate_by_method();
+    let get = |m: RecoveryMethod| {
+        rates
+            .iter()
+            .find(|(method, _, _)| *method == m)
+            .map(|(_, rate, n)| (*rate, *n))
+            .unwrap_or((0.0, 0))
+    };
+    let (sms, sms_n) = get(RecoveryMethod::Sms);
+    let (email, email_n) = get(RecoveryMethod::Email);
+    let (fallback, fallback_n) = get(RecoveryMethod::Fallback);
+
+    let mut table = ComparisonTable::new("Figure 10 — recovery method success");
+    table.push(crate::context::frac_row("SMS success rate", 0.8091, sms, ctx.tol(0.08, 0.18)));
+    table.push(crate::context::frac_row(
+        "secondary-email success rate",
+        0.7457,
+        email,
+        ctx.tol(0.09, 0.20),
+    ));
+    table.push(crate::context::frac_row(
+        "fallback success rate",
+        0.1420,
+        fallback,
+        ctx.tol(0.08, 0.15),
+    ));
+    table.push(Comparison::new(
+        "channel ordering",
+        "SMS > Email ≫ Fallback",
+        format!(
+            "{:.0}% > {:.0}% > {:.0}%",
+            sms * 100.0,
+            email * 100.0,
+            fallback * 100.0
+        ),
+        sms > email && email > fallback,
+        "the §6.3 reliability ranking",
+    ));
+
+    let rendering = format!(
+        "Recovery claims by method:\n  SMS      {:<45} {:5.1}%  (n={})\n  Email    {:<45} {:5.1}%  (n={})\n  Fallback {:<45} {:5.1}%  (n={})\n",
+        "#".repeat((sms * 45.0) as usize),
+        sms * 100.0,
+        sms_n,
+        "#".repeat((email * 45.0) as usize),
+        email * 100.0,
+        email_n,
+        "#".repeat((fallback * 45.0) as usize),
+        fallback * 100.0,
+        fallback_n,
+    );
+    ExperimentResult { table, rendering }
+}

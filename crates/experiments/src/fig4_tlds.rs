@@ -1,0 +1,43 @@
+//! Figure 4 — TLDs of phished addresses.
+//!
+//! §4.2: "the vast majority (> 99%) of the emails address phished come
+//! from .edu domains", explained by commodity spam filtering on
+//! self-hosted (university) domains letting ~10× more lure mail
+//! through. In our generative model the skew *emerges* from directory
+//! harvesting × delivery thinning (see `mhw_phishkit::campaign`).
+
+use crate::context::{Context, ExperimentResult};
+use mhw_analysis::{bar_chart, Breakdown, Comparison, ComparisonTable};
+
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let mut tlds = Breakdown::new();
+    for subs in &ctx.forms.submissions {
+        for s in subs {
+            tlds.add(s.victim.address.tld().to_string());
+        }
+    }
+    let edu_frac = tlds.fraction_of("edu");
+
+    let mut table = ComparisonTable::new("Figure 4 — phished-address TLDs");
+    table.push(Comparison::new(
+        ".edu share of phished addresses",
+        ">99%",
+        crate::context::pct(edu_frac),
+        edu_frac > 0.98,
+        "directory harvesting × spam-filter asymmetry",
+    ));
+    table.push(Comparison::new(
+        "non-.edu tail exists",
+        "com, net, org, country codes…",
+        format!("{} other TLDs", tlds.distinct().saturating_sub(1)),
+        tlds.distinct() > 1,
+        "Figure 4's log-scale tail",
+    ));
+
+    let rendering = format!(
+        "Phished addresses by TLD ({} submissions):\n{}",
+        tlds.total(),
+        bar_chart(&tlds, 40)
+    );
+    ExperimentResult { table, rendering }
+}

@@ -1,0 +1,98 @@
+//! Figure 6 — credential submissions over time.
+//!
+//! Top panel: the average standard page "exhibits a clear decay, from
+//! the moment the webpage receives its first visitors until it is taken
+//! down … consistent with a mass mailed email". Bottom panel: the one
+//! high-volume outlier shows a step function after a ~15-hour quiet
+//! period, then "a gentle diurnal pattern through several days" ending
+//! abruptly at takedown.
+
+use crate::context::{Context, ExperimentResult};
+use mhw_analysis::{Comparison, ComparisonTable, HourlySeries};
+
+fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+    values
+        .iter()
+        .map(|v| GLYPHS[((v / max) * 7.0).round() as usize])
+        .collect()
+}
+
+pub fn run(ctx: &Context) -> ExperimentResult {
+    // Standard pattern: average hourly submissions across non-outlier
+    // pages, aligned at first visit.
+    let standard: Vec<HourlySeries> = ctx
+        .forms
+        .pages
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != ctx.forms.outlier)
+        .map(|(_, p)| HourlySeries::from_counts(p.hourly_submissions()))
+        .filter(|s| s.total() >= 10)
+        .collect();
+    let avg = HourlySeries::average(&standard);
+    let avg_series = HourlySeries::from_counts(avg.iter().map(|x| (x * 100.0) as u32).collect());
+
+    let mut table = ComparisonTable::new("Figure 6 — submission arrivals");
+    table.push(Comparison::new(
+        "standard pages decay from first visit",
+        "clear decay",
+        if avg_series.is_decaying(2.0) { "decaying" } else { "not decaying" }.to_string(),
+        avg_series.is_decaying(2.0),
+        "first-quartile vs last-quartile hourly mean",
+    ));
+
+    let mut rendering = format!(
+        "Average hourly submissions, {} standard pages (first 72h):\n  {}\n",
+        standard.len(),
+        sparkline(&avg[..avg.len().min(72)])
+    );
+
+    if let Some(outlier_idx) = ctx.forms.outlier {
+        let outlier = &ctx.forms.pages[outlier_idx];
+        let series = outlier.hourly_submissions();
+        let quiet_hours = series.iter().take_while(|c| **c == 0).count();
+        let total: u32 = series.iter().sum();
+        table.push(Comparison::new(
+            "outlier quiet period",
+            "≈15 h",
+            format!("{quiet_hours} h"),
+            (10..=18).contains(&quiet_hours),
+            "attackers testing the page pre-launch",
+        ));
+        table.push(Comparison::new(
+            "outlier runs for days at volume",
+            "several days, high volume",
+            format!("{} h, {} submissions", series.len(), total),
+            series.len() > 72 && total > 500,
+            "diurnal plateau ending at takedown",
+        ));
+        // Diurnality: within the plateau, peak hour ≫ trough hour.
+        let plateau: Vec<f64> = series
+            .iter()
+            .skip(quiet_hours)
+            .map(|c| *c as f64)
+            .collect();
+        let mut by_hour = [0.0f64; 24];
+        for (h, v) in plateau.iter().enumerate() {
+            by_hour[h % 24] += v;
+        }
+        let peak = by_hour.iter().cloned().fold(0.0, f64::max);
+        let trough = by_hour.iter().cloned().fold(f64::INFINITY, f64::min);
+        table.push(Comparison::new(
+            "outlier diurnal modulation",
+            "gentle diurnal pattern",
+            format!("peak/trough = {:.1}", peak / trough.max(1.0)),
+            peak > 1.5 * trough.max(1.0),
+            "hour-of-day aggregation over the plateau",
+        ));
+        rendering.push_str(&format!(
+            "Outlier page, hourly submissions ({} h total):\n  {}\n",
+            series.len(),
+            sparkline(&series.iter().map(|c| *c as f64).collect::<Vec<_>>())
+        ));
+    }
+
+    ExperimentResult { table, rendering }
+}

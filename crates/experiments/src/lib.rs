@@ -1,0 +1,57 @@
+//! # mhw-experiments
+//!
+//! One module per table and figure of the paper's evaluation, plus the
+//! §5 headline statistics, the §5.4 longitudinal retention comparison
+//! and the §8 defense evaluation. Each experiment consumes the shared
+//! [`Context`] (a set of finished simulation runs) and produces an
+//! [`ExperimentResult`]: a paper-vs-measured comparison table plus a
+//! plain-text rendering of the figure itself.
+//!
+//! The `repro` binary runs everything and writes `EXPERIMENTS.md`.
+
+pub mod context;
+pub mod defense_eval;
+pub mod fig10_recovery_methods;
+pub mod fig11_ip_origins;
+pub mod fig12_phone_origins;
+pub mod fig3_referrers;
+pub mod fig4_tlds;
+pub mod fig5_conversion;
+pub mod fig6_arrivals;
+pub mod fig7_decoys;
+pub mod fig8_ip_discipline;
+pub mod fig9_recovery_latency;
+pub mod fig_taxonomy;
+pub mod sec5_stats;
+pub mod sec5_retention;
+pub mod table1_datasets;
+pub mod table2_targets;
+pub mod table3_terms;
+
+pub use context::{Context, ExperimentResult, Scale};
+
+/// Every experiment, in paper order, as `(id, runner)` pairs.
+pub type Runner = fn(&Context) -> ExperimentResult;
+
+/// The full battery in presentation order.
+pub fn all_experiments() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("Table 1 — dataset inventory", table1_datasets::run as Runner),
+        ("Table 2 — phishing targets", table2_targets::run as Runner),
+        ("Table 3 — hijacker search terms", table3_terms::run as Runner),
+        ("Figure 1 — hijacking taxonomy", fig_taxonomy::run as Runner),
+        ("Figure 3 — HTTP referrers", fig3_referrers::run as Runner),
+        ("Figure 4 — phished TLDs", fig4_tlds::run as Runner),
+        ("Figure 5 — page conversion", fig5_conversion::run as Runner),
+        ("Figure 6 — submission arrivals", fig6_arrivals::run as Runner),
+        ("Figure 7 — decoy access speed", fig7_decoys::run as Runner),
+        ("Figure 8 — per-IP discipline", fig8_ip_discipline::run as Runner),
+        ("Figure 9 — recovery latency", fig9_recovery_latency::run as Runner),
+        ("Figure 10 — recovery methods", fig10_recovery_methods::run as Runner),
+        ("Figure 11 — hijacker IP origins", fig11_ip_origins::run as Runner),
+        ("Figure 12 — hijacker phone origins", fig12_phone_origins::run as Runner),
+        ("§5 — exploitation statistics", sec5_stats::run as Runner),
+        ("§5.4 — retention-tactic evolution", sec5_retention::run as Runner),
+        ("§8 — defense evaluation", defense_eval::run as Runner),
+    ]
+}

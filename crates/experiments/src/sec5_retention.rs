@@ -1,0 +1,105 @@
+//! §5.4 — retention-tactic evolution, October 2011 vs November 2012.
+//!
+//! The paper's longitudinal comparison: mass deletion after a password
+//! change collapsed from 46% to 1.6% once the provider added content
+//! restore to recovery; hijacker-initiated recovery-option changes fell
+//! from 60% to 21%; the 2012 sample had 15% hijacker filters and 26%
+//! hijacker Reply-To settings.
+
+use crate::context::{Context, ExperimentResult};
+use mhw_analysis::{Comparison, ComparisonTable};
+use mhw_core::Ecosystem;
+
+struct RetentionStats {
+    n: usize,
+    mass_delete_given_lockout: f64,
+    recovery_change: f64,
+    filters: f64,
+    reply_to: f64,
+}
+
+fn measure(eco: &Ecosystem) -> RetentionStats {
+    let exploited: Vec<_> = eco.sessions.iter().filter(|s| s.exploited).collect();
+    let n = exploited.len();
+    let locked: Vec<_> = exploited.iter().filter(|s| s.retention.password_changed).collect();
+    let mass = locked.iter().filter(|s| s.retention.mass_deleted).count() as f64
+        / locked.len().max(1) as f64;
+    let recovery = exploited
+        .iter()
+        .filter(|s| s.retention.recovery_options_changed)
+        .count() as f64
+        / n.max(1) as f64;
+    let filters = exploited.iter().filter(|s| s.retention.filter_created).count() as f64
+        / n.max(1) as f64;
+    let reply_to = exploited.iter().filter(|s| s.retention.reply_to_set).count() as f64
+        / n.max(1) as f64;
+    RetentionStats { n, mass_delete_given_lockout: mass, recovery_change: recovery, filters, reply_to }
+}
+
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let s2011 = measure(&ctx.eco_2011);
+    let s2012 = measure(&ctx.eco_2012);
+
+    let mut table = ComparisonTable::new("§5.4 — retention-tactic evolution");
+    table.push(crate::context::frac_row(
+        "2011: mass deletion | password change",
+        0.46,
+        s2011.mass_delete_given_lockout,
+        ctx.tol(0.10, 0.20),
+    ));
+    table.push(crate::context::frac_row(
+        "2012: mass deletion | password change",
+        0.016,
+        s2012.mass_delete_given_lockout,
+        ctx.tol(0.04, 0.08),
+    ));
+    table.push(crate::context::frac_row(
+        "2011: hijacker recovery-option changes",
+        0.60,
+        s2011.recovery_change,
+        ctx.tol(0.10, 0.18),
+    ));
+    table.push(crate::context::frac_row(
+        "2012: hijacker recovery-option changes",
+        0.21,
+        s2012.recovery_change,
+        ctx.tol(0.08, 0.15),
+    ));
+    table.push(crate::context::frac_row(
+        "2012: hijacker forwarding filters",
+        0.15,
+        s2012.filters,
+        ctx.tol(0.07, 0.12),
+    ));
+    table.push(crate::context::frac_row(
+        "2012: hijacker Reply-To",
+        0.26,
+        s2012.reply_to,
+        ctx.tol(0.08, 0.14),
+    ));
+    table.push(Comparison::new(
+        "deletion tactic abandoned over time",
+        "46% → 1.6%",
+        format!(
+            "{:.0}% → {:.1}%",
+            s2011.mass_delete_given_lockout * 100.0,
+            s2012.mass_delete_given_lockout * 100.0
+        ),
+        s2011.mass_delete_given_lockout > 5.0 * s2012.mass_delete_given_lockout.max(0.001),
+        "provider content-restore removed the incentive",
+    ));
+
+    let rendering = format!(
+        "2011 era: {} exploited cases; mass-delete|lockout {:.0}%, recovery changes {:.0}%\n\
+         2012 era: {} exploited cases; mass-delete|lockout {:.1}%, recovery changes {:.0}%, filters {:.0}%, reply-to {:.0}%\n",
+        s2011.n,
+        s2011.mass_delete_given_lockout * 100.0,
+        s2011.recovery_change * 100.0,
+        s2012.n,
+        s2012.mass_delete_given_lockout * 100.0,
+        s2012.recovery_change * 100.0,
+        s2012.filters * 100.0,
+        s2012.reply_to * 100.0,
+    );
+    ExperimentResult { table, rendering }
+}

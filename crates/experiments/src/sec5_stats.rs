@@ -1,0 +1,279 @@
+//! §5 headline statistics: the manual-hijacking rate, profiling
+//! behaviour, exploitation volume and the contact-risk multiplier.
+
+use crate::context::{Context, ExperimentResult, Scale};
+use mhw_analysis::{Comparison, ComparisonTable};
+use mhw_core::{Ecosystem, ScenarioConfig};
+use mhw_mailsys::MailEventKind;
+use mhw_mailsys::Folder;
+use mhw_types::{SimDuration, DAY};
+use std::collections::HashSet;
+
+/// The §3 rate experiment: a *realistic-volume* scenario (the main runs
+/// crank attack volume for sample size; this one does not).
+fn hijack_rate_per_million_user_days(ctx: &Context) -> f64 {
+    let (users, days, lures) = match ctx.scale {
+        Scale::Quick => (4000, 10, 0.006),
+        Scale::Full => (40_000, 30, 0.002),
+    };
+    let mut config = ScenarioConfig {
+        days,
+        lures_per_user_day: lures,
+        ..ScenarioConfig::measurement(ctx.seed ^ 0x9a7e)
+    };
+    config.population.n_users = users;
+    config.population.seed_mailboxes = false; // rate needs logins only
+    let mut eco = Ecosystem::build(config);
+    eco.run();
+    let incidents = eco.real_incidents().count() as f64;
+    incidents / (users as f64 * days as f64) * 1.0e6
+}
+
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let eco = &ctx.eco_2012;
+    let mut table = ComparisonTable::new("§5 — exploitation statistics");
+
+    // §3: ~9 manual hijackings per million active users per day.
+    let rate = hijack_rate_per_million_user_days(ctx);
+    let rate_ok = match ctx.scale {
+        // Quick runs cover too few user-days for a stable estimate of a
+        // ~1e-5 event rate; accept the right order of magnitude.
+        Scale::Quick => rate <= 150.0,
+        Scale::Full => (1.0..=30.0).contains(&rate),
+    };
+    table.push(Comparison::new(
+        "manual hijackings / M active users / day",
+        "≈9",
+        format!("{rate:.1}"),
+        rate_ok,
+        "realistic-volume scenario; order-of-magnitude match",
+    ));
+
+    // §5.2: 3-minute value assessment.
+    let logged_in: Vec<_> = eco.sessions.iter().filter(|s| s.logged_in).collect();
+    let mean_profiling_min = logged_in
+        .iter()
+        .map(|s| s.profiling_seconds as f64 / 60.0)
+        .sum::<f64>()
+        / logged_in.len().max(1) as f64;
+    table.push(Comparison::new(
+        "mean account value assessment",
+        "3 min",
+        format!("{mean_profiling_min:.1} min"),
+        (2.0..=5.0).contains(&mean_profiling_min),
+        "time from login to exploit/abandon decision",
+    ));
+
+    // §5.2: folder-view probabilities.
+    for (folder, paper) in [
+        (Folder::Starred, 0.16),
+        (Folder::Drafts, 0.11),
+        (Folder::Sent, 0.05),
+    ] {
+        let frac = logged_in
+            .iter()
+            .filter(|s| s.folders_opened.contains(&folder))
+            .count() as f64
+            / logged_in.len().max(1) as f64;
+        table.push(crate::context::frac_row(
+            &format!("sessions opening {folder:?}"),
+            paper,
+            frac,
+            ctx.tol(0.06, 0.12),
+        ));
+    }
+
+    // §5.2: some accounts are deemed not valuable and abandoned.
+    let abandoned = logged_in.iter().filter(|s| !s.exploited && !s.interrupted).count();
+    table.push(Comparison::new(
+        "hijackers abandon low-value accounts",
+        "a meaningful fraction",
+        crate::context::pct(abandoned as f64 / logged_in.len().max(1) as f64),
+        abandoned > 0,
+        "value threshold after profiling",
+    ));
+
+    // §5.3: 65% of victims receive ≤5 messages (measured on sessions
+    // the defender did not interrupt, like the paper's 575 completed
+    // exploitation cases).
+    let exploited: Vec<_> = eco.sessions.iter().filter(|s| s.exploited).collect();
+    let completed: Vec<_> = exploited.iter().filter(|s| !s.interrupted).collect();
+    let small_batch = completed.iter().filter(|s| s.messages_sent <= 5).count() as f64
+        / completed.len().max(1) as f64;
+    table.push(crate::context::frac_row(
+        "exploited accounts sending ≤5 messages",
+        0.65,
+        small_batch,
+        ctx.tol(0.10, 0.18),
+    ));
+
+    // §5.3: ~6% customized scams with <10 recipients.
+    let custom = exploited
+        .iter()
+        .filter(|s| s.exploit_kind == Some(mhw_adversary::ExploitKind::CustomScam))
+        .count() as f64
+        / exploited.len().max(1) as f64;
+    table.push(crate::context::frac_row(
+        "customized (<10 recipient) exploitation",
+        0.06,
+        custom,
+        ctx.tol(0.05, 0.08),
+    ));
+
+    // §5.3: 35% of hijack-sent messages are phishing, 65% scams.
+    let (phish, scam) = exploited.iter().fold((0u32, 0u32), |(p, s), r| {
+        (p + r.phishing_messages, s + r.scam_messages)
+    });
+    let phish_share = phish as f64 / (phish + scam).max(1) as f64;
+    table.push(crate::context::frac_row(
+        "phishing share of hijack-sent messages",
+        0.35,
+        phish_share,
+        ctx.tol(0.10, 0.18),
+    ));
+
+    // §5.3: day-of-hijack traffic deltas.
+    let (volume_ratio, recipient_ratio) = hijack_day_deltas(eco);
+    table.push(Comparison::new(
+        "day-of-hijack outgoing volume",
+        "+25% vs previous day",
+        format!("{volume_ratio:+.0}%"),
+        volume_ratio > 0.0,
+        "modest volume rise (shape; our organic baseline is lighter than Gmail's)",
+    ));
+    table.push(Comparison::new(
+        "day-of-hijack distinct recipients",
+        "+630% vs previous day",
+        format!("{recipient_ratio:+.0}%"),
+        recipient_ratio > 200.0 && recipient_ratio > 4.0 * volume_ratio.max(1.0),
+        "recipients explode while volume only rises — the paper's signature",
+    ));
+
+    // §5.3: hijacked-contact cohort vs random cohort. The paper's 36×
+    // rides on a tiny broadcast baseline (9 hijacks/M users/day); the
+    // main runs crank broadcast volume for sample size, which floods
+    // the baseline, so the cohort experiment runs its own
+    // realistic-baseline world.
+    let multiplier = {
+        let (users, days, lures) = match ctx.scale {
+            Scale::Quick => (6000, 20, 0.04),
+            Scale::Full => (12_000, 25, 0.03),
+        };
+        let mut config = ScenarioConfig {
+            days,
+            lures_per_user_day: lures,
+            ..ScenarioConfig::measurement(ctx.seed ^ 0xc0137)
+        };
+        config.population.n_users = users;
+        let mut cohort_eco = Ecosystem::build(config);
+        cohort_eco.run();
+        contact_risk_multiplier(&cohort_eco)
+    };
+    table.push(Comparison::new(
+        "hijack risk of victims' contacts vs random users",
+        "36×",
+        format!("{multiplier:.0}×"),
+        multiplier >= 4.0,
+        "contact phishing concentrates risk; realistic-baseline scenario",
+    ));
+
+    let rendering = format!(
+        "{} sessions ({} logged in, {} exploited); measured rate {rate:.1}/M/day\n",
+        eco.sessions.len(),
+        logged_in.len(),
+        exploited.len(),
+    );
+    ExperimentResult { table, rendering }
+}
+
+/// Outgoing volume and recipient deltas, day-of-hijack vs the previous
+/// day, aggregated over exploited victims (§5.3's 25% / 630%).
+fn hijack_day_deltas(eco: &Ecosystem) -> (f64, f64) {
+    let mut vol_before = 0u64;
+    let mut vol_day = 0u64;
+    let mut rcpt_before = 0u64;
+    let mut rcpt_day = 0u64;
+    for inc in eco.real_incidents() {
+        let report = &eco.sessions[inc.session];
+        if !report.exploited {
+            continue;
+        }
+        let day = inc.hijack_start.day_index();
+        for e in eco.provider.log() {
+            if e.account != inc.account {
+                continue;
+            }
+            if let MailEventKind::Sent { recipients, .. } = &e.kind {
+                if e.at.day_index() == day {
+                    vol_day += 1;
+                    rcpt_day += *recipients as u64;
+                } else if day > 0 && e.at.day_index() == day - 1 {
+                    vol_before += 1;
+                    rcpt_before += *recipients as u64;
+                }
+            }
+        }
+    }
+    let volume_ratio = (vol_day as f64 / vol_before.max(1) as f64 - 1.0) * 100.0;
+    let recipient_ratio = (rcpt_day as f64 / rcpt_before.max(1) as f64 - 1.0) * 100.0;
+    (volume_ratio, recipient_ratio)
+}
+
+/// The §5.3 cohort experiment: for each hijacked account, follow its
+/// contacts for a window after the hijack and compare their hijack
+/// incidence against the population baseline — the paper sampled
+/// contacts of hijacked accounts and random 7-day-active users and
+/// measured manual hijackings "over the next 60 days" (36× ratio).
+fn contact_risk_multiplier(eco: &Ecosystem) -> f64 {
+    let window_days = 7u64.min(eco.config.days / 3).max(2);
+    let window = SimDuration::from_days(window_days);
+    let run_end = mhw_types::SimTime::from_secs(eco.config.days * DAY);
+
+    // All hijack events sorted by time, deduped per account.
+    let mut events: Vec<(mhw_types::SimTime, mhw_types::AccountId)> = eco
+        .real_incidents()
+        .map(|i| (i.hijack_start, i.account))
+        .collect();
+    events.sort();
+    let mut first_hijack: std::collections::HashMap<mhw_types::AccountId, mhw_types::SimTime> =
+        Default::default();
+    for (t, a) in &events {
+        first_hijack.entry(*a).or_insert(*t);
+    }
+
+    let mut member_days = 0.0f64;
+    let mut hits = 0.0f64;
+    let mut seeds = 0usize;
+    for inc in eco.real_incidents() {
+        let t0 = inc.hijack_start;
+        if t0.plus(window) > run_end {
+            continue; // window would be truncated
+        }
+        seeds += 1;
+        let mut cohort: HashSet<mhw_types::AccountId> = HashSet::new();
+        for c in eco.population.graph.contacts_of(inc.account) {
+            // Only contacts not already hijacked by t0.
+            if first_hijack.get(c).map(|t| *t > t0).unwrap_or(true) {
+                cohort.insert(*c);
+            }
+        }
+        for member in cohort {
+            member_days += window_days as f64;
+            if let Some(t) = first_hijack.get(&member) {
+                if *t > t0 && *t <= t0.plus(window) {
+                    hits += 1.0;
+                }
+            }
+        }
+    }
+    if seeds == 0 || member_days == 0.0 {
+        return 0.0;
+    }
+    let contact_rate = hits / member_days; // per member-day
+    let baseline_rate =
+        first_hijack.len() as f64 / (eco.population.len() as f64 * eco.config.days as f64);
+    if baseline_rate == 0.0 {
+        return 0.0;
+    }
+    contact_rate / baseline_rate
+}

@@ -1,0 +1,64 @@
+//! Table 1 — the dataset inventory.
+//!
+//! The paper's Table 1 lists the 14 datasets behind the study. The
+//! reproduction's analogue lists the same 14 extractions over the
+//! simulated logs, with the sample sizes this run produced.
+
+use crate::context::{Context, ExperimentResult};
+use mhw_analysis::{markdown_table, Comparison, ComparisonTable};
+use mhw_core::DatasetInventory;
+
+/// Paper sample sizes per dataset id (Table 1's "Samples" column; the
+/// per-day and cohort entries are normalized to counts).
+const PAPER_SAMPLES: [(u8, &str); 14] = [
+    (1, "100"),
+    (2, "100"),
+    (3, "100"),
+    (4, "200"),
+    (5, "300 IPs/day"),
+    (6, "top 10 terms"),
+    (7, "575"),
+    (8, "200"),
+    (9, "3000 + 3000"),
+    (10, "600"),
+    (11, "5000"),
+    (12, "1 month"),
+    (13, "3000 cases"),
+    (14, "300"),
+];
+
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let mut inv = DatasetInventory::from_run(
+        &ctx.eco_2012,
+        ctx.forms.pages.len(),
+        ctx.decoys.outcomes.len(),
+        ctx.eco_2011.real_incidents().count(),
+    );
+    // Dataset 14 (hijacker phone numbers) was collected during the
+    // brief 2FA-lockout burst; source it from that run.
+    if let Some(row) = inv.rows.iter_mut().find(|r| r.id == 14) {
+        row.samples = mhw_core::datasets::hijacker_phones(&ctx.eco_lockout).len();
+    }
+    let mut table = ComparisonTable::new("Table 1 — dataset inventory");
+    let mut rows = Vec::new();
+    for row in &inv.rows {
+        let paper = PAPER_SAMPLES
+            .iter()
+            .find(|(id, _)| *id == row.id)
+            .map(|(_, s)| *s)
+            .unwrap_or("—");
+        // Inventory rows "match" when the extraction is non-empty —
+        // sample sizes differ by design (scale knob), the claim is that
+        // every dataset the paper used is reproducible from our logs.
+        table.push(Comparison::new(
+            format!("Dataset {}: {}", row.id, row.name),
+            paper,
+            row.samples.to_string(),
+            row.samples > 0,
+            format!("§{}", row.section),
+        ));
+        rows.push((format!("{} ({})", row.name, row.section), row.samples.to_string()));
+    }
+    let rendering = markdown_table(("Dataset", "Samples this run"), &rows);
+    ExperimentResult { table, rendering }
+}

@@ -1,0 +1,112 @@
+//! Table 2 — what phishing emails and pages target.
+//!
+//! The paper manually curated 100 phishing emails out of 5,000
+//! user-reported messages (most reports are bulk spam, not phishing)
+//! and reviewed 100 SafeBrowsing-detected pages, categorizing each by
+//! the credential type it asks for. We reproduce the *pipeline*: build
+//! the reported-message corpus (spam + phishing mixture), curate it
+//! down to actual phishing by manual-review simulation, sample 100, and
+//! tabulate; pages come from the form-campaign batch.
+
+use crate::context::{Context, ExperimentResult};
+use mhw_analysis::{bar_chart, Breakdown, ComparisonTable};
+use mhw_phishkit::targets::{sample_structure, LureStructure, TargetMix};
+use mhw_simclock::SimRng;
+use mhw_types::AccountCategory;
+
+/// One reported email in the synthetic corpus.
+struct ReportedEmail {
+    is_phishing: bool,
+    category: AccountCategory,
+    structure: LureStructure,
+}
+
+/// Build the Dataset-1 corpus: 5000 user-reported messages of which a
+/// minority are actual phishing (the paper stresses that "computers and
+/// humans alike are imprecise at distinguishing phishing … from scams
+/// and other bulk spam").
+fn reported_corpus(n: usize, rng: &mut SimRng) -> Vec<ReportedEmail> {
+    let mix = TargetMix::email_lures();
+    (0..n)
+        .map(|_| {
+            let is_phishing = rng.chance(0.04); // most reports are spam
+            ReportedEmail {
+                is_phishing,
+                category: mix.sample(rng),
+                structure: sample_structure(rng),
+            }
+        })
+        .collect()
+}
+
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let mut rng = SimRng::stream(ctx.seed, "table2");
+    // Curate: manual review keeps only true phishing; take 100.
+    let corpus = reported_corpus(5000, &mut rng);
+    let curated: Vec<&ReportedEmail> =
+        corpus.iter().filter(|e| e.is_phishing).take(100).collect();
+
+    let mut emails = Breakdown::new();
+    let mut with_url = 0usize;
+    for e in &curated {
+        emails.add(e.category.label());
+        if e.structure == LureStructure::LinkToPage {
+            with_url += 1;
+        }
+    }
+
+    // Pages: the reviewed sample from the form-campaign batch.
+    let mut pages = Breakdown::new();
+    for p in ctx.forms.pages.iter().take(100) {
+        pages.add(p.category.label());
+    }
+
+    let mut table = ComparisonTable::new("Table 2 — phishing targets");
+    // n=100 curated samples ⇒ binomial sd ≈ 3.5pp; ±8pp ≈ a 95% band,
+    // the same sampling noise the paper's own 100-email sample carries.
+    let tol = ctx.tol(0.08, 0.12);
+    let paper_emails = [
+        (AccountCategory::Mail, 0.35),
+        (AccountCategory::Bank, 0.21),
+        (AccountCategory::AppStore, 0.16),
+        (AccountCategory::SocialNetwork, 0.14),
+        (AccountCategory::Other, 0.14),
+    ];
+    for (cat, paper) in paper_emails {
+        table.push(crate::context::frac_row(
+            &format!("emails targeting {}", cat.label()),
+            paper,
+            emails.fraction_of(cat.label()),
+            tol,
+        ));
+    }
+    let paper_pages = [
+        (AccountCategory::Mail, 27.0 / 99.0),
+        (AccountCategory::Bank, 25.0 / 99.0),
+        (AccountCategory::AppStore, 17.0 / 99.0),
+        (AccountCategory::SocialNetwork, 15.0 / 99.0),
+        (AccountCategory::Other, 15.0 / 99.0),
+    ];
+    for (cat, paper) in paper_pages {
+        table.push(crate::context::frac_row(
+            &format!("pages targeting {}", cat.label()),
+            paper,
+            pages.fraction_of(cat.label()),
+            tol,
+        ));
+    }
+    // §4.1: 62/100 curated emails carried URLs.
+    table.push(crate::context::frac_row(
+        "curated emails containing a URL",
+        0.62,
+        with_url as f64 / curated.len().max(1) as f64,
+        ctx.tol(0.10, 0.15),
+    ));
+
+    let rendering = format!(
+        "Curated phishing emails by target:\n{}\nReviewed phishing pages by target:\n{}",
+        bar_chart(&emails, 40),
+        bar_chart(&pages, 40)
+    );
+    ExperimentResult { table, rendering }
+}

@@ -1,0 +1,82 @@
+//! Table 3 — hijacker search terms.
+//!
+//! Extracted from the provider activity log restricted to hijack
+//! sessions (Dataset 6): the queries crews typed while assessing
+//! account value. The paper's headline structure: finance terms
+//! dominate overwhelmingly, `wire transfer` on top; Spanish and Chinese
+//! terms appear; account-credential and content terms trail far behind.
+
+use crate::context::{Context, ExperimentResult};
+use mhw_adversary::{SearchTermModel, TermCategory};
+use mhw_analysis::{bar_chart, Breakdown, Comparison, ComparisonTable};
+use mhw_core::datasets::hijacker_search_queries;
+
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let model = SearchTermModel::new();
+    let queries = hijacker_search_queries(&ctx.eco_2012);
+    let mut terms = Breakdown::new();
+    let mut by_category = Breakdown::new();
+    for q in &queries {
+        terms.add(q.clone());
+        match model.category_of(q) {
+            Some(TermCategory::Finance) => by_category.add("Finance"),
+            Some(TermCategory::Account) => by_category.add("Account"),
+            Some(TermCategory::Content) => by_category.add("Content"),
+            None => by_category.add("Other"),
+        }
+    }
+
+    let mut table = ComparisonTable::new("Table 3 — hijacker search terms");
+    let finance_share = by_category.fraction_of("Finance");
+    table.push(crate::context::frac_row(
+        "finance share of hijacker searches",
+        0.93, // Table 3 column mass: finance ≈ 55.3 of 59.5 total
+        finance_share,
+        ctx.tol(0.06, 0.12),
+    ));
+    let top = terms.top(1);
+    let top_term = top.first().map(|(t, _, _)| t.clone()).unwrap_or_default();
+    table.push(Comparison::new(
+        "most frequent term",
+        "wire transfer",
+        &top_term,
+        top_term == "wire transfer",
+        "Table 3 top row (14.4%)",
+    ));
+    let has_spanish = terms.count_of("transferencia") + terms.count_of("banco") > 0;
+    let has_chinese = terms.count_of("账单") > 0;
+    table.push(Comparison::new(
+        "non-English terms present",
+        "Spanish + Chinese",
+        format!(
+            "Spanish: {}, Chinese: {}",
+            if has_spanish { "yes" } else { "no" },
+            if has_chinese { "yes" } else { "no" }
+        ),
+        has_spanish && has_chinese,
+        "§5.2/§7 language consistency",
+    ));
+    // The paper's operator queries appear verbatim.
+    let operators_seen = terms.count_of("is:starred") + terms.count_of("filename:(jpg or jpeg or png)");
+    table.push(Comparison::new(
+        "search operators used",
+        "is:starred, filename:(…)",
+        format!("{operators_seen} occurrences"),
+        ctx.scale == crate::context::Scale::Quick || operators_seen > 0,
+        "content-column operators",
+    ));
+
+    let rendering = format!(
+        "Top hijacker search terms ({} searches total):\n{}\nBy category:\n{}",
+        queries.len(),
+        bar_chart(&{
+            let mut top10 = Breakdown::new();
+            for (t, c, _) in terms.top(10) {
+                top10.add_n(t, c);
+            }
+            top10
+        }, 40),
+        bar_chart(&by_category, 40)
+    );
+    ExperimentResult { table, rendering }
+}

@@ -1,0 +1,227 @@
+//! Password storage and verification.
+//!
+//! Passwords are synthetic tokens (never hashes of anything real). The
+//! interesting mechanism is *trivial variants*: §5.1 reports hijackers
+//! hold the correct password "75% of the time (including retries with
+//! trivial variants)" — phishing victims mistype, and crews retry with
+//! obvious mutations. [`is_trivial_variant`] defines the mutation
+//! neighbourhood both the victim-typo model and the crew retry logic
+//! share, so the 75% emerges from capture quality rather than a
+//! hard-coded coin flip at login time.
+
+use mhw_types::Actor;
+use mhw_types::{AccountId, SimTime};
+
+/// Audit record of a password change.
+#[derive(Debug, Clone)]
+pub struct PasswordChange {
+    pub at: SimTime,
+    pub actor: Actor,
+}
+
+/// Per-account credential state.
+#[derive(Debug, Clone)]
+struct Credential {
+    password: String,
+    changes: Vec<PasswordChange>,
+}
+
+/// The credential store for the whole provider.
+#[derive(Debug, Default)]
+pub struct CredentialStore {
+    creds: Vec<Credential>,
+}
+
+impl CredentialStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the next account's initial password. Accounts must be
+    /// registered in id order (they are allocated densely).
+    pub fn register(&mut self, account: AccountId, password: &str) {
+        assert_eq!(
+            account.index(),
+            self.creds.len(),
+            "accounts must be registered densely in order"
+        );
+        self.creds.push(Credential { password: password.to_string(), changes: Vec::new() });
+    }
+
+    /// Exact password check.
+    pub fn verify(&self, account: AccountId, candidate: &str) -> bool {
+        self.creds[account.index()].password == candidate
+    }
+
+    /// Whether `candidate` is within the trivial-variant neighbourhood of
+    /// the real password (used by crew retry logic; the crew does not see
+    /// the real password — the simulator adjudicates the retry).
+    pub fn verify_with_variants(&self, account: AccountId, candidate: &str) -> bool {
+        let actual = &self.creds[account.index()].password;
+        candidate == actual || is_trivial_variant(candidate, actual)
+    }
+
+    /// Change the password, recording who did it (owner rotation,
+    /// hijacker lockout, or a system-forced reset during recovery).
+    pub fn change_password(
+        &mut self,
+        account: AccountId,
+        actor: Actor,
+        new_password: &str,
+        at: SimTime,
+    ) {
+        let c = &mut self.creds[account.index()];
+        c.password = new_password.to_string();
+        c.changes.push(PasswordChange { at, actor });
+    }
+
+    /// All changes to an account's password.
+    pub fn changes(&self, account: AccountId) -> &[PasswordChange] {
+        &self.creds[account.index()].changes
+    }
+
+    /// Whether a hijacker changed the password at or after `since`
+    /// (the §5.4 lockout tactic).
+    pub fn hijacker_changed_since(&self, account: AccountId, since: SimTime) -> bool {
+        self.changes(account)
+            .iter()
+            .any(|c| c.at >= since && c.actor.is_hijacker())
+    }
+
+    /// The real password (simulator-internal: used to seed victim typing
+    /// models; never exposed to detection code).
+    pub fn password_for_capture(&self, account: AccountId) -> &str {
+        &self.creds[account.index()].password
+    }
+}
+
+/// Trivial-variant relation between two password strings: equal up to
+/// ASCII case, OR within edit distance 1, OR differing only by a single
+/// trailing digit appended/removed. These are the retry mutations the
+/// paper's "trivial variants" phrasing describes.
+pub fn is_trivial_variant(candidate: &str, actual: &str) -> bool {
+    if candidate == actual {
+        return false; // equality is not a *variant*
+    }
+    if candidate.eq_ignore_ascii_case(actual) {
+        return true;
+    }
+    if edit_distance_at_most_one(candidate, actual) {
+        return true;
+    }
+    // Trailing digit added or dropped.
+    let strip = |s: &str| -> Option<String> {
+        let mut cs: Vec<char> = s.chars().collect();
+        match cs.last() {
+            Some(c) if c.is_ascii_digit() => {
+                cs.pop();
+                Some(cs.into_iter().collect())
+            }
+            _ => None,
+        }
+    };
+    if let Some(stripped) = strip(candidate) {
+        if stripped == actual {
+            return true;
+        }
+    }
+    if let Some(stripped) = strip(actual) {
+        if stripped == candidate {
+            return true;
+        }
+    }
+    false
+}
+
+fn edit_distance_at_most_one(a: &str, b: &str) -> bool {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    if a.len().abs_diff(b.len()) > 1 {
+        return false;
+    }
+    if a.len() == b.len() {
+        return a.iter().zip(&b).filter(|(x, y)| x != y).count() <= 1;
+    }
+    let (long, short) = if a.len() > b.len() { (&a, &b) } else { (&b, &a) };
+    let mut skipped = false;
+    let (mut i, mut j) = (0, 0);
+    while i < long.len() && j < short.len() {
+        if long[i] == short[j] {
+            i += 1;
+            j += 1;
+        } else if skipped {
+            return false;
+        } else {
+            skipped = true;
+            i += 1;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhw_types::CrewId;
+
+    fn store() -> CredentialStore {
+        let mut s = CredentialStore::new();
+        s.register(AccountId(0), "correct-horse7");
+        s
+    }
+
+    #[test]
+    fn exact_verification() {
+        let s = store();
+        assert!(s.verify(AccountId(0), "correct-horse7"));
+        assert!(!s.verify(AccountId(0), "wrong"));
+    }
+
+    #[test]
+    fn variant_verification() {
+        let s = store();
+        assert!(s.verify_with_variants(AccountId(0), "correct-horse7"));
+        assert!(s.verify_with_variants(AccountId(0), "Correct-Horse7")); // case
+        assert!(s.verify_with_variants(AccountId(0), "correct-horse")); // dropped digit
+        assert!(s.verify_with_variants(AccountId(0), "correct-hors7")); // edit distance 1
+        assert!(!s.verify_with_variants(AccountId(0), "totally-different"));
+    }
+
+    #[test]
+    fn trivial_variant_relation() {
+        assert!(is_trivial_variant("Password", "password"));
+        assert!(is_trivial_variant("password1", "password"));
+        assert!(is_trivial_variant("password", "password1"));
+        assert!(is_trivial_variant("passwrd", "password")); // one deletion
+        assert!(!is_trivial_variant("password", "password")); // equality excluded
+        assert!(!is_trivial_variant("pw", "password"));
+        assert!(!is_trivial_variant("password12", "password")); // two digits
+    }
+
+    #[test]
+    fn password_change_audit() {
+        let mut s = store();
+        let crew = Actor::Hijacker(CrewId(3));
+        s.change_password(AccountId(0), crew, "hacked!", SimTime::from_secs(100));
+        assert!(s.verify(AccountId(0), "hacked!"));
+        assert!(!s.verify(AccountId(0), "correct-horse7"));
+        assert_eq!(s.changes(AccountId(0)).len(), 1);
+        assert!(s.hijacker_changed_since(AccountId(0), SimTime::from_secs(50)));
+        assert!(!s.hijacker_changed_since(AccountId(0), SimTime::from_secs(200)));
+        // Owner change does not count as hijacker activity.
+        s.change_password(AccountId(0), Actor::Owner, "mine-again", SimTime::from_secs(300));
+        assert!(!s.hijacker_changed_since(AccountId(0), SimTime::from_secs(200)));
+    }
+
+    #[test]
+    #[should_panic(expected = "densely")]
+    fn out_of_order_registration_rejected() {
+        let mut s = CredentialStore::new();
+        s.register(AccountId(5), "x");
+    }
+
+    #[test]
+    fn capture_exposes_real_password() {
+        let s = store();
+        assert_eq!(s.password_for_capture(AccountId(0)), "correct-horse7");
+    }
+}

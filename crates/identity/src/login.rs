@@ -1,0 +1,220 @@
+//! The login log.
+//!
+//! An append-only record of every authentication attempt, successful or
+//! not — the simulator's version of the auth logs behind Datasets 4, 5,
+//! 7 and 13 (Table 1). Each record captures what a real provider sees
+//! (time, IP, device, outcome, challenge disposition) plus the
+//! ground-truth actor for measurement labelling.
+
+use mhw_types::{AccountId, Actor, DeviceId, IpAddr, SessionId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The verification step a risky login was redirected to (§8.2's "login
+/// challenge").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChallengeKind {
+    /// Prove possession of the enrolled/registered phone via SMS code.
+    SmsCode,
+    /// Answer knowledge questions (guessable by researching the victim).
+    Knowledge,
+}
+
+/// Outcome of a served challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChallengeResult {
+    pub kind: ChallengeKind,
+    pub passed: bool,
+}
+
+/// Final outcome of a login attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoginOutcome {
+    /// Authenticated; a session was issued.
+    Success,
+    /// Wrong password.
+    WrongPassword,
+    /// Password correct but the risk engine blocked outright.
+    Blocked,
+    /// Password correct, challenge served and failed.
+    ChallengeFailed,
+    /// Password correct but the enrolled second factor was not
+    /// satisfied (§8.2; also fires on owners locked out by the crews'
+    /// 2FA tactic).
+    SecondFactorFailed,
+}
+
+impl LoginOutcome {
+    pub fn is_success(self) -> bool {
+        matches!(self, LoginOutcome::Success)
+    }
+}
+
+/// One login attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoginRecord {
+    pub at: SimTime,
+    pub account: AccountId,
+    pub ip: IpAddr,
+    pub device: DeviceId,
+    pub actor: Actor,
+    /// Whether the supplied password was (exactly) correct.
+    pub password_correct: bool,
+    /// Risk score assigned by the login risk engine, 0..1.
+    pub risk_score: f64,
+    pub challenge: Option<ChallengeResult>,
+    pub outcome: LoginOutcome,
+    /// Session issued on success.
+    pub session: Option<SessionId>,
+}
+
+/// Append-only login log with measurement helpers.
+#[derive(Debug, Default)]
+pub struct LoginLog {
+    records: Vec<LoginRecord>,
+    next_session: u32,
+}
+
+impl LoginLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a session id (the caller embeds it in the record).
+    pub fn allocate_session(&mut self) -> SessionId {
+        let s = SessionId(self.next_session);
+        self.next_session += 1;
+        s
+    }
+
+    /// Append a record. Records arrive in *approximately* increasing
+    /// time order (concurrent sessions interleave, exactly like real
+    /// log ingestion), so every query below is order-independent.
+    pub fn append(&mut self, record: LoginRecord) {
+        self.records.push(record);
+    }
+
+    pub fn records(&self) -> &[LoginRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// First *successful* access to `account` at/after `since` — the
+    /// Figure 7 decoy-credential measurement probe.
+    pub fn first_success_after(&self, account: AccountId, since: SimTime) -> Option<&LoginRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.account == account && r.at >= since && r.outcome.is_success())
+            .min_by_key(|r| r.at)
+    }
+
+    /// All records for an account.
+    pub fn for_account(&self, account: AccountId) -> impl Iterator<Item = &LoginRecord> {
+        self.records.iter().filter(move |r| r.account == account)
+    }
+
+    /// All records from an IP.
+    pub fn from_ip(&self, ip: IpAddr) -> impl Iterator<Item = &LoginRecord> {
+        self.records.iter().filter(move |r| r.ip == ip)
+    }
+
+    /// Distinct accounts attempted from `ip` on UTC day `day_index` —
+    /// the Figure 8 per-IP discipline measurement.
+    pub fn distinct_accounts_from_ip_on_day(&self, ip: IpAddr, day_index: u64) -> usize {
+        let mut accounts: Vec<AccountId> = self
+            .records
+            .iter()
+            .filter(|r| r.ip == ip && r.at.day_index() == day_index)
+            .map(|r| r.account)
+            .collect();
+        accounts.sort();
+        accounts.dedup();
+        accounts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhw_types::CrewId;
+
+    fn rec(at: u64, account: u32, ip: IpAddr, outcome: LoginOutcome) -> LoginRecord {
+        LoginRecord {
+            at: SimTime::from_secs(at),
+            account: AccountId(account),
+            ip,
+            device: DeviceId(0),
+            actor: Actor::Hijacker(CrewId(0)),
+            password_correct: true,
+            risk_score: 0.1,
+            challenge: None,
+            outcome,
+            session: None,
+        }
+    }
+
+    #[test]
+    fn session_ids_are_unique() {
+        let mut log = LoginLog::new();
+        let a = log.allocate_session();
+        let b = log.allocate_session();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn first_success_after_finds_the_probe() {
+        let mut log = LoginLog::new();
+        let ip = IpAddr::new(41, 0, 0, 1);
+        log.append(rec(100, 1, ip, LoginOutcome::WrongPassword));
+        log.append(rec(200, 1, ip, LoginOutcome::Success));
+        log.append(rec(300, 1, ip, LoginOutcome::Success));
+        let hit = log.first_success_after(AccountId(1), SimTime::from_secs(50)).unwrap();
+        assert_eq!(hit.at, SimTime::from_secs(200));
+        // A later horizon skips the earlier success.
+        let hit2 = log.first_success_after(AccountId(1), SimTime::from_secs(250)).unwrap();
+        assert_eq!(hit2.at, SimTime::from_secs(300));
+        assert!(log.first_success_after(AccountId(2), SimTime::from_secs(0)).is_none());
+    }
+
+    #[test]
+    fn per_ip_day_distinct_accounts() {
+        let mut log = LoginLog::new();
+        let ip = IpAddr::new(41, 0, 0, 9);
+        let other = IpAddr::new(42, 0, 0, 9);
+        // Day 0: accounts 1, 2, 2 (dup), day 1: account 3.
+        log.append(rec(100, 1, ip, LoginOutcome::Success));
+        log.append(rec(200, 2, ip, LoginOutcome::WrongPassword));
+        log.append(rec(300, 2, ip, LoginOutcome::Success));
+        log.append(rec(500, 7, other, LoginOutcome::Success));
+        log.append(rec(86_400 + 10, 3, ip, LoginOutcome::Success));
+        assert_eq!(log.distinct_accounts_from_ip_on_day(ip, 0), 2);
+        assert_eq!(log.distinct_accounts_from_ip_on_day(ip, 1), 1);
+        assert_eq!(log.distinct_accounts_from_ip_on_day(other, 0), 1);
+        assert_eq!(log.distinct_accounts_from_ip_on_day(ip, 5), 0);
+    }
+
+    #[test]
+    fn iterators_filter_correctly() {
+        let mut log = LoginLog::new();
+        let ip = IpAddr::new(41, 0, 0, 1);
+        log.append(rec(1, 1, ip, LoginOutcome::Success));
+        log.append(rec(2, 2, ip, LoginOutcome::Blocked));
+        assert_eq!(log.for_account(AccountId(1)).count(), 1);
+        assert_eq!(log.from_ip(ip).count(), 2);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn outcome_success_classification() {
+        assert!(LoginOutcome::Success.is_success());
+        assert!(!LoginOutcome::Blocked.is_success());
+        assert!(!LoginOutcome::ChallengeFailed.is_success());
+        assert!(!LoginOutcome::WrongPassword.is_success());
+    }
+}

@@ -1,0 +1,38 @@
+//! # mhw-mailsys
+//!
+//! A simulated mail provider — the substrate on which every exploitation
+//! behaviour in the paper plays out. It supports everything §5 observes
+//! hijackers doing:
+//!
+//! * full-text **search** over a mailbox, including the `is:starred` and
+//!   `filename:(…)` operators that appear verbatim among the paper's
+//!   Table 3 hijacker search terms;
+//! * the special **folders** hijackers open while assessing an account's
+//!   value (Starred 16%, Drafts 11%, Sent 5%, Trash <1% — §5.2);
+//! * **contacts**, the raw material of the scam/phishing exploitation
+//!   and of the 36×-risk contact experiment (§5.3);
+//! * **filters, forwarding and Reply-To**, the §5.4 "acting in the
+//!   shadow" and doppelganger-diversion tactics (15% of 2012 cases had
+//!   hijacker filters, 26% a hijacker Reply-To);
+//! * **deletion with tombstones and a settings audit log**, so that the
+//!   §6.4 remission process can restore hijacker-deleted content and
+//!   revert hijacker-changed settings.
+//!
+//! Every mutating operation records who performed it (an [`Actor`]) and
+//! appends a [`MailEvent`] to the provider's activity log. Ground-truth
+//! actor labels exist for *measurement and remission only* — detection
+//! code in `mhw-defense` never reads them.
+
+pub mod event;
+pub mod filters;
+pub mod mailbox;
+pub mod message;
+pub mod provider;
+pub mod search;
+
+pub use event::{Actor, MailEvent, MailEventKind};
+pub use filters::{FilterAction, MailFilter};
+pub use mailbox::{ContactEntry, Folder, Mailbox};
+pub use message::{Message, MessageDraft, MessageKind};
+pub use provider::MailProvider;
+pub use search::SearchQuery;

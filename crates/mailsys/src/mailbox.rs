@@ -1,0 +1,331 @@
+//! Mailboxes, folders and contacts.
+//!
+//! Folder semantics follow the webmail conventions the paper describes:
+//! `Starred` is a *view* over the starred flag (a label, not a storage
+//! location), `Trash` is a soft-delete holding area, and permanent
+//! deletion leaves a tombstone so the §6.4 remission process can restore
+//! "hijacker-deleted content".
+
+use crate::message::Message;
+use mhw_types::{AccountId, EmailAddress, MessageId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Mailbox folders. `Starred` never stores messages — it is materialized
+/// from the starred flag when opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Folder {
+    Inbox,
+    Starred,
+    Drafts,
+    Sent,
+    Trash,
+    Spam,
+}
+
+impl Folder {
+    pub const ALL: [Folder; 6] = [
+        Folder::Inbox,
+        Folder::Starred,
+        Folder::Drafts,
+        Folder::Sent,
+        Folder::Trash,
+        Folder::Spam,
+    ];
+
+    /// Whether messages are physically stored under this folder.
+    pub fn is_storage(self) -> bool {
+        self != Folder::Starred
+    }
+}
+
+/// A contact-list entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContactEntry {
+    pub address: EmailAddress,
+    /// The contact's account id if they use the home provider.
+    pub internal: Option<AccountId>,
+}
+
+/// Tombstone for a purged or hijacker-trashed message, kept for
+/// remission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tombstone {
+    pub message: Message,
+    pub deleted_at: SimTime,
+    /// Folder the message lived in before deletion.
+    pub previous_folder: Folder,
+}
+
+/// One user's mailbox.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Mailbox {
+    /// Message storage. `BTreeMap` keeps iteration deterministic.
+    messages: BTreeMap<MessageId, Message>,
+    /// Physical folder of each stored message.
+    folders: BTreeMap<MessageId, Folder>,
+    /// Purged messages (tombstones for remission).
+    tombstones: Vec<Tombstone>,
+    /// Contact list.
+    contacts: Vec<ContactEntry>,
+    /// Contacts removed (kept for remission of mass contact deletion).
+    deleted_contacts: Vec<(ContactEntry, SimTime)>,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a message in `folder`. Overwrites nothing: message ids are
+    /// globally unique.
+    pub fn store(&mut self, message: Message, folder: Folder) {
+        debug_assert!(folder.is_storage(), "cannot store into the Starred view");
+        let id = message.id;
+        self.messages.insert(id, message);
+        self.folders.insert(id, folder);
+    }
+
+    pub fn get(&self, id: MessageId) -> Option<&Message> {
+        self.messages.get(&id)
+    }
+
+    pub fn get_mut(&mut self, id: MessageId) -> Option<&mut Message> {
+        self.messages.get_mut(&id)
+    }
+
+    /// Physical folder of a message.
+    pub fn folder_of(&self, id: MessageId) -> Option<Folder> {
+        self.folders.get(&id).copied()
+    }
+
+    /// Ids shown when opening `folder` (materializes the Starred view),
+    /// in id (≈ arrival) order.
+    pub fn list_folder(&self, folder: Folder) -> Vec<MessageId> {
+        match folder {
+            Folder::Starred => self
+                .messages
+                .values()
+                .filter(|m| m.starred && self.folders[&m.id] != Folder::Trash)
+                .map(|m| m.id)
+                .collect(),
+            f => self
+                .folders
+                .iter()
+                .filter(|(_, fol)| **fol == f)
+                .map(|(id, _)| *id)
+                .collect(),
+        }
+    }
+
+    /// All live (non-tombstoned) messages.
+    pub fn all_messages(&self) -> impl Iterator<Item = &Message> {
+        self.messages.values()
+    }
+
+    /// Total number of live messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Move a message to another storage folder (e.g. to Trash).
+    /// Returns the previous folder, or `None` if the message is unknown.
+    pub fn move_to(&mut self, id: MessageId, folder: Folder) -> Option<Folder> {
+        debug_assert!(folder.is_storage(), "cannot move into the Starred view");
+        if !self.messages.contains_key(&id) {
+            return None;
+        }
+        self.folders.insert(id, folder)
+    }
+
+    /// Permanently delete a message, leaving a tombstone.
+    pub fn purge(&mut self, id: MessageId, at: SimTime) -> bool {
+        let Some(message) = self.messages.remove(&id) else {
+            return false;
+        };
+        let previous_folder = self.folders.remove(&id).unwrap_or(Folder::Inbox);
+        self.tombstones.push(Tombstone { message, deleted_at: at, previous_folder });
+        true
+    }
+
+    /// Restore every message tombstoned at or after `since` back into its
+    /// previous folder (the optional content-restore step of §6.4).
+    /// Returns the number restored.
+    pub fn restore_purged_since(&mut self, since: SimTime) -> usize {
+        let mut restored = 0;
+        let mut keep = Vec::new();
+        for t in self.tombstones.drain(..) {
+            if t.deleted_at >= since {
+                let id = t.message.id;
+                self.messages.insert(id, t.message);
+                self.folders.insert(id, t.previous_folder);
+                restored += 1;
+            } else {
+                keep.push(t);
+            }
+        }
+        self.tombstones = keep;
+        restored
+    }
+
+    /// Tombstones currently held.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    // ---- contacts ----
+
+    pub fn add_contact(&mut self, entry: ContactEntry) {
+        if !self.contacts.iter().any(|c| c.address == entry.address) {
+            self.contacts.push(entry);
+        }
+    }
+
+    pub fn contacts(&self) -> &[ContactEntry] {
+        &self.contacts
+    }
+
+    /// Remove a contact (kept recoverable for remission).
+    pub fn delete_contact(&mut self, address: &EmailAddress, at: SimTime) -> bool {
+        if let Some(pos) = self.contacts.iter().position(|c| &c.address == address) {
+            let e = self.contacts.remove(pos);
+            self.deleted_contacts.push((e, at));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Restore contacts deleted at or after `since`.
+    pub fn restore_contacts_since(&mut self, since: SimTime) -> usize {
+        let mut restored = 0;
+        let mut keep = Vec::new();
+        for (e, t) in self.deleted_contacts.drain(..) {
+            if t >= since {
+                if !self.contacts.iter().any(|c| c.address == e.address) {
+                    self.contacts.push(e);
+                }
+                restored += 1;
+            } else {
+                keep.push((e, t));
+            }
+        }
+        self.deleted_contacts = keep;
+        restored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+
+    fn mk(id: u32, starred: bool) -> Message {
+        Message {
+            id: MessageId(id),
+            owner: AccountId(0),
+            from: EmailAddress::new("from", "x.com"),
+            to: vec![],
+            subject: format!("subject {id}"),
+            body: "body".into(),
+            attachments: vec![],
+            kind: MessageKind::Personal,
+            reply_to: None,
+            at: SimTime::from_secs(id as u64),
+            read: false,
+            starred,
+        }
+    }
+
+    #[test]
+    fn store_and_list() {
+        let mut mb = Mailbox::new();
+        mb.store(mk(1, false), Folder::Inbox);
+        mb.store(mk(2, false), Folder::Sent);
+        assert_eq!(mb.list_folder(Folder::Inbox), vec![MessageId(1)]);
+        assert_eq!(mb.list_folder(Folder::Sent), vec![MessageId(2)]);
+        assert_eq!(mb.len(), 2);
+    }
+
+    #[test]
+    fn starred_is_a_view() {
+        let mut mb = Mailbox::new();
+        mb.store(mk(1, true), Folder::Inbox);
+        mb.store(mk(2, false), Folder::Inbox);
+        mb.store(mk(3, true), Folder::Sent);
+        let starred = mb.list_folder(Folder::Starred);
+        assert_eq!(starred, vec![MessageId(1), MessageId(3)]);
+        // Starring is reflected without moving folders.
+        assert_eq!(mb.folder_of(MessageId(1)), Some(Folder::Inbox));
+    }
+
+    #[test]
+    fn trashed_messages_leave_starred_view() {
+        let mut mb = Mailbox::new();
+        mb.store(mk(1, true), Folder::Inbox);
+        mb.move_to(MessageId(1), Folder::Trash);
+        assert!(mb.list_folder(Folder::Starred).is_empty());
+        assert_eq!(mb.list_folder(Folder::Trash), vec![MessageId(1)]);
+    }
+
+    #[test]
+    fn move_returns_previous_folder() {
+        let mut mb = Mailbox::new();
+        mb.store(mk(1, false), Folder::Inbox);
+        assert_eq!(mb.move_to(MessageId(1), Folder::Trash), Some(Folder::Inbox));
+        assert_eq!(mb.move_to(MessageId(9), Folder::Trash), None);
+    }
+
+    #[test]
+    fn purge_and_restore() {
+        let mut mb = Mailbox::new();
+        for i in 1..=5 {
+            mb.store(mk(i, false), Folder::Inbox);
+        }
+        // Owner purged one long ago; hijacker purges the rest later.
+        assert!(mb.purge(MessageId(1), SimTime::from_secs(10)));
+        for i in 2..=5 {
+            assert!(mb.purge(MessageId(i), SimTime::from_secs(1000)));
+        }
+        assert_eq!(mb.len(), 0);
+        assert_eq!(mb.tombstone_count(), 5);
+        // Remission restores only the hijack-window deletions.
+        let restored = mb.restore_purged_since(SimTime::from_secs(500));
+        assert_eq!(restored, 4);
+        assert_eq!(mb.len(), 4);
+        assert_eq!(mb.tombstone_count(), 1);
+        assert_eq!(mb.folder_of(MessageId(3)), Some(Folder::Inbox));
+        // Purging an unknown id is a no-op.
+        assert!(!mb.purge(MessageId(99), SimTime::from_secs(0)));
+    }
+
+    #[test]
+    fn contacts_dedupe_and_restore() {
+        let mut mb = Mailbox::new();
+        let a = ContactEntry { address: EmailAddress::new("a", "x.com"), internal: None };
+        mb.add_contact(a.clone());
+        mb.add_contact(a.clone()); // duplicate ignored
+        assert_eq!(mb.contacts().len(), 1);
+        assert!(mb.delete_contact(&a.address, SimTime::from_secs(100)));
+        assert!(!mb.delete_contact(&a.address, SimTime::from_secs(100)));
+        assert!(mb.contacts().is_empty());
+        assert_eq!(mb.restore_contacts_since(SimTime::from_secs(50)), 1);
+        assert_eq!(mb.contacts().len(), 1);
+        // Restoring again is a no-op (nothing left to restore).
+        assert_eq!(mb.restore_contacts_since(SimTime::from_secs(50)), 0);
+    }
+
+    #[test]
+    fn old_contact_deletions_stay_deleted() {
+        let mut mb = Mailbox::new();
+        let a = ContactEntry { address: EmailAddress::new("a", "x.com"), internal: None };
+        mb.add_contact(a.clone());
+        mb.delete_contact(&a.address, SimTime::from_secs(10));
+        assert_eq!(mb.restore_contacts_since(SimTime::from_secs(500)), 0);
+        assert!(mb.contacts().is_empty());
+    }
+}

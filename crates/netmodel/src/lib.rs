@@ -1,0 +1,30 @@
+//! # mhw-netmodel
+//!
+//! A synthetic model of the parts of the Internet the paper's
+//! measurements touch:
+//!
+//! * [`GeoDb`] — per-country IPv4 allocations and geolocation, the basis
+//!   of the Figure 11 attribution analysis;
+//! * [`ProxyPool`] — IP cloaking services used by hijacker crews (§8.1
+//!   notes crews have "some additional knowledge of using IP cloaking
+//!   services"), which decouple a login's apparent country from the
+//!   crew's home;
+//! * [`PhonePlan`] — phone-number issuance per country, the basis of
+//!   Figure 12;
+//! * [`referrer`] — the HTTP-referrer model behind Figure 3 (why >99% of
+//!   phishing-page referrers are blank, and which webmail providers leak
+//!   referrers);
+//! * [`domains`] — the email-domain/TLD model behind Figure 4 (why
+//!   phished addresses skew so heavily to `.edu`).
+
+pub mod domains;
+pub mod geo;
+pub mod phones;
+pub mod proxy;
+pub mod referrer;
+
+pub use domains::{DomainModel, MailDomain};
+pub use geo::GeoDb;
+pub use phones::PhonePlan;
+pub use proxy::ProxyPool;
+pub use referrer::{ReferrerModel, ReferrerSource};

@@ -1,0 +1,141 @@
+//! Proxy / IP-cloaking pools.
+//!
+//! §8.1 notes that manual hijackers have "some additional knowledge of
+//! using IP cloaking services and browser plugins", and §7 cautions that
+//! the geolocated login traffic (Figure 11) may come "from proxies or
+//! represent the true origin of the hijackers". The simulator models
+//! that honestly: each crew owns a pool of exit IPs, a fraction of which
+//! are proxies in *other* countries. Figure 11 then measures exactly
+//! what Google could measure — the apparent countries — while the ground
+//! truth (crew homes) remains available to validation tests only.
+
+use crate::geo::GeoDb;
+use mhw_simclock::SimRng;
+use mhw_types::{CountryCode, IpAddr};
+
+/// A pool of exit addresses available to one actor (crew or botnet).
+#[derive(Debug, Clone)]
+pub struct ProxyPool {
+    exits: Vec<(IpAddr, CountryCode)>,
+}
+
+impl ProxyPool {
+    /// Build a pool of `size` exits for an actor based in `home`.
+    ///
+    /// `proxy_fraction` of the exits are cloaking proxies drawn from
+    /// `proxy_countries` (weighted uniformly); the rest are home-country
+    /// addresses. The paper's data suggests heavy proxying through China
+    /// and Malaysia for some crews.
+    pub fn build(
+        geo: &GeoDb,
+        home: CountryCode,
+        proxy_countries: &[CountryCode],
+        proxy_fraction: f64,
+        size: usize,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(size > 0, "pool must have at least one exit");
+        let mut exits = Vec::with_capacity(size);
+        for _ in 0..size {
+            let country = if !proxy_countries.is_empty() && rng.chance(proxy_fraction) {
+                *rng.choose(proxy_countries).expect("non-empty")
+            } else {
+                home
+            };
+            exits.push((geo.random_ip(country, rng), country));
+        }
+        ProxyPool { exits }
+    }
+
+    /// Number of exits.
+    pub fn len(&self) -> usize {
+        self.exits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.exits.is_empty()
+    }
+
+    /// Pick an exit uniformly at random.
+    pub fn pick(&self, rng: &mut SimRng) -> (IpAddr, CountryCode) {
+        *rng.choose(&self.exits).expect("pool is non-empty")
+    }
+
+    /// Deterministic exit for a rotation index — crews rotate through
+    /// exits day by day to keep per-IP account counts low (§5.1).
+    pub fn rotate(&self, index: u64) -> (IpAddr, CountryCode) {
+        self.exits[(index % self.exits.len() as u64) as usize]
+    }
+
+    /// All exits (for tests / attribution ground truth).
+    pub fn exits(&self) -> &[(IpAddr, CountryCode)] {
+        &self.exits
+    }
+
+    /// Fraction of exits whose apparent country differs from `home`.
+    pub fn cloaked_fraction(&self, home: CountryCode) -> f64 {
+        if self.exits.is_empty() {
+            return 0.0;
+        }
+        self.exits.iter().filter(|(_, c)| *c != home).count() as f64 / self.exits.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_home_when_no_proxies() {
+        let geo = GeoDb::new();
+        let mut rng = SimRng::from_seed(2);
+        let pool = ProxyPool::build(&geo, CountryCode::NG, &[], 0.9, 50, &mut rng);
+        assert_eq!(pool.len(), 50);
+        assert_eq!(pool.cloaked_fraction(CountryCode::NG), 0.0);
+        for (ip, c) in pool.exits() {
+            assert_eq!(*c, CountryCode::NG);
+            assert_eq!(geo.locate(*ip), Some(CountryCode::NG));
+        }
+    }
+
+    #[test]
+    fn proxy_fraction_is_respected() {
+        let geo = GeoDb::new();
+        let mut rng = SimRng::from_seed(3);
+        let pool = ProxyPool::build(
+            &geo,
+            CountryCode::CI,
+            &[CountryCode::CN, CountryCode::MY],
+            0.6,
+            500,
+            &mut rng,
+        );
+        let f = pool.cloaked_fraction(CountryCode::CI);
+        assert!((f - 0.6).abs() < 0.07, "cloaked fraction {f}");
+        // Cloaked exits really geolocate to the proxy countries.
+        for (ip, c) in pool.exits().iter().filter(|(_, c)| *c != CountryCode::CI) {
+            assert!(matches!(c, CountryCode::CN | CountryCode::MY));
+            assert_eq!(geo.locate(*ip), Some(*c));
+        }
+    }
+
+    #[test]
+    fn rotation_cycles_through_pool() {
+        let geo = GeoDb::new();
+        let mut rng = SimRng::from_seed(4);
+        let pool = ProxyPool::build(&geo, CountryCode::ZA, &[], 0.0, 7, &mut rng);
+        assert_eq!(pool.rotate(0), pool.rotate(7));
+        assert_eq!(pool.rotate(3), pool.rotate(10));
+        let distinct: std::collections::HashSet<_> =
+            (0..7).map(|i| pool.rotate(i).0).collect();
+        assert_eq!(distinct.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one exit")]
+    fn empty_pool_rejected() {
+        let geo = GeoDb::new();
+        let mut rng = SimRng::from_seed(5);
+        ProxyPool::build(&geo, CountryCode::US, &[], 0.0, 0, &mut rng);
+    }
+}

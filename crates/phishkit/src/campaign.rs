@@ -1,0 +1,353 @@
+//! Phishing campaigns and their victim traffic.
+//!
+//! A campaign is one lure blast plus the page it points at. Its arrival
+//! process reproduces the two shapes of Figure 6:
+//!
+//! * the **standard pattern** — "a clear decay, from the moment the
+//!   webpage receives its first visitors until it is taken down …
+//!   consistent with a mass mailed email, with clicks centered around
+//!   the initial delivery time";
+//! * the **high-volume outlier** — "a huge number of submissions after a
+//!   step function following a gentle diurnal pattern through several
+//!   days", with an initial ~15-hour quiet period "best explained by the
+//!   attackers testing the page themselves before launching".
+//!
+//! Victim identity is supplied by a sampler so the orchestrator can draw
+//! internal (home-provider) victims from the population; a synthetic
+//! external sampler is provided for §4.2-style pages, where directory
+//! harvesting plus spam-filter modulation produces Figure 4's `.edu`
+//! skew.
+
+use crate::page::PhishingPage;
+use mhw_netmodel::domains::DomainModel;
+use mhw_netmodel::referrer::ReferrerModel;
+use mhw_simclock::{DiurnalProfile, PoissonProcess, SimRng};
+use mhw_types::{AccountCategory, CampaignId, CrewId, EmailAddress, EmailDomainClass, SimDuration, SimTime};
+
+/// Arrival shape of a campaign (Figure 6).
+#[derive(Debug, Clone)]
+pub enum CampaignShape {
+    /// Mass-mailed blast with decaying clicks.
+    MassBlast {
+        /// Initial click rate, per hour.
+        peak_rate_per_hour: f64,
+        /// Click-decay half-life.
+        half_life: SimDuration,
+    },
+    /// The large-scale outlier: quiet period, then a diurnal plateau.
+    LargeScaleOutlier {
+        /// Testing-phase duration before launch (~15 h in the paper).
+        quiet: SimDuration,
+        /// Plateau click rate, per hour.
+        plateau_rate_per_hour: f64,
+    },
+}
+
+/// A victim drawn for one page visit.
+#[derive(Debug, Clone)]
+pub struct VictimProfile {
+    pub address: EmailAddress,
+    pub domain_class: EmailDomainClass,
+    /// Per-victim multiplier on the page's conversion probability.
+    pub gullibility: f64,
+}
+
+/// One successful credential submission (POST) by a victim.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    pub at: SimTime,
+    pub victim: VictimProfile,
+}
+
+/// A phishing campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    pub id: CampaignId,
+    pub crew: CrewId,
+    pub category: AccountCategory,
+    pub shape: CampaignShape,
+    pub launched_at: SimTime,
+}
+
+impl Campaign {
+    /// Drive traffic onto `page` until it is taken down or `horizon`
+    /// passes. Each arrival records a GET (with a referrer drawn from
+    /// the lure-click referrer model); converting victims also record a
+    /// POST. Returns the submissions in time order.
+    pub fn run_traffic(
+        &self,
+        page: &mut PhishingPage,
+        referrers: &ReferrerModel,
+        mut sample_victim: impl FnMut(&mut SimRng) -> VictimProfile,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<Submission> {
+        let mut submissions = Vec::new();
+        let process = self.arrival_process();
+        let start = self.traffic_start();
+
+        // Outlier campaigns: the crew tests its own page right after
+        // standing it up (a handful of GETs with blank referrers), then
+        // the quiet period runs until the blast goes out.
+        if let CampaignShape::LargeScaleOutlier { .. } = &self.shape {
+            let tests = 2 + rng.below(4);
+            for i in 0..tests {
+                let t = self
+                    .launched_at
+                    .plus(SimDuration::from_secs(600 + i * 1800 + rng.below(900)));
+                if page.is_live(t) && t <= horizon {
+                    page.record_get(t, mhw_netmodel::referrer::Referrer::Blank);
+                }
+            }
+        }
+
+        let mut t = start;
+        while let Some(next) = process.next_after(t, horizon, rng) {
+            t = next;
+            if !page.is_live(t) {
+                break;
+            }
+            let referrer = referrers.sample_referrer(rng);
+            page.record_get(t, referrer);
+            let victim = sample_victim(rng);
+            let p = (page.quality.base_conversion() * victim.gullibility).clamp(0.0, 0.95);
+            if rng.chance(p) {
+                page.record_post(t, referrer, victim.address.clone());
+                submissions.push(Submission { at: t, victim });
+            }
+        }
+        submissions
+    }
+
+    fn traffic_start(&self) -> SimTime {
+        match &self.shape {
+            CampaignShape::MassBlast { .. } => self.launched_at,
+            CampaignShape::LargeScaleOutlier { quiet, .. } => self.launched_at.plus(*quiet),
+        }
+    }
+
+    fn arrival_process(&self) -> PoissonProcess {
+        match &self.shape {
+            CampaignShape::MassBlast { peak_rate_per_hour, half_life } => {
+                PoissonProcess::homogeneous(*peak_rate_per_hour)
+                    .with_decay(*half_life, self.launched_at)
+            }
+            CampaignShape::LargeScaleOutlier { plateau_rate_per_hour, .. } => {
+                PoissonProcess::homogeneous(*plateau_rate_per_hour)
+                    .with_profile(DiurnalProfile::human(0))
+            }
+        }
+    }
+}
+
+/// Synthetic external-victim sampler for §4.2-style pages.
+///
+/// Crews harvest target lists from public sources; university
+/// directories dominate (they are scrapeable), and commodity spam
+/// filtering lets ~10× more lure mail through to self-hosted domains
+/// (§4.2). The sampler composes both effects: list composition ×
+/// delivery-rate thinning. The resulting *arrivals* are >99% `.edu`
+/// (Figure 4).
+pub fn external_victim_sampler(
+    domains: &DomainModel,
+) -> impl FnMut(&mut SimRng) -> VictimProfile + '_ {
+    move |rng: &mut SimRng| {
+        loop {
+            let tag = rng.below(1 << 30);
+            // List composition: overwhelmingly directory-harvested
+            // university addresses (US directories are the largest and
+            // easiest to scrape), with a thin mixed tail.
+            let candidate = if rng.chance(0.992) {
+                let weights: Vec<f64> = domains
+                    .edu
+                    .iter()
+                    .map(|d| if d.tld() == "edu" { 100.0 } else { 1.0 })
+                    .collect();
+                let i = rng.weighted_index(&weights).expect("edu pool non-empty");
+                EmailAddress::new(format!("user{tag}"), domains.edu[i].name.clone())
+            } else {
+                domains.random_external_address(rng, tag, 0.4, 0.0, 0.6)
+            };
+            let class = domains.class_of(&candidate);
+            // Delivery thinning relative to the best-delivering class.
+            let p_deliver = class.spam_delivery_multiplier() / 10.0;
+            if rng.chance(p_deliver) {
+                let gullibility = 0.7 + rng.f64() * 0.6; // 0.7..1.3
+                return VictimProfile { address: candidate, domain_class: class, gullibility };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{PageQuality, PhishingPage};
+    use mhw_types::{PageId, DAY, HOUR};
+
+    fn page(quality: PageQuality) -> PhishingPage {
+        PhishingPage::new(PageId(0), CampaignId(0), AccountCategory::Mail, quality, SimTime::EPOCH)
+    }
+
+    fn flat_victim(rng: &mut SimRng) -> VictimProfile {
+        let tag = rng.below(1 << 20);
+        VictimProfile {
+            address: EmailAddress::new(format!("v{tag}"), "stateuniv.edu"),
+            domain_class: EmailDomainClass::SelfHostedEdu,
+            gullibility: 1.0,
+        }
+    }
+
+    fn blast(peak: f64, half_life_hours: u64) -> Campaign {
+        Campaign {
+            id: CampaignId(0),
+            crew: CrewId(0),
+            category: AccountCategory::Mail,
+            shape: CampaignShape::MassBlast {
+                peak_rate_per_hour: peak,
+                half_life: SimDuration::from_hours(half_life_hours),
+            },
+            launched_at: SimTime::EPOCH,
+        }
+    }
+
+    #[test]
+    fn mass_blast_decays() {
+        let campaign = blast(120.0, 6);
+        let mut p = page(PageQuality::Good);
+        let refs = ReferrerModel::paper_calibrated();
+        let mut rng = SimRng::from_seed(42);
+        campaign.run_traffic(&mut p, &refs, flat_victim, SimTime::from_secs(3 * DAY), &mut rng);
+        // Views in the first 6 hours far exceed views in hours 24–30.
+        let early = p
+            .http_log
+            .iter()
+            .filter(|r| r.at.as_secs() < 6 * HOUR)
+            .count();
+        let late = p
+            .http_log
+            .iter()
+            .filter(|r| (24 * HOUR..30 * HOUR).contains(&r.at.as_secs()))
+            .count();
+        assert!(early > 10 * late.max(1), "early {early} late {late}");
+    }
+
+    #[test]
+    fn conversion_tracks_page_quality() {
+        let refs = ReferrerModel::paper_calibrated();
+        let mut rates = Vec::new();
+        for q in [PageQuality::Poor, PageQuality::Excellent] {
+            let campaign = blast(400.0, 24);
+            let mut p = page(q);
+            let mut rng = SimRng::from_seed(7);
+            campaign.run_traffic(&mut p, &refs, flat_victim, SimTime::from_secs(2 * DAY), &mut rng);
+            rates.push(p.success_rate().unwrap());
+        }
+        assert!(rates[0] < 0.08, "poor page rate {}", rates[0]);
+        assert!(rates[1] > 0.25, "excellent page rate {}", rates[1]);
+    }
+
+    #[test]
+    fn outlier_has_quiet_period_then_plateau() {
+        let campaign = Campaign {
+            id: CampaignId(1),
+            crew: CrewId(0),
+            category: AccountCategory::Mail,
+            shape: CampaignShape::LargeScaleOutlier {
+                quiet: SimDuration::from_hours(15),
+                plateau_rate_per_hour: 200.0,
+            },
+            launched_at: SimTime::EPOCH,
+        };
+        let mut p = page(PageQuality::Excellent);
+        let refs = ReferrerModel::paper_calibrated();
+        let mut rng = SimRng::from_seed(9);
+        campaign.run_traffic(&mut p, &refs, flat_victim, SimTime::from_secs(4 * DAY), &mut rng);
+        // Quiet period: only the crew's own few test GETs, no POSTs.
+        let quiet_posts = p
+            .http_log
+            .iter()
+            .filter(|r| {
+                r.at.as_secs() < 15 * HOUR && r.method == crate::page::HttpMethod::Post
+            })
+            .count();
+        assert_eq!(quiet_posts, 0);
+        let quiet_gets = p
+            .http_log
+            .iter()
+            .filter(|r| r.at.as_secs() < 15 * HOUR)
+            .count();
+        assert!((1..=6).contains(&quiet_gets), "quiet gets {quiet_gets}");
+        // Plateau: sustained volume on later days.
+        let day2 = p
+            .http_log
+            .iter()
+            .filter(|r| (DAY..2 * DAY).contains(&r.at.as_secs()))
+            .count();
+        let day3 = p
+            .http_log
+            .iter()
+            .filter(|r| (2 * DAY..3 * DAY).contains(&r.at.as_secs()))
+            .count();
+        assert!(day2 > 1000 && day3 > 1000, "plateau days {day2}/{day3}");
+        // Diurnal, not flat: some hours of day 2 are much busier than others.
+        let mut by_hour = [0u32; 24];
+        for r in p.http_log.iter().filter(|r| (DAY..2 * DAY).contains(&r.at.as_secs())) {
+            by_hour[r.at.hour_of_day() as usize] += 1;
+        }
+        let max = *by_hour.iter().max().unwrap() as f64;
+        let min = *by_hour.iter().min().unwrap() as f64;
+        assert!(max > 1.8 * min.max(1.0), "diurnal spread {min}..{max}");
+    }
+
+    #[test]
+    fn traffic_stops_at_takedown() {
+        let campaign = blast(300.0, 48);
+        let mut p = page(PageQuality::Good);
+        p.taken_down_at = Some(SimTime::from_secs(6 * HOUR));
+        let refs = ReferrerModel::paper_calibrated();
+        let mut rng = SimRng::from_seed(11);
+        campaign.run_traffic(&mut p, &refs, flat_victim, SimTime::from_secs(2 * DAY), &mut rng);
+        assert!(p
+            .http_log
+            .iter()
+            .all(|r| r.at.as_secs() < 6 * HOUR));
+    }
+
+    #[test]
+    fn external_sampler_produces_edu_skew() {
+        let domains = DomainModel::standard();
+        let mut rng = SimRng::from_seed(13);
+        let mut sampler = external_victim_sampler(&domains);
+        let n = 20_000;
+        let edu = (0..n)
+            .filter(|_| sampler(&mut rng).address.tld() == "edu")
+            .count();
+        let frac = edu as f64 / n as f64;
+        // Figure 4: the vast majority (>99%) of phished addresses are .edu.
+        assert!(frac > 0.985, "edu TLD fraction {frac}");
+        assert!(frac < 1.0, "a non-.edu tail must exist for Figure 4's x-axis");
+        let edu_class = {
+            let mut s2 = external_victim_sampler(&domains);
+            (0..n)
+                .filter(|_| s2(&mut rng).domain_class == EmailDomainClass::SelfHostedEdu)
+                .count() as f64
+                / n as f64
+        };
+        assert!(edu_class > 0.985, "edu-class fraction {edu_class}");
+    }
+
+    #[test]
+    fn submissions_are_time_ordered() {
+        let campaign = blast(200.0, 12);
+        let mut p = page(PageQuality::Good);
+        let refs = ReferrerModel::paper_calibrated();
+        let mut rng = SimRng::from_seed(15);
+        let subs =
+            campaign.run_traffic(&mut p, &refs, flat_victim, SimTime::from_secs(DAY), &mut rng);
+        assert!(!subs.is_empty());
+        for w in subs.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+}

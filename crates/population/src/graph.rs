@@ -1,0 +1,186 @@
+//! The contact graph.
+//!
+//! Users' contact lists are the hijackers' target-selection mechanism
+//! (§5.3): crews phish "the victim's contacts … to leverage the
+//! sometimes more lenient and trusting treatment given … to emails
+//! originating from a person's regular contact". The graph is built as
+//! clustered communities (colleagues/families) with sparse long-range
+//! links, so that hijacking risk propagates through neighbourhoods the
+//! way the paper's 36× measurement implies.
+
+use mhw_simclock::SimRng;
+use mhw_types::AccountId;
+
+/// An undirected contact graph over internal accounts.
+#[derive(Debug, Clone)]
+pub struct ContactGraph {
+    adjacency: Vec<Vec<AccountId>>,
+}
+
+impl ContactGraph {
+    /// Build a clustered graph over `n` accounts.
+    ///
+    /// Accounts are partitioned into communities of `community_size`
+    /// (last one possibly smaller); within a community each pair is
+    /// connected with probability `p_within`; additionally each node
+    /// gets `long_links` uniform random links outside its community.
+    pub fn clustered(
+        n: usize,
+        community_size: usize,
+        p_within: f64,
+        long_links: usize,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(community_size >= 2, "communities need at least 2 members");
+        let mut adjacency: Vec<Vec<AccountId>> = vec![Vec::new(); n];
+        let connect = |adj: &mut Vec<Vec<AccountId>>, a: usize, b: usize| {
+            if a == b {
+                return;
+            }
+            let (ai, bi) = (AccountId::from_index(a), AccountId::from_index(b));
+            if !adj[a].contains(&bi) {
+                adj[a].push(bi);
+                adj[b].push(ai);
+            }
+        };
+        // Communities.
+        let mut start = 0;
+        while start < n {
+            let end = (start + community_size).min(n);
+            for a in start..end {
+                for b in (a + 1)..end {
+                    if rng.chance(p_within) {
+                        connect(&mut adjacency, a, b);
+                    }
+                }
+            }
+            start = end;
+        }
+        // Long-range links.
+        if n > community_size {
+            for a in 0..n {
+                for _ in 0..long_links {
+                    let b = rng.below(n as u64) as usize;
+                    let same_community = a / community_size == b / community_size;
+                    if !same_community {
+                        connect(&mut adjacency, a, b);
+                    }
+                }
+            }
+        }
+        ContactGraph { adjacency }
+    }
+
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Contacts of one account.
+    pub fn contacts_of(&self, a: AccountId) -> &[AccountId] {
+        &self.adjacency[a.index()]
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            return 0.0;
+        }
+        self.adjacency.iter().map(|v| v.len()).sum::<usize>() as f64
+            / self.adjacency.len() as f64
+    }
+
+    /// Sample up to `k` distinct contacts of `a`.
+    pub fn sample_contacts(&self, a: AccountId, k: usize, rng: &mut SimRng) -> Vec<AccountId> {
+        let contacts = self.contacts_of(a);
+        let idx = rng.sample_indices(contacts.len(), k);
+        idx.into_iter().map(|i| contacts[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_is_symmetric_and_loop_free() {
+        let mut rng = SimRng::from_seed(5);
+        let g = ContactGraph::clustered(200, 25, 0.3, 2, &mut rng);
+        assert_eq!(g.len(), 200);
+        for a in 0..200 {
+            let ai = AccountId::from_index(a);
+            for b in g.contacts_of(ai) {
+                assert_ne!(*b, ai, "self loop at {a}");
+                assert!(
+                    g.contacts_of(*b).contains(&ai),
+                    "edge {a}-{b} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_edges() {
+        let mut rng = SimRng::from_seed(6);
+        let g = ContactGraph::clustered(150, 30, 0.5, 3, &mut rng);
+        for a in 0..150 {
+            let c = g.contacts_of(AccountId::from_index(a));
+            let mut sorted: Vec<_> = c.to_vec();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), c.len(), "duplicates at node {a}");
+        }
+    }
+
+    #[test]
+    fn clustering_dominates_long_links() {
+        let mut rng = SimRng::from_seed(7);
+        let community = 20;
+        let g = ContactGraph::clustered(400, community, 0.4, 1, &mut rng);
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for a in 0..400 {
+            for b in g.contacts_of(AccountId::from_index(a)) {
+                if a / community == b.index() / community {
+                    within += 1;
+                } else {
+                    across += 1;
+                }
+            }
+        }
+        assert!(within > 2 * across, "within {within}, across {across}");
+        assert!(across > 0, "long links must exist");
+    }
+
+    #[test]
+    fn mean_degree_matches_parameters() {
+        let mut rng = SimRng::from_seed(8);
+        // Community of 20, p=0.4 → ~7.6 within-links; +~2 long links.
+        let g = ContactGraph::clustered(1000, 20, 0.4, 1, &mut rng);
+        let d = g.mean_degree();
+        assert!((7.0..13.0).contains(&d), "mean degree {d}");
+    }
+
+    #[test]
+    fn sample_contacts_bounds() {
+        let mut rng = SimRng::from_seed(9);
+        let g = ContactGraph::clustered(60, 20, 0.8, 0, &mut rng);
+        let a = AccountId(0);
+        let all = g.contacts_of(a).len();
+        let s = g.sample_contacts(a, 5, &mut rng);
+        assert_eq!(s.len(), 5.min(all));
+        let big = g.sample_contacts(a, 100, &mut rng);
+        assert_eq!(big.len(), all);
+    }
+
+    #[test]
+    fn small_graph_edge_cases() {
+        let mut rng = SimRng::from_seed(10);
+        let g = ContactGraph::clustered(2, 2, 1.0, 0, &mut rng);
+        assert_eq!(g.contacts_of(AccountId(0)), &[AccountId(1)]);
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # mhw-population
+//!
+//! The synthetic user population: who the victims (and non-victims) are.
+//!
+//! * [`UserProfile`] — per-user behavioural rates (logins, sends,
+//!   searches per day), gullibility, spam-report propensity, travel, and
+//!   network identity (home IP, device);
+//! * [`ContactGraph`] — a clustered small-world contact graph over
+//!   internal accounts plus external addresses. The graph is what makes
+//!   the §5.3 contact-exploitation experiment meaningful: crews phish
+//!   the contacts of their victims, so hijacking risk concentrates in
+//!   graph neighbourhoods (the paper measured 36× over baseline);
+//! * [`seed`] — mailbox content generation. Seeded mail deliberately
+//!   contains the material hijackers hunt for (wire-transfer mail, bank
+//!   statements — in the user's language, including `账单` and
+//!   `transferencia` — linked-account credentials, media attachments),
+//!   so the Table 3 search terms actually *hit* during profiling;
+//! * [`PopulationBuilder`] — wires users into the mail provider,
+//!   credential store, recovery options and 2FA state, with
+//!   recovery-option coverage calibrated to §6.3.
+
+pub mod builder;
+pub mod graph;
+pub mod seed;
+pub mod user;
+
+pub use builder::{Population, PopulationBuilder, PopulationConfig};
+pub use graph::ContactGraph;
+pub use user::UserProfile;

@@ -1,0 +1,147 @@
+//! Per-user behavioural profiles.
+
+use mhw_simclock::SimRng;
+use mhw_types::{AccountId, CountryCode, DeviceId, EmailAddress, IpAddr, Language};
+
+/// A user of the simulated provider.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    pub account: AccountId,
+    pub address: EmailAddress,
+    pub country: CountryCode,
+    pub language: Language,
+    /// Mean logins per day (log-normally distributed across users).
+    pub logins_per_day: f64,
+    /// Mean messages sent per day.
+    pub sends_per_day: f64,
+    /// Mean own-mailbox searches per day.
+    pub searches_per_day: f64,
+    /// Propensity to fall for a phishing lure, 0..1. Multiplies page
+    /// conversion probability.
+    pub gullibility: f64,
+    /// Probability of reporting an abusive message after recognizing it.
+    pub report_propensity: f64,
+    /// Probability of being abroad on any given day (risk-engine FP
+    /// source: travel makes legitimate logins look anomalous).
+    pub travel_propensity: f64,
+    /// Latent mailbox richness 0..1: drives content seeding and the
+    /// hijacker's value assessment.
+    pub mailbox_value: f64,
+    /// Usual login origin.
+    pub home_ip: IpAddr,
+    /// Usual browser/device identity.
+    pub device: DeviceId,
+}
+
+impl UserProfile {
+    /// Whether this account is active under the paper's definition
+    /// ("accessed within the past 30 days"): with `logins_per_day`
+    /// Poisson logins, the probability of ≥1 login in 30 days is
+    /// effectively 1 for our rate floor, so all generated users count
+    /// as active. Kept as a method so alternative populations (dormant
+    /// accounts) can override behaviour at one place.
+    pub fn is_active(&self) -> bool {
+        self.logins_per_day > 0.0
+    }
+
+    /// Draw today's login origin: usually home, sometimes travel.
+    /// Returns `(ip, is_travelling)`.
+    pub fn login_origin(
+        &self,
+        geo: &mhw_netmodel::GeoDb,
+        rng: &mut SimRng,
+        travelling_today: bool,
+    ) -> (IpAddr, bool) {
+        if travelling_today {
+            // Abroad: a random other country (conferences, vacations).
+            let mut country = self.country;
+            for _ in 0..8 {
+                let pick = CountryCode::ALL[rng.below(CountryCode::ALL.len() as u64) as usize];
+                if pick != self.country {
+                    country = pick;
+                    break;
+                }
+            }
+            (geo.random_ip(country, rng), true)
+        } else {
+            (self.home_ip, false)
+        }
+    }
+}
+
+/// Sample heavy-tailed per-day activity rates for a new user.
+pub fn sample_activity(rng: &mut SimRng) -> (f64, f64, f64) {
+    // Median ≈ 1.6 logins/day, 2.2 sends/day, 0.2 searches/day.
+    let logins = rng.lognormal(0.5, 0.6).clamp(0.2, 12.0);
+    let sends = rng.lognormal(0.8, 0.8).clamp(0.1, 30.0);
+    let searches = rng.lognormal(-1.6, 0.9).clamp(0.01, 4.0);
+    (logins, sends, searches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhw_netmodel::GeoDb;
+
+    fn user(country: CountryCode, geo: &GeoDb) -> UserProfile {
+        UserProfile {
+            account: AccountId(0),
+            address: EmailAddress::new("u0", "homemail.com"),
+            country,
+            language: country.language(),
+            logins_per_day: 2.0,
+            sends_per_day: 3.0,
+            searches_per_day: 0.2,
+            gullibility: 0.5,
+            report_propensity: 0.3,
+            travel_propensity: 0.02,
+            mailbox_value: 0.7,
+            home_ip: geo.stable_ip(country, 0),
+            device: DeviceId(0),
+        }
+    }
+
+    #[test]
+    fn home_origin_is_stable() {
+        let geo = GeoDb::new();
+        let u = user(CountryCode::US, &geo);
+        let mut rng = SimRng::from_seed(1);
+        let (ip, travelling) = u.login_origin(&geo, &mut rng, false);
+        assert_eq!(ip, u.home_ip);
+        assert!(!travelling);
+        assert_eq!(geo.locate(ip), Some(CountryCode::US));
+    }
+
+    #[test]
+    fn travel_origin_is_abroad() {
+        let geo = GeoDb::new();
+        let u = user(CountryCode::US, &geo);
+        let mut rng = SimRng::from_seed(2);
+        let (ip, travelling) = u.login_origin(&geo, &mut rng, true);
+        assert!(travelling);
+        let c = geo.locate(ip).unwrap();
+        assert_ne!(c, CountryCode::US);
+    }
+
+    #[test]
+    fn activity_rates_are_plausible() {
+        let mut rng = SimRng::from_seed(3);
+        let n = 5000;
+        let mut sum_logins = 0.0;
+        for _ in 0..n {
+            let (l, s, q) = sample_activity(&mut rng);
+            assert!((0.2..=12.0).contains(&l));
+            assert!((0.1..=30.0).contains(&s));
+            assert!((0.01..=4.0).contains(&q));
+            sum_logins += l;
+        }
+        let mean = sum_logins / n as f64;
+        assert!((1.0..4.0).contains(&mean), "mean logins/day {mean}");
+    }
+
+    #[test]
+    fn generated_users_are_active() {
+        let geo = GeoDb::new();
+        assert!(user(CountryCode::FR, &geo).is_active());
+    }
+}

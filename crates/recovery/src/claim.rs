@@ -1,0 +1,75 @@
+//! Recovery claims.
+
+use crate::methods::RecoveryMethod;
+use mhw_types::{AccountId, ClaimId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What made the victim start the recovery process (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClaimTrigger {
+    /// A proactive notification over an independent channel ("the
+    /// fastest recoveries are best explained by the proactive
+    /// notifications we send").
+    Notification,
+    /// The victim noticed by themselves — password dead, strange sent
+    /// mail, a contact called them.
+    SelfNoticed,
+    /// The provider's anti-abuse systems disabled the account "to
+    /// prevent further damage".
+    AccountDisabled,
+}
+
+/// One account-recovery claim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryClaim {
+    pub id: ClaimId,
+    pub account: AccountId,
+    /// When the hijack actually began (ground truth; used for latency
+    /// measurement, not by the claim processor).
+    pub hijacked_at: SimTime,
+    /// When the provider's risk systems flagged the account (the paper
+    /// measures recovery latency from this instant).
+    pub flagged_at: SimTime,
+    pub trigger: ClaimTrigger,
+    pub filed_at: SimTime,
+    pub method: Option<RecoveryMethod>,
+    pub succeeded: bool,
+    pub resolved_at: Option<SimTime>,
+}
+
+impl RecoveryClaim {
+    /// End-to-end latency as Figure 9 defines it: from risk-flagging to
+    /// the owner regaining exclusive control.
+    pub fn latency(&self) -> Option<mhw_types::SimDuration> {
+        self.resolved_at
+            .filter(|_| self.succeeded)
+            .map(|r| r.since(self.flagged_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhw_types::SimDuration;
+
+    #[test]
+    fn latency_only_for_successful_claims() {
+        let mut c = RecoveryClaim {
+            id: ClaimId(0),
+            account: AccountId(0),
+            hijacked_at: SimTime::from_secs(100),
+            flagged_at: SimTime::from_secs(200),
+            trigger: ClaimTrigger::Notification,
+            filed_at: SimTime::from_secs(300),
+            method: Some(RecoveryMethod::Sms),
+            succeeded: true,
+            resolved_at: Some(SimTime::from_secs(500)),
+        };
+        assert_eq!(c.latency(), Some(SimDuration::from_secs(300)));
+        c.succeeded = false;
+        assert_eq!(c.latency(), None);
+        c.succeeded = true;
+        c.resolved_at = None;
+        assert_eq!(c.latency(), None);
+    }
+}

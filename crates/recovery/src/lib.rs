@@ -1,0 +1,27 @@
+//! # mhw-recovery
+//!
+//! The account-recovery pipeline of §6:
+//!
+//! * [`claim`] — recovery claims: what triggered them (a proactive
+//!   notification, the victim noticing a dead password, or an
+//!   anti-abuse account disable) and how they resolved;
+//! * [`methods`] — the verification channels and their §6.3 failure
+//!   modes: SMS (stale numbers, unreliable gateways), secondary email
+//!   (mistypes ⇒ ~5% bounces, recycling ⇒ never offered), and the
+//!   fallback options (secret questions with poor recall, manual
+//!   review) whose success "is significantly worse";
+//! * [`service`] — claim processing: channel selection, verification,
+//!   and on success a system-forced password reset;
+//! * [`remission`] — the §6.4 cleanup: restore hijacker-deleted mail
+//!   and contacts, remove hijacker filters, roll back Reply-To, disable
+//!   hijacker 2FA, revoke app passwords.
+
+pub mod claim;
+pub mod methods;
+pub mod remission;
+pub mod service;
+
+pub use claim::{ClaimTrigger, RecoveryClaim};
+pub use methods::{method_success_probability, RecoveryMethod};
+pub use remission::{run_remission, RemissionReport};
+pub use service::{ClaimResolution, RecoveryService};

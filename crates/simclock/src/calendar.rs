@@ -1,0 +1,297 @@
+//! Office-hours and availability schedules.
+//!
+//! §5.5 of the paper ("Manual Hijacking — an Ordinary Office Job?")
+//! observed that hijacker crews start around the same time every day,
+//! take a synchronized one-hour lunch break, and are largely inactive on
+//! weekends. [`Schedule`] encodes exactly that availability pattern in
+//! the crew's local timezone, and is also reused (without lunch break)
+//! for diurnal user-activity gating.
+
+use mhw_types::{SimDuration, SimTime, DAY, HOUR};
+
+/// Daily working window in local hours, with an optional lunch break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfficeHours {
+    /// First working hour (local), inclusive, e.g. 9.
+    pub start_hour: u32,
+    /// Last working hour (local), exclusive, e.g. 18.
+    pub end_hour: u32,
+    /// Lunch break start (local hour), if the schedule has one.
+    pub lunch_hour: Option<u32>,
+}
+
+impl OfficeHours {
+    /// The paper's crew pattern: 9:00–18:00 with a 13:00 lunch hour.
+    pub fn crew_default() -> Self {
+        OfficeHours { start_hour: 9, end_hour: 18, lunch_hour: Some(13) }
+    }
+
+    /// Whether `local_hour` falls inside the working window.
+    pub fn is_working_hour(&self, local_hour: u32) -> bool {
+        if let Some(lunch) = self.lunch_hour {
+            if local_hour == lunch {
+                return false;
+            }
+        }
+        if self.start_hour <= self.end_hour {
+            (self.start_hour..self.end_hour).contains(&local_hour)
+        } else {
+            // Overnight window (e.g. 22–06) — not used by crews but
+            // supported for night-shift user models.
+            local_hour >= self.start_hour || local_hour < self.end_hour
+        }
+    }
+}
+
+/// A full weekly availability schedule in a fixed timezone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Schedule {
+    pub hours: OfficeHours,
+    /// Whole-hour UTC offset of the schedule's local timezone.
+    pub utc_offset_hours: i32,
+    /// Whether weekends are worked. Paper crews: no.
+    pub works_weekends: bool,
+}
+
+impl Schedule {
+    /// A crew schedule in the given timezone (9–18 local, lunch at 13,
+    /// weekends off).
+    pub fn crew(utc_offset_hours: i32) -> Self {
+        Schedule {
+            hours: OfficeHours::crew_default(),
+            utc_offset_hours,
+            works_weekends: false,
+        }
+    }
+
+    /// An always-on schedule (automated systems).
+    pub fn always_on() -> Self {
+        Schedule {
+            hours: OfficeHours { start_hour: 0, end_hour: 24, lunch_hour: None },
+            utc_offset_hours: 0,
+            works_weekends: true,
+        }
+    }
+
+    /// Is the schedule active at instant `t`?
+    pub fn is_active(&self, t: SimTime) -> bool {
+        if !self.works_weekends && t.local_weekday(self.utc_offset_hours).is_weekend() {
+            return false;
+        }
+        self.hours.is_working_hour(t.local_hour(self.utc_offset_hours))
+    }
+
+    /// The earliest instant `>= t` at which the schedule is active.
+    ///
+    /// Scans hour boundaries; bounded by one week of hours plus one, so it
+    /// always terminates for any schedule with at least one active hour.
+    ///
+    /// # Panics
+    /// Panics if the schedule has no active hour at all.
+    pub fn next_active(&self, t: SimTime) -> SimTime {
+        if self.is_active(t) {
+            return t;
+        }
+        // Jump to the next hour boundary, then scan.
+        let mut cursor = SimTime::from_secs(t.as_secs() - t.as_secs() % HOUR + HOUR);
+        for _ in 0..(7 * 24 + 1) {
+            if self.is_active(cursor) {
+                return cursor;
+            }
+            cursor += SimDuration::from_secs(HOUR);
+        }
+        panic!("schedule has no active hours");
+    }
+
+    /// Remaining active time budget between `t` and the end of `t`'s
+    /// active block, in seconds (0 if inactive). Lets agents decide
+    /// whether a task fits before lunch / close of business.
+    pub fn remaining_in_block(&self, t: SimTime) -> SimDuration {
+        if !self.is_active(t) {
+            return SimDuration::ZERO;
+        }
+        let mut end = SimTime::from_secs(t.as_secs() - t.as_secs() % HOUR + HOUR);
+        // Extend across consecutive active hours (bounded by a day).
+        for _ in 0..24 {
+            if self.is_active(end) {
+                end += SimDuration::from_secs(HOUR);
+            } else {
+                break;
+            }
+        }
+        end.since(t)
+    }
+
+    /// Working seconds in the UTC day containing `t` (used to calibrate
+    /// crew daily throughput).
+    pub fn active_seconds_in_day(&self, t: SimTime) -> u64 {
+        let day_start = t.start_of_day();
+        (0..24)
+            .filter(|h| self.is_active(day_start + SimDuration::from_hours(*h)))
+            .count() as u64
+            * HOUR
+    }
+
+    /// Total scheduled seconds across a full week starting at `t`'s day.
+    pub fn active_seconds_in_week(&self, t: SimTime) -> u64 {
+        let day_start = t.start_of_day();
+        (0..7)
+            .map(|d| self.active_seconds_in_day(day_start + SimDuration::from_secs(d * DAY)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhw_types::{SimTime, HOUR};
+
+    fn at(day: u64, hour: u64) -> SimTime {
+        SimTime::from_secs(day * DAY + hour * HOUR)
+    }
+
+    #[test]
+    fn crew_hours_window() {
+        let h = OfficeHours::crew_default();
+        assert!(!h.is_working_hour(8));
+        assert!(h.is_working_hour(9));
+        assert!(h.is_working_hour(12));
+        assert!(!h.is_working_hour(13)); // lunch
+        assert!(h.is_working_hour(14));
+        assert!(h.is_working_hour(17));
+        assert!(!h.is_working_hour(18));
+    }
+
+    #[test]
+    fn overnight_window() {
+        let h = OfficeHours { start_hour: 22, end_hour: 6, lunch_hour: None };
+        assert!(h.is_working_hour(23));
+        assert!(h.is_working_hour(3));
+        assert!(!h.is_working_hour(12));
+    }
+
+    #[test]
+    fn crew_inactive_on_weekend() {
+        let s = Schedule::crew(0);
+        // Day 5 from Monday epoch is Saturday.
+        assert!(!s.is_active(at(5, 10)));
+        assert!(!s.is_active(at(6, 10)));
+        assert!(s.is_active(at(4, 10))); // Friday 10:00
+    }
+
+    #[test]
+    fn crew_lunch_break_observed() {
+        let s = Schedule::crew(0);
+        assert!(s.is_active(at(0, 12)));
+        assert!(!s.is_active(at(0, 13)));
+        assert!(s.is_active(at(0, 14)));
+    }
+
+    #[test]
+    fn timezone_shifts_window() {
+        // A UTC+8 crew (China) working 9–18 local is active 01:00–10:00 UTC.
+        let s = Schedule::crew(8);
+        assert!(s.is_active(at(0, 2))); // 10:00 local
+        assert!(!s.is_active(at(0, 12))); // 20:00 local
+    }
+
+    #[test]
+    fn next_active_rolls_past_lunch_and_night() {
+        let s = Schedule::crew(0);
+        // At 13:30 (lunch), next active is 14:00.
+        let t = SimTime::from_secs(13 * HOUR + 30 * 60);
+        assert_eq!(s.next_active(t), SimTime::from_secs(14 * HOUR));
+        // At 20:00 Monday, next active is Tuesday 09:00.
+        assert_eq!(s.next_active(at(0, 20)), at(1, 9));
+    }
+
+    #[test]
+    fn next_active_skips_weekend() {
+        let s = Schedule::crew(0);
+        // Friday 19:00 → Monday 09:00 (days 4 → 7).
+        assert_eq!(s.next_active(at(4, 19)), at(7, 9));
+    }
+
+    #[test]
+    fn next_active_identity_when_active() {
+        let s = Schedule::crew(0);
+        let t = at(1, 10).plus(SimDuration::from_mins(17));
+        assert_eq!(s.next_active(t), t);
+    }
+
+    #[test]
+    fn remaining_in_block() {
+        let s = Schedule::crew(0);
+        // At 11:30 the block runs until 13:00 → 1.5h.
+        let t = SimTime::from_secs(11 * HOUR + 30 * 60);
+        assert_eq!(s.remaining_in_block(t).as_secs(), 90 * 60);
+        // Inactive → zero.
+        assert_eq!(s.remaining_in_block(at(0, 20)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn weekly_budget_matches_8h_times_5d() {
+        let s = Schedule::crew(0);
+        // 9–18 minus lunch = 8h/day, 5 days.
+        assert_eq!(s.active_seconds_in_day(at(0, 0)), 8 * HOUR);
+        assert_eq!(s.active_seconds_in_week(at(0, 0)), 5 * 8 * HOUR);
+    }
+
+    #[test]
+    fn always_on_never_sleeps() {
+        let s = Schedule::always_on();
+        for d in 0..7 {
+            for h in 0..24 {
+                assert!(s.is_active(at(d, h)));
+            }
+        }
+        assert_eq!(s.active_seconds_in_week(at(0, 0)), 7 * 24 * HOUR);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mhw_types::SimTime;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// next_active always lands on an active instant at or after t.
+        #[test]
+        fn next_active_is_active_and_not_before(
+            t in 0u64..(30 * mhw_types::DAY),
+            offset in -11i32..=12,
+        ) {
+            let s = Schedule::crew(offset);
+            let at = SimTime::from_secs(t);
+            let next = s.next_active(at);
+            prop_assert!(next >= at);
+            prop_assert!(s.is_active(next));
+        }
+
+        /// remaining_in_block is zero iff inactive, and the block really
+        /// stays active for that long.
+        #[test]
+        fn remaining_block_is_consistent(t in 0u64..(14 * mhw_types::DAY)) {
+            let s = Schedule::crew(0);
+            let at = SimTime::from_secs(t);
+            let remaining = s.remaining_in_block(at);
+            if s.is_active(at) {
+                prop_assert!(remaining.as_secs() > 0);
+                // One second before the block ends it is still active.
+                let just_before = SimTime::from_secs(t + remaining.as_secs() - 1);
+                prop_assert!(s.is_active(just_before));
+            } else {
+                prop_assert_eq!(remaining.as_secs(), 0);
+            }
+        }
+
+        /// Weekly active budget never exceeds 5 × 8 hours for crews.
+        #[test]
+        fn weekly_budget_bounded(start_day in 0u64..60) {
+            let s = Schedule::crew(3);
+            let t = SimTime::from_secs(start_day * mhw_types::DAY);
+            prop_assert!(s.active_seconds_in_week(t) <= 5 * 8 * HOUR);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # mhw-simclock
+//!
+//! Discrete-event simulation kernel for the manual-hijacking ecosystem.
+//!
+//! The kernel provides:
+//! * [`EventQueue`] — a time-ordered priority queue with stable FIFO
+//!   ordering for simultaneous events, the beating heart of every
+//!   scenario run;
+//! * [`SimRng`] — deterministic, independently seeded random streams plus
+//!   the distributions the behavioral models need (exponential,
+//!   log-normal, Poisson, weighted choice). Determinism is a hard
+//!   requirement: a scenario seed fully determines every dataset;
+//! * [`Schedule`] — calendar/office-hours modelling
+//!   used for hijacker crews ("started around the same time every day,
+//!   … synchronized one-hour lunch break … largely inactive over the
+//!   weekends", §5.5) and for diurnal user activity;
+//! * [`arrivals`] — Poisson/diurnal arrival processes for organic traffic
+//!   and campaign click streams.
+//!
+//! All distributions are implemented from first principles over `rand`'s
+//! uniform source, so the workspace needs no additional statistics crates
+//! and results are reproducible across platforms.
+
+pub mod arrivals;
+pub mod calendar;
+pub mod queue;
+pub mod rng;
+
+pub use arrivals::{DiurnalProfile, PoissonProcess};
+pub use calendar::{OfficeHours, Schedule};
+pub use queue::EventQueue;
+pub use rng::SimRng;

@@ -1,0 +1,192 @@
+//! Time-ordered event queue.
+//!
+//! A thin wrapper around `BinaryHeap` that orders events by
+//! `(time, sequence)`: earliest time first, and FIFO among events
+//! scheduled for the same instant. Stable tie-breaking is what makes a
+//! whole scenario run a pure function of its seed — `BinaryHeap` alone
+//! is not stable.
+
+use mhw_types::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // (and, at equal times, the lowest sequence number) on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event queue over an arbitrary event payload type.
+///
+/// ```
+/// use mhw_simclock::EventQueue;
+/// use mhw_types::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(10), "b");
+/// q.schedule(SimTime::from_secs(5), "a");
+/// q.schedule(SimTime::from_secs(10), "c"); // same instant as "b": FIFO
+///
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::EPOCH }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in a discrete-event
+    /// simulation; the queue clamps such events to `now` rather than
+    /// violating clock monotonicity, which keeps downstream log records
+    /// time-ordered even if a model computes a sloppy timestamp.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the next event, advancing the simulation clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Pop the next event only if it occurs at or before `horizon`.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhw_types::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        let out: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(out, vec![(t(10), 1), (t(20), 2), (t(30), 3)]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(7), i);
+        }
+        let out: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "a");
+        q.schedule(t(9), "b");
+        assert_eq!(q.now(), SimTime::EPOCH);
+        q.pop();
+        assert_eq!(q.now(), t(5));
+        q.pop();
+        assert_eq!(q.now(), t(9));
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(t(100), "later");
+        q.pop();
+        q.schedule(t(1), "stale"); // in the past now
+        let (when, what) = q.pop().unwrap();
+        assert_eq!(what, "stale");
+        assert_eq!(when, t(100)); // clamped, clock stays monotone
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "x");
+        assert!(q.pop_before(t(9)).is_none());
+        assert_eq!(q.pop_before(t(10)).unwrap().1, "x");
+        assert!(q.pop_before(t(1000)).is_none()); // empty
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(t(1), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Email addresses and domain classes.
+//!
+//! Figure 4 of the paper breaks phished addresses down by TLD (finding
+//! `.edu` overwhelmingly dominant), and §4.2 explains the skew via spam
+//! filtering quality: self-hosted domains (universities) let far more lure
+//! mail through than large webmail providers. [`EmailDomainClass`]
+//! captures that distinction so the population model can assign addresses
+//! and the phishing model can modulate delivery rates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How an address's mail domain is operated — the property that §4.2
+/// identifies as controlling spam-filter quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EmailDomainClass {
+    /// A large webmail provider with industrial spam filtering
+    /// (the simulated provider itself, or Yahoo/Hotmail-alikes).
+    MajorWebmail,
+    /// A university or similar self-hosted domain with commodity
+    /// filtering; per Kanich et al. (cited in §4.2), spam delivery is
+    /// roughly 10× higher here.
+    SelfHostedEdu,
+    /// Small businesses / vanity domains with commodity filtering.
+    SelfHostedOther,
+}
+
+impl EmailDomainClass {
+    /// Relative lure-mail delivery multiplier versus a major webmail
+    /// provider (§4.2's "10 times higher" observation for commodity
+    /// filtering).
+    pub fn spam_delivery_multiplier(self) -> f64 {
+        match self {
+            EmailDomainClass::MajorWebmail => 1.0,
+            EmailDomainClass::SelfHostedEdu => 10.0,
+            EmailDomainClass::SelfHostedOther => 8.0,
+        }
+    }
+}
+
+/// A structured email address: `local@domain`, where the final dot-label
+/// of the domain is the TLD used in Figure 4's breakdown.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EmailAddress {
+    local: String,
+    domain: String,
+}
+
+impl EmailAddress {
+    /// Build an address from parts. Both parts are lower-cased; the
+    /// simulator treats addresses case-insensitively like real MTAs treat
+    /// domains (and like Gmail treats locals).
+    pub fn new(local: impl Into<String>, domain: impl Into<String>) -> Self {
+        EmailAddress {
+            local: local.into().to_ascii_lowercase(),
+            domain: domain.into().to_ascii_lowercase(),
+        }
+    }
+
+    /// Parse `local@domain`. Returns `None` unless there is exactly one
+    /// `@` with non-empty parts and a dotted domain.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (local, domain) = s.split_once('@')?;
+        if local.is_empty() || domain.is_empty() || domain.contains('@') {
+            return None;
+        }
+        if !domain.contains('.') || domain.starts_with('.') || domain.ends_with('.') {
+            return None;
+        }
+        Some(EmailAddress::new(local, domain))
+    }
+
+    pub fn local(&self) -> &str {
+        &self.local
+    }
+
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// The top-level domain (final label), e.g. `edu` for
+    /// `alice@cs.example.edu`. This is the unit of Figure 4.
+    pub fn tld(&self) -> &str {
+        self.domain.rsplit('.').next().unwrap_or(&self.domain)
+    }
+
+    /// A crude similarity used by the doppelganger model (§5.4): same
+    /// local part on a different domain, or a local part within edit
+    /// distance 1 on the same domain, "looks reasonably similar from the
+    /// point of view of the victims".
+    pub fn is_plausible_doppelganger_of(&self, victim: &EmailAddress) -> bool {
+        if self == victim {
+            return false;
+        }
+        if self.local == victim.local && self.domain != victim.domain {
+            return true;
+        }
+        self.domain == victim.domain && edit_distance_at_most_one(&self.local, &victim.local)
+    }
+}
+
+impl fmt::Display for EmailAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.local, self.domain)
+    }
+}
+
+/// True iff `a` and `b` differ by at most one insertion, deletion, or
+/// substitution — the "difficult-to-detect typo" of §5.4.
+fn edit_distance_at_most_one(a: &str, b: &str) -> bool {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let (la, lb) = (a.len(), b.len());
+    if la.abs_diff(lb) > 1 {
+        return false;
+    }
+    if la == lb {
+        // Zero or one substitution.
+        return a.iter().zip(&b).filter(|(x, y)| x != y).count() <= 1;
+    }
+    // One insertion/deletion: align the longer against the shorter.
+    let (long, short) = if la > lb { (&a, &b) } else { (&b, &a) };
+    let mut skipped = false;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < long.len() && j < short.len() {
+        if long[i] == short[j] {
+            i += 1;
+            j += 1;
+        } else if skipped {
+            return false;
+        } else {
+            skipped = true;
+            i += 1;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_normal_addresses() {
+        let a = EmailAddress::parse("Alice.Smith@Example.COM").unwrap();
+        assert_eq!(a.local(), "alice.smith");
+        assert_eq!(a.domain(), "example.com");
+        assert_eq!(a.tld(), "com");
+        assert_eq!(a.to_string(), "alice.smith@example.com");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "nodomain", "@x.com", "a@", "a@@b.com", "a@nodot", "a@.com", "a@com."] {
+            assert!(EmailAddress::parse(bad).is_none(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn tld_is_last_label() {
+        let a = EmailAddress::new("x", "mail.cs.uni.edu");
+        assert_eq!(a.tld(), "edu");
+    }
+
+    #[test]
+    fn doppelganger_same_local_other_provider() {
+        // The paper's own example: same username, different provider.
+        let victim = EmailAddress::new("victim.name", "gmail.example");
+        let dopp = EmailAddress::new("victim.name", "aol.example");
+        assert!(dopp.is_plausible_doppelganger_of(&victim));
+    }
+
+    #[test]
+    fn doppelganger_typo_same_provider() {
+        let victim = EmailAddress::new("victimname", "gmail.example");
+        let dopp = EmailAddress::new("victimnarne", "gmail.example"); // not edit distance 1
+        assert!(!dopp.is_plausible_doppelganger_of(&victim));
+        let dopp2 = EmailAddress::new("victimnam", "gmail.example"); // one deletion
+        assert!(dopp2.is_plausible_doppelganger_of(&victim));
+        let dopp3 = EmailAddress::new("victimnames", "gmail.example"); // one insertion
+        assert!(dopp3.is_plausible_doppelganger_of(&victim));
+        let dopp4 = EmailAddress::new("victimnome", "gmail.example"); // one substitution
+        assert!(dopp4.is_plausible_doppelganger_of(&victim));
+    }
+
+    #[test]
+    fn identical_address_is_not_its_own_doppelganger() {
+        let a = EmailAddress::new("x", "y.com");
+        assert!(!a.clone().is_plausible_doppelganger_of(&a));
+    }
+
+    #[test]
+    fn unrelated_addresses_are_not_doppelgangers() {
+        let victim = EmailAddress::new("alice", "gmail.example");
+        let other = EmailAddress::new("bob", "aol.example");
+        assert!(!other.is_plausible_doppelganger_of(&victim));
+    }
+
+    #[test]
+    fn edit_distance_helper() {
+        assert!(edit_distance_at_most_one("abc", "abc"));
+        assert!(edit_distance_at_most_one("abc", "abd"));
+        assert!(edit_distance_at_most_one("abc", "ab"));
+        assert!(edit_distance_at_most_one("abc", "abcd"));
+        assert!(!edit_distance_at_most_one("abc", "ade"));
+        assert!(!edit_distance_at_most_one("abc", "a"));
+        assert!(edit_distance_at_most_one("", "a"));
+        assert!(!edit_distance_at_most_one("", "ab"));
+    }
+
+    #[test]
+    fn delivery_multipliers_ordering() {
+        // §4.2: commodity filtering lets ~10x more spam through.
+        assert!(
+            EmailDomainClass::SelfHostedEdu.spam_delivery_multiplier()
+                > EmailDomainClass::MajorWebmail.spam_delivery_multiplier()
+        );
+        assert_eq!(EmailDomainClass::SelfHostedEdu.spam_delivery_multiplier(), 10.0);
+    }
+}

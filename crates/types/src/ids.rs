@@ -1,0 +1,126 @@
+//! Typed identifiers.
+//!
+//! Every entity that appears in a log record gets its own newtype id so
+//! the measurement pipeline cannot accidentally join a message id against
+//! an account id. All ids are dense (allocated sequentially by their
+//! owning subsystem) which lets stores index by `id.index()` into a `Vec`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a dense index.
+            pub const fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+            /// Dense index for `Vec` storage.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A user account at the simulated mail provider.
+    AccountId,
+    "acct"
+);
+define_id!(
+    /// A single email message in some mailbox.
+    MessageId,
+    "msg"
+);
+define_id!(
+    /// A phishing campaign (one blast of lure emails plus its page).
+    CampaignId,
+    "camp"
+);
+define_id!(
+    /// A phishing web page (form) collecting credentials.
+    PageId,
+    "page"
+);
+define_id!(
+    /// A manual-hijacking crew (organized group of human operators).
+    CrewId,
+    "crew"
+);
+define_id!(
+    /// One confirmed manual-hijacking incident against one account.
+    IncidentId,
+    "inc"
+);
+define_id!(
+    /// An account-recovery claim filed by a user.
+    ClaimId,
+    "claim"
+);
+define_id!(
+    /// An authenticated session.
+    SessionId,
+    "sess"
+);
+define_id!(
+    /// A client device (browser/cookie identity) seen at login.
+    DeviceId,
+    "dev"
+);
+define_id!(
+    /// A mail filter / forwarding rule.
+    FilterId,
+    "filt"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        for i in [0usize, 1, 42, 65535] {
+            assert_eq!(AccountId::from_index(i).index(), i);
+            assert_eq!(MessageId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(AccountId(7).to_string(), "acct7");
+        assert_eq!(PageId(3).to_string(), "page3");
+        assert_eq!(IncidentId(0).to_string(), "inc0");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(AccountId(1));
+        set.insert(AccountId(1));
+        set.insert(AccountId(2));
+        assert_eq!(set.len(), 2);
+        assert!(AccountId(1) < AccountId(2));
+    }
+
+    #[test]
+    fn ids_serialize_as_plain_integers() {
+        let json = serde_json::to_string(&CrewId(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: CrewId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, CrewId(9));
+    }
+}

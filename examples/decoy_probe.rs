@@ -1,0 +1,58 @@
+//! The decoy-credential honeypot (§5.1): inject valid credentials for
+//! fake accounts into crew dropboxes and watch the login log for the
+//! first hijacker touch — the Figure 7 experiment as a program.
+//!
+//! ```text
+//! cargo run --example decoy_probe --release
+//! ```
+
+use manual_hijacking_wild::prelude::*;
+
+fn main() {
+    let mut config = ScenarioConfig::small_test(0xDEC0);
+    config.days = 12;
+    let (eco, report) = run_decoy_experiment(config, 80, 5);
+
+    println!("== {} decoys submitted over 5 days ==", report.outcomes.len());
+    println!(
+        "never accessed: {:.0}% (dropbox suspensions)",
+        report.fraction_never_accessed() * 100.0
+    );
+    println!("\ncumulative access CDF:");
+    for (label, d) in [
+        ("30 min", SimDuration::from_mins(30)),
+        ("1 h", SimDuration::from_hours(1)),
+        ("3 h", SimDuration::from_hours(3)),
+        ("7 h", SimDuration::from_hours(7)),
+        ("24 h", SimDuration::from_hours(24)),
+        ("48 h", SimDuration::from_hours(48)),
+    ] {
+        let f = report.fraction_accessed_within(d);
+        println!("  ≤ {label:<7} {:<50} {:5.1}%", "#".repeat((f * 50.0) as usize), f * 100.0);
+    }
+
+    // Who touched the decoys, and from where?
+    println!("\nfirst touches:");
+    for o in report.outcomes.iter().filter(|o| o.first_attempt.is_some()).take(8) {
+        let at = o.first_attempt.unwrap();
+        let record = eco
+            .login_log
+            .for_account(o.account)
+            .find(|r| r.at == at)
+            .expect("recorded attempt");
+        let country = eco
+            .geo
+            .locate(record.ip)
+            .map(|c| c.code())
+            .unwrap_or("??");
+        println!(
+            "  {} submitted {} → touched {} from {} ({}), outcome {:?}",
+            o.account,
+            o.submitted_at,
+            at,
+            record.ip,
+            country,
+            record.outcome
+        );
+    }
+}

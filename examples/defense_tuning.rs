@@ -1,0 +1,76 @@
+//! Defense tuning: sweep the login-challenge threshold and ablate risk
+//! signals, reproducing §8.1's "striking the right balance" discussion
+//! as a runnable experiment.
+//!
+//! ```text
+//! cargo run --example defense_tuning --release
+//! ```
+
+use manual_hijacking_wild::prelude::*;
+use manual_hijacking_wild::types::Actor as A;
+
+fn run_world(threshold: f64, weights: RiskWeights, seed: u64) -> (f64, f64, u64) {
+    let mut config = ScenarioConfig::small_test(seed);
+    config.population.n_users = 300;
+    config.days = 10;
+    config.lures_per_user_day = 2.0;
+    let mut eco = Ecosystem::build(config);
+    eco.login.engine.challenge_threshold = threshold;
+    eco.login.engine.weights = weights;
+    eco.run();
+    let attempts = eco
+        .sessions
+        .iter()
+        .filter(|s| s.password_eventually_correct)
+        .count()
+        .max(1);
+    let hijack_success =
+        eco.sessions.iter().filter(|s| s.logged_in).count() as f64 / attempts as f64;
+    let owner_challenge =
+        eco.stats.organic_challenges as f64 / eco.stats.organic_logins.max(1) as f64;
+    (hijack_success, owner_challenge, eco.stats.incidents)
+}
+
+fn main() {
+    println!("== challenge-threshold sweep (the §8.1 balance) ==");
+    println!("{:>10} {:>16} {:>20} {:>10}", "threshold", "hijack success", "owners challenged", "incidents");
+    for t in [0.10, 0.20, 0.28, 0.40, 0.60, 0.90] {
+        let (fnr, fpr, incidents) = run_world(t, RiskWeights::default(), 0xBA1);
+        println!("{t:>10.2} {:>15.1}% {:>19.2}% {incidents:>10}", fnr * 100.0, fpr * 100.0);
+    }
+
+    println!("\n== signal ablations at t = 0.28 ==");
+    let baseline = run_world(0.28, RiskWeights::default(), 0xAB1);
+    println!("baseline             hijack success {:>5.1}%", baseline.0 * 100.0);
+    for signal in ["new_country", "impossible_travel", "new_device", "ip_fanout"] {
+        let (fnr, _, _) = run_world(0.28, RiskWeights::default().without(signal), 0xAB1);
+        println!("without {signal:<18} hijack success {:>5.1}%", fnr * 100.0);
+    }
+
+    println!("\n== what hijackers face at the challenge (§8.2) ==");
+    let mut config = ScenarioConfig::small_test(0xC4A);
+    config.days = 12;
+    config.lures_per_user_day = 2.0;
+    let mut eco = Ecosystem::build(config);
+    eco.run();
+    let (mut sms, mut sms_pass, mut knowledge, mut knowledge_pass) = (0, 0, 0, 0);
+    for r in eco.login_log.records() {
+        if !matches!(r.actor, A::Hijacker(_)) {
+            continue;
+        }
+        if let Some(c) = r.challenge {
+            match c.kind {
+                manual_hijacking_wild::identity::ChallengeKind::SmsCode => {
+                    sms += 1;
+                    sms_pass += c.passed as u32;
+                }
+                manual_hijacking_wild::identity::ChallengeKind::Knowledge => {
+                    knowledge += 1;
+                    knowledge_pass += c.passed as u32;
+                }
+            }
+        }
+    }
+    println!("SMS possession:      {sms_pass}/{sms} passed (phone cannot be faked)");
+    println!("knowledge questions: {knowledge_pass}/{knowledge} passed (answers are researchable)");
+}

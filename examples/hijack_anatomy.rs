@@ -1,0 +1,116 @@
+//! Anatomy of one manual hijacking: the paper's §5 lifecycle replayed
+//! against a single victim, narrated step by step from the logs.
+//!
+//! ```text
+//! cargo run --example hijack_anatomy --release
+//! ```
+
+use manual_hijacking_wild::mailsys::MailEventKind;
+use manual_hijacking_wild::prelude::*;
+
+fn main() {
+    let mut config = ScenarioConfig::small_test(0xA11CE);
+    config.days = 16;
+    config.lures_per_user_day = 2.0; // make sure something happens
+    let mut eco = Ecosystem::build(config);
+    eco.run();
+
+    // Pick the richest exploited incident.
+    let Some(incident) = eco
+        .real_incidents()
+        .filter(|i| eco.sessions[i.session].exploited)
+        .max_by_key(|i| eco.sessions[i.session].messages_sent)
+        .cloned()
+    else {
+        println!("no exploited incident this run — try another seed");
+        return;
+    };
+    let session = &eco.sessions[incident.session];
+    let account = incident.account;
+    let crew = eco.crews.get(incident.crew);
+
+    println!("== victim ==");
+    println!("account   {account} ({})", eco.provider.address_of(account));
+    println!("crew      {} based in {}", incident.crew, crew.spec.home.name());
+    println!("schedule  crew works 9–18 local (UTC{:+})", crew.spec.home.utc_offset_hours());
+
+    println!("\n== break-in ==");
+    println!("{}  first successful hijacker login ({} attempts)", incident.hijack_start, session.login_attempts);
+
+    println!("\n== value assessment ({:.1} min, §5.2) ==", session.profiling_seconds as f64 / 60.0);
+    for q in &session.searches {
+        println!("  searched {q:?}");
+    }
+    for f in &session.folders_opened {
+        println!("  opened {f:?}");
+    }
+    println!("  reviewed {} contacts → value score {:.2}", session.contacts_seen, session.value_score);
+
+    println!("\n== exploitation ({:?}, §5.3) ==", session.exploit_kind.unwrap());
+    println!(
+        "  {} messages ({} scam, {} phishing), up to {} recipients each",
+        session.messages_sent, session.scam_messages, session.phishing_messages, session.max_recipients
+    );
+
+    println!("\n== retention tactics (§5.4) ==");
+    let r = &session.retention;
+    for (done, what) in [
+        (r.password_changed, "changed the password (lockout)"),
+        (r.recovery_options_changed, "cleared the recovery options"),
+        (r.mass_deleted, "mass-deleted mail and contacts"),
+        (r.filter_created, "installed a forward-all filter to a doppelganger"),
+        (r.reply_to_set, "set a doppelganger Reply-To"),
+        (r.twofactor_locked, "enabled 2FA with a burner phone"),
+    ] {
+        if done {
+            println!("  ✔ {what}");
+        }
+    }
+
+    println!("\n== defense & recovery (§6, §8) ==");
+    if let Some(t) = incident.disabled_at {
+        println!("{t}  behavioral monitor disabled the account");
+    }
+    if let Some(t) = incident.flagged_at {
+        println!("{t}  account flagged as hijacked");
+    }
+    match incident.recovered_at {
+        Some(t) => {
+            println!("{t}  ownership restored to the victim");
+            if let Some(rem) = incident.remission {
+                println!(
+                    "      remission: restored {} messages, {} contacts; removed {} filters{}{}",
+                    rem.messages_restored,
+                    rem.contacts_restored,
+                    rem.filters_removed,
+                    if rem.reply_to_reverted { ", reverted Reply-To" } else { "" },
+                    if rem.twofactor_disabled { ", disabled hijacker 2FA" } else { "" },
+                );
+            }
+        }
+        None => println!("(never recovered within the simulated window)"),
+    }
+
+    // Raw provider-log excerpt for the hijack session window.
+    println!("\n== provider log excerpt ==");
+    let end = session.ended_at;
+    for e in eco
+        .provider
+        .log()
+        .iter()
+        .filter(|e| e.account == account && e.at >= incident.hijack_start && e.at <= end)
+        .take(15)
+    {
+        let what = match &e.kind {
+            MailEventKind::Searched { query } => format!("SEARCH {query:?}"),
+            MailEventKind::FolderOpened { folder } => format!("OPEN {folder:?}"),
+            MailEventKind::ContactsViewed { count } => format!("CONTACTS ({count})"),
+            MailEventKind::Sent { recipients, .. } => format!("SEND → {recipients} recipients"),
+            MailEventKind::FilterCreated { .. } => "FILTER created".to_string(),
+            MailEventKind::ReplyToChanged { .. } => "REPLY-TO changed".to_string(),
+            MailEventKind::Purged { .. } => "PURGE".to_string(),
+            other => format!("{other:?}"),
+        };
+        println!("  {}  {:?}  {}", e.at, e.actor, what);
+    }
+}

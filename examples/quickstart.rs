@@ -1,0 +1,50 @@
+//! Quickstart: build a small simulated ecosystem, run it for two
+//! simulated weeks, and print what happened.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use manual_hijacking_wild::prelude::*;
+
+fn main() {
+    // A small world: 400 users, 9 crews, all defenses on.
+    let mut config = ScenarioConfig::small_test(0xDEC0DE);
+    config.days = 14;
+    let mut eco = Ecosystem::build(config);
+    eco.run();
+
+    let s = &eco.stats;
+    println!("== two simulated weeks ==");
+    println!("organic logins      {:>8}", s.organic_logins);
+    println!("  challenged        {:>8}  (false-positive cost of the risk engine)", s.organic_challenges);
+    println!("phishing lures sent {:>8}", s.lures_delivered);
+    println!("  spam-foldered     {:>8}", s.lures_spam_foldered);
+    println!("credentials stolen  {:>8}", s.credentials_captured);
+    println!("hijack sessions     {:>8}", s.sessions_run);
+    println!("successful hijacks  {:>8}", s.incidents);
+    println!("  exploited         {:>8}", s.exploited);
+    println!("  recovered         {:>8}", s.recovered);
+
+    println!("\n== first few incidents ==");
+    for inc in eco.real_incidents().take(5) {
+        let session = &eco.sessions[inc.session];
+        println!(
+            "{}: crew {} broke in at {}; profiled {:.1} min, value {:.2}, {} → {}",
+            inc.account,
+            eco.crews.get(inc.crew).spec.home,
+            inc.hijack_start,
+            session.profiling_seconds as f64 / 60.0,
+            session.value_score,
+            if session.exploited {
+                format!("sent {} messages", session.messages_sent)
+            } else {
+                "abandoned (not valuable enough)".to_string()
+            },
+            match inc.recovered_at {
+                Some(t) => format!("owner recovered at {t}"),
+                None => "never recovered".to_string(),
+            }
+        );
+    }
+}

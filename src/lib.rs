@@ -1,0 +1,84 @@
+//! # manual-hijacking-wild
+//!
+//! A full reproduction of *"Handcrafted Fraud and Extortion: Manual
+//! Account Hijacking in the Wild"* (Bursztein et al., IMC 2014) as a
+//! closed, deterministic simulation ecosystem in Rust.
+//!
+//! The paper is a measurement study over Google's proprietary logs; this
+//! workspace rebuilds the *system that produced those measurements*:
+//!
+//! * a simulated mail provider with search, folders, filters and
+//!   contacts ([`mhw_mailsys`]);
+//! * an authentication stack with credentials, recovery options, 2FA
+//!   and a full login log ([`mhw_identity`]);
+//! * a synthetic user population on a clustered contact graph
+//!   ([`mhw_population`]);
+//! * phishing infrastructure — lures, pages, dropboxes, takedowns
+//!   ([`mhw_phishkit`]);
+//! * manual-hijacking crews that keep office hours and follow the §5
+//!   playbook ([`mhw_adversary`]);
+//! * the defender: login risk analysis, login challenges, behavioral
+//!   detection, a scam classifier and notifications ([`mhw_defense`]);
+//! * account recovery and remission ([`mhw_recovery`]);
+//! * the orchestrating [`Ecosystem`](mhw_core::Ecosystem) and the
+//!   measurement pipeline ([`mhw_core`], [`mhw_analysis`]);
+//! * one experiment per table/figure of the paper
+//!   ([`mhw_experiments`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use manual_hijacking_wild::prelude::*;
+//!
+//! // Build a small world, run a few simulated days, inspect incidents.
+//! let mut config = ScenarioConfig::small_test(42);
+//! config.days = 3;
+//! let mut eco = Ecosystem::build(config);
+//! eco.run();
+//! assert!(eco.stats.organic_logins > 0);
+//! for incident in eco.real_incidents().take(3) {
+//!     println!("{} hijacked at {}", incident.account, incident.hijack_start);
+//! }
+//! ```
+//!
+//! Regenerate the paper's evaluation with
+//! `cargo run -p mhw-experiments --bin repro --release`.
+
+pub use mhw_adversary as adversary;
+pub use mhw_analysis as analysis;
+pub use mhw_core as core;
+pub use mhw_defense as defense;
+pub use mhw_experiments as experiments;
+pub use mhw_identity as identity;
+pub use mhw_mailsys as mailsys;
+pub use mhw_netmodel as netmodel;
+pub use mhw_phishkit as phishkit;
+pub use mhw_population as population;
+pub use mhw_recovery as recovery;
+pub use mhw_simclock as simclock;
+pub use mhw_types as types;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use mhw_adversary::{CrewSpec, Era, HijackPlaybook};
+    pub use mhw_core::{
+        run_decoy_experiment, run_form_campaigns, DefenseConfig, Ecosystem, Incident,
+        ScenarioConfig,
+    };
+    pub use mhw_defense::{RiskDecision, RiskEngine, RiskWeights};
+    pub use mhw_simclock::SimRng;
+    pub use mhw_types::{AccountId, Actor, CountryCode, SimDuration, SimTime};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_builds_a_world() {
+        let mut config = ScenarioConfig::small_test(1);
+        config.days = 2;
+        let eco = Ecosystem::build(config);
+        assert!(!eco.population.is_empty());
+    }
+}

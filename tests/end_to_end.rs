@@ -1,0 +1,171 @@
+//! End-to-end integration tests over the full ecosystem.
+
+use manual_hijacking_wild::prelude::*;
+use manual_hijacking_wild::types::{Actor, DAY};
+
+fn world(seed: u64, days: u64) -> Ecosystem {
+    let mut config = ScenarioConfig::small_test(seed);
+    config.days = days;
+    let mut eco = Ecosystem::build(config);
+    eco.run();
+    eco
+}
+
+#[test]
+fn full_lifecycle_produces_every_paper_artifact() {
+    let eco = world(0xE2E, 14);
+    // Attack vectors: lures delivered, credentials captured.
+    assert!(eco.stats.lures_delivered > 1000);
+    assert!(eco.stats.credentials_captured > 20);
+    // Exploitation: sessions with searches, folders, messages.
+    assert!(eco.sessions.iter().any(|s| !s.searches.is_empty()));
+    assert!(eco.sessions.iter().any(|s| s.messages_sent > 0));
+    // Remediation: claims and recoveries.
+    assert!(!eco.recovery.claims().is_empty());
+    assert!(eco.stats.recovered > 0);
+    // Attribution: hijacker logins geolocate to modelled countries.
+    let located = eco
+        .login_log
+        .records()
+        .iter()
+        .filter(|r| matches!(r.actor, Actor::Hijacker(_)))
+        .filter(|r| eco.geo.locate(r.ip).is_some())
+        .count();
+    assert!(located > 0);
+}
+
+#[test]
+fn incident_timelines_are_causally_ordered() {
+    let eco = world(0xCAFE, 14);
+    for inc in &eco.incidents {
+        let session = &eco.sessions[inc.session];
+        assert!(session.started_at <= inc.hijack_start);
+        assert!(session.ended_at >= inc.hijack_start);
+        if let Some(flagged) = inc.flagged_at {
+            assert!(flagged >= inc.hijack_start, "flagged before hijack");
+            if let Some(rec) = inc.recovered_at {
+                assert!(rec >= flagged, "recovered before flagged");
+            }
+        }
+        if let Some(rec) = inc.recovered_at {
+            assert!(inc.remission.is_some(), "recovery without remission");
+            assert!(rec.since(inc.hijack_start).as_secs() < eco.config.days * DAY + DAY);
+        }
+    }
+}
+
+#[test]
+fn hijack_sessions_only_touch_resolvable_accounts() {
+    let eco = world(0x5E55, 10);
+    for s in &eco.sessions {
+        if let Some(a) = s.account {
+            assert!(
+                a.index() < eco.population.len() || eco.decoy_accounts.contains(&a),
+                "session on unknown account {a}"
+            );
+        }
+    }
+}
+
+#[test]
+fn crews_never_exceed_the_per_ip_account_cap() {
+    let eco = world(0x1B5, 14);
+    use std::collections::{HashMap, HashSet};
+    let mut per_ip_day: HashMap<(manual_hijacking_wild::types::IpAddr, u64), HashSet<AccountId>> =
+        HashMap::new();
+    for r in eco.login_log.records() {
+        if matches!(r.actor, Actor::Hijacker(_)) {
+            per_ip_day
+                .entry((r.ip, r.at.day_index()))
+                .or_default()
+                .insert(r.account);
+        }
+    }
+    for ((ip, day), accounts) in per_ip_day {
+        assert!(
+            accounts.len() <= 11,
+            "{ip} touched {} accounts on day {day}",
+            accounts.len()
+        );
+    }
+}
+
+#[test]
+fn era_2011_and_2012_behave_differently() {
+    let mut c11 = ScenarioConfig::small_test(0xE7A);
+    c11.days = 14;
+    c11.era = Era::Y2011;
+    let mut eco11 = Ecosystem::build(c11);
+    eco11.run();
+    let eco12 = world(0xE7A, 14);
+    let deletions = |eco: &Ecosystem| {
+        eco.sessions
+            .iter()
+            .filter(|s| s.retention.mass_deleted)
+            .count()
+    };
+    // 2011 crews mass-delete; 2012 crews essentially never do.
+    assert!(deletions(&eco11) >= deletions(&eco12));
+}
+
+#[test]
+fn undefended_world_is_strictly_worse_for_users() {
+    let mut attacked = ScenarioConfig::small_test(0xDEF);
+    attacked.days = 12;
+    attacked.defense = DefenseConfig::none();
+    let mut undefended = Ecosystem::build(attacked);
+    undefended.run();
+    let defended = world(0xDEF, 12);
+    // Same attack pressure; defenses reduce successful hijack sessions
+    // relative to attempts.
+    let rate = |eco: &Ecosystem| {
+        eco.stats.incidents as f64 / eco.stats.sessions_run.max(1) as f64
+    };
+    assert!(
+        rate(&undefended) > rate(&defended),
+        "undefended {:.2} vs defended {:.2}",
+        rate(&undefended),
+        rate(&defended)
+    );
+}
+
+#[test]
+fn recovered_mailboxes_get_their_content_back() {
+    let mut config = ScenarioConfig::small_test(0x3E57);
+    config.days = 16;
+    config.lures_per_user_day = 2.0;
+    let mut eco = Ecosystem::build(config);
+    eco.run();
+    let mass_deleted_and_recovered: Vec<_> = eco
+        .incidents
+        .iter()
+        .filter(|i| {
+            eco.sessions[i.session].retention.mass_deleted && i.recovered_at.is_some()
+        })
+        .collect();
+    for inc in &mass_deleted_and_recovered {
+        let rem = inc.remission.unwrap();
+        assert!(
+            rem.messages_restored > 0,
+            "mass-deleted mailbox restored nothing"
+        );
+        assert!(!eco.provider.mailbox(inc.account).is_empty());
+    }
+}
+
+#[test]
+fn decoy_experiment_is_reproducible_and_consistent() {
+    let mut config = ScenarioConfig::small_test(0xDEAD);
+    config.days = 10;
+    let (eco, report) = run_decoy_experiment(config, 30, 4);
+    for o in &report.outcomes {
+        if let Some(t) = o.first_attempt {
+            assert!(t >= o.submitted_at);
+            // The touch really is in the login log with a hijacker actor.
+            assert!(eco
+                .login_log
+                .for_account(o.account)
+                .any(|r| r.at == t && r.actor.is_hijacker()));
+        }
+    }
+}

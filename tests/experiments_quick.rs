@@ -1,0 +1,69 @@
+//! Run the entire experiment battery at quick scale and check that the
+//! headline *shapes* hold. Absolute tolerances live inside each
+//! experiment; here we assert the structural claims that must never
+//! regress regardless of sampling noise.
+
+use manual_hijacking_wild::experiments::{all_experiments, Context, Scale};
+
+#[test]
+fn quick_battery_runs_and_mostly_matches() {
+    let ctx = Context::new(Scale::Quick, 0xBEEF);
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    let mut failures = Vec::new();
+    for (name, runner) in all_experiments() {
+        let result = runner(&ctx);
+        assert!(
+            !result.table.rows.is_empty(),
+            "{name} produced no comparison rows"
+        );
+        for row in &result.table.rows {
+            total += 1;
+            if row.matches {
+                matched += 1;
+            } else {
+                failures.push(format!("{name}: {}", row.metric));
+            }
+        }
+    }
+    // Quick scale is noisy; demand at least 80% of rows in tolerance and
+    // print the misses for debugging.
+    let rate = matched as f64 / total as f64;
+    assert!(
+        rate >= 0.80,
+        "only {matched}/{total} rows matched; misses:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn decoy_cdf_shape_holds() {
+    use manual_hijacking_wild::types::SimDuration;
+    let ctx = Context::new(Scale::Quick, 0xF16);
+    let r = &ctx.decoys;
+    let fast = r.fraction_accessed_within(SimDuration::from_mins(30));
+    let day = r.fraction_accessed_within(SimDuration::from_hours(24));
+    assert!(day >= fast);
+    assert!(day > 0.25, "within 24h {day}");
+}
+
+#[test]
+fn attribution_shapes_hold() {
+    use manual_hijacking_wild::core::datasets::{hijacker_logins, hijacker_phones};
+    let ctx = Context::new(Scale::Quick, 0xA77);
+    // Phones only ever come from the crews that used the tactic.
+    for p in hijacker_phones(&ctx.eco_lockout) {
+        let c = p.country().unwrap();
+        assert!(
+            matches!(
+                c.code(),
+                "NG" | "CI" | "ZA" | "ML"
+            ),
+            "unexpected phone country {c}"
+        );
+    }
+    // Hijacker login IPs geolocate inside the modelled plan.
+    for r in hijacker_logins(&ctx.eco_2012) {
+        assert!(ctx.eco_2012.geo.locate(r.ip).is_some());
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests over core data structures and invariants.
+
+use manual_hijacking_wild::analysis::{Breakdown, Ecdf};
+use manual_hijacking_wild::defense::{ActivityFeatures, ActivityMonitor, RiskEngine};
+use manual_hijacking_wild::identity::is_trivial_variant;
+use manual_hijacking_wild::mailsys::{Folder, Mailbox, Message, MessageKind, SearchQuery};
+use manual_hijacking_wild::simclock::{EventQueue, SimRng};
+use manual_hijacking_wild::types::{
+    AccountId, EmailAddress, IpAddr, IpBlock, MessageId, SimTime,
+};
+use proptest::prelude::*;
+
+fn arb_message(id: u32, subject: String, body: String, starred: bool) -> Message {
+    Message {
+        id: MessageId(id),
+        owner: AccountId(0),
+        from: EmailAddress::new("from", "x.com"),
+        to: vec![],
+        subject,
+        body,
+        attachments: vec![],
+        kind: MessageKind::Personal,
+        reply_to: None,
+        at: SimTime::from_secs(id as u64),
+        read: false,
+        starred,
+    }
+}
+
+proptest! {
+    /// Event queues always pop in non-decreasing time order, regardless
+    /// of insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(*t), i);
+        }
+        let mut last = SimTime::from_secs(0);
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// ECDF is monotone and bounded in [0, 1].
+    #[test]
+    fn ecdf_is_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let e = Ecdf::new(xs.clone());
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for x in &xs {
+            let f = e.fraction_at_or_below(*x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+        prop_assert!((e.fraction_at_or_below(f64::MAX) - 1.0).abs() < 1e-12);
+    }
+
+    /// ECDF quantiles are order-consistent.
+    #[test]
+    fn ecdf_quantiles_monotone(xs in proptest::collection::vec(-1e5f64..1e5, 1..100),
+                               q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let e = Ecdf::new(xs);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(e.quantile(lo) <= e.quantile(hi));
+    }
+
+    /// Breakdown fractions always sum to 1 (non-empty) and rows sort
+    /// descending.
+    #[test]
+    fn breakdown_fractions_sum_to_one(labels in proptest::collection::vec(0u8..10, 1..200)) {
+        let mut b = Breakdown::new();
+        for l in &labels {
+            b.add(format!("label{l}"));
+        }
+        let rows = b.rows();
+        let total: f64 = rows.iter().map(|(_, _, f)| f).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for w in rows.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    /// Mailbox: purge + restore round-trips the full message set, and
+    /// search results are always a subset of live messages.
+    #[test]
+    fn mailbox_purge_restore_roundtrip(n in 1usize..40, needle in "[a-z]{1,6}") {
+        let mut mb = Mailbox::new();
+        for i in 0..n {
+            let subject = if i % 3 == 0 { format!("about {needle}") } else { format!("note {i}") };
+            mb.store(arb_message(i as u32, subject, "body".into(), i % 5 == 0), Folder::Inbox);
+        }
+        let hits = manual_hijacking_wild::mailsys::search::search(&mb, &SearchQuery::parse(&needle));
+        for h in &hits {
+            prop_assert!(mb.get(*h).is_some());
+        }
+        // Hijack-style mass purge then remission restore.
+        let ids: Vec<MessageId> = mb.all_messages().map(|m| m.id).collect();
+        for id in &ids {
+            mb.purge(*id, SimTime::from_secs(1000));
+        }
+        prop_assert!(mb.is_empty());
+        let restored = mb.restore_purged_since(SimTime::from_secs(500));
+        prop_assert_eq!(restored, n);
+        prop_assert_eq!(mb.len(), n);
+    }
+
+    /// The trivial-variant relation is symmetric.
+    #[test]
+    fn trivial_variant_symmetry(a in "[a-zA-Z0-9]{1,12}", b in "[a-zA-Z0-9]{1,12}") {
+        prop_assert_eq!(is_trivial_variant(&a, &b), is_trivial_variant(&b, &a));
+    }
+
+    /// Risk scores are in [0, 1) and monotone in the fan-out signal.
+    #[test]
+    fn risk_score_bounded_and_monotone(fanout1 in 0.0f64..1.0, fanout2 in 0.0f64..1.0) {
+        use manual_hijacking_wild::defense::LoginSignals;
+        let engine = RiskEngine::default();
+        let mk = |f: f64| LoginSignals { ip_fanout: f, new_country: 1.0, ..Default::default() };
+        let (lo, hi) = if fanout1 <= fanout2 { (fanout1, fanout2) } else { (fanout2, fanout1) };
+        let s_lo = engine.score(&mk(lo));
+        let s_hi = engine.score(&mk(hi));
+        prop_assert!((0.0..1.0).contains(&s_lo));
+        prop_assert!(s_hi >= s_lo);
+    }
+
+    /// Activity scores are bounded and monotone in every feature count.
+    #[test]
+    fn activity_score_bounded_monotone(h in 0u32..20, s in 0u32..10, c in 0u32..5, p in 0u32..40) {
+        let f = ActivityFeatures {
+            hunting_searches: h,
+            other_searches: 0,
+            special_folders_opened: s,
+            contact_views: c,
+            settings_changes: 0,
+            messages_sent: 0,
+            max_recipients: 0,
+            purges: p,
+        };
+        let score = ActivityMonitor::score(&f);
+        prop_assert!((0.0..1.0).contains(&score));
+        let mut bigger = f.clone();
+        bigger.hunting_searches += 1;
+        prop_assert!(ActivityMonitor::score(&bigger) >= score);
+    }
+
+    /// IP blocks contain exactly the addresses they enumerate.
+    #[test]
+    fn ip_block_membership(a in 0u8..255, b in 0u8..255, prefix in 8u8..31, i in 0u64..10_000) {
+        let block = IpBlock::new(IpAddr::new(a, b, 0, 0), prefix);
+        let addr = block.addr(i);
+        prop_assert!(block.contains(addr));
+    }
+
+    /// Email parsing round-trips through Display.
+    #[test]
+    fn email_parse_display_roundtrip(local in "[a-z][a-z0-9.]{0,10}", domain in "[a-z]{1,8}\\.[a-z]{2,4}") {
+        let addr = EmailAddress::new(local.clone(), domain.clone());
+        let parsed = EmailAddress::parse(&addr.to_string()).unwrap();
+        prop_assert_eq!(parsed, addr);
+    }
+
+    /// Weighted sampling never returns an index with zero weight.
+    #[test]
+    fn weighted_index_respects_zeros(weights in proptest::collection::vec(0.0f64..10.0, 1..20), seed in 0u64..1000) {
+        let mut rng = SimRng::from_seed(seed);
+        if let Some(i) = rng.weighted_index(&weights) {
+            prop_assert!(weights[i] > 0.0);
+        } else {
+            prop_assert!(weights.iter().all(|w| *w <= 0.0));
+        }
+    }
+}
