@@ -1,0 +1,50 @@
+//! `bench_engine_scaling`: the sharded engine at increasing worker
+//! counts over a fixed scenario (same seed, same shard count — worker
+//! count is pure mechanics, so every configuration produces the same
+//! dataset digest; only the wall clock should move).
+//!
+//! On a multi-core host the 4-worker point should approach a 4x
+//! speedup over 1 worker; on a single hardware thread the points
+//! collapse onto each other and the bench instead measures the
+//! engine's coordination overhead. No ratio is asserted here — the
+//! digest equality that matters is pinned by `tests/sharding.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhw_core::{ScenarioConfig, ShardedEngine};
+
+fn scaling_config() -> ScenarioConfig {
+    let mut config = ScenarioConfig::small_test(0x5CA1);
+    config.days = 4;
+    config.population.n_users = 400;
+    config.market_share = 0.25;
+    config
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("4_shards_{workers}_workers"), |b| {
+            b.iter(|| {
+                ShardedEngine::new(scaling_config(), 4)
+                    .workers(workers)
+                    .contact_spillover(0.25)
+                    .run()
+                    .dataset_digest()
+            })
+        });
+    }
+    // The unsharded baseline: what the same population costs without
+    // the engine (one shard, no barriers, no exchange).
+    group.bench_function("unsharded_baseline", |b| {
+        b.iter(|| {
+            let mut config = scaling_config();
+            config.market_share = 0.0;
+            ShardedEngine::new(config, 1).run().total_stats().incidents
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(engine, bench_engine_scaling);
+criterion_main!(engine);

@@ -8,7 +8,7 @@ use mhw_bench::{bench_forms, bench_world};
 use mhw_core::datasets::{
     hijacker_logins, hijacker_phones, hijacker_search_queries, reported_messages,
 };
-use mhw_core::{DatasetInventory, Ecosystem, ScenarioConfig};
+use mhw_core::DatasetInventory;
 use mhw_experiments::{all_experiments, Context, Scale};
 use std::sync::OnceLock;
 
@@ -117,10 +117,10 @@ fn bench_fig7(c: &mut Criterion) {
     group.bench_function("run", |b| {
         b.iter_batched(
             || {
-                let mut config = ScenarioConfig::small_test(0xF17);
-                config.days = 6;
-                config.population.n_users = 200;
-                config
+                mhw_core::ScenarioBuilder::small_test(0xF17)
+                    .days(6)
+                    .population(200)
+                    .into_config()
             },
             |config| mhw_core::run_decoy_experiment(config, 20, 3),
             BatchSize::PerIteration,
@@ -200,11 +200,7 @@ fn bench_simulation_day(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("one_simulated_day_400_users", |b| {
         b.iter_batched(
-            || {
-                let mut config = ScenarioConfig::small_test(0xDA7);
-                config.days = 1;
-                Ecosystem::build(config)
-            },
+            || mhw_core::ScenarioBuilder::small_test(0xDA7).days(1).build(),
             |mut eco| {
                 eco.run_day(0);
                 eco

@@ -6,19 +6,13 @@
 //! worlds is expensive, so fixtures are constructed once per process
 //! and reused across benchmark iterations.
 
-use mhw_core::{run_form_campaigns, Ecosystem, FormCampaignOutput, ScenarioConfig};
+use mhw_core::{run_form_campaigns, Ecosystem, FormCampaignOutput, ScenarioBuilder};
 use std::sync::OnceLock;
 
 /// A small finished ecosystem run shared by the extraction benches.
 pub fn bench_world() -> &'static Ecosystem {
     static WORLD: OnceLock<Ecosystem> = OnceLock::new();
-    WORLD.get_or_init(|| {
-        let mut config = ScenarioConfig::small_test(0xBE7C);
-        config.days = 10;
-        let mut eco = Ecosystem::build(config);
-        eco.run();
-        eco
-    })
+    WORLD.get_or_init(|| ScenarioBuilder::small_test(0xBE7C).days(10).run())
 }
 
 /// A finished form-campaign batch shared by the Figures 3–6 benches.

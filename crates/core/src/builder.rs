@@ -1,0 +1,188 @@
+//! Scenario construction — the one front door to the simulator.
+//!
+//! [`ScenarioBuilder`] assembles a [`ScenarioConfig`], applies optional
+//! post-build tweaks (e.g. overriding a crew tactic for an ablation),
+//! and produces a ready [`Ecosystem`]. Experiments, examples and tests
+//! go through it rather than mutating `Ecosystem` fields directly, so
+//! the report stores (`pages`, `takedowns`, `incidents`, `sessions`)
+//! can stay crate-private and every run is described by one value.
+
+use crate::config::{DefenseConfig, ScenarioConfig};
+use crate::ecosystem::Ecosystem;
+use mhw_adversary::{CrewRoster, Era};
+use mhw_types::ShardId;
+
+/// A deferred adjustment applied to the crew roster after the world is
+/// built (the ablation hook).
+type CrewTweak = Box<dyn FnOnce(&mut CrewRoster)>;
+
+/// Fluent builder for a scenario run.
+///
+/// ```
+/// use mhw_core::ScenarioBuilder;
+///
+/// let eco = ScenarioBuilder::small_test(7).days(3).run();
+/// assert!(eco.stats.organic_logins > 0);
+/// ```
+pub struct ScenarioBuilder {
+    config: ScenarioConfig,
+    crew_tweaks: Vec<CrewTweak>,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder::new(ScenarioConfig::default())
+    }
+}
+
+impl ScenarioBuilder {
+    /// Start from an explicit configuration.
+    pub fn new(config: ScenarioConfig) -> Self {
+        ScenarioBuilder { config, crew_tweaks: Vec::new() }
+    }
+
+    /// Start from [`ScenarioConfig::small_test`] (fast; unit tests).
+    pub fn small_test(seed: u64) -> Self {
+        ScenarioBuilder::new(ScenarioConfig::small_test(seed))
+    }
+
+    /// Start from [`ScenarioConfig::measurement`] (experiment scale).
+    pub fn measurement(seed: u64) -> Self {
+        ScenarioBuilder::new(ScenarioConfig::measurement(seed))
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Logical shard id for this instance (see [`ScenarioConfig::shard`]).
+    pub fn shard(mut self, shard: ShardId) -> Self {
+        self.config.shard = shard;
+        self
+    }
+
+    /// Fraction of captured credentials offered to the cross-shard
+    /// market (see [`ScenarioConfig::market_share`]).
+    pub fn market_share(mut self, share: f64) -> Self {
+        self.config.market_share = share;
+        self
+    }
+
+    pub fn days(mut self, days: u64) -> Self {
+        self.config.days = days;
+        self
+    }
+
+    pub fn era(mut self, era: Era) -> Self {
+        self.config.era = era;
+        self
+    }
+
+    pub fn population(mut self, n_users: usize) -> Self {
+        self.config.population.n_users = n_users;
+        self
+    }
+
+    pub fn defense(mut self, defense: DefenseConfig) -> Self {
+        self.config.defense = defense;
+        self
+    }
+
+    pub fn lures_per_user_day(mut self, rate: f64) -> Self {
+        self.config.lures_per_user_day = rate;
+        self
+    }
+
+    /// Arbitrary configuration access for knobs without a dedicated
+    /// setter.
+    pub fn configure(mut self, f: impl FnOnce(&mut ScenarioConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Mutate the built crew roster before the run starts — the hook for
+    /// ablations that override a single tactic probability without
+    /// defining a whole new [`mhw_adversary::CrewSpec`].
+    pub fn tweak_crews(mut self, f: impl FnOnce(&mut CrewRoster) + 'static) -> Self {
+        self.crew_tweaks.push(Box::new(f));
+        self
+    }
+
+    /// The configuration as currently assembled.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Consume the builder, yielding the configuration — for entry
+    /// points that still take a [`ScenarioConfig`] value (e.g.
+    /// [`crate::decoy::run_decoy_experiment`]).
+    pub fn into_config(self) -> ScenarioConfig {
+        self.config
+    }
+
+    /// Build the world without running it (day 0 state).
+    pub fn build(self) -> Ecosystem {
+        let mut eco = Ecosystem::build(self.config);
+        for tweak in self.crew_tweaks {
+            tweak(&mut eco.crews);
+        }
+        eco
+    }
+
+    /// Build and run all configured days.
+    pub fn run(self) -> Ecosystem {
+        let mut eco = self.build();
+        eco.run();
+        eco
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_setters_land_in_config() {
+        let b = ScenarioBuilder::small_test(5)
+            .days(3)
+            .population(120)
+            .shard(2)
+            .market_share(0.25)
+            .lures_per_user_day(0.7)
+            .defense(DefenseConfig::none())
+            .configure(|c| c.contact_leniency = 0.0);
+        let c = b.config();
+        assert_eq!(c.seed, 5);
+        assert_eq!(c.days, 3);
+        assert_eq!(c.population.n_users, 120);
+        assert_eq!(c.shard, 2);
+        assert_eq!(c.market_share, 0.25);
+        assert_eq!(c.lures_per_user_day, 0.7);
+        assert!(!c.defense.login_risk_analysis);
+        assert_eq!(c.contact_leniency, 0.0);
+    }
+
+    #[test]
+    fn builder_build_equals_direct_build() {
+        let mut direct = Ecosystem::build(ScenarioConfig::small_test(9));
+        direct.run();
+        let built = ScenarioBuilder::small_test(9).run();
+        assert_eq!(direct.stats.lures_delivered, built.stats.lures_delivered);
+        assert_eq!(direct.stats.incidents, built.stats.incidents);
+        assert_eq!(direct.sessions().len(), built.sessions().len());
+    }
+
+    #[test]
+    fn crew_tweaks_apply_before_run() {
+        let eco = ScenarioBuilder::small_test(11)
+            .days(1)
+            .tweak_crews(|roster| {
+                for crew in &mut roster.crews {
+                    crew.tactics.p_twofactor_lockout = 1.0;
+                }
+            })
+            .build();
+        assert!(eco.crews.crews.iter().all(|c| c.tactics.p_twofactor_lockout == 1.0));
+    }
+}

@@ -44,6 +44,19 @@ impl DefenseConfig {
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
     pub seed: u64,
+    /// Logical shard this scenario instance simulates. Shard identity is
+    /// part of scenario semantics (like the seed): shard 0 with the
+    /// default population reproduces the unsharded simulator exactly,
+    /// while the sharded engine builds one `ScenarioConfig` per shard
+    /// with distinct ids. Worker-thread counts are *not* recorded here —
+    /// parallelism must never change outputs.
+    pub shard: mhw_types::ShardId,
+    /// Fraction of freshly phished credentials a crew offers to the
+    /// cross-shard credential market instead of exploiting locally
+    /// (§5's professional crews trade working credentials). 0 disables
+    /// the market, which keeps single-shard runs identical to the
+    /// pre-sharding simulator.
+    pub market_share: f64,
     pub era: Era,
     /// Simulated days.
     pub days: u64,
@@ -71,6 +84,8 @@ impl Default for ScenarioConfig {
     fn default() -> Self {
         ScenarioConfig {
             seed: 0xC0FFEE,
+            shard: 0,
+            market_share: 0.0,
             era: Era::Y2012,
             days: 30,
             population: PopulationConfig::default(),

@@ -37,6 +37,7 @@ pub fn hijacker_logins(eco: &Ecosystem) -> Vec<&LoginRecord> {
         .records()
         .iter()
         .filter(|r| r.actor.is_hijacker())
+        .map(|r| &r.record)
         .collect()
 }
 

@@ -126,10 +126,14 @@ pub struct Ecosystem {
     pub recovery: RecoveryService,
     pub detection: DetectionPipeline,
     pub referrers: ReferrerModel,
-    pub pages: Vec<PhishingPage>,
-    pub takedowns: Vec<TakedownRecord>,
-    pub incidents: Vec<Incident>,
-    pub sessions: Vec<SessionReport>,
+    /// Report stores are crate-private: external readers go through the
+    /// [`Ecosystem::pages`]/[`Ecosystem::takedowns`]/[`Ecosystem::incidents`]/
+    /// [`Ecosystem::sessions`] accessors so only the simulation loop can
+    /// mutate them.
+    pub(crate) pages: Vec<PhishingPage>,
+    pub(crate) takedowns: Vec<TakedownRecord>,
+    pub(crate) incidents: Vec<Incident>,
+    pub(crate) sessions: Vec<SessionReport>,
     pub disabled: HashSet<AccountId>,
     pub stats: RunStats,
     /// Decoy accounts injected by the Figure 7 experiment.
@@ -137,6 +141,12 @@ pub struct Ecosystem {
     users: Vec<UserState>,
     /// Decoy submissions scheduled by the Figure 7 experiment.
     pending_decoys: Vec<(SimTime, AccountId, CrewId)>,
+    /// Lures queued from outside this shard (cross-shard contact-graph
+    /// mail routed by the sharded engine at day barriers).
+    pending_external_lures: Vec<(SimTime, AccountId, CrewId)>,
+    /// Captured credentials diverted to the cross-shard market instead
+    /// of the local dropbox; drained by the engine at day barriers.
+    market_outbox: Vec<(CrewId, CapturedCredential)>,
     /// Prompt dropbox pickups queued by capture_credential, run between
     /// events (never re-entrantly).
     pending_pickups: Vec<(usize, CapturedCredential, SimTime)>,
@@ -153,6 +163,7 @@ pub struct Ecosystem {
     rng_crew: SimRng,
     rng_campaign: SimRng,
     rng_recovery: SimRng,
+    rng_market: SimRng,
 }
 
 /// A day's worth of scheduled happenings, processed in time order.
@@ -182,11 +193,11 @@ impl Ecosystem {
         let geo = GeoDb::new();
         let domains = DomainModel::standard();
         let mut phones = PhonePlan::new();
-        let mut provider = MailProvider::new();
+        let mut provider = MailProvider::for_shard(config.shard);
         let mut credentials = CredentialStore::new();
         let mut options = RecoveryOptions::new();
         let mut twofactor = TwoFactorState::new();
-        let mut rng_pop = SimRng::stream(config.seed, "population");
+        let mut rng_pop = SimRng::shard_stream(config.seed, config.shard, "population");
         let population = PopulationBuilder {
             provider: &mut provider,
             credentials: &mut credentials,
@@ -209,7 +220,7 @@ impl Ecosystem {
         }
         // Seed login histories so day-0 organic logins are not all
         // cold-start: replay 10 synthetic home logins per user.
-        let mut login_log = LoginLog::new();
+        let mut login_log = LoginLog::for_shard(config.shard);
         for u in &population.users {
             let country = geo.locate(u.home_ip).expect("home IP is in plan");
             for d in 0..10u64 {
@@ -219,7 +230,7 @@ impl Ecosystem {
             let _ = &mut login_log; // appended during the run only
         }
 
-        let mut rng_crews = SimRng::stream(config.seed, "crews");
+        let mut rng_crews = SimRng::shard_stream(config.seed, config.shard, "crews");
         let crews = CrewRoster::build(config.crews.clone(), config.era, &geo, &mut rng_crews);
         let crew_pages = vec![None; crews.crews.len()];
         let crew_hour_used = vec![(u64::MAX, 0); crews.crews.len()];
@@ -253,7 +264,7 @@ impl Ecosystem {
             login_log,
             classifier: MailClassifier::default(),
             monitor: ActivityMonitor::default(),
-            notifications: NotificationEngine::new(),
+            notifications: NotificationEngine::for_shard(config.shard),
             recovery: RecoveryService::new(),
             detection: DetectionPipeline::paper_calibrated(),
             referrers: ReferrerModel::paper_calibrated(),
@@ -266,6 +277,8 @@ impl Ecosystem {
             decoy_accounts: HashSet::new(),
             users,
             pending_decoys: Vec::new(),
+            pending_external_lures: Vec::new(),
+            market_outbox: Vec::new(),
             pending_pickups: Vec::new(),
             lure_index: HashMap::new(),
             crew_pages,
@@ -273,11 +286,12 @@ impl Ecosystem {
             log_cursor: 0,
             now: SimTime::EPOCH,
             next_campaign: 0,
-            rng_world: SimRng::stream(config.seed, "world"),
-            rng_organic: SimRng::stream(config.seed, "organic"),
-            rng_crew: SimRng::stream(config.seed, "crew"),
-            rng_campaign: SimRng::stream(config.seed, "campaign"),
-            rng_recovery: SimRng::stream(config.seed, "recovery"),
+            rng_world: SimRng::shard_stream(config.seed, config.shard, "world"),
+            rng_organic: SimRng::shard_stream(config.seed, config.shard, "organic"),
+            rng_crew: SimRng::shard_stream(config.seed, config.shard, "crew"),
+            rng_campaign: SimRng::shard_stream(config.seed, config.shard, "campaign"),
+            rng_recovery: SimRng::shard_stream(config.seed, config.shard, "recovery"),
+            rng_market: SimRng::shard_stream(config.seed, config.shard, "market"),
             config,
         }
     }
@@ -285,6 +299,27 @@ impl Ecosystem {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Phishing pages stood up by crews so far (Dataset 2's raw feed).
+    pub fn pages(&self) -> &[PhishingPage] {
+        &self.pages
+    }
+
+    /// Takedown records for detected phishing pages.
+    pub fn takedowns(&self) -> &[TakedownRecord] {
+        &self.takedowns
+    }
+
+    /// All hijacking incidents, including decoy-account incidents.
+    /// [`Ecosystem::real_incidents`] filters to the organic population.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Hijack-session reports, indexed by [`Incident::session`].
+    pub fn sessions(&self) -> &[SessionReport] {
+        &self.sessions
     }
 
     /// Register an extra (decoy) account that is not part of the organic
@@ -306,6 +341,14 @@ impl Ecosystem {
     /// desks with hourly budget left, an operator picks the head of the
     /// queue up within minutes — the fast quantile of Figure 7.
     pub fn capture_credential(&mut self, crew: CrewId, credential: CapturedCredential) -> bool {
+        // Professional crews trade a share of their fresh captures on
+        // the credential market (§5's specialized underground roles).
+        // `market_share` defaults to 0, so unsharded runs never draw
+        // from `rng_market` and stay bit-identical to earlier builds.
+        if self.rng_market.chance(self.config.market_share) {
+            self.market_outbox.push((crew, credential));
+            return true;
+        }
         let at = credential.captured_at;
         let delivered = self.crews.crews[crew.index()].dropbox.deliver(credential);
         if !delivered {
@@ -445,7 +488,45 @@ impl Ecosystem {
             }
         }
         self.pending_decoys = remaining;
+
+        // Cross-shard contact-graph lures due today (queued at a day
+        // barrier by the sharded engine; empty in unsharded runs).
+        let mut later = Vec::new();
+        for (at, target, crew) in self.pending_external_lures.drain(..) {
+            if at < day_end {
+                events.push(Event::Lure { at: at.max(day_start), target, crew });
+            } else {
+                later.push((at, target, crew));
+            }
+        }
+        self.pending_external_lures = later;
         events
+    }
+
+    // ---- cross-shard exchange (driven by the sharded engine at day
+    // ---- barriers; every method is deterministic in shard-local state)
+
+    /// Queue a lure delivered from another shard's hijacked contact.
+    /// It fires on the day containing `at`.
+    pub fn queue_external_lure(&mut self, at: SimTime, target: AccountId, crew: CrewId) {
+        self.pending_external_lures.push((at, target, crew));
+    }
+
+    /// Take the credentials this shard's crews put up for sale since
+    /// the last barrier, in capture order.
+    pub fn drain_market_outbox(&mut self) -> Vec<(CrewId, CapturedCredential)> {
+        std::mem::take(&mut self.market_outbox)
+    }
+
+    /// Deliver a market-bought credential into `crew`'s dropbox. Unlike
+    /// [`Ecosystem::capture_credential`] there is no prompt operator
+    /// pickup — purchases wait for the next crew shift — and no re-sale.
+    pub fn import_market_credential(&mut self, crew: CrewId, credential: CapturedCredential) -> bool {
+        let delivered = self.crews.crews[crew.index()].dropbox.deliver(credential);
+        if delivered {
+            self.stats.credentials_captured += 1;
+        }
+        delivered
     }
 
     /// Schedule a decoy-credential submission (the §5.1 honeypot
@@ -1119,9 +1200,14 @@ impl Ecosystem {
 
     fn file_claim(&mut self, account: AccountId, at: SimTime) {
         let incident_index = self.users[account.index()].active_incident.expect("checked");
-        let (hijacked_at, disabled_at, recovered) = {
+        let (hijacked_at, disabled_at, flagged_at, recovered) = {
             let inc = &self.incidents[incident_index];
-            (inc.hijack_start, inc.disabled_at, inc.recovered_at.is_some())
+            (
+                inc.hijack_start,
+                inc.disabled_at,
+                inc.flagged_at.expect("set at incident creation"),
+                inc.recovered_at.is_some(),
+            )
         };
         if recovered {
             self.users[account.index()].active_incident = None;
@@ -1135,13 +1221,21 @@ impl Ecosystem {
             ClaimTrigger::SelfNoticed
         };
         let _ = disabled_at;
+        // A claim cannot enter the recovery pipeline before the
+        // provider's risk systems flag the account — §6.2 starts the
+        // Figure 9 latency clock at flagging, so a victim alerted
+        // mid-session waits until the flag lands. Without this floor,
+        // a notification-triggered claim filed before the recorded
+        // flagging instant resolves "before" the flag, yielding
+        // negative recovery latencies.
+        let filed_at = at.max(flagged_at);
         let failed_methods = self.users[account.index()].failed_methods.clone();
         let resolution = self.recovery.process_claim(
             account,
             hijacked_at,
-            self.incidents[incident_index].flagged_at.expect("just set"),
+            flagged_at,
             trigger,
-            at,
+            filed_at,
             &self.options,
             &mut self.credentials,
             &failed_methods,

@@ -1,0 +1,444 @@
+//! The sharded scenario engine: one scenario, many logical shards,
+//! any number of worker threads — identical output at every
+//! parallelism level.
+//!
+//! # Shards are semantics, workers are mechanics
+//!
+//! A [`ShardedEngine`] partitions the user population into `n_shards`
+//! **logical shards**. Each shard is a full [`Ecosystem`] with its own
+//! deterministic RNG streams derived from `(seed, shard_id)` via
+//! [`mhw_simclock::SimRng::shard_stream`], its own id namespaces (the
+//! shard id rides in the high byte of session/message ids), and its own
+//! per-shard log segments keyed `(SimTime, shard, seq)`.
+//!
+//! The shard count is part of the scenario definition, exactly like the
+//! seed: changing it changes the world. The **worker** count is pure
+//! mechanics: shards advance one simulated day at a time, and within a
+//! day each shard's events touch only shard-local state, so any
+//! assignment of shards to threads produces the same per-shard logs.
+//! Cross-shard traffic is exchanged only at day barriers, single
+//! threaded, in shard order. The result: the merged dataset digest is
+//! byte-identical for `workers = 1` and `workers = N`.
+//!
+//! # Cross-shard effects
+//!
+//! Three effects cross shard boundaries, all via per-day exchange
+//! queues drained at the barrier:
+//!
+//! * **credential market** — each crew sells a `market_share` fraction
+//!   of fresh captures; buyers are rotated over the *global* offer
+//!   sequence (crews are global actors; exploitation runs in the
+//!   victim's shard under the buying crew's flag);
+//! * **contact-graph mail** — a fraction of each exploited victim's
+//!   phishing blast targets contacts living in other shards, queued as
+//!   next-day lures there;
+//! * **decoy pickups** — engine-scheduled decoy submissions are spread
+//!   round-robin over shards, so Figure 7-style probes land in every
+//!   segment of the merged log.
+
+use crate::config::ScenarioConfig;
+use crate::ecosystem::{Ecosystem, Incident, RunStats};
+use mhw_adversary::SessionReport;
+use mhw_defense::NotificationRecord;
+use mhw_identity::LoginRecord;
+use mhw_mailsys::MailEvent;
+use mhw_simclock::SimRng;
+use mhw_types::{CrewId, LogStore, SimDuration, SimTime, Stamped, DAY};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::thread;
+
+/// Configures and runs a sharded scenario.
+pub struct ShardedEngine {
+    base: ScenarioConfig,
+    n_shards: u16,
+    workers: usize,
+    contact_spillover: f64,
+    decoys: Option<(usize, u64)>,
+}
+
+impl ShardedEngine {
+    /// A sharded scenario over `n_shards` logical shards. The base
+    /// config's `population.n_users` is the *total* population; it is
+    /// split as evenly as possible over the shards. Panics if
+    /// `n_shards == 0`.
+    pub fn new(base: ScenarioConfig, n_shards: u16) -> Self {
+        assert!(n_shards > 0, "a sharded scenario needs at least one shard");
+        ShardedEngine {
+            base,
+            n_shards,
+            workers: 1,
+            contact_spillover: 0.25,
+            decoys: None,
+        }
+    }
+
+    /// Number of OS worker threads (clamped to `1..=n_shards`). Pure
+    /// parallelism: never affects the produced datasets.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Fraction of each exploited victim's phishing messages that
+    /// target contacts in *other* shards (default 0.25; irrelevant for
+    /// a single shard).
+    pub fn contact_spillover(mut self, fraction: f64) -> Self {
+        self.contact_spillover = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Schedule `total` decoy-credential submissions spread round-robin
+    /// over the shards and uniformly over the first `over_days` days.
+    pub fn decoys(mut self, total: usize, over_days: u64) -> Self {
+        self.decoys = Some((total, over_days.max(1)));
+        self
+    }
+
+    /// Per-shard scenario configs (shard ids `0..n_shards`, population
+    /// split evenly, everything else inherited from the base).
+    fn shard_configs(&self) -> Vec<ScenarioConfig> {
+        let k = self.n_shards as usize;
+        let per = self.base.population.n_users / k;
+        let extra = self.base.population.n_users % k;
+        (0..k)
+            .map(|s| {
+                let mut c = self.base.clone();
+                c.shard = s as u16;
+                c.population.n_users = per + usize::from(s < extra);
+                c
+            })
+            .collect()
+    }
+
+    /// Build all shards and run every configured day, exchanging
+    /// cross-shard traffic at each day barrier.
+    pub fn run(self) -> ShardedRun {
+        let k = self.n_shards as usize;
+        let workers = self.workers.min(k);
+
+        // Build the shard worlds in parallel. The job list and results
+        // go through mutexes, but each shard's content is a function of
+        // its config alone, so completion order is irrelevant — shards
+        // are sorted by id afterwards.
+        let jobs: Mutex<Vec<ScenarioConfig>> = Mutex::new(self.shard_configs());
+        let built: Mutex<Vec<Ecosystem>> = Mutex::new(Vec::with_capacity(k));
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some(config) = jobs.lock().pop() else { break };
+                    let eco = Ecosystem::build(config);
+                    built.lock().push(eco);
+                });
+            }
+        });
+        let mut shards = built.into_inner();
+        shards.sort_by_key(|e| e.config.shard);
+
+        // Decoy probes, round-robin over shards.
+        if let Some((total, over_days)) = self.decoys {
+            let mut rng = SimRng::stream(self.base.seed, "engine-decoys");
+            let horizon = over_days.min(self.base.days.max(1));
+            for i in 0..total {
+                let shard = i % k;
+                let account = shards[shard].add_decoy_account(&format!("decoy-probe-{i}"));
+                let crew_count = shards[shard].crews.crews.len() as u64;
+                let crew = CrewId::from_index(rng.below(crew_count) as usize);
+                let at = SimTime::from_secs(
+                    rng.below(horizon) * DAY + rng.below(DAY),
+                );
+                shards[shard].schedule_decoy_submission(at, account, crew);
+            }
+        }
+
+        let mut rng_exchange = SimRng::stream(self.base.seed, "exchange");
+        let mut seen_incidents = vec![0usize; k];
+        let mut market_trades = 0u64;
+        let mut cross_shard_lures = 0u64;
+        let n_crews = shards.first().map_or(0, |e| e.crews.crews.len());
+
+        for day in 0..self.base.days {
+            // ---- parallel section: one day, shard-local state only.
+            // Round-robin static assignment; any assignment yields the
+            // same logs because shards never touch each other mid-day.
+            let mut buckets: Vec<Vec<&mut Ecosystem>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, eco) in shards.iter_mut().enumerate() {
+                buckets[i % workers].push(eco);
+            }
+            thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        for eco in bucket {
+                            eco.run_day(day);
+                        }
+                    });
+                }
+            });
+
+            // ---- day barrier: single-threaded exchange in shard order.
+
+            // Credential market. Buyers rotate over the global offer
+            // sequence, so the volume any shard sells shifts who buys
+            // everywhere else — shards are genuinely coupled — while
+            // exploitation stays in the victim's shard (the account
+            // lives there; crews are global).
+            let mut offer_seq = 0usize;
+            for shard in shards.iter_mut() {
+                for (seller, credential) in shard.drain_market_outbox() {
+                    let buyer = if n_crews > 1 {
+                        CrewId::from_index(
+                            (seller.index() + 1 + offer_seq % (n_crews - 1)) % n_crews,
+                        )
+                    } else {
+                        seller
+                    };
+                    offer_seq += 1;
+                    if shard.import_market_credential(buyer, credential) {
+                        market_trades += 1;
+                    }
+                }
+            }
+
+            // Contact-graph mail: new exploited incidents spill part of
+            // their phishing blast into other shards as next-day lures.
+            let spill = self.contact_spillover;
+            if k > 1 && spill > 0.0 && day + 1 < self.base.days {
+                let next_day = SimTime::from_secs((day + 1) * DAY);
+                let mut exports: Vec<(usize, SimTime, CrewId)> = Vec::new();
+                for s in 0..k {
+                    let eco = &shards[s];
+                    for inc in &eco.incidents()[seen_incidents[s]..] {
+                        let session = &eco.sessions()[inc.session];
+                        if !session.exploited || session.phishing_messages == 0 {
+                            continue;
+                        }
+                        let n_out =
+                            (session.phishing_messages as f64 * spill).round() as u64;
+                        for _ in 0..n_out {
+                            let mut dest = rng_exchange.below(k as u64 - 1) as usize;
+                            if dest >= s {
+                                dest += 1;
+                            }
+                            let at = next_day
+                                .plus(SimDuration::from_secs(rng_exchange.below(DAY)));
+                            exports.push((dest, at, inc.crew));
+                        }
+                    }
+                    seen_incidents[s] = eco.incidents().len();
+                }
+                for (dest, at, crew) in exports {
+                    let n_users = shards[dest].population.len() as u64;
+                    if n_users == 0 {
+                        continue;
+                    }
+                    let target = shards[dest].population.users
+                        [rng_exchange.below(n_users) as usize]
+                        .account;
+                    shards[dest].queue_external_lure(at, target, crew);
+                    cross_shard_lures += 1;
+                }
+            } else {
+                for s in 0..k {
+                    seen_incidents[s] = shards[s].incidents().len();
+                }
+            }
+        }
+
+        ShardedRun { shards, market_trades, cross_shard_lures }
+    }
+}
+
+/// A finished sharded run: the per-shard worlds plus merged views.
+pub struct ShardedRun {
+    shards: Vec<Ecosystem>,
+    /// Credentials that changed hands on the cross-shard market.
+    pub market_trades: u64,
+    /// Lures routed across shard boundaries at day barriers.
+    pub cross_shard_lures: u64,
+}
+
+/// FNV-1a over a byte slice (the digest primitive; stable across
+/// platforms and runs).
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ShardedRun {
+    /// The per-shard worlds, in shard order.
+    pub fn shards(&self) -> &[Ecosystem] {
+        &self.shards
+    }
+
+    /// All login records, globally ordered by `(SimTime, shard, seq)`.
+    pub fn merged_logins(&self) -> Vec<&Stamped<LoginRecord>> {
+        LogStore::merge(self.shards.iter().map(|e| e.login_log.store()))
+    }
+
+    /// All mail-provider events, globally ordered.
+    pub fn merged_mail_events(&self) -> Vec<&Stamped<MailEvent>> {
+        LogStore::merge(self.shards.iter().map(|e| e.provider.log_store()))
+    }
+
+    /// All notification records, globally ordered.
+    pub fn merged_notifications(&self) -> Vec<&Stamped<NotificationRecord>> {
+        LogStore::merge(self.shards.iter().map(|e| e.notifications.log_store()))
+    }
+
+    /// All incidents, tagged with their shard id.
+    pub fn incidents(&self) -> impl Iterator<Item = (u16, &Incident)> {
+        self.shards
+            .iter()
+            .flat_map(|e| e.incidents().iter().map(move |i| (e.config.shard, i)))
+    }
+
+    /// All hijack-session reports, tagged with their shard id.
+    pub fn sessions(&self) -> impl Iterator<Item = (u16, &SessionReport)> {
+        self.shards
+            .iter()
+            .flat_map(|e| e.sessions().iter().map(move |s| (e.config.shard, s)))
+    }
+
+    /// Aggregate run counters, summed over shards.
+    pub fn total_stats(&self) -> RunStats {
+        let mut total = RunStats::default();
+        for s in self.shards.iter().map(|e| &e.stats) {
+            total.organic_logins += s.organic_logins;
+            total.organic_challenges += s.organic_challenges;
+            total.organic_challenge_failures += s.organic_challenge_failures;
+            total.lures_delivered += s.lures_delivered;
+            total.lures_spam_foldered += s.lures_spam_foldered;
+            total.credentials_captured += s.credentials_captured;
+            total.contact_lure_captures += s.contact_lure_captures;
+            total.contact_lures_read += s.contact_lures_read;
+            total.sessions_run += s.sessions_run;
+            total.incidents += s.incidents;
+            total.exploited += s.exploited;
+            total.recovered += s.recovered;
+        }
+        total
+    }
+
+    /// A digest over every produced dataset: the three merged event
+    /// logs (in global order, keys included), every incident and
+    /// session report, and the aggregate counters. Two runs of the same
+    /// sharded scenario must produce the same digest regardless of
+    /// worker count — this is the engine's determinism contract and is
+    /// what `tests/sharding.rs` pins.
+    pub fn dataset_digest(&self) -> u64 {
+        let mut line = String::new();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in self.merged_logins() {
+            line.clear();
+            let _ = write!(line, "{:?}|{:?}", r.key, r.record);
+            h = fnv1a(h, line.as_bytes());
+        }
+        for e in self.merged_mail_events() {
+            line.clear();
+            let _ = write!(line, "{:?}|{:?}", e.key, e.record);
+            h = fnv1a(h, line.as_bytes());
+        }
+        for n in self.merged_notifications() {
+            line.clear();
+            let _ = write!(line, "{:?}|{:?}", n.key, n.record);
+            h = fnv1a(h, line.as_bytes());
+        }
+        for (shard, inc) in self.incidents() {
+            line.clear();
+            let _ = write!(line, "{shard}|{inc:?}");
+            h = fnv1a(h, line.as_bytes());
+        }
+        for (shard, sess) in self.sessions() {
+            line.clear();
+            let _ = write!(line, "{shard}|{sess:?}");
+            h = fnv1a(h, line.as_bytes());
+        }
+        line.clear();
+        let _ = write!(line, "{:?}", self.total_stats());
+        fnv1a(h, line.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+
+    fn tiny(seed: u64) -> ScenarioConfig {
+        let mut c = ScenarioConfig::small_test(seed);
+        c.days = 4;
+        c.population.n_users = 120;
+        c.market_share = 0.3;
+        c
+    }
+
+    #[test]
+    fn single_shard_matches_plain_ecosystem() {
+        // One shard, no market: the engine is the plain simulator.
+        let mut config = tiny(3);
+        config.market_share = 0.0;
+        let mut direct = Ecosystem::build(config.clone());
+        direct.run();
+        let run = ShardedEngine::new(config, 1).run();
+        assert_eq!(run.shards().len(), 1);
+        let eco = &run.shards()[0];
+        assert_eq!(eco.login_log.len(), direct.login_log.len());
+        assert_eq!(eco.stats.lures_delivered, direct.stats.lures_delivered);
+        assert_eq!(eco.stats.incidents, direct.stats.incidents);
+    }
+
+    #[test]
+    fn population_splits_evenly() {
+        let mut c = tiny(5);
+        c.population.n_users = 10;
+        let engine = ShardedEngine::new(c, 3);
+        let sizes: Vec<usize> =
+            engine.shard_configs().iter().map(|c| c.population.n_users).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_digest() {
+        let a = ShardedEngine::new(tiny(7), 3).workers(1).run();
+        let b = ShardedEngine::new(tiny(7), 3).workers(3).run();
+        assert_eq!(a.dataset_digest(), b.dataset_digest());
+        assert_eq!(a.market_trades, b.market_trades);
+        assert_eq!(a.cross_shard_lures, b.cross_shard_lures);
+    }
+
+    #[test]
+    fn shard_count_is_scenario_semantics() {
+        // Different shard counts are different scenarios.
+        let a = ShardedEngine::new(tiny(7), 2).run();
+        let b = ShardedEngine::new(tiny(7), 3).run();
+        assert_ne!(a.dataset_digest(), b.dataset_digest());
+    }
+
+    #[test]
+    fn merged_logs_are_globally_ordered_and_complete() {
+        let run = ShardedEngine::new(tiny(11), 3).workers(2).run();
+        let merged = run.merged_logins();
+        let total: usize = run.shards().iter().map(|e| e.login_log.len()).sum();
+        assert_eq!(merged.len(), total);
+        for w in merged.windows(2) {
+            assert!(w[0].key < w[1].key, "merged log out of order");
+        }
+        // Shard ids really appear in the keys.
+        let shards_seen: std::collections::HashSet<u16> =
+            merged.iter().map(|r| r.key.shard).collect();
+        assert_eq!(shards_seen.len(), 3);
+    }
+
+    #[test]
+    fn engine_decoys_land_in_every_shard() {
+        let run = ShardedEngine::new(tiny(13), 3).decoys(9, 2).run();
+        for eco in run.shards() {
+            assert_eq!(eco.decoy_accounts.len(), 3);
+        }
+    }
+}

@@ -15,19 +15,26 @@
 //!   substrates;
 //! * [`campaigns`] — standalone external phishing-form campaigns (the
 //!   §4.2 Google-Forms dataset generator behind Figures 3–6);
+//! * [`engine`] — the sharded parallel engine: logical shards with
+//!   deterministic per-shard RNG streams, worker threads, cross-shard
+//!   exchange at day barriers, and globally ordered merged logs;
 //! * [`decoy`] — the §5.1 decoy-credential experiment (Figure 7);
 //! * [`datasets`] — extraction of the paper's 14 datasets (Table 1)
 //!   from the raw logs.
 
+pub mod builder;
 pub mod campaigns;
 pub mod config;
 pub mod datasets;
 pub mod decoy;
 pub mod ecosystem;
+pub mod engine;
 pub mod world;
 
+pub use builder::ScenarioBuilder;
 pub use campaigns::{run_form_campaigns, FormCampaignOutput};
 pub use config::{DefenseConfig, ScenarioConfig};
 pub use datasets::DatasetInventory;
 pub use decoy::{run_decoy_experiment, DecoyOutcome, DecoyReport};
 pub use ecosystem::{Ecosystem, Incident, RunStats};
+pub use engine::{ShardedEngine, ShardedRun};

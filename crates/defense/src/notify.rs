@@ -12,7 +12,7 @@
 
 use mhw_identity::RecoveryOptions;
 use mhw_simclock::SimRng;
-use mhw_types::{AccountId, SimTime};
+use mhw_types::{AccountId, EventSink, LogStore, ShardId, SimTime, Stamped};
 use serde::{Deserialize, Serialize};
 
 /// The critical events that trigger a notification.
@@ -48,12 +48,20 @@ pub struct NotificationRecord {
 /// The notification engine.
 #[derive(Debug, Default)]
 pub struct NotificationEngine {
-    log: Vec<NotificationRecord>,
+    log: LogStore<NotificationRecord>,
 }
 
 impl NotificationEngine {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An engine owned by logical shard `shard`; its activity log
+    /// entries carry the shard id for cross-shard merging.
+    pub fn for_shard(shard: ShardId) -> Self {
+        NotificationEngine {
+            log: LogStore::for_shard(shard),
+        }
     }
 
     /// Fire a notification for `event`, choosing the best independent
@@ -84,11 +92,16 @@ impl NotificationEngine {
             (NotificationChannel::None, false)
         };
         let record = NotificationRecord { at, account, event, channel, delivered };
-        self.log.push(record);
+        self.log.emit(at, record);
         record
     }
 
-    pub fn log(&self) -> &[NotificationRecord] {
+    pub fn log(&self) -> &[Stamped<NotificationRecord>] {
+        self.log.entries()
+    }
+
+    /// The underlying segment (for cross-shard merging).
+    pub fn log_store(&self) -> &LogStore<NotificationRecord> {
         &self.log
     }
 
@@ -98,7 +111,7 @@ impl NotificationEngine {
         &self,
         account: AccountId,
         since: SimTime,
-    ) -> Option<&NotificationRecord> {
+    ) -> Option<&Stamped<NotificationRecord>> {
         self.log
             .iter()
             .find(|r| r.account == account && r.at >= since && r.delivered)

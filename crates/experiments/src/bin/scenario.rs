@@ -11,7 +11,7 @@
 
 use mhw_adversary::Era;
 use mhw_analysis::{bar_chart, Breakdown, Ecdf};
-use mhw_core::{Ecosystem, ScenarioConfig};
+use mhw_core::ScenarioConfig;
 use mhw_types::Actor;
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -61,8 +61,7 @@ fn main() {
         config.population.n_users, config.days, config.era, config.lures_per_user_day, config.seed
     );
     let t0 = std::time::Instant::now();
-    let mut eco = Ecosystem::build(config);
-    eco.run();
+    let eco = mhw_core::ScenarioBuilder::new(config).run();
     eprintln!("done in {:.1}s\n", t0.elapsed().as_secs_f64());
 
     let s = &eco.stats;
@@ -84,7 +83,7 @@ fn main() {
 
     // Session outcome mix.
     let mut outcomes = Breakdown::new();
-    for sess in &eco.sessions {
+    for sess in eco.sessions() {
         outcomes.add(if sess.exploited {
             "exploited"
         } else if sess.logged_in {

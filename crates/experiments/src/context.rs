@@ -5,7 +5,7 @@ use mhw_adversary::Era;
 use mhw_analysis::ComparisonTable;
 use mhw_core::{
     run_decoy_experiment, run_form_campaigns, DecoyReport, Ecosystem, FormCampaignOutput,
-    ScenarioConfig,
+    ScenarioBuilder, ScenarioConfig,
 };
 
 /// Run scale: `Quick` for tests (seconds), `Full` for the repro binary
@@ -51,26 +51,24 @@ impl Context {
             Scale::Full => (ScenarioConfig::measurement as fn(u64) -> _, 100, 200),
         };
 
-        let mut eco_2012 = Ecosystem::build(base(seed));
-        eco_2012.run();
+        let eco_2012 = ScenarioBuilder::new(base(seed)).run();
 
-        let mut config_2011 = base(seed ^ 0x2011);
-        config_2011.era = Era::Y2011;
-        let mut eco_2011 = Ecosystem::build(config_2011);
-        eco_2011.run();
+        let eco_2011 = ScenarioBuilder::new(base(seed ^ 0x2011)).era(Era::Y2011).run();
 
         // The 2FA-lockout burst: same era, tactic at full intensity.
-        let mut config_lockout = base(seed ^ 0x2fa);
+        let mut lockout = ScenarioBuilder::new(base(seed ^ 0x2fa));
         if scale == Scale::Quick {
-            config_lockout.days = config_lockout.days.min(14);
+            lockout = lockout.configure(|c| c.days = c.days.min(14));
         }
-        let mut eco_lockout = Ecosystem::build(config_lockout);
-        for crew in &mut eco_lockout.crews.crews {
-            if crew.spec.uses_2fa_lockout {
-                crew.tactics.p_twofactor_lockout = 0.55;
-            }
-        }
-        eco_lockout.run();
+        let eco_lockout = lockout
+            .tweak_crews(|roster| {
+                for crew in &mut roster.crews {
+                    if crew.spec.uses_2fa_lockout {
+                        crew.tactics.p_twofactor_lockout = 0.55;
+                    }
+                }
+            })
+            .run();
 
         let forms = run_form_campaigns(n_forms, true, seed ^ 0xf0f0);
 

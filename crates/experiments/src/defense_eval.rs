@@ -9,7 +9,7 @@
 
 use crate::context::{Context, ExperimentResult, Scale};
 use mhw_analysis::{Comparison, ComparisonTable};
-use mhw_core::{Ecosystem, ScenarioConfig};
+use mhw_core::{ScenarioBuilder, ScenarioConfig};
 use mhw_defense::RiskWeights;
 use mhw_identity::ChallengeKind;
 use mhw_types::Actor;
@@ -29,18 +29,18 @@ fn run_world(ctx: &Context, threshold: f64, ablate: Option<&str>) -> Point {
         Scale::Quick => (300, 8),
         Scale::Full => (700, 14),
     };
-    let mut config = ScenarioConfig::small_test(ctx.seed ^ (threshold * 1000.0) as u64);
-    config.population.n_users = users;
-    config.days = days;
-    config.lures_per_user_day = 2.0;
-    let mut eco = Ecosystem::build(config);
+    let mut eco = ScenarioBuilder::small_test(ctx.seed ^ (threshold * 1000.0) as u64)
+        .population(users)
+        .days(days)
+        .lures_per_user_day(2.0)
+        .build();
     eco.login.engine.challenge_threshold = threshold;
     if let Some(signal) = ablate {
         eco.login.engine.weights = RiskWeights::default().without(signal);
     }
     eco.run();
-    let sessions = eco.sessions.iter().filter(|s| s.password_eventually_correct).count();
-    let hijack_success = eco.sessions.iter().filter(|s| s.logged_in).count() as f64
+    let sessions = eco.sessions().iter().filter(|s| s.password_eventually_correct).count();
+    let hijack_success = eco.sessions().iter().filter(|s| s.logged_in).count() as f64
         / sessions.max(1) as f64;
     let owner_challenge_rate =
         eco.stats.organic_challenges as f64 / eco.stats.organic_logins.max(1) as f64;
@@ -130,30 +130,27 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     // client-side defense against hijacking." Compare hijack success in
     // a world without 2FA against one where most users enrolled.
     let second_factor = {
-        let mut none = ScenarioConfig::small_test(ctx.seed ^ 0x2f);
-        none.population.n_users = 300;
-        none.days = 8;
-        none.lures_per_user_day = 2.0;
-        none.population.twofactor_rate = 0.0;
+        let none = ScenarioBuilder::small_test(ctx.seed ^ 0x2f)
+            .population(300)
+            .days(8)
+            .lures_per_user_day(2.0)
+            .configure(|c| c.population.twofactor_rate = 0.0)
+            .into_config();
         let mut broad = none.clone();
         broad.population.twofactor_rate = 0.60;
         let mut keys = none.clone();
         keys.population.security_key_rate = 0.60;
-        let rate = |mut eco: Ecosystem| {
-            eco.run();
+        let rate = |config: ScenarioConfig| {
+            let eco = ScenarioBuilder::new(config).run();
             let attempts = eco
-                .sessions
+                .sessions()
                 .iter()
                 .filter(|s| s.password_eventually_correct)
                 .count()
                 .max(1);
-            eco.sessions.iter().filter(|s| s.logged_in).count() as f64 / attempts as f64
+            eco.sessions().iter().filter(|s| s.logged_in).count() as f64 / attempts as f64
         };
-        (
-            rate(Ecosystem::build(none)),
-            rate(Ecosystem::build(broad)),
-            rate(Ecosystem::build(keys)),
-        )
+        (rate(none), rate(broad), rate(keys))
     };
     table.push(Comparison::new(
         "second factor is the best client-side defense",

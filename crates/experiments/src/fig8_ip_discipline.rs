@@ -47,9 +47,9 @@ pub fn run(ctx: &Context) -> ExperimentResult {
 
     // §5.1's 75%: sessions where the crew eventually presented the
     // correct password.
-    let attempted_sessions = eco.sessions.len();
+    let attempted_sessions = eco.sessions().len();
     let correct = eco
-        .sessions
+        .sessions()
         .iter()
         .filter(|s| s.password_eventually_correct)
         .count();

@@ -11,18 +11,17 @@
 use crate::context::{Context, ExperimentResult};
 use mhw_adversary::automation::SpamBot;
 use mhw_analysis::{Comparison, ComparisonTable};
-use mhw_core::{Ecosystem, ScenarioConfig};
+use mhw_core::ScenarioBuilder;
 use mhw_simclock::SimRng;
 use mhw_types::{CrewId, EmailAddress, IpAddr, SimTime, DAY};
 
 pub fn run(ctx: &Context) -> ExperimentResult {
     // A dedicated small world so bot traffic does not contaminate the
     // attribution figures computed from the main run.
-    let mut config = ScenarioConfig::small_test(ctx.seed ^ 0x7a30);
-    config.days = 8;
-    config.population.n_users = 300;
-    let mut eco = Ecosystem::build(config);
-    eco.run();
+    let mut eco = ScenarioBuilder::small_test(ctx.seed ^ 0x7a30)
+        .days(8)
+        .population(300)
+        .run();
 
     // The botnet stuffs a leaked credential list: a mix of valid reused
     // passwords and stale garbage.
@@ -48,10 +47,10 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     let report = eco.run_bot_campaign(&bot, &credentials, SimTime::from_secs(9 * DAY));
 
     // Manual side: from the same world's crew sessions.
-    let manual_compromised = eco.incidents.len();
-    let manual_exploited = eco.sessions.iter().filter(|s| s.exploited).count();
+    let manual_compromised = eco.incidents().len();
+    let manual_exploited = eco.sessions().iter().filter(|s| s.exploited).count();
     let manual_depth: f64 = {
-        let sessions: Vec<_> = eco.sessions.iter().filter(|s| s.logged_in).collect();
+        let sessions: Vec<_> = eco.sessions().iter().filter(|s| s.logged_in).collect();
         if sessions.is_empty() {
             0.0
         } else {
@@ -86,8 +85,8 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     table.push(Comparison::new(
         "bot attempts vs manual attempts",
         "orders of magnitude more (automated)",
-        format!("{} vs {}", report.attempts, eco.sessions.len()),
-        report.attempts as usize > 3 * eco.sessions.len().max(1),
+        format!("{} vs {}", report.attempts, eco.sessions().len()),
+        report.attempts as usize > 3 * eco.sessions().len().max(1),
         "credential stuffing is cheap",
     ));
     table.push(Comparison::new(
@@ -112,7 +111,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
         report.compromised,
         report.messages_sent,
         bot_depth,
-        eco.sessions.len(),
+        eco.sessions().len(),
         manual_compromised,
         manual_exploited,
         manual_depth,

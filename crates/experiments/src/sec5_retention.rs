@@ -19,7 +19,7 @@ struct RetentionStats {
 }
 
 fn measure(eco: &Ecosystem) -> RetentionStats {
-    let exploited: Vec<_> = eco.sessions.iter().filter(|s| s.exploited).collect();
+    let exploited: Vec<_> = eco.sessions().iter().filter(|s| s.exploited).collect();
     let n = exploited.len();
     let locked: Vec<_> = exploited.iter().filter(|s| s.retention.password_changed).collect();
     let mass = locked.iter().filter(|s| s.retention.mass_deleted).count() as f64

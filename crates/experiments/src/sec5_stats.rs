@@ -3,7 +3,7 @@
 
 use crate::context::{Context, ExperimentResult, Scale};
 use mhw_analysis::{Comparison, ComparisonTable};
-use mhw_core::{Ecosystem, ScenarioConfig};
+use mhw_core::{Ecosystem, ScenarioBuilder};
 use mhw_mailsys::MailEventKind;
 use mhw_mailsys::Folder;
 use mhw_types::{SimDuration, DAY};
@@ -16,15 +16,12 @@ fn hijack_rate_per_million_user_days(ctx: &Context) -> f64 {
         Scale::Quick => (4000, 10, 0.006),
         Scale::Full => (40_000, 30, 0.002),
     };
-    let mut config = ScenarioConfig {
-        days,
-        lures_per_user_day: lures,
-        ..ScenarioConfig::measurement(ctx.seed ^ 0x9a7e)
-    };
-    config.population.n_users = users;
-    config.population.seed_mailboxes = false; // rate needs logins only
-    let mut eco = Ecosystem::build(config);
-    eco.run();
+    let eco = ScenarioBuilder::measurement(ctx.seed ^ 0x9a7e)
+        .days(days)
+        .lures_per_user_day(lures)
+        .population(users)
+        .configure(|c| c.population.seed_mailboxes = false) // rate needs logins only
+        .run();
     let incidents = eco.real_incidents().count() as f64;
     incidents / (users as f64 * days as f64) * 1.0e6
 }
@@ -50,7 +47,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     ));
 
     // §5.2: 3-minute value assessment.
-    let logged_in: Vec<_> = eco.sessions.iter().filter(|s| s.logged_in).collect();
+    let logged_in: Vec<_> = eco.sessions().iter().filter(|s| s.logged_in).collect();
     let mean_profiling_min = logged_in
         .iter()
         .map(|s| s.profiling_seconds as f64 / 60.0)
@@ -96,7 +93,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     // §5.3: 65% of victims receive ≤5 messages (measured on sessions
     // the defender did not interrupt, like the paper's 575 completed
     // exploitation cases).
-    let exploited: Vec<_> = eco.sessions.iter().filter(|s| s.exploited).collect();
+    let exploited: Vec<_> = eco.sessions().iter().filter(|s| s.exploited).collect();
     let completed: Vec<_> = exploited.iter().filter(|s| !s.interrupted).collect();
     let small_batch = completed.iter().filter(|s| s.messages_sent <= 5).count() as f64
         / completed.len().max(1) as f64;
@@ -159,14 +156,11 @@ pub fn run(ctx: &Context) -> ExperimentResult {
             Scale::Quick => (6000, 20, 0.04),
             Scale::Full => (12_000, 25, 0.03),
         };
-        let mut config = ScenarioConfig {
-            days,
-            lures_per_user_day: lures,
-            ..ScenarioConfig::measurement(ctx.seed ^ 0xc0137)
-        };
-        config.population.n_users = users;
-        let mut cohort_eco = Ecosystem::build(config);
-        cohort_eco.run();
+        let cohort_eco = ScenarioBuilder::measurement(ctx.seed ^ 0xc0137)
+            .days(days)
+            .lures_per_user_day(lures)
+            .population(users)
+            .run();
         contact_risk_multiplier(&cohort_eco)
     };
     table.push(Comparison::new(
@@ -179,7 +173,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
 
     let rendering = format!(
         "{} sessions ({} logged in, {} exploited); measured rate {rate:.1}/M/day\n",
-        eco.sessions.len(),
+        eco.sessions().len(),
         logged_in.len(),
         exploited.len(),
     );
@@ -194,7 +188,7 @@ fn hijack_day_deltas(eco: &Ecosystem) -> (f64, f64) {
     let mut rcpt_before = 0u64;
     let mut rcpt_day = 0u64;
     for inc in eco.real_incidents() {
-        let report = &eco.sessions[inc.session];
+        let report = &eco.sessions()[inc.session];
         if !report.exploited {
             continue;
         }

@@ -6,7 +6,10 @@
 //! (time, IP, device, outcome, challenge disposition) plus the
 //! ground-truth actor for measurement labelling.
 
-use mhw_types::{AccountId, Actor, DeviceId, IpAddr, SessionId, SimTime};
+use mhw_types::{
+    AccountId, Actor, DeviceId, EventSink, IpAddr, LogKey, LogStore, SessionId, ShardId, SimTime,
+    Stamped,
+};
 use serde::{Deserialize, Serialize};
 
 /// The verification step a risky login was redirected to (§8.2's "login
@@ -67,16 +70,32 @@ pub struct LoginRecord {
     pub session: Option<SessionId>,
 }
 
-/// Append-only login log with measurement helpers.
+/// Append-only login log with measurement helpers, backed by the
+/// workspace-wide [`LogStore`] segment API.
 #[derive(Debug, Default)]
 pub struct LoginLog {
-    records: Vec<LoginRecord>,
+    store: LogStore<LoginRecord>,
     next_session: u32,
 }
+
+/// Session (and message) id namespaces are sharded through their high
+/// byte so ids stay globally unique when multiple logical shards
+/// allocate independently.
+const SHARD_ID_NAMESPACE: u32 = 1 << 24;
 
 impl LoginLog {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A login log owned by logical shard `shard`: records are stamped
+    /// with the shard id and session ids come from a per-shard
+    /// namespace, so segments from different shards never collide.
+    pub fn for_shard(shard: ShardId) -> Self {
+        LoginLog {
+            store: LogStore::for_shard(shard),
+            next_session: shard as u32 * SHARD_ID_NAMESPACE,
+        }
     }
 
     /// Allocate a session id (the caller embeds it in the record).
@@ -89,46 +108,55 @@ impl LoginLog {
     /// Append a record. Records arrive in *approximately* increasing
     /// time order (concurrent sessions interleave, exactly like real
     /// log ingestion), so every query below is order-independent.
-    pub fn append(&mut self, record: LoginRecord) {
-        self.records.push(record);
+    pub fn append(&mut self, record: LoginRecord) -> LogKey {
+        self.store.emit(record.at, record)
     }
 
-    pub fn records(&self) -> &[LoginRecord] {
-        &self.records
+    pub fn records(&self) -> &[Stamped<LoginRecord>] {
+        self.store.entries()
+    }
+
+    /// The underlying segment (for cross-shard merging).
+    pub fn store(&self) -> &LogStore<LoginRecord> {
+        &self.store
     }
 
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.store.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.store.is_empty()
     }
 
     /// First *successful* access to `account` at/after `since` — the
     /// Figure 7 decoy-credential measurement probe.
-    pub fn first_success_after(&self, account: AccountId, since: SimTime) -> Option<&LoginRecord> {
-        self.records
+    pub fn first_success_after(
+        &self,
+        account: AccountId,
+        since: SimTime,
+    ) -> Option<&Stamped<LoginRecord>> {
+        self.store
             .iter()
             .filter(|r| r.account == account && r.at >= since && r.outcome.is_success())
             .min_by_key(|r| r.at)
     }
 
     /// All records for an account.
-    pub fn for_account(&self, account: AccountId) -> impl Iterator<Item = &LoginRecord> {
-        self.records.iter().filter(move |r| r.account == account)
+    pub fn for_account(&self, account: AccountId) -> impl Iterator<Item = &Stamped<LoginRecord>> {
+        self.store.iter().filter(move |r| r.account == account)
     }
 
     /// All records from an IP.
-    pub fn from_ip(&self, ip: IpAddr) -> impl Iterator<Item = &LoginRecord> {
-        self.records.iter().filter(move |r| r.ip == ip)
+    pub fn from_ip(&self, ip: IpAddr) -> impl Iterator<Item = &Stamped<LoginRecord>> {
+        self.store.iter().filter(move |r| r.ip == ip)
     }
 
     /// Distinct accounts attempted from `ip` on UTC day `day_index` —
     /// the Figure 8 per-IP discipline measurement.
     pub fn distinct_accounts_from_ip_on_day(&self, ip: IpAddr, day_index: u64) -> usize {
         let mut accounts: Vec<AccountId> = self
-            .records
+            .store
             .iter()
             .filter(|r| r.ip == ip && r.at.day_index() == day_index)
             .map(|r| r.account)
@@ -136,6 +164,12 @@ impl LoginLog {
         accounts.sort();
         accounts.dedup();
         accounts.len()
+    }
+}
+
+impl EventSink<LoginRecord> for LoginLog {
+    fn emit(&mut self, at: SimTime, record: LoginRecord) -> LogKey {
+        self.store.emit(at, record)
     }
 }
 

@@ -12,7 +12,9 @@ use crate::filters::{apply_filters, FilterAction, MailFilter};
 use crate::mailbox::{ContactEntry, Folder, Mailbox};
 use crate::message::{Message, MessageDraft};
 use crate::search::{search, SearchQuery};
-use mhw_types::{AccountId, EmailAddress, FilterId, MessageId, SimTime};
+use mhw_types::{
+    AccountId, EmailAddress, EventSink, FilterId, LogStore, MessageId, ShardId, SimTime, Stamped,
+};
 use std::collections::HashMap;
 
 /// Audit record of a settings change (used by remission).
@@ -42,12 +44,27 @@ pub struct MailProvider {
     by_address: HashMap<EmailAddress, AccountId>,
     next_message: u32,
     next_filter: u32,
-    log: Vec<MailEvent>,
+    log: LogStore<MailEvent>,
 }
+
+/// Message-id namespace stride per logical shard (see
+/// `LoginLog::for_shard` for the same convention on session ids).
+const SHARD_ID_NAMESPACE: u32 = 1 << 24;
 
 impl MailProvider {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A provider owned by logical shard `shard`: activity-log entries
+    /// carry the shard id and message ids come from a per-shard
+    /// namespace, so independently running shards never collide.
+    pub fn for_shard(shard: ShardId) -> Self {
+        MailProvider {
+            log: LogStore::for_shard(shard),
+            next_message: shard as u32 * SHARD_ID_NAMESPACE,
+            ..Self::default()
+        }
     }
 
     /// Register an account with its primary address.
@@ -96,12 +113,17 @@ impl MailProvider {
     }
 
     /// The full activity log.
-    pub fn log(&self) -> &[MailEvent] {
+    pub fn log(&self) -> &[Stamped<MailEvent>] {
+        self.log.entries()
+    }
+
+    /// The underlying segment (for cross-shard merging).
+    pub fn log_store(&self) -> &LogStore<MailEvent> {
         &self.log
     }
 
     fn push_event(&mut self, at: SimTime, account: AccountId, actor: Actor, kind: MailEventKind) {
-        self.log.push(MailEvent { at, account, actor, kind });
+        self.log.emit(at, MailEvent { at, account, actor, kind });
     }
 
     fn alloc_message(&mut self) -> MessageId {

@@ -38,6 +38,19 @@ impl SimRng {
         SimRng::from_seed(master_seed ^ h)
     }
 
+    /// Derive a labelled sub-stream for one logical shard of a sharded
+    /// scenario. Shard 0 is identical to [`SimRng::stream`], so a
+    /// single-shard run reproduces the unsharded simulator bit-for-bit;
+    /// non-zero shards mix the shard id into the master seed before
+    /// labelling, giving every `(shard, label)` pair an independent
+    /// stream. The shard id is part of scenario *semantics* (like the
+    /// seed) — worker-thread counts never appear here, which is what
+    /// makes sharded runs reproducible at any parallelism level.
+    pub fn shard_stream(master_seed: u64, shard: u16, label: &str) -> Self {
+        let mixed = master_seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        SimRng::stream(mixed, label)
+    }
+
     /// Derive a child stream from this one (e.g. one stream per agent).
     pub fn fork(&mut self, salt: u64) -> SimRng {
         let s = self.inner.next_u64() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -208,6 +221,19 @@ mod tests {
         let mut a = SimRng::stream(7, "x");
         let mut b = SimRng::stream(7, "x");
         assert_eq!(a.below(u64::MAX), b.below(u64::MAX));
+    }
+
+    #[test]
+    fn shard_zero_matches_unsharded_stream() {
+        let mut a = SimRng::stream(99, "world");
+        let mut b = SimRng::shard_stream(99, 0, "world");
+        for _ in 0..32 {
+            assert_eq!(a.below(u64::MAX), b.below(u64::MAX));
+        }
+        let mut c = SimRng::shard_stream(99, 1, "world");
+        let va: Vec<u64> = (0..8).map(|_| SimRng::shard_stream(99, 0, "world").below(1 << 50)).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.below(1 << 50)).collect();
+        assert_ne!(va, vc);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod email;
 pub mod geo;
 pub mod ids;
 pub mod ip;
+pub mod log;
 pub mod phone;
 pub mod time;
 
@@ -39,5 +40,6 @@ pub use ids::{
     SessionId,
 };
 pub use ip::{IpAddr, IpBlock};
+pub use log::{EventSink, LogKey, LogStore, ShardId, Stamped};
 pub use phone::PhoneNumber;
 pub use time::{SimDuration, SimTime, Weekday, DAY, HOUR, MINUTE, WEEK};

@@ -1,0 +1,262 @@
+//! The unified event-log API.
+//!
+//! Every subsystem that records history — the identity stack's login
+//! log, the mail provider's activity log, the defense notification log —
+//! writes through the same two pieces:
+//!
+//! * [`LogStore<T>`]: an append-only log *segment* whose entries are
+//!   stamped with a globally orderable [`LogKey`] `(at, shard, seq)`.
+//!   A single-threaded scenario owns one segment per log (shard 0); the
+//!   sharded engine gives every logical shard its own segment and merges
+//!   them afterwards.
+//! * [`EventSink<T>`]: the write interface, so code that only needs to
+//!   emit records (world adapters, defense hooks) does not care which
+//!   segment it is writing into.
+//!
+//! The key design constraint is determinism: `seq` is allocated densely
+//! per shard in append order, so a segment's contents are a pure
+//! function of the events that shard processed — independent of how
+//! many worker threads drove the run. [`LogStore::merge`] then produces
+//! one globally ordered view, sorted by `(at, shard, seq)`; since every
+//! key is unique the merged order is total and reproducible, which is
+//! what makes whole-dataset digests byte-identical across worker
+//! counts.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::ops::Deref;
+
+/// Identifier of the logical shard a record was produced on.
+///
+/// Shard assignment is part of scenario *semantics* (like the seed):
+/// records keep their shard id through merging, and a scenario's shard
+/// count changes its event interleaving just as a different seed would.
+/// Worker-thread count, by contrast, must never influence log contents.
+pub type ShardId = u16;
+
+/// Globally unique, totally ordered key carried by every log record.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LogKey {
+    /// Simulated instant the record was emitted.
+    pub at: SimTime,
+    /// Logical shard that produced the record.
+    pub shard: ShardId,
+    /// Dense per-shard append counter; breaks ties among same-instant
+    /// records on one shard while preserving their emission order.
+    pub seq: u64,
+}
+
+/// A log record together with its ordering key.
+///
+/// Derefs to the record so existing call sites (`r.at`, `r.actor`,
+/// `matches!(e.kind, ..)`) keep working unchanged on stamped entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stamped<T> {
+    pub key: LogKey,
+    pub record: T,
+}
+
+impl<T> Deref for Stamped<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.record
+    }
+}
+
+impl<T> AsRef<T> for Stamped<T> {
+    fn as_ref(&self) -> &T {
+        &self.record
+    }
+}
+
+/// Write interface shared by every log producer.
+pub trait EventSink<T> {
+    /// Append `record` as happening at `at`, returning the key it was
+    /// stamped with.
+    fn emit(&mut self, at: SimTime, record: T) -> LogKey;
+}
+
+/// An append-only log segment.
+///
+/// Entries arrive in emission order, which is *approximately* — not
+/// exactly — time order (concurrent sessions interleave, exactly like
+/// real log ingestion). Queries must therefore not assume the segment
+/// is time-sorted; [`LogStore::merge`] sorts by key when a globally
+/// ordered view is needed.
+#[derive(Debug, Clone)]
+pub struct LogStore<T> {
+    shard: ShardId,
+    entries: Vec<Stamped<T>>,
+}
+
+impl<T> Default for LogStore<T> {
+    fn default() -> Self {
+        LogStore::new()
+    }
+}
+
+impl<T> LogStore<T> {
+    /// A shard-0 segment (single-threaded scenarios).
+    pub fn new() -> Self {
+        Self::for_shard(0)
+    }
+
+    /// A segment owned by logical shard `shard`.
+    pub fn for_shard(shard: ShardId) -> Self {
+        LogStore {
+            shard,
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Append in emission order, stamping the next dense sequence
+    /// number for this shard.
+    pub fn append(&mut self, at: SimTime, record: T) -> LogKey {
+        let key = LogKey {
+            at,
+            shard: self.shard,
+            seq: self.entries.len() as u64,
+        };
+        self.entries.push(Stamped { key, record });
+        key
+    }
+
+    /// All entries in emission order.
+    pub fn entries(&self) -> &[Stamped<T>] {
+        &self.entries
+    }
+
+    /// The records alone, in emission order.
+    pub fn records(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().map(|e| &e.record)
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Stamped<T>> {
+        self.entries.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn last(&self) -> Option<&Stamped<T>> {
+        self.entries.last()
+    }
+
+    /// Merge per-shard segments into one globally ordered view, sorted
+    /// by `(at, shard, seq)`. Keys are unique, so the result is a total
+    /// order independent of the segment iteration order.
+    pub fn merge<'a>(segments: impl IntoIterator<Item = &'a LogStore<T>>) -> Vec<&'a Stamped<T>>
+    where
+        T: 'a,
+    {
+        let mut all: Vec<&'a Stamped<T>> =
+            segments.into_iter().flat_map(|s| s.entries.iter()).collect();
+        all.sort_by_key(|e| e.key);
+        all
+    }
+
+    /// Consuming variant of [`LogStore::merge`], for assembling the
+    /// final global log out of finished shard segments.
+    pub fn merge_owned(segments: impl IntoIterator<Item = LogStore<T>>) -> Vec<Stamped<T>> {
+        let mut all: Vec<Stamped<T>> = segments
+            .into_iter()
+            .flat_map(|s| s.entries.into_iter())
+            .collect();
+        all.sort_by_key(|e| e.key);
+        all
+    }
+}
+
+impl<T> EventSink<T> for LogStore<T> {
+    fn emit(&mut self, at: SimTime, record: T) -> LogKey {
+        self.append(at, record)
+    }
+}
+
+impl<'a, T> IntoIterator for &'a LogStore<T> {
+    type Item = &'a Stamped<T>;
+    type IntoIter = std::slice::Iter<'a, Stamped<T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_dense_and_ordered_per_shard() {
+        let mut log = LogStore::for_shard(3);
+        let k0 = log.append(SimTime::from_secs(10), "a");
+        let k1 = log.append(SimTime::from_secs(10), "b");
+        let k2 = log.append(SimTime::from_secs(5), "c"); // out-of-order arrival
+        assert_eq!((k0.shard, k0.seq), (3, 0));
+        assert_eq!((k1.shard, k1.seq), (3, 1));
+        assert_eq!((k2.shard, k2.seq), (3, 2));
+        assert!(k0 < k1, "same instant breaks ties by seq");
+        assert!(k2 < k0, "earlier instant sorts first regardless of seq");
+    }
+
+    #[test]
+    fn deref_exposes_record_fields() {
+        let mut log = LogStore::new();
+        log.append(SimTime::from_secs(1), (7u32, "x"));
+        let entry = log.last().unwrap();
+        assert_eq!(entry.0, 7);
+        assert_eq!(entry.key.seq, 0);
+    }
+
+    #[test]
+    fn merge_is_globally_ordered_and_complete() {
+        let mut a = LogStore::for_shard(0);
+        let mut b = LogStore::for_shard(1);
+        a.append(SimTime::from_secs(10), "a0");
+        a.append(SimTime::from_secs(30), "a1");
+        b.append(SimTime::from_secs(20), "b0");
+        b.append(SimTime::from_secs(10), "b1");
+        let merged = LogStore::merge([&a, &b]);
+        assert_eq!(merged.len(), 4);
+        for w in merged.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+        // Same-instant records from different shards order by shard id.
+        assert_eq!(merged[0].record, "a0");
+        assert_eq!(merged[1].record, "b1");
+    }
+
+    #[test]
+    fn merge_owned_matches_borrowing_merge() {
+        let mut a = LogStore::for_shard(0);
+        let mut b = LogStore::for_shard(1);
+        for i in 0..10u64 {
+            a.append(SimTime::from_secs(100 - i), i);
+            b.append(SimTime::from_secs(i), 100 + i);
+        }
+        let borrowed: Vec<LogKey> = LogStore::merge([&a, &b]).iter().map(|e| e.key).collect();
+        let owned: Vec<LogKey> = LogStore::merge_owned([a, b]).iter().map(|e| e.key).collect();
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn sink_trait_object_compatible_generics() {
+        fn emit_twice<S: EventSink<u32>>(sink: &mut S) {
+            sink.emit(SimTime::from_secs(1), 1);
+            sink.emit(SimTime::from_secs(2), 2);
+        }
+        let mut log = LogStore::new();
+        emit_twice(&mut log);
+        assert_eq!(log.len(), 2);
+    }
+}

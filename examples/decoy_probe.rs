@@ -9,8 +9,7 @@
 use manual_hijacking_wild::prelude::*;
 
 fn main() {
-    let mut config = ScenarioConfig::small_test(0xDEC0);
-    config.days = 12;
+    let config = ScenarioBuilder::small_test(0xDEC0).days(12).into_config();
     let (eco, report) = run_decoy_experiment(config, 80, 5);
 
     println!("== {} decoys submitted over 5 days ==", report.outcomes.len());

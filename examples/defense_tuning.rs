@@ -10,22 +10,22 @@ use manual_hijacking_wild::prelude::*;
 use manual_hijacking_wild::types::Actor as A;
 
 fn run_world(threshold: f64, weights: RiskWeights, seed: u64) -> (f64, f64, u64) {
-    let mut config = ScenarioConfig::small_test(seed);
-    config.population.n_users = 300;
-    config.days = 10;
-    config.lures_per_user_day = 2.0;
-    let mut eco = Ecosystem::build(config);
+    let mut eco = ScenarioBuilder::small_test(seed)
+        .population(300)
+        .days(10)
+        .lures_per_user_day(2.0)
+        .build();
     eco.login.engine.challenge_threshold = threshold;
     eco.login.engine.weights = weights;
     eco.run();
     let attempts = eco
-        .sessions
+        .sessions()
         .iter()
         .filter(|s| s.password_eventually_correct)
         .count()
         .max(1);
     let hijack_success =
-        eco.sessions.iter().filter(|s| s.logged_in).count() as f64 / attempts as f64;
+        eco.sessions().iter().filter(|s| s.logged_in).count() as f64 / attempts as f64;
     let owner_challenge =
         eco.stats.organic_challenges as f64 / eco.stats.organic_logins.max(1) as f64;
     (hijack_success, owner_challenge, eco.stats.incidents)
@@ -48,11 +48,10 @@ fn main() {
     }
 
     println!("\n== what hijackers face at the challenge (§8.2) ==");
-    let mut config = ScenarioConfig::small_test(0xC4A);
-    config.days = 12;
-    config.lures_per_user_day = 2.0;
-    let mut eco = Ecosystem::build(config);
-    eco.run();
+    let eco = ScenarioBuilder::small_test(0xC4A)
+        .days(12)
+        .lures_per_user_day(2.0)
+        .run();
     let (mut sms, mut sms_pass, mut knowledge, mut knowledge_pass) = (0, 0, 0, 0);
     for r in eco.login_log.records() {
         if !matches!(r.actor, A::Hijacker(_)) {

@@ -9,23 +9,22 @@ use manual_hijacking_wild::mailsys::MailEventKind;
 use manual_hijacking_wild::prelude::*;
 
 fn main() {
-    let mut config = ScenarioConfig::small_test(0xA11CE);
-    config.days = 16;
-    config.lures_per_user_day = 2.0; // make sure something happens
-    let mut eco = Ecosystem::build(config);
-    eco.run();
+    let eco = ScenarioBuilder::small_test(0xA11CE)
+        .days(16)
+        .lures_per_user_day(2.0) // make sure something happens
+        .run();
 
     // Pick the richest exploited incident.
     let Some(incident) = eco
         .real_incidents()
-        .filter(|i| eco.sessions[i.session].exploited)
-        .max_by_key(|i| eco.sessions[i.session].messages_sent)
+        .filter(|i| eco.sessions()[i.session].exploited)
+        .max_by_key(|i| eco.sessions()[i.session].messages_sent)
         .cloned()
     else {
         println!("no exploited incident this run — try another seed");
         return;
     };
-    let session = &eco.sessions[incident.session];
+    let session = &eco.sessions()[incident.session];
     let account = incident.account;
     let crew = eco.crews.get(incident.crew);
 

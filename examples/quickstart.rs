@@ -9,10 +9,7 @@ use manual_hijacking_wild::prelude::*;
 
 fn main() {
     // A small world: 400 users, 9 crews, all defenses on.
-    let mut config = ScenarioConfig::small_test(0xDEC0DE);
-    config.days = 14;
-    let mut eco = Ecosystem::build(config);
-    eco.run();
+    let eco = ScenarioBuilder::small_test(0xDEC0DE).days(14).run();
 
     let s = &eco.stats;
     println!("== two simulated weeks ==");
@@ -28,7 +25,7 @@ fn main() {
 
     println!("\n== first few incidents ==");
     for inc in eco.real_incidents().take(5) {
-        let session = &eco.sessions[inc.session];
+        let session = &eco.sessions()[inc.session];
         println!(
             "{}: crew {} broke in at {}; profiled {:.1} min, value {:.2}, {} → {}",
             inc.account,

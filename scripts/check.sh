@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: release build, the whole test suite, and a
+# warning-free clippy pass. Run from anywhere inside the repo.
+#
+# The build environment is fully offline (external deps are vendored
+# stand-ins under vendor/), so every cargo invocation passes --offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --offline --release --workspace
+
+echo "== cargo test =="
+cargo test --offline --workspace -q
+
+echo "== cargo clippy =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "all checks passed"

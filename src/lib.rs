@@ -31,15 +31,16 @@
 //! use manual_hijacking_wild::prelude::*;
 //!
 //! // Build a small world, run a few simulated days, inspect incidents.
-//! let mut config = ScenarioConfig::small_test(42);
-//! config.days = 3;
-//! let mut eco = Ecosystem::build(config);
-//! eco.run();
+//! let eco = ScenarioBuilder::small_test(42).days(3).run();
 //! assert!(eco.stats.organic_logins > 0);
 //! for incident in eco.real_incidents().take(3) {
 //!     println!("{} hijacked at {}", incident.account, incident.hijack_start);
 //! }
 //! ```
+//!
+//! For multi-core runs, [`ShardedEngine`](mhw_core::ShardedEngine)
+//! partitions the population over logical shards and merges their logs
+//! into one globally ordered event stream; see `tests/sharding.rs`.
 //!
 //! Regenerate the paper's evaluation with
 //! `cargo run -p mhw-experiments --bin repro --release`.
@@ -63,7 +64,7 @@ pub mod prelude {
     pub use mhw_adversary::{CrewSpec, Era, HijackPlaybook};
     pub use mhw_core::{
         run_decoy_experiment, run_form_campaigns, DefenseConfig, Ecosystem, Incident,
-        ScenarioConfig,
+        ScenarioBuilder, ScenarioConfig, ShardedEngine, ShardedRun,
     };
     pub use mhw_defense::{RiskDecision, RiskEngine, RiskWeights};
     pub use mhw_simclock::SimRng;
@@ -76,9 +77,7 @@ mod tests {
 
     #[test]
     fn prelude_builds_a_world() {
-        let mut config = ScenarioConfig::small_test(1);
-        config.days = 2;
-        let eco = Ecosystem::build(config);
+        let eco = ScenarioBuilder::small_test(1).days(2).build();
         assert!(!eco.population.is_empty());
     }
 }

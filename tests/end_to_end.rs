@@ -4,11 +4,7 @@ use manual_hijacking_wild::prelude::*;
 use manual_hijacking_wild::types::{Actor, DAY};
 
 fn world(seed: u64, days: u64) -> Ecosystem {
-    let mut config = ScenarioConfig::small_test(seed);
-    config.days = days;
-    let mut eco = Ecosystem::build(config);
-    eco.run();
-    eco
+    ScenarioBuilder::small_test(seed).days(days).run()
 }
 
 #[test]
@@ -18,8 +14,8 @@ fn full_lifecycle_produces_every_paper_artifact() {
     assert!(eco.stats.lures_delivered > 1000);
     assert!(eco.stats.credentials_captured > 20);
     // Exploitation: sessions with searches, folders, messages.
-    assert!(eco.sessions.iter().any(|s| !s.searches.is_empty()));
-    assert!(eco.sessions.iter().any(|s| s.messages_sent > 0));
+    assert!(eco.sessions().iter().any(|s| !s.searches.is_empty()));
+    assert!(eco.sessions().iter().any(|s| s.messages_sent > 0));
     // Remediation: claims and recoveries.
     assert!(!eco.recovery.claims().is_empty());
     assert!(eco.stats.recovered > 0);
@@ -37,8 +33,8 @@ fn full_lifecycle_produces_every_paper_artifact() {
 #[test]
 fn incident_timelines_are_causally_ordered() {
     let eco = world(0xCAFE, 14);
-    for inc in &eco.incidents {
-        let session = &eco.sessions[inc.session];
+    for inc in eco.incidents() {
+        let session = &eco.sessions()[inc.session];
         assert!(session.started_at <= inc.hijack_start);
         assert!(session.ended_at >= inc.hijack_start);
         if let Some(flagged) = inc.flagged_at {
@@ -57,7 +53,7 @@ fn incident_timelines_are_causally_ordered() {
 #[test]
 fn hijack_sessions_only_touch_resolvable_accounts() {
     let eco = world(0x5E55, 10);
-    for s in &eco.sessions {
+    for s in eco.sessions() {
         if let Some(a) = s.account {
             assert!(
                 a.index() < eco.population.len() || eco.decoy_accounts.contains(&a),
@@ -92,14 +88,10 @@ fn crews_never_exceed_the_per_ip_account_cap() {
 
 #[test]
 fn era_2011_and_2012_behave_differently() {
-    let mut c11 = ScenarioConfig::small_test(0xE7A);
-    c11.days = 14;
-    c11.era = Era::Y2011;
-    let mut eco11 = Ecosystem::build(c11);
-    eco11.run();
+    let eco11 = ScenarioBuilder::small_test(0xE7A).days(14).era(Era::Y2011).run();
     let eco12 = world(0xE7A, 14);
     let deletions = |eco: &Ecosystem| {
-        eco.sessions
+        eco.sessions()
             .iter()
             .filter(|s| s.retention.mass_deleted)
             .count()
@@ -110,11 +102,10 @@ fn era_2011_and_2012_behave_differently() {
 
 #[test]
 fn undefended_world_is_strictly_worse_for_users() {
-    let mut attacked = ScenarioConfig::small_test(0xDEF);
-    attacked.days = 12;
-    attacked.defense = DefenseConfig::none();
-    let mut undefended = Ecosystem::build(attacked);
-    undefended.run();
+    let undefended = ScenarioBuilder::small_test(0xDEF)
+        .days(12)
+        .defense(DefenseConfig::none())
+        .run();
     let defended = world(0xDEF, 12);
     // Same attack pressure; defenses reduce successful hijack sessions
     // relative to attempts.
@@ -131,16 +122,15 @@ fn undefended_world_is_strictly_worse_for_users() {
 
 #[test]
 fn recovered_mailboxes_get_their_content_back() {
-    let mut config = ScenarioConfig::small_test(0x3E57);
-    config.days = 16;
-    config.lures_per_user_day = 2.0;
-    let mut eco = Ecosystem::build(config);
-    eco.run();
+    let eco = ScenarioBuilder::small_test(0x3E57)
+        .days(16)
+        .lures_per_user_day(2.0)
+        .run();
     let mass_deleted_and_recovered: Vec<_> = eco
-        .incidents
+        .incidents()
         .iter()
         .filter(|i| {
-            eco.sessions[i.session].retention.mass_deleted && i.recovered_at.is_some()
+            eco.sessions()[i.session].retention.mass_deleted && i.recovered_at.is_some()
         })
         .collect();
     for inc in &mass_deleted_and_recovered {
@@ -155,8 +145,7 @@ fn recovered_mailboxes_get_their_content_back() {
 
 #[test]
 fn decoy_experiment_is_reproducible_and_consistent() {
-    let mut config = ScenarioConfig::small_test(0xDEAD);
-    config.days = 10;
+    let config = ScenarioBuilder::small_test(0xDEAD).days(10).into_config();
     let (eco, report) = run_decoy_experiment(config, 30, 4);
     for o in &report.outcomes {
         if let Some(t) = o.first_attempt {

@@ -1,0 +1,149 @@
+//! The sharded engine's determinism contract and the global ordering
+//! guarantees of the unified event-log API.
+//!
+//! The load-bearing test is `worker_count_never_changes_the_dataset`:
+//! logical shards are scenario semantics, worker threads are pure
+//! mechanics, so the digest over every produced dataset must be
+//! byte-identical at any parallelism level.
+
+use manual_hijacking_wild::prelude::*;
+use manual_hijacking_wild::types::{LogStore, DAY};
+use proptest::prelude::*;
+
+/// A small sharded scenario exercising every cross-shard path: the
+/// credential market, contact-graph spillover, and engine-scheduled
+/// decoy probes.
+fn engine(seed: u64, shards: u16) -> ShardedEngine {
+    let mut config = ScenarioConfig::small_test(seed);
+    config.days = 6;
+    config.population.n_users = 240;
+    config.market_share = 0.3;
+    ShardedEngine::new(config, shards)
+        .contact_spillover(0.25)
+        .decoys(6, 3)
+}
+
+#[test]
+fn worker_count_never_changes_the_dataset() {
+    let baseline = engine(0x5A4D, 4).workers(1).run();
+    for workers in [2, 4, 8] {
+        let run = engine(0x5A4D, 4).workers(workers).run();
+        assert_eq!(
+            run.dataset_digest(),
+            baseline.dataset_digest(),
+            "digest diverged at {workers} workers"
+        );
+        assert_eq!(run.market_trades, baseline.market_trades);
+        assert_eq!(run.cross_shard_lures, baseline.cross_shard_lures);
+    }
+}
+
+#[test]
+fn same_seed_same_digest_different_seed_different_digest() {
+    let a = engine(0xD16E, 3).run();
+    let b = engine(0xD16E, 3).run();
+    let c = engine(0xD16F, 3).run();
+    assert_eq!(a.dataset_digest(), b.dataset_digest());
+    assert_ne!(a.dataset_digest(), c.dataset_digest());
+}
+
+#[test]
+fn cross_shard_effects_actually_fire() {
+    let run = engine(0xC0DE, 4).workers(2).run();
+    assert!(run.market_trades > 0, "credential market never traded");
+    assert!(run.cross_shard_lures > 0, "contact graph never crossed shards");
+    // The market is a diversion, not a loss: total captures stay healthy.
+    assert!(run.total_stats().credentials_captured > 0);
+    // All three merged logs carry records from more than one shard.
+    let login_shards: std::collections::HashSet<u16> =
+        run.merged_logins().iter().map(|r| r.key.shard).collect();
+    let mail_shards: std::collections::HashSet<u16> =
+        run.merged_mail_events().iter().map(|e| e.key.shard).collect();
+    assert!(login_shards.len() > 1);
+    assert!(mail_shards.len() > 1);
+}
+
+#[test]
+fn merged_views_are_complete_and_globally_ordered() {
+    let run = engine(0xF00D, 3).workers(3).run();
+    let merged = run.merged_logins();
+    let per_shard: usize = run.shards().iter().map(|e| e.login_log.len()).sum();
+    assert_eq!(merged.len(), per_shard, "merge dropped or duplicated records");
+    for w in merged.windows(2) {
+        assert!(
+            w[0].key < w[1].key,
+            "merged login log out of (at, shard, seq) order: {:?} !< {:?}",
+            w[0].key,
+            w[1].key
+        );
+    }
+    for w in run.merged_mail_events().windows(2) {
+        assert!(w[0].key < w[1].key, "merged mail log out of order");
+    }
+    for w in run.merged_notifications().windows(2) {
+        assert!(w[0].key < w[1].key, "merged notification log out of order");
+    }
+}
+
+#[test]
+fn one_shard_engine_matches_the_plain_scenario() {
+    // A single shard with the market off is exactly the original
+    // single-threaded simulator — sharding must cost nothing
+    // semantically.
+    let mut config = ScenarioConfig::small_test(0x0135);
+    config.days = 5;
+    config.population.n_users = 200;
+    let direct = ScenarioBuilder::new(config.clone()).run();
+    let run = ShardedEngine::new(config, 1).run();
+    let eco = &run.shards()[0];
+    assert_eq!(eco.login_log.len(), direct.login_log.len());
+    assert_eq!(eco.stats.credentials_captured, direct.stats.credentials_captured);
+    assert_eq!(eco.stats.incidents, direct.stats.incidents);
+    assert_eq!(eco.stats.recovered, direct.stats.recovered);
+}
+
+proptest! {
+    /// Merging arbitrary per-shard segments yields a strictly
+    /// increasing (SimTime, shard, seq) sequence containing every
+    /// record exactly once — the ordering contract every consumer of
+    /// the unified log API leans on.
+    #[test]
+    fn merge_orders_any_segments(
+        shard_sizes in proptest::collection::vec(0usize..40, 1..6),
+        times in proptest::collection::vec(0u64..3 * DAY, 1..200),
+    ) {
+        let mut segments: Vec<LogStore<u64>> = Vec::new();
+        let mut t = times.iter().cycle();
+        let mut total = 0usize;
+        for (shard, n) in shard_sizes.iter().enumerate() {
+            let mut seg = LogStore::for_shard(shard as u16);
+            for i in 0..*n {
+                seg.append(SimTime::from_secs(*t.next().unwrap()), i as u64);
+                total += 1;
+            }
+            segments.push(seg);
+        }
+        let merged = LogStore::merge(segments.iter());
+        prop_assert_eq!(merged.len(), total);
+        for w in merged.windows(2) {
+            prop_assert!(w[0].key < w[1].key, "keys must be unique and sorted");
+        }
+        // Every shard's records survive the merge exactly once (dense
+        // seqs 0..n), and records sharing an instant on one shard keep
+        // their emission order.
+        for (shard, n) in shard_sizes.iter().enumerate() {
+            let mut seqs: Vec<u64> = merged
+                .iter()
+                .filter(|e| e.key.shard == shard as u16)
+                .map(|e| e.key.seq)
+                .collect();
+            seqs.sort_unstable();
+            prop_assert_eq!(seqs, (0..*n as u64).collect::<Vec<_>>());
+        }
+        for w in merged.windows(2) {
+            if w[0].key.at == w[1].key.at && w[0].key.shard == w[1].key.shard {
+                prop_assert!(w[0].key.seq < w[1].key.seq);
+            }
+        }
+    }
+}

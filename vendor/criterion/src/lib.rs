@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark surface this workspace uses —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`, and `Bencher::iter` /
+//! `iter_batched` — as a plain wall-clock harness. There is no
+//! statistical analysis or HTML report; each target prints its mean
+//! time per iteration, which is enough to compare configurations (e.g.
+//! 1-worker vs N-worker engine runs) on the same machine.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped. The stub times every routine call
+/// individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn run_one(name: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<50} (no iterations)");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    println!("{name:<50} {mean:>12.2?}/iter  ({} iters)", b.iters);
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size as u64, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size as u64, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn iter_batched_reruns_setup() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 3);
+    }
+}

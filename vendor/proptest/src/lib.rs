@@ -1,0 +1,407 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the slice of proptest this workspace uses: the `proptest!`
+//! macro over `pat in strategy` bindings, `prop_assert*!`, numeric
+//! range strategies, a small regex-subset string strategy, and
+//! `proptest::collection::vec`. Cases are generated from a
+//! deterministic per-test RNG (seeded by the test's module path), so
+//! every run explores the same inputs — there is no shrinking, which is
+//! an acceptable trade for a hermetic build: a failing case always
+//! reproduces exactly.
+
+pub mod test_runner {
+    /// Cases per property. Upstream defaults to 256; 64 keeps the
+    /// whole-workspace test run fast while still exercising each
+    /// property across a spread of inputs.
+    pub const CASES: usize = 64;
+
+    /// SplitMix64 generator, seeded from the test name so each property
+    /// gets an independent deterministic stream.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test path.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)` with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Conversion from the expressions that appear after `in` inside
+    /// `proptest!`: ranges, regex string literals, or ready strategies.
+    pub trait IntoStrategy {
+        type Out: Strategy;
+        fn into_strategy(self) -> Self::Out;
+    }
+
+    impl<S: Strategy> IntoStrategy for S {
+        type Out = S;
+        fn into_strategy(self) -> S {
+            self
+        }
+    }
+
+    pub struct IntRange<T> {
+        lo: T,
+        hi: T, // inclusive
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl IntoStrategy for core::ops::Range<$t> {
+                type Out = IntRange<$t>;
+                fn into_strategy(self) -> IntRange<$t> {
+                    assert!(self.start < self.end, "empty proptest range");
+                    IntRange { lo: self.start, hi: self.end - 1 }
+                }
+            }
+            impl IntoStrategy for core::ops::RangeInclusive<$t> {
+                type Out = IntRange<$t>;
+                fn into_strategy(self) -> IntRange<$t> {
+                    assert!(self.start() <= self.end(), "empty proptest range");
+                    IntRange { lo: *self.start(), hi: *self.end() }
+                }
+            }
+            impl Strategy for IntRange<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.hi as i128 - self.lo as i128 + 1) as u128;
+                    let x = rng.next_u64() as u128;
+                    (self.lo as i128 + ((x * span) >> 64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub struct FloatRange {
+        lo: f64,
+        hi: f64,
+    }
+
+    impl IntoStrategy for core::ops::Range<f64> {
+        type Out = FloatRange;
+        fn into_strategy(self) -> FloatRange {
+            assert!(self.start < self.end, "empty proptest range");
+            FloatRange {
+                lo: self.start,
+                hi: self.end,
+            }
+        }
+    }
+
+    impl Strategy for FloatRange {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.lo + rng.unit_f64() * (self.hi - self.lo)
+        }
+    }
+
+    /// Regex-subset string strategy: sequences of literal characters or
+    /// `[a-z0-9_]`-style classes, each optionally quantified with
+    /// `{m,n}`, `{n}`, `?`, `+` or `*`.
+    pub struct RegexStrategy {
+        atoms: Vec<(Vec<char>, usize, usize)>,
+    }
+
+    impl IntoStrategy for &str {
+        type Out = RegexStrategy;
+        fn into_strategy(self) -> RegexStrategy {
+            RegexStrategy::parse(self)
+        }
+    }
+
+    impl IntoStrategy for String {
+        type Out = RegexStrategy;
+        fn into_strategy(self) -> RegexStrategy {
+            RegexStrategy::parse(&self)
+        }
+    }
+
+    impl RegexStrategy {
+        fn parse(pattern: &str) -> Self {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut atoms = Vec::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let set: Vec<char> = match chars[i] {
+                    '[' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|c| *c == ']')
+                            .unwrap_or_else(|| panic!("unclosed [ in regex `{pattern}`"))
+                            + i;
+                        let mut set = Vec::new();
+                        let mut j = i + 1;
+                        while j < close {
+                            if j + 2 < close && chars[j + 1] == '-' {
+                                let (a, b) = (chars[j], chars[j + 2]);
+                                assert!(a <= b, "bad class range in regex `{pattern}`");
+                                for c in a..=b {
+                                    set.push(c);
+                                }
+                                j += 3;
+                            } else {
+                                set.push(chars[j]);
+                                j += 1;
+                            }
+                        }
+                        i = close + 1;
+                        set
+                    }
+                    '\\' => {
+                        let c = *chars
+                            .get(i + 1)
+                            .unwrap_or_else(|| panic!("dangling escape in regex `{pattern}`"));
+                        i += 2;
+                        vec![c]
+                    }
+                    c => {
+                        assert!(
+                            !matches!(c, '(' | ')' | '|' | '.' | '^' | '$'),
+                            "unsupported regex syntax `{c}` in `{pattern}` (vendored proptest supports classes, literals and quantifiers)"
+                        );
+                        i += 1;
+                        vec![c]
+                    }
+                };
+                assert!(!set.is_empty(), "empty char class in regex `{pattern}`");
+                // Optional quantifier.
+                let (min, max) = match chars.get(i) {
+                    Some('{') => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|c| *c == '}')
+                            .unwrap_or_else(|| panic!("unclosed {{ in regex `{pattern}`"))
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((m, n)) => (
+                                m.trim().parse().expect("bad quantifier"),
+                                n.trim().parse().expect("bad quantifier"),
+                            ),
+                            None => {
+                                let n: usize = body.trim().parse().expect("bad quantifier");
+                                (n, n)
+                            }
+                        }
+                    }
+                    Some('?') => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    Some('+') => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    Some('*') => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    _ => (1, 1),
+                };
+                assert!(min <= max, "inverted quantifier in regex `{pattern}`");
+                atoms.push((set, min, max));
+            }
+            RegexStrategy { atoms }
+        }
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (set, min, max) in &self.atoms {
+                let n = *min + rng.below((*max - *min + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{IntoStrategy, Strategy};
+    use crate::test_runner::TestRng;
+
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<E: IntoStrategy>(elem: E, size: impl Into<SizeRange>) -> VecStrategy<E::Out> {
+        VecStrategy {
+            elem: elem.into_strategy(),
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{IntoStrategy, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The property-test entry point. Each `fn name(pat in strategy, ..)`
+/// becomes a plain `#[test]` running [`test_runner::CASES`]
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __pt_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __pt_case in 0..$crate::test_runner::CASES {
+                    let _ = __pt_case;
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &$crate::strategy::IntoStrategy::into_strategy($strategy),
+                            &mut __pt_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges respect their bounds across case generation.
+        #[test]
+        fn int_ranges_bounded(x in 3u64..10, y in -5i32..=5, z in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        /// The vec strategy honours its size range and element strategy.
+        #[test]
+        fn vec_sizes_bounded(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|b| *b < 4));
+        }
+
+        /// Regex-subset strings match their pattern shape.
+        #[test]
+        fn regex_shape(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        /// `mut` bindings work in the macro.
+        #[test]
+        fn mut_bindings(mut xs in crate::collection::vec(0u32..100, 1..10)) {
+            xs.sort();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::{IntoStrategy, Strategy};
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        let s = (0u64..1000).into_strategy();
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

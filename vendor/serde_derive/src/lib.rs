@@ -1,0 +1,390 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stub by walking `proc_macro::TokenTree` directly —
+//! the container has no `syn`/`quote`, so the item is parsed by hand and
+//! the impl is generated as source text. Supported shapes are exactly
+//! the ones this workspace derives on: non-generic structs (named,
+//! tuple, unit) and non-generic enums (unit, newtype, tuple and struct
+//! variants). Conventions match upstream serde defaults: newtype
+//! structs are transparent, enums are externally tagged, named fields
+//! become object keys in declaration order. Field types are never
+//! parsed: generated deserialization code calls
+//! `serde::Deserialize::from_value(..)` in positions where the field
+//! type is inferred from the struct literal.
+
+use proc_macro::{Delimiter, Group, Spacing, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Field names of a `{ .. }` body: an ident directly followed by a
+/// single `:` (spacing Alone, so `::` path separators never match) at
+/// angle-bracket depth zero. Types, attributes and visibility tokens
+/// all fall through without matching.
+fn named_field_names(body: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut depth = 0i32;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 1, // attr group follows
+            TokenTree::Ident(id) if depth == 0 => {
+                if let Some(TokenTree::Punct(p)) = toks.get(i + 1) {
+                    if p.as_char() == ':' && p.spacing() == Spacing::Alone {
+                        out.push(id.to_string());
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Arity of a `( .. )` body: count comma-separated segments at
+/// angle-bracket depth zero, tolerating a trailing comma.
+fn tuple_arity(body: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut pending = false;
+    for t in body.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected enum variant name, found {other}"),
+            None => break,
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(tuple_arity(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(named_field_names(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip a `= discriminant` (and anything else) up to the comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or off the end)
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("the vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_field_names(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(tuple_arity(g))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    }
+}
+
+// ---- codegen ----
+
+fn gen_serialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            s.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n  fn to_value(&self) -> serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Named(names) => {
+                    s.push_str("    serde::Value::Object(vec![\n");
+                    for f in names {
+                        s.push_str(&format!(
+                            "      (\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),\n"
+                        ));
+                    }
+                    s.push_str("    ])\n");
+                }
+                Fields::Tuple(1) => {
+                    // Newtype structs are transparent, like upstream serde.
+                    s.push_str("    serde::Serialize::to_value(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    s.push_str("    serde::Value::Array(vec![\n");
+                    for idx in 0..*n {
+                        s.push_str(&format!("      serde::Serialize::to_value(&self.{idx}),\n"));
+                    }
+                    s.push_str("    ])\n");
+                }
+                Fields::Unit => s.push_str("    serde::Value::Null\n"),
+            }
+            s.push_str("  }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            s.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n  fn to_value(&self) -> serde::Value {{\n    match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "      {name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => s.push_str(&format!(
+                        "      {name}::{vn}(f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        s.push_str(&format!(
+                            "      {name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "      {name}::{vn} {{ {} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{}]))]),\n",
+                            fs.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str("    }\n  }\n}\n");
+        }
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            s.push_str(&format!(
+                "impl serde::Deserialize for {name} {{\n  fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n"
+            ));
+            match fields {
+                Fields::Named(names) => {
+                    s.push_str(&format!("    Ok({name} {{\n"));
+                    for f in names {
+                        // Missing keys fall back to Null so Option fields
+                        // deserialize to None, matching upstream defaults.
+                        s.push_str(&format!(
+                            "      {f}: serde::Deserialize::from_value(v.get(\"{f}\").unwrap_or(&serde::Value::Null))?,\n"
+                        ));
+                    }
+                    s.push_str("    })\n");
+                }
+                Fields::Tuple(1) => {
+                    s.push_str(&format!(
+                        "    Ok({name}(serde::Deserialize::from_value(v)?))\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    s.push_str(&format!(
+                        "    let a = v.as_array().ok_or_else(|| serde::Error::type_mismatch(\"tuple struct {name}\", v))?;\n"
+                    ));
+                    let args: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "serde::Deserialize::from_value(a.get({i}).unwrap_or(&serde::Value::Null))?"
+                            )
+                        })
+                        .collect();
+                    s.push_str(&format!("    Ok({name}({}))\n", args.join(", ")));
+                }
+                Fields::Unit => s.push_str(&format!("    let _ = v;\n    Ok({name})\n")),
+            }
+            s.push_str("  }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            s.push_str(&format!(
+                "impl serde::Deserialize for {name} {{\n  fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n"
+            ));
+            // Unit variants arrive as bare strings.
+            s.push_str("    if let Some(tag) = v.as_str() {\n      return match tag {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    let vn = &v.name;
+                    s.push_str(&format!("        \"{vn}\" => Ok({name}::{vn}),\n"));
+                }
+            }
+            s.push_str(&format!(
+                "        other => Err(serde::Error::custom(format!(\"unknown {name} variant {{other}}\"))),\n      }};\n    }}\n"
+            ));
+            // Data variants arrive externally tagged: { "Variant": payload }.
+            s.push_str("    if let Some(obj) = v.as_object() {\n      if let Some((tag, inner)) = obj.first() {\n        match tag.as_str() {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => s.push_str(&format!(
+                        "          \"{vn}\" => return Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let args: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::from_value(a.get({i}).unwrap_or(&serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "          \"{vn}\" => {{\n            let a = inner.as_array().ok_or_else(|| serde::Error::type_mismatch(\"{name}::{vn} payload\", inner))?;\n            return Ok({name}::{vn}({}));\n          }}\n",
+                            args.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(inner.get(\"{f}\").unwrap_or(&serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "          \"{vn}\" => return Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str("          _ => {}\n        }\n      }\n    }\n");
+            s.push_str(&format!(
+                "    Err(serde::Error::type_mismatch(\"{name}\", v))\n  }}\n}}\n"
+            ));
+        }
+    }
+    s
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
