@@ -16,10 +16,23 @@ use crate::scamgen::{generate_scam, ScamStyle};
 use crate::terms::{SearchTermModel, TermCategory};
 use crate::world::{Folder, HijackerWorld, LoginAttemptOutcome};
 use mhw_netmodel::PhonePlan;
+use mhw_obs::{buckets, MetricId, Registry};
 use mhw_phishkit::{CapturedCredential, CredentialExactness};
 use mhw_simclock::SimRng;
 use mhw_types::{AccountId, EmailAddress, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// Hijack sessions run (one per credential picked off a dropbox).
+pub const M_SESSIONS_RUN: MetricId = MetricId("adversary.sessions_run");
+/// Sessions that reached the exploitation stage.
+pub const M_SESSIONS_EXPLOITED: MetricId = MetricId("adversary.sessions_exploited");
+/// Sessions cut short by anti-abuse action.
+pub const M_SESSIONS_INTERRUPTED: MetricId = MetricId("adversary.sessions_interrupted");
+/// Sessions run against defender decoy credentials.
+pub const M_DECOY_SESSIONS: MetricId = MetricId("adversary.decoy_sessions");
+/// Capture → session-start latency, simulated seconds (the Figure 7
+/// "time to first access" reaction distribution).
+pub const M_PICKUP_LATENCY_SECS: MetricId = MetricId("adversary.pickup_latency_secs");
 
 /// How an exploited account was monetized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,6 +88,7 @@ pub struct HijackPlaybook {
     pub mean_profiling_secs: f64,
     /// Mean exploitation duration in seconds (paper: 15–20 minutes).
     pub mean_exploit_secs: f64,
+    metrics: Registry,
 }
 
 impl Default for HijackPlaybook {
@@ -84,6 +98,12 @@ impl Default for HijackPlaybook {
             value_threshold: 0.22,
             mean_profiling_secs: 180.0,
             mean_exploit_secs: 17.0 * 60.0,
+            metrics: Registry::new()
+                .with_counter(M_SESSIONS_RUN)
+                .with_counter(M_SESSIONS_EXPLOITED)
+                .with_counter(M_SESSIONS_INTERRUPTED)
+                .with_counter(M_DECOY_SESSIONS)
+                .with_histogram(M_PICKUP_LATENCY_SECS, buckets::LATENCY_SECS),
         }
     }
 }
@@ -101,10 +121,41 @@ pub fn doppelganger_for(victim: &EmailAddress, rng: &mut SimRng) -> EmailAddress
 }
 
 impl HijackPlaybook {
+    /// The playbook's metrics registry (session counts and the
+    /// dropbox-pickup latency distribution).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
     /// Run one full session for a captured credential, starting at
     /// `start` (the moment the operator picks the credential off the
     /// dropbox queue). All world interaction flows through `world`.
     pub fn run_session(
+        &self,
+        crew: &mut Crew,
+        cred: &CapturedCredential,
+        world: &mut dyn HijackerWorld,
+        phones: &mut PhonePlan,
+        start: SimTime,
+        rng: &mut SimRng,
+    ) -> SessionReport {
+        self.metrics.inc(M_SESSIONS_RUN);
+        if cred.is_decoy {
+            self.metrics.inc(M_DECOY_SESSIONS);
+        }
+        self.metrics
+            .observe(M_PICKUP_LATENCY_SECS, start.since(cred.captured_at).as_secs());
+        let report = self.session_inner(crew, cred, world, phones, start, rng);
+        if report.exploited {
+            self.metrics.inc(M_SESSIONS_EXPLOITED);
+        }
+        if report.interrupted {
+            self.metrics.inc(M_SESSIONS_INTERRUPTED);
+        }
+        report
+    }
+
+    fn session_inner(
         &self,
         crew: &mut Crew,
         cred: &CapturedCredential,
@@ -753,6 +804,32 @@ mod tests {
                 "{d}"
             );
         }
+    }
+
+    #[test]
+    fn session_metrics_cover_run_and_pickup_latency() {
+        let (mut roster, mut phones) = crew(41);
+        let mut world = MockWorld::rich();
+        let pb = HijackPlaybook::default();
+        let mut rng = SimRng::from_seed(42);
+        // cred captured at t=100, session starts at t=1000 → 900 s pickup.
+        let r = pb.run_session(
+            &mut roster.crews[0],
+            &cred(CredentialExactness::Exact),
+            &mut world,
+            &mut phones,
+            SimTime::from_secs(1000),
+            &mut rng,
+        );
+        assert!(r.exploited);
+        let m = pb.metrics();
+        assert_eq!(m.counter_value(M_SESSIONS_RUN), Some(1));
+        assert_eq!(m.counter_value(M_SESSIONS_EXPLOITED), Some(1));
+        assert_eq!(m.counter_value(M_DECOY_SESSIONS), Some(0));
+        let snap = m.snapshot();
+        let pickup = snap.histogram(M_PICKUP_LATENCY_SECS.name()).unwrap();
+        assert_eq!(pickup.total, 1);
+        assert_eq!(pickup.sum, 900);
     }
 
     #[test]

@@ -9,8 +9,15 @@
 //! engine's coordination overhead. No ratio is asserted here — the
 //! digest equality that matters is pinned by `tests/sharding.rs`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Besides the criterion timings, the bench writes `BENCH_obs.json`:
+//! the engine's per-phase wall-clock profile ([`mhw_obs::EngineProfile`])
+//! at 1/2/4/8 workers over the same scenario, plus the dataset digest of
+//! each run (all identical — the digests double as a determinism check).
+
+use criterion::{criterion_group, Criterion};
 use mhw_core::{ScenarioConfig, ShardedEngine};
+use mhw_obs::EngineProfile;
+use serde::Serialize;
 
 fn scaling_config() -> ScenarioConfig {
     let mut config = ScenarioConfig::small_test(0x5CA1);
@@ -47,4 +54,50 @@ fn bench_engine_scaling(c: &mut Criterion) {
 }
 
 criterion_group!(engine, bench_engine_scaling);
-criterion_main!(engine);
+
+/// One row of `BENCH_obs.json`: the per-phase profile of a single
+/// engine run plus the digest it produced.
+#[derive(Serialize)]
+struct ObsRun {
+    digest: String,
+    profile: EngineProfile,
+}
+
+/// The whole `BENCH_obs.json` document.
+#[derive(Serialize)]
+struct ObsBench {
+    scenario: String,
+    runs: Vec<ObsRun>,
+}
+
+/// Profile the engine at increasing worker counts and write the
+/// per-phase wall-clock breakdown to `BENCH_obs.json`.
+fn write_obs_profile() {
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let run = ShardedEngine::new(scaling_config(), 8)
+            .workers(workers)
+            .contact_spillover(0.25)
+            .run();
+        let digest = run.dataset_digest();
+        runs.push(ObsRun { digest: format!("{digest:016x}"), profile: run.profile() });
+        let profile = &runs.last().unwrap().profile;
+        let total: f64 = profile.phases.iter().map(|p| p.total_ms).sum();
+        println!("obs profile: {workers} workers, total {total:.0} ms, digest {digest:016x}");
+    }
+    let doc = ObsBench {
+        scenario: "8 shards, 400 users, 4 days, seed 0x5CA1".to_string(),
+        runs,
+    };
+    let json = serde_json::to_string(&doc).expect("serialize BENCH_obs.json");
+    // Cargo runs benches with the package dir as CWD; anchor the
+    // artifact at the workspace root instead.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, json).expect("write BENCH_obs.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    engine();
+    write_obs_profile();
+}

@@ -51,6 +51,17 @@ impl ScenarioBuilder {
         ScenarioBuilder::new(ScenarioConfig::measurement(seed))
     }
 
+    /// Override the RNG seed. Same config + same seed ⇒ bit-identical
+    /// datasets.
+    ///
+    /// ```
+    /// use mhw_core::ScenarioBuilder;
+    ///
+    /// let a = ScenarioBuilder::small_test(1).seed(42).days(2).run();
+    /// let b = ScenarioBuilder::small_test(1).seed(42).days(2).run();
+    /// assert_eq!(a.stats.lures_delivered, b.stats.lures_delivered);
+    /// assert_eq!(a.stats.incidents, b.stats.incidents);
+    /// ```
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
         self
@@ -69,26 +80,51 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Number of simulated days [`run`](Self::run) executes.
     pub fn days(mut self, days: u64) -> Self {
         self.config.days = days;
         self
     }
 
+    /// Select the simulated era (the paper contrasts 2011's weak
+    /// defenses with 2012's hardened ones).
     pub fn era(mut self, era: Era) -> Self {
         self.config.era = era;
         self
     }
 
+    /// Total user population size.
+    ///
+    /// ```
+    /// use mhw_core::ScenarioBuilder;
+    ///
+    /// let eco = ScenarioBuilder::small_test(3).population(150).days(1).run();
+    /// assert_eq!(eco.population.len(), 150);
+    /// ```
     pub fn population(mut self, n_users: usize) -> Self {
         self.config.population.n_users = n_users;
         self
     }
 
+    /// Replace the whole defense configuration (risk analysis, scam
+    /// classifier, activity monitor, notifications).
+    ///
+    /// ```
+    /// use mhw_core::{DefenseConfig, ScenarioBuilder};
+    ///
+    /// // An undefended world never challenges its users at login.
+    /// let eco = ScenarioBuilder::small_test(5)
+    ///     .defense(DefenseConfig::none())
+    ///     .days(2)
+    ///     .run();
+    /// assert_eq!(eco.stats.organic_challenges, 0);
+    /// ```
     pub fn defense(mut self, defense: DefenseConfig) -> Self {
         self.config.defense = defense;
         self
     }
 
+    /// Phishing pressure: expected lures per user per day.
     pub fn lures_per_user_day(mut self, rate: f64) -> Self {
         self.config.lures_per_user_day = rate;
         self

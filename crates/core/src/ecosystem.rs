@@ -28,6 +28,7 @@ use mhw_identity::{
 };
 use mhw_mailsys::{Folder, MailProvider, MessageDraft, MessageKind};
 use mhw_netmodel::{DomainModel, GeoDb, PhonePlan, ReferrerModel};
+use mhw_obs::{MetricId, MetricsSnapshot, Registry, RunReport};
 use mhw_phishkit::{
     CapturedCredential, CredentialExactness, DetectionPipeline, Dropbox, PageQuality,
     PhishingPage, TakedownRecord,
@@ -40,6 +41,14 @@ use mhw_types::{
     SimDuration, SimTime, DAY, HOUR,
 };
 use std::collections::{HashMap, HashSet};
+
+/// Credentials sitting unclaimed in crew dropboxes at end of run (the
+/// queue-depth gauge; per-shard values sum on merge).
+pub const M_DROPBOX_PENDING: MetricId = MetricId("ecosystem.dropbox_pending");
+/// Credentials lost to dropbox takedowns/rotation over the whole run.
+pub const M_DROPBOX_LOST: MetricId = MetricId("ecosystem.dropbox_lost");
+/// Confirmed manual-hijacking incidents opened.
+pub const M_INCIDENTS: MetricId = MetricId("ecosystem.incidents");
 
 /// Where a delivered lure leads, for credential-capture mechanics.
 #[derive(Debug, Clone, Copy)]
@@ -136,6 +145,9 @@ pub struct Ecosystem {
     pub(crate) sessions: Vec<SessionReport>,
     pub disabled: HashSet<AccountId>,
     pub stats: RunStats,
+    /// Ecosystem-level metrics not owned by any subsystem (queue depth,
+    /// incident counts); merged into [`Ecosystem::metrics_snapshot`].
+    pub obs: Registry,
     /// Decoy accounts injected by the Figure 7 experiment.
     pub decoy_accounts: HashSet<AccountId>,
     users: Vec<UserState>,
@@ -274,6 +286,10 @@ impl Ecosystem {
             sessions: Vec::new(),
             disabled: HashSet::new(),
             stats: RunStats::default(),
+            obs: Registry::new()
+                .with_gauge(M_DROPBOX_PENDING)
+                .with_counter(M_DROPBOX_LOST)
+                .with_counter(M_INCIDENTS),
             decoy_accounts: HashSet::new(),
             users,
             pending_decoys: Vec::new(),
@@ -421,6 +437,45 @@ impl Ecosystem {
                 self.run_hijack_session(idx, &credential, start);
             }
         }
+        // End-of-day queue depth: credentials captured but not yet picked
+        // up by any operator (a simulated-time quantity, so it belongs in
+        // the deterministic report).
+        let depth: usize = self.crews.crews.iter().map(|c| c.dropbox.pending()).sum();
+        self.obs.gauge_set(M_DROPBOX_PENDING, depth as u64);
+    }
+
+    /// Merge every subsystem registry (login log, mail provider, risk
+    /// pipeline, behavioral monitor, notifications, detection, playbook,
+    /// recovery, plus [`Ecosystem::obs`]) into one name-sorted snapshot.
+    ///
+    /// Every value is a pure function of the simulated events, so for a
+    /// fixed `(seed, config)` the snapshot is identical no matter how
+    /// the run was scheduled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::merge_all([
+            self.login_log.metrics().snapshot(),
+            self.provider.metrics().snapshot(),
+            self.login.metrics().snapshot(),
+            self.monitor.metrics().snapshot(),
+            self.notifications.metrics().snapshot(),
+            self.detection.metrics().snapshot(),
+            self.playbook.metrics().snapshot(),
+            self.recovery.metrics().snapshot(),
+            self.obs.snapshot(),
+        ])
+    }
+
+    /// The deterministic end-of-run report for this (unsharded) world.
+    /// Sharded runs build theirs via `ShardedRun::run_report`, which
+    /// merges the per-shard snapshots instead.
+    pub fn run_report(&self) -> RunReport {
+        RunReport::new(
+            self.config.seed,
+            1,
+            self.config.days as u32,
+            self.config.population.n_users as u32,
+            self.metrics_snapshot(),
+        )
     }
 
     // ---- scheduling ----
@@ -543,7 +598,11 @@ impl Ecosystem {
     fn rotate_dropboxes(&mut self, day_start: SimTime) {
         for crew in &mut self.crews.crews {
             if !crew.dropbox.is_active(day_start) {
-                // The crew stands up a fresh dropbox overnight.
+                // The crew stands up a fresh dropbox overnight. Anything
+                // still queued in the torn-down one never reaches an
+                // operator — account for it before the count resets.
+                self.obs
+                    .add(M_DROPBOX_LOST, (crew.dropbox.lost() + crew.dropbox.pending()) as u64);
                 crew.dropbox = Dropbox::new(crew.id);
             } else if self.rng_campaign.chance(self.config.dropbox_suspension_per_day) {
                 crew.dropbox.suspend(day_start.plus(SimDuration::from_secs(
@@ -1105,6 +1164,7 @@ impl Ecosystem {
             is_decoy: report.was_decoy,
         };
         let incident_index = self.incidents.len();
+        self.obs.inc(M_INCIDENTS);
         self.incidents.push(incident);
         if account.index() < self.users.len() {
             self.users[account.index()].active_incident = Some(incident_index);

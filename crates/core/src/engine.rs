@@ -42,11 +42,26 @@ use mhw_adversary::SessionReport;
 use mhw_defense::NotificationRecord;
 use mhw_identity::LoginRecord;
 use mhw_mailsys::MailEvent;
+use mhw_obs::{
+    span, EngineProfile, MetricId, MetricsSnapshot, PhaseProfiler, Registry, RunReport,
+};
 use mhw_simclock::SimRng;
 use mhw_types::{CrewId, LogStore, SimDuration, SimTime, Stamped, DAY};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::thread;
+
+/// Credentials that changed hands on the cross-shard market (mirrors
+/// [`ShardedRun::market_trades`] in the metrics snapshot).
+pub const M_MARKET_TRADES: MetricId = MetricId("engine.market_trades");
+/// Lures routed across shard boundaries at day barriers (mirrors
+/// [`ShardedRun::cross_shard_lures`]).
+pub const M_CROSS_SHARD_LURES: MetricId = MetricId("engine.cross_shard_lures");
+/// Decoy-credential probes scheduled by the engine.
+pub const M_DECOY_PROBES: MetricId = MetricId("engine.decoy_probes");
+/// Peak per-barrier exchange-queue depth (market offers drained at a
+/// single day barrier). A sim-time quantity: deterministic per scenario.
+pub const M_EXCHANGE_QUEUE_PEAK: MetricId = MetricId("engine.exchange_queue_peak");
 
 /// Configures and runs a sharded scenario.
 pub struct ShardedEngine {
@@ -116,6 +131,12 @@ impl ShardedEngine {
     pub fn run(self) -> ShardedRun {
         let k = self.n_shards as usize;
         let workers = self.workers.min(k);
+        let mut profiler = PhaseProfiler::new();
+        let metrics = Registry::new()
+            .with_counter(M_MARKET_TRADES)
+            .with_counter(M_CROSS_SHARD_LURES)
+            .with_counter(M_DECOY_PROBES)
+            .with_gauge(M_EXCHANGE_QUEUE_PEAK);
 
         // Build the shard worlds in parallel. The job list and results
         // go through mutexes, but each shard's content is a function of
@@ -123,14 +144,18 @@ impl ShardedEngine {
         // are sorted by id afterwards.
         let jobs: Mutex<Vec<ScenarioConfig>> = Mutex::new(self.shard_configs());
         let built: Mutex<Vec<Ecosystem>> = Mutex::new(Vec::with_capacity(k));
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let Some(config) = jobs.lock().pop() else { break };
-                    let eco = Ecosystem::build(config);
-                    built.lock().push(eco);
-                });
-            }
+        profiler.time("build", || {
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let Some(config) = jobs.lock().pop() else { break };
+                        let shard = config.shard;
+                        let _span = span!("engine.build_shard", shard);
+                        let eco = Ecosystem::build(config);
+                        built.lock().push(eco);
+                    });
+                }
+            });
         });
         let mut shards = built.into_inner();
         shards.sort_by_key(|e| e.config.shard);
@@ -148,6 +173,7 @@ impl ShardedEngine {
                     rng.below(horizon) * DAY + rng.below(DAY),
                 );
                 shards[shard].schedule_decoy_submission(at, account, crew);
+                metrics.inc(M_DECOY_PROBES);
             }
         }
 
@@ -166,86 +192,114 @@ impl ShardedEngine {
             for (i, eco) in shards.iter_mut().enumerate() {
                 buckets[i % workers].push(eco);
             }
-            thread::scope(|scope| {
-                for bucket in buckets {
-                    scope.spawn(move || {
-                        for eco in bucket {
-                            eco.run_day(day);
-                        }
-                    });
-                }
+            profiler.time("shard_day", || {
+                thread::scope(|scope| {
+                    for bucket in buckets {
+                        scope.spawn(move || {
+                            for eco in bucket {
+                                let shard = eco.config.shard;
+                                let _span = span!("engine.shard_day", shard);
+                                eco.run_day(day);
+                            }
+                        });
+                    }
+                });
             });
 
             // ---- day barrier: single-threaded exchange in shard order.
-
-            // Credential market. Buyers rotate over the global offer
-            // sequence, so the volume any shard sells shifts who buys
-            // everywhere else — shards are genuinely coupled — while
-            // exploitation stays in the victim's shard (the account
-            // lives there; crews are global).
-            let mut offer_seq = 0usize;
-            for shard in shards.iter_mut() {
-                for (seller, credential) in shard.drain_market_outbox() {
-                    let buyer = if n_crews > 1 {
-                        CrewId::from_index(
-                            (seller.index() + 1 + offer_seq % (n_crews - 1)) % n_crews,
-                        )
-                    } else {
-                        seller
-                    };
-                    offer_seq += 1;
-                    if shard.import_market_credential(buyer, credential) {
-                        market_trades += 1;
+            profiler.time("barrier_exchange", || {
+                // Credential market. Buyers rotate over the global offer
+                // sequence, so the volume any shard sells shifts who buys
+                // everywhere else — shards are genuinely coupled — while
+                // exploitation stays in the victim's shard (the account
+                // lives there; crews are global).
+                let mut offer_seq = 0usize;
+                for shard in shards.iter_mut() {
+                    for (seller, credential) in shard.drain_market_outbox() {
+                        let buyer = if n_crews > 1 {
+                            CrewId::from_index(
+                                (seller.index() + 1 + offer_seq % (n_crews - 1)) % n_crews,
+                            )
+                        } else {
+                            seller
+                        };
+                        offer_seq += 1;
+                        if shard.import_market_credential(buyer, credential) {
+                            market_trades += 1;
+                            metrics.inc(M_MARKET_TRADES);
+                        }
                     }
                 }
-            }
+                metrics.gauge_max(M_EXCHANGE_QUEUE_PEAK, offer_seq as u64);
 
-            // Contact-graph mail: new exploited incidents spill part of
-            // their phishing blast into other shards as next-day lures.
-            let spill = self.contact_spillover;
-            if k > 1 && spill > 0.0 && day + 1 < self.base.days {
-                let next_day = SimTime::from_secs((day + 1) * DAY);
-                let mut exports: Vec<(usize, SimTime, CrewId)> = Vec::new();
-                for s in 0..k {
-                    let eco = &shards[s];
-                    for inc in &eco.incidents()[seen_incidents[s]..] {
-                        let session = &eco.sessions()[inc.session];
-                        if !session.exploited || session.phishing_messages == 0 {
+                // Contact-graph mail: new exploited incidents spill part of
+                // their phishing blast into other shards as next-day lures.
+                let spill = self.contact_spillover;
+                if k > 1 && spill > 0.0 && day + 1 < self.base.days {
+                    let next_day = SimTime::from_secs((day + 1) * DAY);
+                    let mut exports: Vec<(usize, SimTime, CrewId)> = Vec::new();
+                    for s in 0..k {
+                        let eco = &shards[s];
+                        for inc in &eco.incidents()[seen_incidents[s]..] {
+                            let session = &eco.sessions()[inc.session];
+                            if !session.exploited || session.phishing_messages == 0 {
+                                continue;
+                            }
+                            let n_out =
+                                (session.phishing_messages as f64 * spill).round() as u64;
+                            for _ in 0..n_out {
+                                let mut dest = rng_exchange.below(k as u64 - 1) as usize;
+                                if dest >= s {
+                                    dest += 1;
+                                }
+                                let at = next_day
+                                    .plus(SimDuration::from_secs(rng_exchange.below(DAY)));
+                                exports.push((dest, at, inc.crew));
+                            }
+                        }
+                        seen_incidents[s] = eco.incidents().len();
+                    }
+                    for (dest, at, crew) in exports {
+                        let n_users = shards[dest].population.len() as u64;
+                        if n_users == 0 {
                             continue;
                         }
-                        let n_out =
-                            (session.phishing_messages as f64 * spill).round() as u64;
-                        for _ in 0..n_out {
-                            let mut dest = rng_exchange.below(k as u64 - 1) as usize;
-                            if dest >= s {
-                                dest += 1;
-                            }
-                            let at = next_day
-                                .plus(SimDuration::from_secs(rng_exchange.below(DAY)));
-                            exports.push((dest, at, inc.crew));
-                        }
+                        let target = shards[dest].population.users
+                            [rng_exchange.below(n_users) as usize]
+                            .account;
+                        shards[dest].queue_external_lure(at, target, crew);
+                        cross_shard_lures += 1;
+                        metrics.inc(M_CROSS_SHARD_LURES);
                     }
-                    seen_incidents[s] = eco.incidents().len();
-                }
-                for (dest, at, crew) in exports {
-                    let n_users = shards[dest].population.len() as u64;
-                    if n_users == 0 {
-                        continue;
+                } else {
+                    for s in 0..k {
+                        seen_incidents[s] = shards[s].incidents().len();
                     }
-                    let target = shards[dest].population.users
-                        [rng_exchange.below(n_users) as usize]
-                        .account;
-                    shards[dest].queue_external_lure(at, target, crew);
-                    cross_shard_lures += 1;
                 }
-            } else {
-                for s in 0..k {
-                    seen_incidents[s] = shards[s].incidents().len();
-                }
-            }
+            });
         }
 
-        ShardedRun { shards, market_trades, cross_shard_lures }
+        // Time a representative merge of the three event logs so the
+        // profile reflects end-to-end cost; the merged views are cheap
+        // borrows and are rebuilt on demand by the accessors.
+        profiler.time("log_merge", || {
+            let _ = LogStore::merge(shards.iter().map(|e| e.login_log.store()));
+            let _ = LogStore::merge(shards.iter().map(|e| e.provider.log_store()));
+            let _ = LogStore::merge(shards.iter().map(|e| e.notifications.log_store()));
+        });
+
+        ShardedRun {
+            shards,
+            market_trades,
+            cross_shard_lures,
+            seed: self.base.seed,
+            days: self.base.days,
+            users: self.base.population.n_users as u32,
+            n_shards: self.n_shards,
+            workers,
+            metrics,
+            profiler,
+        }
     }
 }
 
@@ -256,6 +310,13 @@ pub struct ShardedRun {
     pub market_trades: u64,
     /// Lures routed across shard boundaries at day barriers.
     pub cross_shard_lures: u64,
+    seed: u64,
+    days: u64,
+    users: u32,
+    n_shards: u16,
+    workers: usize,
+    metrics: Registry,
+    profiler: PhaseProfiler,
 }
 
 /// FNV-1a over a byte slice (the digest primitive; stable across
@@ -362,6 +423,42 @@ impl ShardedRun {
         let _ = write!(line, "{:?}", self.total_stats());
         fnv1a(h, line.as_bytes())
     }
+
+    /// The engine's own metrics registry (market trades, cross-shard
+    /// lures, decoy probes, exchange-queue peak).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Sim-time metrics merged over every shard plus the engine's own
+    /// counters. All quantities are functions of the scenario (seed,
+    /// shards, days, population) alone — the worker count never appears,
+    /// so two runs of the same scenario produce identical snapshots at
+    /// any parallelism level.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::merge_all(
+            self.shards
+                .iter()
+                .map(|e| e.metrics_snapshot())
+                .chain(std::iter::once(self.metrics.snapshot())),
+        )
+    }
+
+    /// The deterministic end-of-run report. Serialises byte-identically
+    /// across worker counts for a fixed scenario — this is the report
+    /// half of the determinism contract, pinned alongside
+    /// [`dataset_digest`](Self::dataset_digest) by
+    /// `tests/observability.rs`.
+    pub fn run_report(&self) -> RunReport {
+        RunReport::new(self.seed, self.n_shards, self.days as u32, self.users, self.metrics_snapshot())
+    }
+
+    /// Wall-clock per-phase profile of the run (world build, parallel
+    /// shard days, barrier exchange, log merge). Pure mechanics: useful
+    /// for benchmarking, deliberately **not** part of [`RunReport`].
+    pub fn profile(&self) -> EngineProfile {
+        self.profiler.report(self.n_shards, self.workers)
+    }
 }
 
 #[cfg(test)]
@@ -432,6 +529,29 @@ mod tests {
         let shards_seen: std::collections::HashSet<u16> =
             merged.iter().map(|r| r.key.shard).collect();
         assert_eq!(shards_seen.len(), 3);
+    }
+
+    #[test]
+    fn run_report_is_byte_identical_across_worker_counts() {
+        let a = ShardedEngine::new(tiny(7), 3).workers(1).run();
+        let b = ShardedEngine::new(tiny(7), 3).workers(3).run();
+        assert_eq!(a.run_report().to_json(), b.run_report().to_json());
+        let snap = a.metrics_snapshot();
+        assert_eq!(
+            snap.counters.iter().find(|c| c.name == "engine.market_trades").map(|c| c.value),
+            Some(a.market_trades),
+        );
+    }
+
+    #[test]
+    fn profile_covers_every_engine_phase() {
+        let run = ShardedEngine::new(tiny(9), 2).workers(2).run();
+        let profile = run.profile();
+        let phases: Vec<&str> = profile.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(phases, vec!["build", "shard_day", "barrier_exchange", "log_merge"]);
+        assert_eq!(profile.workers, 2);
+        // One timing per day for the in-loop phases.
+        assert_eq!(profile.phases[1].calls, 4);
     }
 
     #[test]

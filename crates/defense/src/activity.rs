@@ -17,8 +17,14 @@
 //! false positives against detection.
 
 use mhw_mailsys::{Folder, MailEvent, MailEventKind};
+use mhw_obs::{MetricId, Registry};
 use mhw_types::{AccountId, SimDuration, SimTime};
 use std::collections::HashMap;
+
+/// Provider-log events the monitor has scored.
+pub const M_MONITOR_EVENTS: MetricId = MetricId("defense.monitor_events");
+/// Verdicts at/above the flag threshold.
+pub const M_MONITOR_FLAGS: MetricId = MetricId("defense.monitor_flags");
 
 /// Features accumulated over one account's recent activity window.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -82,23 +88,32 @@ pub struct ActivityMonitor {
     /// Flag threshold on the combined score.
     pub threshold: f64,
     windows: HashMap<AccountId, (SimTime, ActivityFeatures)>,
+    metrics: Registry,
 }
 
 impl Default for ActivityMonitor {
     fn default() -> Self {
-        ActivityMonitor {
-            window: SimDuration::from_hours(1),
-            // High bar: §8.1 stresses that hijacker actions look like
-            // normal-user actions, so only strong combinations flag.
-            threshold: 0.75,
-            windows: HashMap::new(),
-        }
+        // High bar: §8.1 stresses that hijacker actions look like
+        // normal-user actions, so only strong combinations flag.
+        Self::new(SimDuration::from_hours(1), 0.75)
     }
 }
 
 impl ActivityMonitor {
     pub fn new(window: SimDuration, threshold: f64) -> Self {
-        ActivityMonitor { window, threshold, windows: HashMap::new() }
+        ActivityMonitor {
+            window,
+            threshold,
+            windows: HashMap::new(),
+            metrics: Registry::new()
+                .with_counter(M_MONITOR_EVENTS)
+                .with_counter(M_MONITOR_FLAGS),
+        }
+    }
+
+    /// The monitor's metrics registry (event and flag counters).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Feed one provider log event; returns the verdict for the
@@ -139,7 +154,12 @@ impl ActivityMonitor {
             _ => {}
         }
         let score = Self::score(f);
-        ActivityVerdict { score, flagged: score >= self.threshold }
+        let flagged = score >= self.threshold;
+        self.metrics.inc(M_MONITOR_EVENTS);
+        if flagged {
+            self.metrics.inc(M_MONITOR_FLAGS);
+        }
+        ActivityVerdict { score, flagged }
     }
 
     /// Current features for an account (None if never seen).

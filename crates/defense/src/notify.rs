@@ -11,9 +11,15 @@
 //! quality to the Figure 9 recovery-latency distribution.
 
 use mhw_identity::RecoveryOptions;
+use mhw_obs::{MetricId, Registry};
 use mhw_simclock::SimRng;
 use mhw_types::{AccountId, EventSink, LogStore, ShardId, SimTime, Stamped};
 use serde::{Deserialize, Serialize};
+
+/// Notification attempts fired (any channel, including none-on-file).
+pub const M_NOTIFICATIONS_SENT: MetricId = MetricId("defense.notifications_sent");
+/// Notifications that actually reached the user.
+pub const M_NOTIFICATIONS_DELIVERED: MetricId = MetricId("defense.notifications_delivered");
 
 /// The critical events that trigger a notification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -46,9 +52,21 @@ pub struct NotificationRecord {
 }
 
 /// The notification engine.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct NotificationEngine {
     log: LogStore<NotificationRecord>,
+    metrics: Registry,
+}
+
+impl Default for NotificationEngine {
+    fn default() -> Self {
+        NotificationEngine {
+            log: LogStore::default(),
+            metrics: Registry::new()
+                .with_counter(M_NOTIFICATIONS_SENT)
+                .with_counter(M_NOTIFICATIONS_DELIVERED),
+        }
+    }
 }
 
 impl NotificationEngine {
@@ -61,7 +79,13 @@ impl NotificationEngine {
     pub fn for_shard(shard: ShardId) -> Self {
         NotificationEngine {
             log: LogStore::for_shard(shard),
+            ..Self::default()
         }
+    }
+
+    /// The engine's metrics registry (sent/delivered counters).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Fire a notification for `event`, choosing the best independent
@@ -92,6 +116,10 @@ impl NotificationEngine {
             (NotificationChannel::None, false)
         };
         let record = NotificationRecord { at, account, event, channel, delivered };
+        self.metrics.inc(M_NOTIFICATIONS_SENT);
+        if delivered {
+            self.metrics.inc(M_NOTIFICATIONS_DELIVERED);
+        }
         self.log.emit(at, record);
         record
     }

@@ -13,8 +13,16 @@ use mhw_identity::{
     CredentialStore, LoginLog, LoginOutcome, LoginRecord, RecoveryOptions, TwoFactorState,
 };
 use mhw_netmodel::GeoDb;
+use mhw_obs::{MetricId, Registry};
 use mhw_simclock::SimRng;
 use mhw_types::{AccountId, Actor, DeviceId, IpAddr, SimTime};
+
+/// Correct-password attempts the risk engine let straight through.
+pub const M_RISK_ALLOW: MetricId = MetricId("defense.risk_allow");
+/// Correct-password attempts redirected to a login challenge.
+pub const M_RISK_CHALLENGE: MetricId = MetricId("defense.risk_challenge");
+/// Correct-password attempts the risk engine blocked outright.
+pub const M_RISK_BLOCK: MetricId = MetricId("defense.risk_block");
 
 /// One login request as the provider sees it, plus the simulation-side
 /// answerer capabilities used to adjudicate a challenge if one is
@@ -39,6 +47,7 @@ pub struct LoginPipeline {
     pub challenge: ChallengePolicy,
     pub history: HistoryStore,
     pub ip_reputation: IpReputation,
+    metrics: Registry,
 }
 
 impl LoginPipeline {
@@ -48,7 +57,16 @@ impl LoginPipeline {
             challenge: ChallengePolicy::default(),
             history: HistoryStore::new(),
             ip_reputation: IpReputation::new(),
+            metrics: Registry::new()
+                .with_counter(M_RISK_ALLOW)
+                .with_counter(M_RISK_CHALLENGE)
+                .with_counter(M_RISK_BLOCK),
         }
+    }
+
+    /// The pipeline's metrics registry (risk-verdict counters).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Register the next account (dense order, like the other stores).
@@ -99,9 +117,16 @@ impl LoginPipeline {
             }
         } else {
             match decision {
-                RiskDecision::Allow => LoginOutcome::Success,
-                RiskDecision::Block => LoginOutcome::Blocked,
+                RiskDecision::Allow => {
+                    self.metrics.inc(M_RISK_ALLOW);
+                    LoginOutcome::Success
+                }
+                RiskDecision::Block => {
+                    self.metrics.inc(M_RISK_BLOCK);
+                    LoginOutcome::Blocked
+                }
                 RiskDecision::Challenge => {
+                    self.metrics.inc(M_RISK_CHALLENGE);
                     let kind = self.challenge.select(options, request.account);
                     let result = self.challenge.serve(kind, request.capabilities, rng);
                     challenge = Some(result);

@@ -6,8 +6,11 @@
 //! ```text
 //! scenario [--users N] [--days N] [--seed N] [--era 2011|2012]
 //!          [--lures F] [--no-defense] [--no-classifier] [--no-monitor]
-//!          [--no-challenge] [--twofactor F]
+//!          [--no-challenge] [--twofactor F] [--report run-report.json]
 //! ```
+//!
+//! With `--report`, the run's deterministic [`mhw_obs::RunReport`] is
+//! written as JSON to the given path.
 
 use mhw_adversary::Era;
 use mhw_analysis::{bar_chart, Breakdown, Ecdf};
@@ -125,5 +128,10 @@ fn main() {
             e.quantile(0.75),
             e.max().unwrap_or(0.0)
         );
+    }
+
+    if let Some(path) = value::<String>(&args, "--report") {
+        std::fs::write(&path, eco.run_report().to_json()).expect("write run report");
+        eprintln!("wrote {path}");
     }
 }

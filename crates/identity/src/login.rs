@@ -6,11 +6,27 @@
 //! (time, IP, device, outcome, challenge disposition) plus the
 //! ground-truth actor for measurement labelling.
 
+use mhw_obs::{MetricId, Registry};
 use mhw_types::{
     AccountId, Actor, DeviceId, EventSink, IpAddr, LogKey, LogStore, SessionId, ShardId, SimTime,
     Stamped,
 };
 use serde::{Deserialize, Serialize};
+
+/// Every authentication attempt appended, regardless of outcome.
+pub const M_LOGIN_ATTEMPTS: MetricId = MetricId("identity.login_attempts");
+/// Attempts that ended in [`LoginOutcome::Success`].
+pub const M_LOGIN_SUCCESS: MetricId = MetricId("identity.login_success");
+/// Attempts rejected for a wrong password.
+pub const M_LOGIN_WRONG_PASSWORD: MetricId = MetricId("identity.login_wrong_password");
+/// Correct-password attempts the risk engine blocked outright.
+pub const M_LOGIN_BLOCKED: MetricId = MetricId("identity.login_blocked");
+/// Login challenges served (§8.2).
+pub const M_CHALLENGES_ISSUED: MetricId = MetricId("identity.challenges_issued");
+/// Served challenges the actor failed.
+pub const M_CHALLENGES_FAILED: MetricId = MetricId("identity.challenges_failed");
+/// Correct-password attempts stopped by an unsatisfied second factor.
+pub const M_SECOND_FACTOR_FAILURES: MetricId = MetricId("identity.second_factor_failures");
 
 /// The verification step a risky login was redirected to (§8.2's "login
 /// challenge").
@@ -72,10 +88,32 @@ pub struct LoginRecord {
 
 /// Append-only login log with measurement helpers, backed by the
 /// workspace-wide [`LogStore`] segment API.
-#[derive(Debug, Default)]
+///
+/// Every [`append`](LoginLog::append) also updates the log's metrics
+/// [`Registry`] (attempt, outcome and challenge counters), so a shard's
+/// authentication activity is observable without replaying its records.
+#[derive(Debug)]
 pub struct LoginLog {
     store: LogStore<LoginRecord>,
     next_session: u32,
+    metrics: Registry,
+}
+
+impl Default for LoginLog {
+    fn default() -> Self {
+        LoginLog {
+            store: LogStore::default(),
+            next_session: 0,
+            metrics: Registry::new()
+                .with_counter(M_LOGIN_ATTEMPTS)
+                .with_counter(M_LOGIN_SUCCESS)
+                .with_counter(M_LOGIN_WRONG_PASSWORD)
+                .with_counter(M_LOGIN_BLOCKED)
+                .with_counter(M_CHALLENGES_ISSUED)
+                .with_counter(M_CHALLENGES_FAILED)
+                .with_counter(M_SECOND_FACTOR_FAILURES),
+        }
+    }
 }
 
 /// Session (and message) id namespaces are sharded through their high
@@ -95,7 +133,14 @@ impl LoginLog {
         LoginLog {
             store: LogStore::for_shard(shard),
             next_session: shard as u32 * SHARD_ID_NAMESPACE,
+            ..Self::default()
         }
+    }
+
+    /// The log's metrics registry (counters updated by
+    /// [`append`](LoginLog::append)).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Allocate a session id (the caller embeds it in the record).
@@ -109,7 +154,25 @@ impl LoginLog {
     /// time order (concurrent sessions interleave, exactly like real
     /// log ingestion), so every query below is order-independent.
     pub fn append(&mut self, record: LoginRecord) -> LogKey {
-        self.store.emit(record.at, record)
+        let at = record.at;
+        self.emit(at, record)
+    }
+
+    fn count(&self, record: &LoginRecord) {
+        self.metrics.inc(M_LOGIN_ATTEMPTS);
+        match record.outcome {
+            LoginOutcome::Success => self.metrics.inc(M_LOGIN_SUCCESS),
+            LoginOutcome::WrongPassword => self.metrics.inc(M_LOGIN_WRONG_PASSWORD),
+            LoginOutcome::Blocked => self.metrics.inc(M_LOGIN_BLOCKED),
+            LoginOutcome::ChallengeFailed => {}
+            LoginOutcome::SecondFactorFailed => self.metrics.inc(M_SECOND_FACTOR_FAILURES),
+        }
+        if let Some(challenge) = record.challenge {
+            self.metrics.inc(M_CHALLENGES_ISSUED);
+            if !challenge.passed {
+                self.metrics.inc(M_CHALLENGES_FAILED);
+            }
+        }
     }
 
     pub fn records(&self) -> &[Stamped<LoginRecord>] {
@@ -169,6 +232,7 @@ impl LoginLog {
 
 impl EventSink<LoginRecord> for LoginLog {
     fn emit(&mut self, at: SimTime, record: LoginRecord) -> LogKey {
+        self.count(&record);
         self.store.emit(at, record)
     }
 }
@@ -242,6 +306,23 @@ mod tests {
         assert_eq!(log.for_account(AccountId(1)).count(), 1);
         assert_eq!(log.from_ip(ip).count(), 2);
         assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn append_updates_metrics() {
+        let mut log = LoginLog::new();
+        let ip = IpAddr::new(41, 0, 0, 1);
+        log.append(rec(1, 1, ip, LoginOutcome::Success));
+        log.append(rec(2, 1, ip, LoginOutcome::WrongPassword));
+        let mut challenged = rec(3, 1, ip, LoginOutcome::ChallengeFailed);
+        challenged.challenge = Some(ChallengeResult { kind: ChallengeKind::SmsCode, passed: false });
+        log.append(challenged);
+        let m = log.metrics();
+        assert_eq!(m.counter_value(M_LOGIN_ATTEMPTS), Some(3));
+        assert_eq!(m.counter_value(M_LOGIN_SUCCESS), Some(1));
+        assert_eq!(m.counter_value(M_LOGIN_WRONG_PASSWORD), Some(1));
+        assert_eq!(m.counter_value(M_CHALLENGES_ISSUED), Some(1));
+        assert_eq!(m.counter_value(M_CHALLENGES_FAILED), Some(1));
     }
 
     #[test]

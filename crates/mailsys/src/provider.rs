@@ -12,10 +12,22 @@ use crate::filters::{apply_filters, FilterAction, MailFilter};
 use crate::mailbox::{ContactEntry, Folder, Mailbox};
 use crate::message::{Message, MessageDraft};
 use crate::search::{search, SearchQuery};
+use mhw_obs::{MetricId, Registry};
 use mhw_types::{
     AccountId, EmailAddress, EventSink, FilterId, LogStore, MessageId, ShardId, SimTime, Stamped,
 };
 use std::collections::HashMap;
+
+/// Messages sent from internal accounts (one per Sent event).
+pub const M_MESSAGES_SENT: MetricId = MetricId("mailsys.messages_sent");
+/// Copies delivered into internal mailboxes (any folder).
+pub const M_MAIL_DELIVERED: MetricId = MetricId("mailsys.mail_delivered");
+/// Delivered copies the inbound classifier routed to Spam.
+pub const M_MAIL_SPAM_FOLDERED: MetricId = MetricId("mailsys.mail_spam_foldered");
+/// Mailbox searches run (Dataset 6 raw volume).
+pub const M_SEARCHES: MetricId = MetricId("mailsys.searches");
+/// Messages users reported as spam/phishing.
+pub const M_SPAM_REPORTS: MetricId = MetricId("mailsys.spam_reports");
 
 /// Audit record of a settings change (used by remission).
 #[derive(Debug, Clone)]
@@ -38,13 +50,32 @@ struct AccountState {
 }
 
 /// The simulated mail provider.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MailProvider {
     accounts: Vec<AccountState>,
     by_address: HashMap<EmailAddress, AccountId>,
     next_message: u32,
     next_filter: u32,
     log: LogStore<MailEvent>,
+    metrics: Registry,
+}
+
+impl Default for MailProvider {
+    fn default() -> Self {
+        MailProvider {
+            accounts: Vec::new(),
+            by_address: HashMap::new(),
+            next_message: 0,
+            next_filter: 0,
+            log: LogStore::default(),
+            metrics: Registry::new()
+                .with_counter(M_MESSAGES_SENT)
+                .with_counter(M_MAIL_DELIVERED)
+                .with_counter(M_MAIL_SPAM_FOLDERED)
+                .with_counter(M_SEARCHES)
+                .with_counter(M_SPAM_REPORTS),
+        }
+    }
 }
 
 /// Message-id namespace stride per logical shard (see
@@ -122,6 +153,11 @@ impl MailProvider {
         &self.log
     }
 
+    /// The provider's metrics registry (send/delivery/search counters).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
     fn push_event(&mut self, at: SimTime, account: AccountId, actor: Actor, kind: MailEventKind) {
         self.log.emit(at, MailEvent { at, account, actor, kind });
     }
@@ -166,6 +202,7 @@ impl MailProvider {
             starred: false,
         };
         self.accounts[from.index()].mailbox.store(sent_copy, Folder::Sent);
+        self.metrics.inc(M_MESSAGES_SENT);
         self.push_event(
             at,
             from,
@@ -241,6 +278,10 @@ impl MailProvider {
         // Forwarded copies leave the provider (doppelgangers are
         // external); the Sent-style event trail is the filter audit.
         self.accounts[to.index()].mailbox.store(msg, folder);
+        self.metrics.inc(M_MAIL_DELIVERED);
+        if spam {
+            self.metrics.inc(M_MAIL_SPAM_FOLDERED);
+        }
         self.push_event(
             at,
             to,
@@ -271,6 +312,7 @@ impl MailProvider {
     ) -> Vec<MessageId> {
         let q = SearchQuery::parse(raw_query);
         let hits = search(&self.accounts[account.index()].mailbox, &q);
+        self.metrics.inc(M_SEARCHES);
         self.push_event(
             at,
             account,
@@ -473,6 +515,7 @@ impl MailProvider {
     /// User reports a received message as spam/phishing (feeds the §5.3
     /// "39% more spam reports on hijack day" measurement).
     pub fn report_spam(&mut self, account: AccountId, id: MessageId, at: SimTime) {
+        self.metrics.inc(M_SPAM_REPORTS);
         self.push_event(at, account, Actor::Owner, MailEventKind::ReportedSpam { message: id });
     }
 }
@@ -645,6 +688,28 @@ mod tests {
         let restored = p.mailbox_mut(b).restore_purged_since(hijack_at);
         assert_eq!(restored, 5);
         assert_eq!(p.mailbox(b).len(), 5);
+    }
+
+    #[test]
+    fn metrics_track_send_delivery_and_spam() {
+        let (mut p, a, b) = setup2();
+        let d = MessageDraft::personal(vec![addr("bob")], "hi", "x");
+        p.send(a, Actor::Owner, d, SimTime::from_secs(1), never_spam);
+        let lure = MessageDraft::personal(vec![addr("bob")], "verify", "click")
+            .with_kind(MessageKind::PhishingLure);
+        p.deliver_external(
+            b,
+            EmailAddress::new("phisher", "evil.net"),
+            &lure,
+            SimTime::from_secs(2),
+            |m| m.kind == MessageKind::PhishingLure,
+        );
+        p.search_mailbox(b, Actor::Owner, "verify", SimTime::from_secs(3));
+        let m = p.metrics();
+        assert_eq!(m.counter_value(M_MESSAGES_SENT), Some(1));
+        assert_eq!(m.counter_value(M_MAIL_DELIVERED), Some(2));
+        assert_eq!(m.counter_value(M_MAIL_SPAM_FOLDERED), Some(1));
+        assert_eq!(m.counter_value(M_SEARCHES), Some(1));
     }
 
     #[test]

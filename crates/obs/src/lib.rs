@@ -1,0 +1,40 @@
+//! # mhw-obs
+//!
+//! The simulator's observability layer: every way to see *inside* a run
+//! without changing what the run produces.
+//!
+//! Three instruments, three different truths:
+//!
+//! * [`Registry`] — exact, deterministic **metrics**: atomic counters,
+//!   gauges and fixed-bucket latency histograms keyed by a static
+//!   [`MetricId`]. Every value is a pure function of the simulated
+//!   events, measured in simulated time, so per-shard registries merge
+//!   into a [`MetricsSnapshot`] that is byte-identical at any worker
+//!   count. These feed the end-of-run [`RunReport`].
+//! * [`trace`] — approximate, wall-clock **spans**: the
+//!   [`span!`] macro records how long a named region really took into a
+//!   fixed-capacity ring buffer. Spans are a debugging aid; they never
+//!   enter the deterministic report.
+//! * [`PhaseProfiler`] — wall-clock **phase timings** for the sharded
+//!   engine's coarse phases (world build, shard step, barrier drain,
+//!   log merge), aggregated into an [`EngineProfile`] that the bench
+//!   harness serializes for the perf trajectory.
+//!
+//! The split matters: metrics are part of the engine's determinism
+//! contract (`tests/observability.rs` pins report bytes across 1/2/4/8
+//! workers), while spans and phase timings are explicitly allowed to
+//! vary run to run — they measure the hardware, not the scenario.
+
+#![deny(missing_docs)]
+
+pub mod metric;
+pub mod profile;
+pub mod report;
+pub mod snapshot;
+pub mod trace;
+
+pub use metric::{buckets, MetricId, Registry};
+pub use profile::{EngineProfile, PhaseProfiler, PhaseTiming};
+pub use report::RunReport;
+pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+pub use trace::{SpanGuard, SpanRecord, TraceSink};

@@ -1,0 +1,76 @@
+//! The deterministic end-of-run report.
+//!
+//! A [`RunReport`] bundles the scenario's identifying parameters with
+//! the merged [`MetricsSnapshot`] of every subsystem registry. Every
+//! field is a pure function of `(seed, scenario config)`: simulated
+//! time only, no wall-clock, and — deliberately — no worker count, so
+//! the serialized report is byte-identical whether the run used 1
+//! worker or 8. `tests/observability.rs` pins that property.
+
+use crate::snapshot::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Identifies the report layout; bump when fields change meaning.
+pub const REPORT_SCHEMA: &str = "mhw-run-report/v1";
+
+/// Deterministic summary of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Report schema tag ([`REPORT_SCHEMA`]).
+    pub schema: String,
+    /// RNG seed the run was driven by.
+    pub seed: u64,
+    /// Logical shard count (scenario semantics — part of the dataset
+    /// identity, unlike the worker count, which is excluded).
+    pub shards: u16,
+    /// Simulated days.
+    pub days: u32,
+    /// Simulated user population.
+    pub users: u32,
+    /// Merged metrics from every subsystem registry.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Assemble a report from run parameters and merged metrics.
+    pub fn new(seed: u64, shards: u16, days: u32, users: u32, metrics: MetricsSnapshot) -> Self {
+        RunReport { schema: REPORT_SCHEMA.to_string(), seed, shards, days, users, metrics }
+    }
+
+    /// Serialize to the canonical JSON form (fields in declaration
+    /// order; byte-identical for equal reports).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("run report serializes")
+    }
+
+    /// Parse a report back from [`RunReport::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{MetricId, Registry};
+
+    fn sample() -> RunReport {
+        let reg = Registry::new().with_counter(MetricId("identity.login_attempts"));
+        reg.add(MetricId("identity.login_attempts"), 42);
+        RunReport::new(7, 4, 14, 400, reg.snapshot())
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = sample();
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.schema, REPORT_SCHEMA);
+        assert_eq!(back.metrics.counter("identity.login_attempts"), Some(42));
+    }
+
+    #[test]
+    fn equal_reports_serialize_to_equal_bytes() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+}

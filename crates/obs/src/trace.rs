@@ -1,0 +1,196 @@
+//! Lightweight span tracing into a ring buffer.
+//!
+//! The [`span!`](crate::span!) macro opens a wall-clock span over a
+//! named region; when the returned guard drops, the span's duration is
+//! recorded into the process-wide [`TraceSink`] — a fixed-capacity ring
+//! buffer that overwrites its oldest entries, so tracing a long run
+//! costs constant memory and never blocks the traced code for more than
+//! one short mutex acquisition per span.
+//!
+//! Spans measure the *hardware*, not the scenario: durations are real
+//! nanoseconds and vary run to run. They are therefore kept strictly
+//! out of the deterministic [`RunReport`](crate::RunReport) — drain
+//! them for debugging or perf archaeology with [`TraceSink::drain`].
+//!
+//! ```
+//! use mhw_obs::{span, TraceSink};
+//!
+//! {
+//!     let _guard = span!("demo.work", 0);
+//!     // ... the region being timed ...
+//! } // guard drops: span recorded
+//! let spans = TraceSink::global().drain();
+//! assert!(spans.iter().any(|s| s.name == "demo.work"));
+//! ```
+
+use mhw_types::ShardId;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring capacity: enough for every engine phase of a long run
+/// without ever growing.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// One finished span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Region name, e.g. `"engine.shard_day"`.
+    pub name: &'static str,
+    /// Logical shard the span was recorded for (0 when not meaningful).
+    pub shard: ShardId,
+    /// Start offset in nanoseconds from the first use of the sink.
+    pub started_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// A fixed-capacity ring buffer of [`SpanRecord`]s.
+#[derive(Debug)]
+pub struct TraceSink {
+    ring: Mutex<Ring>,
+    epoch: Instant,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<SpanRecord>,
+    capacity: usize,
+    /// Total spans ever recorded (including overwritten ones).
+    recorded: u64,
+}
+
+impl TraceSink {
+    /// A fresh sink with the given capacity (tests; most code uses
+    /// [`TraceSink::global`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceSink {
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY)),
+                capacity: capacity.max(1),
+                recorded: 0,
+            }),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The process-wide sink the [`span!`](crate::span!) macro records
+    /// into.
+    pub fn global() -> &'static TraceSink {
+        static GLOBAL: OnceLock<TraceSink> = OnceLock::new();
+        GLOBAL.get_or_init(|| TraceSink::with_capacity(DEFAULT_CAPACITY))
+    }
+
+    /// Record a finished span.
+    pub fn record(&self, name: &'static str, shard: ShardId, started: Instant, ended: Instant) {
+        let started_ns = started.duration_since(self.epoch).as_nanos() as u64;
+        let duration_ns = ended.duration_since(started).as_nanos() as u64;
+        let mut ring = self.ring.lock().expect("trace sink poisoned");
+        if ring.buf.len() == ring.capacity {
+            ring.buf.pop_front();
+        }
+        ring.buf.push_back(SpanRecord { name, shard, started_ns, duration_ns });
+        ring.recorded += 1;
+    }
+
+    /// Take every buffered span, oldest first, leaving the sink empty.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let mut ring = self.ring.lock().expect("trace sink poisoned");
+        ring.buf.drain(..).collect()
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace sink poisoned").buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total spans ever recorded, including ones the ring has since
+    /// overwritten — the overwrite count is `recorded() - len()` drained.
+    pub fn recorded(&self) -> u64 {
+        self.ring.lock().expect("trace sink poisoned").recorded
+    }
+}
+
+/// RAII guard created by [`span!`](crate::span!): records the span into
+/// a sink when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    shard: ShardId,
+    start: Instant,
+    sink: &'static TraceSink,
+}
+
+impl SpanGuard {
+    /// Open a span on the global sink.
+    pub fn enter(name: &'static str, shard: ShardId) -> Self {
+        SpanGuard { name, shard, start: Instant::now(), sink: TraceSink::global() }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.sink.record(self.name, self.shard, self.start, Instant::now());
+    }
+}
+
+/// Open a wall-clock span over the enclosing scope.
+///
+/// `span!("name")` records for shard 0; `span!("name", shard)` tags the
+/// span with a logical shard id. The span ends when the returned guard
+/// is dropped — bind it (`let _guard = span!(…)`) or it ends
+/// immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::enter($name, 0)
+    };
+    ($name:expr, $shard:expr) => {
+        $crate::trace::SpanGuard::enter($name, $shard)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_at_capacity() {
+        let sink = TraceSink::with_capacity(3);
+        let t = Instant::now();
+        for name in ["a", "b", "c", "d"] {
+            sink.record(name, 0, t, t);
+        }
+        assert_eq!(sink.recorded(), 4);
+        let names: Vec<&str> = sink.drain().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["b", "c", "d"], "oldest span evicted first");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn guard_records_on_drop() {
+        {
+            let _g = crate::span!("test.span", 3);
+            std::thread::yield_now();
+        }
+        let spans = TraceSink::global().drain();
+        let span = spans.iter().find(|s| s.name == "test.span").expect("span recorded");
+        assert_eq!(span.shard, 3);
+    }
+
+    #[test]
+    fn spans_carry_monotonic_offsets() {
+        let sink = TraceSink::with_capacity(8);
+        let a = Instant::now();
+        let b = Instant::now();
+        sink.record("first", 0, a, b);
+        sink.record("second", 1, b, Instant::now());
+        let spans = sink.drain();
+        assert!(spans[0].started_ns <= spans[1].started_ns);
+    }
+}

@@ -8,9 +8,17 @@
 //! credentials entering crew dropboxes.
 
 use crate::page::{PageQuality, PhishingPage};
+use mhw_obs::{buckets, MetricId, Registry};
 use mhw_simclock::SimRng;
 use mhw_types::{PageId, SimDuration, SimTime, HOUR};
 use serde::{Deserialize, Serialize};
+
+/// Phishing pages put up (one per page the pipeline processed).
+pub const M_PAGES_UP: MetricId = MetricId("phishkit.pages_up");
+/// Pages stamped with a takedown time.
+pub const M_PAGES_TAKEN_DOWN: MetricId = MetricId("phishkit.pages_taken_down");
+/// Page lifetime (creation → takedown), simulated seconds.
+pub const M_PAGE_LIFETIME_SECS: MetricId = MetricId("phishkit.page_lifetime_secs");
 
 /// Outcome of the pipeline for one page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,6 +37,7 @@ pub struct DetectionPipeline {
     pub sigma: f64,
     /// Takedown lag after detection, in hours (propagation/processing).
     pub takedown_lag_hours: f64,
+    metrics: Registry,
 }
 
 impl Default for DetectionPipeline {
@@ -46,7 +55,16 @@ impl DetectionPipeline {
             median_detection_hours: 26.0,
             sigma: 0.7,
             takedown_lag_hours: 2.0,
+            metrics: Registry::new()
+                .with_counter(M_PAGES_UP)
+                .with_counter(M_PAGES_TAKEN_DOWN)
+                .with_histogram(M_PAGE_LIFETIME_SECS, buckets::LATENCY_SECS),
         }
+    }
+
+    /// The pipeline's metrics registry (page volume and lifetimes).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Draw the detection time for a page created at `created_at`.
@@ -74,6 +92,10 @@ impl DetectionPipeline {
         let taken_down_at =
             detected_at.plus(SimDuration::from_secs((self.takedown_lag_hours * HOUR as f64) as u64));
         page.taken_down_at = Some(taken_down_at);
+        self.metrics.inc(M_PAGES_UP);
+        self.metrics.inc(M_PAGES_TAKEN_DOWN);
+        self.metrics
+            .observe(M_PAGE_LIFETIME_SECS, taken_down_at.since(page.created_at).as_secs());
         TakedownRecord { page: page.id, detected_at, taken_down_at }
     }
 }
@@ -132,5 +154,11 @@ mod tests {
             2 * HOUR
         );
         assert_eq!(page.taken_down_at, Some(rec.taken_down_at));
+        // Metrics observed the page and its lifetime.
+        assert_eq!(pipe.metrics().counter_value(M_PAGES_UP), Some(1));
+        let snap = pipe.metrics().snapshot();
+        let lifetime = snap.histogram(M_PAGE_LIFETIME_SECS.name()).unwrap();
+        assert_eq!(lifetime.total, 1);
+        assert_eq!(lifetime.sum, rec.taken_down_at.since(page.created_at).as_secs());
     }
 }

@@ -9,8 +9,19 @@
 use crate::claim::{ClaimTrigger, RecoveryClaim};
 use crate::methods::{method_success_probability, select_method, RecoveryMethod};
 use mhw_identity::{CredentialStore, RecoveryOptions};
+use mhw_obs::{buckets, MetricId, Registry};
 use mhw_simclock::SimRng;
 use mhw_types::{AccountId, Actor, ClaimId, SimDuration, SimTime};
+
+/// Claims filed with the service.
+pub const M_CLAIMS_FILED: MetricId = MetricId("recovery.claims_filed");
+/// Claims whose verification succeeded (password reset).
+pub const M_CLAIMS_SUCCEEDED: MetricId = MetricId("recovery.claims_succeeded");
+/// Claims whose verification failed.
+pub const M_CLAIMS_FAILED: MetricId = MetricId("recovery.claims_failed");
+/// Flag → resolution latency, simulated seconds (the Figure 9
+/// recovery-latency distribution).
+pub const M_RESOLUTION_LATENCY_SECS: MetricId = MetricId("recovery.resolution_latency_secs");
 
 /// Outcome of processing one claim.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,18 +32,40 @@ pub struct ClaimResolution {
 }
 
 /// The recovery service.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RecoveryService {
     next_claim: u32,
     claims: Vec<RecoveryClaim>,
     /// Fraction of dual-option users who pick email over SMS (email is
     /// "our most popular account recovery option", §6.3).
     pub email_preference: f64,
+    metrics: Registry,
+}
+
+impl Default for RecoveryService {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RecoveryService {
     pub fn new() -> Self {
-        RecoveryService { next_claim: 0, claims: Vec::new(), email_preference: 0.60 }
+        RecoveryService {
+            next_claim: 0,
+            claims: Vec::new(),
+            email_preference: 0.60,
+            metrics: Registry::new()
+                .with_counter(M_CLAIMS_FILED)
+                .with_counter(M_CLAIMS_SUCCEEDED)
+                .with_counter(M_CLAIMS_FAILED)
+                .with_histogram(M_RESOLUTION_LATENCY_SECS, buckets::LATENCY_SECS),
+        }
+    }
+
+    /// The service's metrics registry (claim counters and the
+    /// flag-to-resolution latency distribution).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// All processed claims (the Figure 9/10 dataset).
@@ -78,6 +111,14 @@ impl RecoveryService {
             credentials.change_password(account, Actor::System, &new_pw, resolved_at);
             password_reset = true;
         }
+        self.metrics.inc(M_CLAIMS_FILED);
+        if succeeded {
+            self.metrics.inc(M_CLAIMS_SUCCEEDED);
+        } else {
+            self.metrics.inc(M_CLAIMS_FAILED);
+        }
+        self.metrics
+            .observe(M_RESOLUTION_LATENCY_SECS, resolved_at.since(flagged_at).as_secs());
         let claim = RecoveryClaim {
             id,
             account,

@@ -26,6 +26,7 @@ pub enum AccountCategory {
 }
 
 impl AccountCategory {
+    /// Every category, in Figure 5 presentation order.
     pub const ALL: [AccountCategory; 5] = [
         AccountCategory::Mail,
         AccountCategory::Bank,
@@ -97,6 +98,7 @@ impl WebmailProvider {
         WebmailProvider::RegionalSearchMail,
     ];
 
+    /// Human-readable label used in figure renderings.
     pub fn label(self) -> &'static str {
         match self {
             WebmailProvider::GenericWebmail => "Webmail Generic",

@@ -70,10 +70,12 @@ impl EmailAddress {
         Some(EmailAddress::new(local, domain))
     }
 
+    /// The local part (before the `@`).
     pub fn local(&self) -> &str {
         &self.local
     }
 
+    /// The domain part (after the `@`).
     pub fn domain(&self) -> &str {
         &self.domain
     }

@@ -14,6 +14,7 @@ use std::fmt;
 /// Primary language spoken in a country. Drives which victims a crew
 /// prefers and which language its scam text and mailbox search terms use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // the variant names are the documentation
 pub enum Language {
     English,
     French,

@@ -15,10 +15,12 @@ use std::fmt;
 pub struct IpAddr(pub u32);
 
 impl IpAddr {
+    /// An address from dotted-quad octets.
     pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
         IpAddr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
     }
 
+    /// The four dotted-quad octets, most significant first.
     pub const fn octets(self) -> [u8; 4] {
         [
             (self.0 >> 24) as u8,
@@ -61,10 +63,12 @@ impl IpBlock {
         }
     }
 
+    /// The first address of the block.
     pub fn base(self) -> IpAddr {
         IpAddr(self.base)
     }
 
+    /// The CIDR prefix length.
     pub fn prefix_len(self) -> u8 {
         self.prefix_len
     }

@@ -21,6 +21,8 @@
 //! * No wall-clock types are used anywhere in the workspace: determinism
 //!   is a core requirement (same seed ⇒ bit-identical datasets).
 
+#![deny(missing_docs)]
+
 pub mod account;
 pub mod actor;
 pub mod email;

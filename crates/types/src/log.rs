@@ -54,7 +54,9 @@ pub struct LogKey {
 /// `matches!(e.kind, ..)`) keep working unchanged on stamped entries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stamped<T> {
+    /// The global ordering key: `(SimTime, shard, seq)`.
     pub key: LogKey,
+    /// The domain record itself.
     pub record: T,
 }
 
@@ -111,6 +113,7 @@ impl<T> LogStore<T> {
         }
     }
 
+    /// The logical shard this segment belongs to.
     pub fn shard(&self) -> ShardId {
         self.shard
     }
@@ -137,18 +140,22 @@ impl<T> LogStore<T> {
         self.entries.iter().map(|e| &e.record)
     }
 
+    /// Iterator over the stamped entries in emission order.
     pub fn iter(&self) -> std::slice::Iter<'_, Stamped<T>> {
         self.entries.iter()
     }
 
+    /// Number of records in this segment.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Whether the segment holds no records.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
+    /// The most recently emitted entry, if any.
     pub fn last(&self) -> Option<&Stamped<T>> {
         self.entries.last()
     }

@@ -31,21 +31,27 @@ pub const WEEK: u64 = 7 * DAY;
 pub struct SimDuration(pub u64);
 
 impl SimDuration {
+    /// The zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// A duration of `secs` seconds.
     pub const fn from_secs(secs: u64) -> Self {
         SimDuration(secs)
     }
+    /// A duration of `mins` minutes.
     pub const fn from_mins(mins: u64) -> Self {
         SimDuration(mins * MINUTE)
     }
+    /// A duration of `hours` hours.
     pub const fn from_hours(hours: u64) -> Self {
         SimDuration(hours * HOUR)
     }
+    /// A duration of `days` days.
     pub const fn from_days(days: u64) -> Self {
         SimDuration(days * DAY)
     }
 
+    /// The duration in whole seconds.
     pub const fn as_secs(self) -> u64 {
         self.0
     }
@@ -88,6 +94,7 @@ impl fmt::Display for SimDuration {
 
 /// Days of the week. The simulation epoch is a Monday.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // the variant names are the documentation
 pub enum Weekday {
     Monday,
     Tuesday,
@@ -128,9 +135,11 @@ impl SimTime {
     /// The simulation epoch (Monday 00:00 UTC).
     pub const EPOCH: SimTime = SimTime(0);
 
+    /// The instant `secs` seconds after the epoch.
     pub const fn from_secs(secs: u64) -> Self {
         SimTime(secs)
     }
+    /// Seconds elapsed since the epoch.
     pub const fn as_secs(self) -> u64 {
         self.0
     }

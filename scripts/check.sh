@@ -16,4 +16,10 @@ cargo test --offline --workspace -q
 echo "== cargo clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== cargo doc =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+
+echo "== cargo test --doc =="
+cargo test --offline --workspace --doc -q
+
 echo "all checks passed"

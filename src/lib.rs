@@ -53,6 +53,7 @@ pub use mhw_experiments as experiments;
 pub use mhw_identity as identity;
 pub use mhw_mailsys as mailsys;
 pub use mhw_netmodel as netmodel;
+pub use mhw_obs as obs;
 pub use mhw_phishkit as phishkit;
 pub use mhw_population as population;
 pub use mhw_recovery as recovery;
@@ -67,6 +68,7 @@ pub mod prelude {
         ScenarioBuilder, ScenarioConfig, ShardedEngine, ShardedRun,
     };
     pub use mhw_defense::{RiskDecision, RiskEngine, RiskWeights};
+    pub use mhw_obs::{MetricsSnapshot, Registry, RunReport};
     pub use mhw_simclock::SimRng;
     pub use mhw_types::{AccountId, Actor, CountryCode, SimDuration, SimTime};
 }
