@@ -9,6 +9,7 @@
 
 use crate::config::{DefenseConfig, ScenarioConfig};
 use crate::ecosystem::Ecosystem;
+use crate::engine::{default_workers, ShardedEngine};
 use mhw_adversary::{CrewRoster, Era};
 use mhw_types::ShardId;
 
@@ -27,6 +28,7 @@ type CrewTweak = Box<dyn FnOnce(&mut CrewRoster)>;
 pub struct ScenarioBuilder {
     config: ScenarioConfig,
     crew_tweaks: Vec<CrewTweak>,
+    workers: usize,
 }
 
 impl Default for ScenarioBuilder {
@@ -38,7 +40,7 @@ impl Default for ScenarioBuilder {
 impl ScenarioBuilder {
     /// Start from an explicit configuration.
     pub fn new(config: ScenarioConfig) -> Self {
-        ScenarioBuilder { config, crew_tweaks: Vec::new() }
+        ScenarioBuilder { config, crew_tweaks: Vec::new(), workers: default_workers() }
     }
 
     /// Start from [`ScenarioConfig::small_test`] (fast; unit tests).
@@ -137,6 +139,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Worker threads for [`sharded`](Self::sharded) runs (defaults to
+    /// the machine's available parallelism). Pure mechanics: never
+    /// affects the produced datasets; ignored by the single-world
+    /// [`run`](Self::run)/[`build`](Self::build) paths, which have no
+    /// parallel phase.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
     /// Mutate the built crew roster before the run starts — the hook for
     /// ablations that override a single tactic probability without
     /// defining a whole new [`mhw_adversary::CrewSpec`].
@@ -171,6 +183,19 @@ impl ScenarioBuilder {
         let mut eco = self.build();
         eco.run();
         eco
+    }
+
+    /// Hand the assembled configuration to a [`ShardedEngine`] over
+    /// `n_shards` logical shards, carrying the builder's
+    /// [`workers`](Self::workers) setting. Panics if crew tweaks were
+    /// queued — the sharded engine builds its worlds on worker threads
+    /// and cannot apply single-world `FnOnce` tweaks.
+    pub fn sharded(self, n_shards: u16) -> ShardedEngine {
+        assert!(
+            self.crew_tweaks.is_empty(),
+            "crew tweaks are not supported on the sharded path"
+        );
+        ShardedEngine::new(self.config, n_shards).workers(self.workers)
     }
 }
 
@@ -207,6 +232,23 @@ mod tests {
         assert_eq!(direct.stats.lures_delivered, built.stats.lures_delivered);
         assert_eq!(direct.stats.incidents, built.stats.incidents);
         assert_eq!(direct.sessions().len(), built.sessions().len());
+    }
+
+    #[test]
+    fn sharded_path_carries_workers_and_matches_engine() {
+        let mut config = ScenarioConfig::small_test(21);
+        config.days = 2;
+        config.population.n_users = 90;
+        let via_builder =
+            ScenarioBuilder::new(config.clone()).workers(2).sharded(3).run();
+        let direct = crate::engine::ShardedEngine::new(config, 3).workers(1).run();
+        assert_eq!(via_builder.dataset_digest(), direct.dataset_digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "crew tweaks")]
+    fn sharded_path_rejects_crew_tweaks() {
+        let _ = ScenarioBuilder::small_test(1).tweak_crews(|_| {}).sharded(2);
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //! threaded, in shard order. The result: the merged dataset digest is
 //! byte-identical for `workers = 1` and `workers = N`.
 //!
+//! Execution runs on a persistent [`WorkerPool`]: threads are spawned
+//! once per run (not once per day) and each phase — world build, every
+//! shard-day — is dispatched as index-addressed jobs that idle workers
+//! *steal* from a shared atomic claim counter, so one slow shard never
+//! stalls a statically assigned bucket. Shards live in cache-line
+//! padded slots ([`mhw_types::CachePadded`]) so neighbouring shards'
+//! hot state never false-shares a line across workers.
+//!
 //! # Cross-shard effects
 //!
 //! Three effects cross shard boundaries, all via per-day exchange
@@ -38,6 +46,7 @@
 
 use crate::config::ScenarioConfig;
 use crate::ecosystem::{Ecosystem, Incident, RunStats};
+use crate::pool::WorkerPool;
 use mhw_adversary::SessionReport;
 use mhw_defense::NotificationRecord;
 use mhw_identity::LoginRecord;
@@ -46,10 +55,9 @@ use mhw_obs::{
     span, EngineProfile, MetricId, MetricsSnapshot, PhaseProfiler, Registry, RunReport,
 };
 use mhw_simclock::SimRng;
-use mhw_types::{CrewId, LogStore, SimDuration, SimTime, Stamped, DAY};
+use mhw_types::{CachePadded, CrewId, LogStore, SimDuration, SimTime, Stamped, DAY};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
-use std::thread;
 
 /// Credentials that changed hands on the cross-shard market (mirrors
 /// [`ShardedRun::market_trades`] in the metrics snapshot).
@@ -63,6 +71,12 @@ pub const M_DECOY_PROBES: MetricId = MetricId("engine.decoy_probes");
 /// single day barrier). A sim-time quantity: deterministic per scenario.
 pub const M_EXCHANGE_QUEUE_PEAK: MetricId = MetricId("engine.exchange_queue_peak");
 
+/// Worker threads used when [`ShardedEngine::workers`] is never
+/// called: everything the machine offers.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Configures and runs a sharded scenario.
 pub struct ShardedEngine {
     base: ScenarioConfig,
@@ -70,28 +84,52 @@ pub struct ShardedEngine {
     workers: usize,
     contact_spillover: f64,
     decoys: Option<(usize, u64)>,
+    shard_weights: Option<Vec<u64>>,
 }
 
 impl ShardedEngine {
     /// A sharded scenario over `n_shards` logical shards. The base
     /// config's `population.n_users` is the *total* population; it is
-    /// split as evenly as possible over the shards. Panics if
-    /// `n_shards == 0`.
+    /// split as evenly as possible over the shards. Workers default to
+    /// the machine's [available parallelism](default_workers). Panics
+    /// if `n_shards == 0`.
     pub fn new(base: ScenarioConfig, n_shards: u16) -> Self {
         assert!(n_shards > 0, "a sharded scenario needs at least one shard");
         ShardedEngine {
             base,
             n_shards,
-            workers: 1,
+            workers: default_workers(),
             contact_spillover: 0.25,
             decoys: None,
+            shard_weights: None,
         }
     }
 
-    /// Number of OS worker threads (clamped to `1..=n_shards`). Pure
-    /// parallelism: never affects the produced datasets.
+    /// Number of worker threads (clamped to `1..=n_shards`, and at run
+    /// time to the hardware's available parallelism — oversubscribing
+    /// CPU-bound shard work is always a loss). Pure mechanics: never
+    /// affects the produced datasets.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Split the population over shards proportionally to `weights`
+    /// instead of evenly — one weight per shard, deterministic largest-
+    /// prefix rounding. Like the shard count itself this is scenario
+    /// *semantics* (it changes the world), not mechanics; it exists so
+    /// load-imbalance experiments (and the work-stealing tests) can
+    /// make one shard arbitrarily heavier than its peers. Panics if the
+    /// weight count does not match the shard count or all weights are
+    /// zero.
+    pub fn shard_weights(mut self, weights: Vec<u64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            self.n_shards as usize,
+            "need exactly one weight per shard"
+        );
+        assert!(weights.iter().any(|w| *w > 0), "at least one weight must be positive");
+        self.shard_weights = Some(weights);
         self
     }
 
@@ -111,16 +149,39 @@ impl ShardedEngine {
     }
 
     /// Per-shard scenario configs (shard ids `0..n_shards`, population
-    /// split evenly, everything else inherited from the base).
+    /// split evenly — or by [`ShardedEngine::shard_weights`] — and
+    /// everything else inherited from the base).
     fn shard_configs(&self) -> Vec<ScenarioConfig> {
         let k = self.n_shards as usize;
-        let per = self.base.population.n_users / k;
-        let extra = self.base.population.n_users % k;
-        (0..k)
-            .map(|s| {
+        let n = self.base.population.n_users;
+        let sizes: Vec<usize> = match &self.shard_weights {
+            None => (0..k).map(|s| n / k + usize::from(s < n % k)).collect(),
+            Some(weights) => {
+                // Cumulative-prefix rounding: shard s gets
+                // round(prefix_s/total · n) − round(prefix_{s-1}/total · n),
+                // which sums to exactly n and is order-deterministic.
+                let total: u128 = weights.iter().map(|w| *w as u128).sum();
+                let mut prefix = 0u128;
+                let mut allocated = 0usize;
+                weights
+                    .iter()
+                    .map(|w| {
+                        prefix += *w as u128;
+                        let upto = (prefix * n as u128 / total) as usize;
+                        let size = upto - allocated;
+                        allocated = upto;
+                        size
+                    })
+                    .collect()
+            }
+        };
+        sizes
+            .into_iter()
+            .enumerate()
+            .map(|(s, n_users)| {
                 let mut c = self.base.clone();
                 c.shard = s as u16;
-                c.population.n_users = per + usize::from(s < extra);
+                c.population.n_users = n_users;
                 c
             })
             .collect()
@@ -128,9 +189,22 @@ impl ShardedEngine {
 
     /// Build all shards and run every configured day, exchanging
     /// cross-shard traffic at each day barrier.
+    ///
+    /// Parallel phases run on one persistent [`WorkerPool`] for the
+    /// whole run. Every phase is a list of index-addressed jobs the
+    /// workers claim from a shared atomic counter (work stealing), and
+    /// each job touches only its own shard's cache-padded slot — which
+    /// is why scheduling can never leak into the produced datasets.
     pub fn run(self) -> ShardedRun {
         let k = self.n_shards as usize;
-        let workers = self.workers.min(k);
+        let workers = self.workers.min(k).max(1);
+        // Never oversubscribe: shard days are CPU-bound, so threads
+        // beyond the hardware's parallelism only add context-switch and
+        // cache churn (half of the original inverse-scaling bug). The
+        // requested count is still what the profile reports — it is the
+        // scenario-independent knob — but the pool spawns at most one
+        // participant per hardware thread.
+        let threads = workers.min(default_workers());
         let mut profiler = PhaseProfiler::new();
         let metrics = Registry::new()
             .with_counter(M_MARKET_TRADES)
@@ -138,76 +212,84 @@ impl ShardedEngine {
             .with_counter(M_DECOY_PROBES)
             .with_gauge(M_EXCHANGE_QUEUE_PEAK);
 
-        // Build the shard worlds in parallel. The job list and results
-        // go through mutexes, but each shard's content is a function of
-        // its config alone, so completion order is irrelevant — shards
-        // are sorted by id afterwards.
-        let jobs: Mutex<Vec<ScenarioConfig>> = Mutex::new(self.shard_configs());
-        let built: Mutex<Vec<Ecosystem>> = Mutex::new(Vec::with_capacity(k));
-        profiler.time("build", || {
-            thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let Some(config) = jobs.lock().pop() else { break };
-                        let shard = config.shard;
-                        let _span = span!("engine.build_shard", shard);
-                        let eco = Ecosystem::build(config);
-                        built.lock().push(eco);
-                    });
-                }
-            });
-        });
-        let mut shards = built.into_inner();
-        shards.sort_by_key(|e| e.config.shard);
-
-        // Decoy probes, round-robin over shards.
-        if let Some((total, over_days)) = self.decoys {
-            let mut rng = SimRng::stream(self.base.seed, "engine-decoys");
-            let horizon = over_days.min(self.base.days.max(1));
-            for i in 0..total {
-                let shard = i % k;
-                let account = shards[shard].add_decoy_account(&format!("decoy-probe-{i}"));
-                let crew_count = shards[shard].crews.crews.len() as u64;
-                let crew = CrewId::from_index(rng.below(crew_count) as usize);
-                let at = SimTime::from_secs(
-                    rng.below(horizon) * DAY + rng.below(DAY),
-                );
-                shards[shard].schedule_decoy_submission(at, account, crew);
-                metrics.inc(M_DECOY_PROBES);
-            }
-        }
+        // One padded slot per shard: the slot (and the hot head of the
+        // ecosystem inside it) starts on its own cache line, so two
+        // workers advancing neighbouring shards never false-share.
+        // Slot `i` always holds shard `i` — results need no sorting.
+        let slots: Vec<CachePadded<Mutex<Option<Ecosystem>>>> =
+            (0..k).map(|_| CachePadded::new(Mutex::new(None))).collect();
+        let configs: Vec<Mutex<Option<ScenarioConfig>>> = self
+            .shard_configs()
+            .into_iter()
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        // Claim granularity: single jobs for small shard counts (max
+        // balance), short runs for huge ones (less claim traffic).
+        let claim_chunk = (k / (workers * 8)).max(1);
 
         let mut rng_exchange = SimRng::stream(self.base.seed, "exchange");
         let mut seen_incidents = vec![0usize; k];
         let mut market_trades = 0u64;
         let mut cross_shard_lures = 0u64;
-        let n_crews = shards.first().map_or(0, |e| e.crews.crews.len());
 
-        for day in 0..self.base.days {
-            // ---- parallel section: one day, shard-local state only.
-            // Round-robin static assignment; any assignment yields the
-            // same logs because shards never touch each other mid-day.
-            let mut buckets: Vec<Vec<&mut Ecosystem>> =
-                (0..workers).map(|_| Vec::new()).collect();
-            for (i, eco) in shards.iter_mut().enumerate() {
-                buckets[i % workers].push(eco);
-            }
-            profiler.time("shard_day", || {
-                thread::scope(|scope| {
-                    for bucket in buckets {
-                        scope.spawn(move || {
-                            for eco in bucket {
-                                let shard = eco.config.shard;
-                                let _span = span!("engine.shard_day", shard);
-                                eco.run_day(day);
-                            }
-                        });
-                    }
+        WorkerPool::scoped(threads, |pool| {
+            // ---- build: each worker steals unbuilt shards by index.
+            profiler.time("build", || {
+                pool.run(k, &|_worker, i| {
+                    let config = configs[i].lock().take().expect("build job claimed once");
+                    let shard = config.shard;
+                    let _span = span!("engine.build_shard", shard);
+                    *slots[i].lock() = Some(Ecosystem::build(config));
                 });
             });
+            profiler.set_build_workers(pool.take_worker_busy());
 
-            // ---- day barrier: single-threaded exchange in shard order.
-            profiler.time("barrier_exchange", || {
+            // ---- setup: decoy probes, round-robin over shards
+            // (single-threaded; helpers are parked, locks uncontended).
+            let n_crews = {
+                let mut guards: Vec<_> = slots.iter().map(|s| s.lock()).collect();
+                let mut shards: Vec<&mut Ecosystem> =
+                    guards.iter_mut().map(|g| g.as_mut().expect("shard built")).collect();
+                if let Some((total, over_days)) = self.decoys {
+                    let mut rng = SimRng::stream(self.base.seed, "engine-decoys");
+                    let horizon = over_days.min(self.base.days.max(1));
+                    for i in 0..total {
+                        let shard = i % k;
+                        let account =
+                            shards[shard].add_decoy_account(&format!("decoy-probe-{i}"));
+                        let crew_count = shards[shard].crews.crews.len() as u64;
+                        let crew = CrewId::from_index(rng.below(crew_count) as usize);
+                        let at = SimTime::from_secs(
+                            rng.below(horizon) * DAY + rng.below(DAY),
+                        );
+                        shards[shard].schedule_decoy_submission(at, account, crew);
+                        metrics.inc(M_DECOY_PROBES);
+                    }
+                }
+                shards.first().map_or(0, |e| e.crews.crews.len())
+            };
+
+            for day in 0..self.base.days {
+                // ---- parallel section: one day, shard-local state
+                // only. Workers steal shard-days from the claim index;
+                // any claim order yields the same logs because shards
+                // never touch each other mid-day.
+                profiler.time("shard_day", || {
+                    pool.run_chunked(k, claim_chunk, &|_worker, i| {
+                        let mut slot = slots[i].lock();
+                        let eco = slot.as_mut().expect("shard built");
+                        let shard = eco.config.shard;
+                        let _span = span!("engine.shard_day", shard);
+                        eco.run_day(day);
+                    });
+                });
+
+                // ---- day barrier: single-threaded exchange in shard
+                // order, on the coordinator, over all slots at once.
+                let mut guards: Vec<_> = slots.iter().map(|s| s.lock()).collect();
+                let mut shards: Vec<&mut Ecosystem> =
+                    guards.iter_mut().map(|g| g.as_mut().expect("shard built")).collect();
+                profiler.time("barrier_exchange", || {
                 // Credential market. Buyers rotate over the global offer
                 // sequence, so the volume any shard sells shifts who buys
                 // everywhere else — shards are genuinely coupled — while
@@ -276,8 +358,16 @@ impl ShardedEngine {
                         seen_incidents[s] = shards[s].incidents().len();
                     }
                 }
-            });
-        }
+                });
+            }
+        });
+
+        // All helpers have parked and joined; unwrap the slots (slot i
+        // is shard i, so the order is already right).
+        let shards: Vec<Ecosystem> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().into_inner().expect("shard built"))
+            .collect();
 
         // Time a representative merge of the three event logs so the
         // profile reflects end-to-end cost; the merged views are cheap
@@ -497,6 +587,24 @@ mod tests {
         let sizes: Vec<usize> =
             engine.shard_configs().iter().map(|c| c.population.n_users).collect();
         assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn weighted_split_is_proportional_and_exact() {
+        let mut c = tiny(5);
+        c.population.n_users = 130;
+        let engine = ShardedEngine::new(c, 4).shard_weights(vec![10, 1, 1, 1]);
+        let sizes: Vec<usize> =
+            engine.shard_configs().iter().map(|c| c.population.n_users).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 130, "no user lost to rounding");
+        assert!(sizes[0] >= 9 * sizes[1], "shard 0 carries ~10x the load");
+        // Zero-weight shards end up empty.
+        let mut c = tiny(5);
+        c.population.n_users = 50;
+        let engine = ShardedEngine::new(c, 2).shard_weights(vec![1, 0]);
+        let sizes: Vec<usize> =
+            engine.shard_configs().iter().map(|c| c.population.n_users).collect();
+        assert_eq!(sizes, vec![50, 0]);
     }
 
     #[test]

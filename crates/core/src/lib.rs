@@ -18,6 +18,8 @@
 //! * [`engine`] — the sharded parallel engine: logical shards with
 //!   deterministic per-shard RNG streams, worker threads, cross-shard
 //!   exchange at day barriers, and globally ordered merged logs;
+//! * [`pool`] — the persistent work-stealing worker pool the engine
+//!   (and the experiment context) dispatch parallel phases on;
 //! * [`decoy`] — the §5.1 decoy-credential experiment (Figure 7);
 //! * [`datasets`] — extraction of the paper's 14 datasets (Table 1)
 //!   from the raw logs.
@@ -29,6 +31,7 @@ pub mod datasets;
 pub mod decoy;
 pub mod ecosystem;
 pub mod engine;
+pub mod pool;
 pub mod world;
 
 pub use builder::ScenarioBuilder;
@@ -37,4 +40,5 @@ pub use config::{DefenseConfig, ScenarioConfig};
 pub use datasets::DatasetInventory;
 pub use decoy::{run_decoy_experiment, DecoyOutcome, DecoyReport};
 pub use ecosystem::{Ecosystem, Incident, RunStats};
-pub use engine::{ShardedEngine, ShardedRun};
+pub use engine::{default_workers, ShardedEngine, ShardedRun};
+pub use pool::WorkerPool;

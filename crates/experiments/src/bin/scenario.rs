@@ -5,16 +5,20 @@
 //!
 //! ```text
 //! scenario [--users N] [--days N] [--seed N] [--era 2011|2012]
+//!          [--shards N] [--workers N]
 //!          [--lures F] [--no-defense] [--no-classifier] [--no-monitor]
 //!          [--no-challenge] [--twofactor F] [--report run-report.json]
 //! ```
 //!
-//! With `--report`, the run's deterministic [`mhw_obs::RunReport`] is
-//! written as JSON to the given path.
+//! With `--shards N` (N > 1) the run goes through the sharded parallel
+//! engine; `--workers` caps its worker threads (default: all cores) and
+//! is pure mechanics — the printed report is byte-identical at any
+//! worker count. With `--report`, the run's deterministic
+//! [`mhw_obs::RunReport`] is written as JSON to the given path.
 
 use mhw_adversary::Era;
 use mhw_analysis::{bar_chart, Breakdown, Ecdf};
-use mhw_core::ScenarioConfig;
+use mhw_core::{Ecosystem, ScenarioConfig, ShardedRun};
 use mhw_types::Actor;
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -26,6 +30,28 @@ fn value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+/// A finished run: the plain single-world path, or the sharded engine.
+enum Run {
+    Single(Box<Ecosystem>),
+    Sharded(ShardedRun),
+}
+
+impl Run {
+    fn worlds(&self) -> Vec<&Ecosystem> {
+        match self {
+            Run::Single(eco) => vec![eco],
+            Run::Sharded(run) => run.shards().iter().collect(),
+        }
+    }
+
+    fn report_json(&self) -> String {
+        match self {
+            Run::Single(eco) => eco.run_report().to_json(),
+            Run::Sharded(run) => run.run_report().to_json(),
+        }
+    }
 }
 
 fn main() {
@@ -58,16 +84,35 @@ fn main() {
     if flag(&args, "--no-challenge") {
         config.defense.login_risk_analysis = false;
     }
+    let shards = value::<u16>(&args, "--shards").unwrap_or(1).max(1);
+    let workers = value::<usize>(&args, "--workers").unwrap_or_else(mhw_core::default_workers);
 
     eprintln!(
-        "running: {} users, {} days, era {:?}, lures/user/day {}, seed {:#x}",
-        config.population.n_users, config.days, config.era, config.lures_per_user_day, config.seed
+        "running: {} users, {} days, era {:?}, lures/user/day {}, seed {:#x}, {} shard(s), {} worker(s)",
+        config.population.n_users,
+        config.days,
+        config.era,
+        config.lures_per_user_day,
+        config.seed,
+        shards,
+        workers
     );
+    let days = config.days;
     let t0 = std::time::Instant::now();
-    let eco = mhw_core::ScenarioBuilder::new(config).run();
+    let run = if shards > 1 {
+        Run::Sharded(
+            mhw_core::ScenarioBuilder::new(config).workers(workers).sharded(shards).run(),
+        )
+    } else {
+        Run::Single(Box::new(mhw_core::ScenarioBuilder::new(config).run()))
+    };
     eprintln!("done in {:.1}s\n", t0.elapsed().as_secs_f64());
 
-    let s = &eco.stats;
+    let worlds = run.worlds();
+    let s = match &run {
+        Run::Single(eco) => eco.stats.clone(),
+        Run::Sharded(sharded) => sharded.total_stats(),
+    };
     println!("== traffic ==");
     println!("organic logins          {:>10}", s.organic_logins);
     println!("owner challenges        {:>10}  ({:.2}% FP rate)", s.organic_challenges, s.organic_challenges as f64 / s.organic_logins.max(1) as f64 * 100.0);
@@ -79,14 +124,20 @@ fn main() {
     println!("successful hijacks      {:>10}", s.incidents);
     println!("exploited               {:>10}", s.exploited);
     println!("recovered               {:>10}", s.recovered);
-    let rate = eco.real_incidents().count() as f64
-        / (eco.population.len() as f64 * eco.config.days as f64)
-        * 1e6;
+    let population: usize = worlds.iter().map(|e| e.population.len()).sum();
+    let real_incidents: usize = worlds.iter().map(|e| e.real_incidents().count()).sum();
+    let rate = real_incidents as f64 / (population as f64 * days as f64) * 1e6;
     println!("rate                    {rate:>10.1}  per M active users per day");
+    if let Run::Sharded(sharded) = &run {
+        println!("\n== cross-shard ==");
+        println!("market trades           {:>10}", sharded.market_trades);
+        println!("cross-shard lures       {:>10}", sharded.cross_shard_lures);
+        println!("dataset digest          {:>#18x}", sharded.dataset_digest());
+    }
 
     // Session outcome mix.
     let mut outcomes = Breakdown::new();
-    for sess in eco.sessions() {
+    for sess in worlds.iter().flat_map(|e| e.sessions()) {
         outcomes.add(if sess.exploited {
             "exploited"
         } else if sess.logged_in {
@@ -100,12 +151,14 @@ fn main() {
     println!("\n== session outcomes ==");
     print!("{}", bar_chart(&outcomes, 36));
 
-    // Hijacker IP origins.
+    // Hijacker IP origins (each shard resolves against its own geo).
     let mut countries = Breakdown::new();
-    for r in eco.login_log.records() {
-        if matches!(r.actor, Actor::Hijacker(_)) {
-            if let Some(c) = eco.geo.locate(r.ip) {
-                countries.add(c.code().to_string());
+    for eco in &worlds {
+        for r in eco.login_log.records() {
+            if matches!(r.actor, Actor::Hijacker(_)) {
+                if let Some(c) = eco.geo.locate(r.ip) {
+                    countries.add(c.code().to_string());
+                }
             }
         }
     }
@@ -113,8 +166,9 @@ fn main() {
     print!("{}", bar_chart(&countries, 36));
 
     // Recovery latency.
-    let latencies: Vec<f64> = eco
-        .real_incidents()
+    let latencies: Vec<f64> = worlds
+        .iter()
+        .flat_map(|e| e.real_incidents())
         .filter_map(|i| Some(i.recovered_at?.since(i.flagged_at?).as_hours_f64()))
         .collect();
     if !latencies.is_empty() {
@@ -131,7 +185,7 @@ fn main() {
     }
 
     if let Some(path) = value::<String>(&args, "--report") {
-        std::fs::write(&path, eco.run_report().to_json()).expect("write run report");
+        std::fs::write(&path, run.report_json()).expect("write run report");
         eprintln!("wrote {path}");
     }
 }

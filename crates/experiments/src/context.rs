@@ -5,8 +5,9 @@ use mhw_adversary::Era;
 use mhw_analysis::ComparisonTable;
 use mhw_core::{
     run_decoy_experiment, run_form_campaigns, DecoyReport, Ecosystem, FormCampaignOutput,
-    ScenarioBuilder, ScenarioConfig,
+    ScenarioBuilder, ScenarioConfig, WorkerPool,
 };
+use std::sync::Mutex;
 
 /// Run scale: `Quick` for tests (seconds), `Full` for the repro binary
 /// (paper-scale sample sizes).
@@ -44,41 +45,89 @@ pub struct Context {
 }
 
 impl Context {
-    /// Build and run everything.
+    /// Build and run everything, using every core the machine offers
+    /// for the independent worlds.
     pub fn new(scale: Scale, seed: u64) -> Self {
+        Context::with_workers(scale, seed, mhw_core::default_workers())
+    }
+
+    /// Build and run everything, spreading the five independent
+    /// simulation runs (three worlds, the form batch, the decoy
+    /// experiment) over up to `workers` threads. Each run is
+    /// deterministic in its own `(config, seed)` alone, so the worker
+    /// count never changes any experiment's output.
+    pub fn with_workers(scale: Scale, seed: u64, workers: usize) -> Self {
         let (base, n_forms, n_decoys): (fn(u64) -> ScenarioConfig, usize, usize) = match scale {
             Scale::Quick => (ScenarioConfig::small_test as fn(u64) -> _, 30, 60),
             Scale::Full => (ScenarioConfig::measurement as fn(u64) -> _, 100, 200),
         };
 
-        let eco_2012 = ScenarioBuilder::new(base(seed)).run();
-
-        let eco_2011 = ScenarioBuilder::new(base(seed ^ 0x2011)).era(Era::Y2011).run();
-
-        // The 2FA-lockout burst: same era, tactic at full intensity.
-        let mut lockout = ScenarioBuilder::new(base(seed ^ 0x2fa));
-        if scale == Scale::Quick {
-            lockout = lockout.configure(|c| c.days = c.days.min(14));
-        }
-        let eco_lockout = lockout
-            .tweak_crews(|roster| {
-                for crew in &mut roster.crews {
-                    if crew.spec.uses_2fa_lockout {
-                        crew.tactics.p_twofactor_lockout = 0.55;
-                    }
+        // One slot per independent run; job index i fills slot i, so
+        // the pool's work stealing is invisible to the results.
+        let eco_2012 = Mutex::new(None);
+        let eco_2011 = Mutex::new(None);
+        let eco_lockout = Mutex::new(None);
+        let forms = Mutex::new(None);
+        let decoy = Mutex::new(None);
+        // Five independent jobs, capped at the hardware's parallelism —
+        // extra CPU-bound threads on fewer cores only slow each other.
+        WorkerPool::scoped(workers.clamp(1, 5).min(mhw_core::default_workers()), |pool| {
+            pool.run(5, &|_worker, i| match i {
+                0 => {
+                    let eco = ScenarioBuilder::new(base(seed)).run();
+                    *eco_2012.lock().expect("slot poisoned") = Some(eco);
                 }
-            })
-            .run();
-
-        let forms = run_form_campaigns(n_forms, true, seed ^ 0xf0f0);
-
-        let mut decoy_config = base(seed ^ 0xdec0);
-        let (decoy_eco, decoys) = run_decoy_experiment(decoy_config.clone(), n_decoys, {
-            decoy_config.days = decoy_config.days.max(10);
-            (decoy_config.days / 2).max(3)
+                1 => {
+                    let eco = ScenarioBuilder::new(base(seed ^ 0x2011)).era(Era::Y2011).run();
+                    *eco_2011.lock().expect("slot poisoned") = Some(eco);
+                }
+                2 => {
+                    // The 2FA-lockout burst: same era, tactic at full
+                    // intensity.
+                    let mut lockout = ScenarioBuilder::new(base(seed ^ 0x2fa));
+                    if scale == Scale::Quick {
+                        lockout = lockout.configure(|c| c.days = c.days.min(14));
+                    }
+                    let eco = lockout
+                        .tweak_crews(|roster| {
+                            for crew in &mut roster.crews {
+                                if crew.spec.uses_2fa_lockout {
+                                    crew.tactics.p_twofactor_lockout = 0.55;
+                                }
+                            }
+                        })
+                        .run();
+                    *eco_lockout.lock().expect("slot poisoned") = Some(eco);
+                }
+                3 => {
+                    let out = run_form_campaigns(n_forms, true, seed ^ 0xf0f0);
+                    *forms.lock().expect("slot poisoned") = Some(out);
+                }
+                _ => {
+                    let mut decoy_config = base(seed ^ 0xdec0);
+                    let out = run_decoy_experiment(decoy_config.clone(), n_decoys, {
+                        decoy_config.days = decoy_config.days.max(10);
+                        (decoy_config.days / 2).max(3)
+                    });
+                    *decoy.lock().expect("slot poisoned") = Some(out);
+                }
+            });
         });
 
-        Context { scale, seed, eco_2012, eco_2011, eco_lockout, forms, decoy_eco, decoys }
+        let take = |slot: Mutex<Option<Ecosystem>>| {
+            slot.into_inner().expect("slot poisoned").expect("world built")
+        };
+        let (decoy_eco, decoys) = decoy.into_inner().expect("slot poisoned").expect("run done");
+        Context {
+            scale,
+            seed,
+            eco_2012: take(eco_2012),
+            eco_2011: take(eco_2011),
+            eco_lockout: take(eco_lockout),
+            forms: forms.into_inner().expect("slot poisoned").expect("run done"),
+            decoy_eco,
+            decoys,
+        }
     }
 
     /// Tolerance width scaling: quick runs have smaller samples, so

@@ -24,6 +24,7 @@
 //! counters are nonzero.
 
 use crate::snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+use mhw_types::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A static metric identifier, e.g. `MetricId("identity.login_attempts")`.
@@ -74,7 +75,9 @@ struct HistogramCells {
     bounds: &'static [u64],
     /// `bounds.len() + 1` buckets; bucket `i` counts observations
     /// `v <= bounds[i]`, the last bucket counts everything larger.
-    counts: Box<[AtomicU64]>,
+    /// Cache-padded so concurrent observers hitting adjacent buckets
+    /// never ping-pong one line.
+    counts: Box<[CachePadded<AtomicU64>]>,
     total: AtomicU64,
     sum: AtomicU64,
 }
@@ -84,7 +87,7 @@ impl HistogramCells {
         debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
         HistogramCells {
             bounds,
-            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            counts: (0..=bounds.len()).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
             total: AtomicU64::new(0),
             sum: AtomicU64::new(0),
         }
@@ -114,8 +117,11 @@ impl HistogramCells {
 /// ```
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: Vec<(MetricId, AtomicU64)>,
-    gauges: Vec<(MetricId, AtomicU64)>,
+    // Each cell is cache-padded: per-shard registries are allocated
+    // back to back by the engine, and unpadded adjacent counters would
+    // false-share lines across worker threads.
+    counters: Vec<(MetricId, CachePadded<AtomicU64>)>,
+    gauges: Vec<(MetricId, CachePadded<AtomicU64>)>,
     histograms: Vec<(MetricId, HistogramCells)>,
 }
 
@@ -127,12 +133,12 @@ impl Clone for Registry {
             counters: self
                 .counters
                 .iter()
-                .map(|(id, c)| (*id, AtomicU64::new(c.load(Ordering::Relaxed))))
+                .map(|(id, c)| (*id, CachePadded::new(AtomicU64::new(c.load(Ordering::Relaxed)))))
                 .collect(),
             gauges: self
                 .gauges
                 .iter()
-                .map(|(id, g)| (*id, AtomicU64::new(g.load(Ordering::Relaxed))))
+                .map(|(id, g)| (*id, CachePadded::new(AtomicU64::new(g.load(Ordering::Relaxed)))))
                 .collect(),
             histograms: self
                 .histograms
@@ -143,7 +149,7 @@ impl Clone for Registry {
                         counts: h
                             .counts
                             .iter()
-                            .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                            .map(|c| CachePadded::new(AtomicU64::new(c.load(Ordering::Relaxed))))
                             .collect(),
                         total: AtomicU64::new(h.total.load(Ordering::Relaxed)),
                         sum: AtomicU64::new(h.sum.load(Ordering::Relaxed)),
@@ -167,7 +173,7 @@ impl Registry {
     /// Declare a monotonically increasing counter.
     pub fn register_counter(&mut self, id: MetricId) {
         if self.find(&self.counters, id).is_none() {
-            self.counters.push((id, AtomicU64::new(0)));
+            self.counters.push((id, CachePadded::new(AtomicU64::new(0))));
         }
     }
 
@@ -175,7 +181,7 @@ impl Registry {
     /// gauges read as a run-wide total).
     pub fn register_gauge(&mut self, id: MetricId) {
         if self.find(&self.gauges, id).is_none() {
-            self.gauges.push((id, AtomicU64::new(0)));
+            self.gauges.push((id, CachePadded::new(AtomicU64::new(0))));
         }
     }
 
@@ -245,13 +251,17 @@ impl Registry {
         }
     }
 
-    fn find<'a>(&self, list: &'a [(MetricId, AtomicU64)], id: MetricId) -> Option<&'a AtomicU64> {
+    fn find<'a>(
+        &self,
+        list: &'a [(MetricId, CachePadded<AtomicU64>)],
+        id: MetricId,
+    ) -> Option<&'a AtomicU64> {
         // The instrument sets are tiny (≤ ~10 per subsystem); a linear
         // scan comparing static-str pointers first is cheaper than any
         // hash for this size.
         list.iter()
             .find(|(i, _)| std::ptr::eq(i.0, id.0) || i.0 == id.0)
-            .map(|(_, v)| v)
+            .map(|(_, v)| &**v)
     }
 
     // ---- reads ----

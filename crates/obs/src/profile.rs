@@ -35,6 +35,11 @@ pub struct EngineProfile {
     pub workers: usize,
     /// Per-phase timings, in first-recorded order.
     pub phases: Vec<PhaseTiming>,
+    /// Per-worker busy milliseconds during the build phase, indexed by
+    /// worker id (the coordinating thread is worker 0). Shows how
+    /// evenly work stealing spread world construction; empty when the
+    /// engine did not record it.
+    pub build_worker_ms: Vec<f64>,
 }
 
 /// Accumulates wall-clock durations per phase, preserving the order
@@ -42,6 +47,7 @@ pub struct EngineProfile {
 #[derive(Debug, Default)]
 pub struct PhaseProfiler {
     phases: Vec<(&'static str, u64, Duration)>,
+    build_workers: Vec<Duration>,
 }
 
 impl PhaseProfiler {
@@ -69,6 +75,12 @@ impl PhaseProfiler {
         }
     }
 
+    /// Record how long each worker spent busy during the build phase
+    /// (coordinator first), as reported by the engine's worker pool.
+    pub fn set_build_workers(&mut self, busy: Vec<Duration>) {
+        self.build_workers = busy;
+    }
+
     /// Total time charged to `phase` so far, if it ever ran.
     pub fn total(&self, phase: &str) -> Option<Duration> {
         self.phases
@@ -94,6 +106,11 @@ impl PhaseProfiler {
                         mean_ms: if *calls > 0 { total_ms / *calls as f64 } else { 0.0 },
                     }
                 })
+                .collect(),
+            build_worker_ms: self
+                .build_workers
+                .iter()
+                .map(|busy| busy.as_secs_f64() * 1e3)
                 .collect(),
         }
     }
@@ -132,6 +149,17 @@ mod tests {
         assert_eq!(p.total("b"), Some(Duration::from_millis(5)));
         assert_eq!(p.total("missing"), None);
         assert!((report.phases[0].mean_ms - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_worker_timings_render_in_ms() {
+        let mut p = PhaseProfiler::new();
+        p.record("build", Duration::from_millis(10));
+        p.set_build_workers(vec![Duration::from_millis(6), Duration::from_millis(4)]);
+        let report = p.report(4, 2);
+        assert_eq!(report.build_worker_ms.len(), 2);
+        assert!((report.build_worker_ms[0] - 6.0).abs() < 1e-9);
+        assert!((report.build_worker_ms[1] - 4.0).abs() < 1e-9);
     }
 
     #[test]

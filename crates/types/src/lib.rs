@@ -31,6 +31,7 @@ pub mod ids;
 pub mod ip;
 pub mod log;
 pub mod phone;
+pub mod sync;
 pub mod time;
 
 pub use account::{AccountCategory, WebmailProvider};
@@ -44,4 +45,5 @@ pub use ids::{
 pub use ip::{IpAddr, IpBlock};
 pub use log::{EventSink, LogKey, LogStore, ShardId, Stamped};
 pub use phone::PhoneNumber;
+pub use sync::CachePadded;
 pub use time::{SimDuration, SimTime, Weekday, DAY, HOUR, MINUTE, WEEK};

@@ -21,9 +21,20 @@
 //! key is unique the merged order is total and reproducible, which is
 //! what makes whole-dataset digests byte-identical across worker
 //! counts.
+//!
+//! Merging is a true k-way merge, not concatenate-then-sort: each
+//! segment tracks whether its appends arrived in time order (they
+//! almost always do — a shard emits while advancing its simulated
+//! clock), sorted segments are consumed in place, the rare unsorted
+//! segment is sorted *on its own*, and a cursor heap interleaves the
+//! k sorted streams in `O(n log k)`. [`LogStore::merge_into`] exposes
+//! the same merge over a caller-owned, pre-sized output buffer so
+//! repeated merges (benchmarks, digest loops) reuse one allocation.
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::ops::Deref;
 
 /// Identifier of the logical shard a record was produced on.
@@ -91,6 +102,10 @@ pub trait EventSink<T> {
 pub struct LogStore<T> {
     shard: ShardId,
     entries: Vec<Stamped<T>>,
+    /// Whether appends have arrived in non-decreasing `at` order so far.
+    /// Maintained incrementally by [`LogStore::append`]; lets
+    /// [`LogStore::merge`] consume the segment without re-sorting it.
+    time_sorted: bool,
 }
 
 impl<T> Default for LogStore<T> {
@@ -110,6 +125,7 @@ impl<T> LogStore<T> {
         LogStore {
             shard,
             entries: Vec::new(),
+            time_sorted: true,
         }
     }
 
@@ -121,6 +137,11 @@ impl<T> LogStore<T> {
     /// Append in emission order, stamping the next dense sequence
     /// number for this shard.
     pub fn append(&mut self, at: SimTime, record: T) -> LogKey {
+        if let Some(last) = self.entries.last() {
+            if at < last.key.at {
+                self.time_sorted = false;
+            }
+        }
         let key = LogKey {
             at,
             shard: self.shard,
@@ -128,6 +149,14 @@ impl<T> LogStore<T> {
         };
         self.entries.push(Stamped { key, record });
         key
+    }
+
+    /// Whether every append so far arrived in non-decreasing time
+    /// order. When true, the segment is already in `(at, shard, seq)`
+    /// key order (shard is constant and `seq` ascends), so merges
+    /// consume it without sorting.
+    pub fn is_time_sorted(&self) -> bool {
+        self.time_sorted
     }
 
     /// All entries in emission order.
@@ -163,25 +192,139 @@ impl<T> LogStore<T> {
     /// Merge per-shard segments into one globally ordered view, sorted
     /// by `(at, shard, seq)`. Keys are unique, so the result is a total
     /// order independent of the segment iteration order.
+    ///
+    /// This is a k-way merge over the per-segment streams, not a sort
+    /// of the concatenation: time-sorted segments (the overwhelmingly
+    /// common case — see [`LogStore::is_time_sorted`]) are consumed in
+    /// place, and only a segment that recorded out-of-order appends is
+    /// sorted, on its own, before merging.
     pub fn merge<'a>(segments: impl IntoIterator<Item = &'a LogStore<T>>) -> Vec<&'a Stamped<T>>
     where
         T: 'a,
     {
-        let mut all: Vec<&'a Stamped<T>> =
-            segments.into_iter().flat_map(|s| s.entries.iter()).collect();
-        all.sort_by_key(|e| e.key);
-        all
+        let mut out = Vec::new();
+        Self::merge_into(segments, &mut out);
+        out
+    }
+
+    /// [`LogStore::merge`] into a caller-owned buffer, so repeated
+    /// merges (benchmark loops, digest passes) reuse one allocation.
+    /// The buffer is cleared, then reserved to the exact total size
+    /// before any entry is pushed.
+    pub fn merge_into<'a>(
+        segments: impl IntoIterator<Item = &'a LogStore<T>>,
+        out: &mut Vec<&'a Stamped<T>>,
+    ) where
+        T: 'a,
+    {
+        out.clear();
+        let mut total = 0usize;
+        let mut cursors: Vec<MergeCursor<'a, T>> = Vec::new();
+        for seg in segments {
+            if seg.entries.is_empty() {
+                continue;
+            }
+            total += seg.entries.len();
+            if seg.time_sorted {
+                debug_assert!(
+                    seg.entries.windows(2).all(|w| w[0].key < w[1].key),
+                    "segment flagged time-sorted has out-of-order keys (shard {})",
+                    seg.shard
+                );
+                cursors.push(MergeCursor::Sorted(seg.entries.iter()));
+            } else {
+                let mut view: Vec<&'a Stamped<T>> = seg.entries.iter().collect();
+                view.sort_by_key(|e| e.key);
+                cursors.push(MergeCursor::Resorted(view.into_iter()));
+            }
+        }
+        out.reserve(total);
+        match cursors.len() {
+            0 => {}
+            1 => out.extend(std::iter::from_fn(move || cursors[0].next())),
+            _ => {
+                let mut heads: Vec<Option<&'a Stamped<T>>> =
+                    cursors.iter_mut().map(MergeCursor::next).collect();
+                let mut heap: BinaryHeap<Reverse<(LogKey, usize)>> = heads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, head)| head.map(|e| Reverse((e.key, i))))
+                    .collect();
+                while let Some(Reverse((key, i))) = heap.pop() {
+                    let entry = heads[i].take().expect("popped cursor has a head");
+                    debug_assert!(
+                        out.last().is_none_or(|prev| prev.key < key),
+                        "k-way merge produced out-of-order output"
+                    );
+                    out.push(entry);
+                    if let Some(next) = cursors[i].next() {
+                        debug_assert!(
+                            next.key > key,
+                            "merge input segment is not sorted: {:?} after {key:?}",
+                            next.key
+                        );
+                        heads[i] = Some(next);
+                        heap.push(Reverse((next.key, i)));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), total, "k-way merge dropped or duplicated entries");
     }
 
     /// Consuming variant of [`LogStore::merge`], for assembling the
-    /// final global log out of finished shard segments.
+    /// final global log out of finished shard segments. Same k-way
+    /// strategy: per-segment sort only when a segment recorded
+    /// out-of-order appends, never a sort of the concatenation.
     pub fn merge_owned(segments: impl IntoIterator<Item = LogStore<T>>) -> Vec<Stamped<T>> {
-        let mut all: Vec<Stamped<T>> = segments
-            .into_iter()
-            .flat_map(|s| s.entries.into_iter())
+        let mut total = 0usize;
+        let mut iters: Vec<std::vec::IntoIter<Stamped<T>>> = Vec::new();
+        for seg in segments {
+            if seg.entries.is_empty() {
+                continue;
+            }
+            total += seg.entries.len();
+            let mut entries = seg.entries;
+            if !seg.time_sorted {
+                entries.sort_by_key(|e| e.key);
+            }
+            iters.push(entries.into_iter());
+        }
+        let mut out = Vec::with_capacity(total);
+        let mut heads: Vec<Option<Stamped<T>>> = iters.iter_mut().map(Iterator::next).collect();
+        let mut heap: BinaryHeap<Reverse<(LogKey, usize)>> = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, head)| head.as_ref().map(|e| Reverse((e.key, i))))
             .collect();
-        all.sort_by_key(|e| e.key);
-        all
+        while let Some(Reverse((key, i))) = heap.pop() {
+            let entry = heads[i].take().expect("popped cursor has a head");
+            debug_assert_eq!(entry.key, key);
+            out.push(entry);
+            if let Some(next) = iters[i].next() {
+                debug_assert!(next.key > key, "merge input segment is not sorted");
+                heap.push(Reverse((next.key, i)));
+                heads[i] = Some(next);
+            }
+        }
+        out
+    }
+}
+
+/// One segment's position in an in-progress k-way merge: a plain slice
+/// iterator for segments already in key order, an owned sorted view for
+/// the rare segment that recorded out-of-order appends.
+enum MergeCursor<'a, T> {
+    Sorted(std::slice::Iter<'a, Stamped<T>>),
+    Resorted(std::vec::IntoIter<&'a Stamped<T>>),
+}
+
+impl<'a, T> MergeCursor<'a, T> {
+    fn next(&mut self) -> Option<&'a Stamped<T>> {
+        match self {
+            MergeCursor::Sorted(it) => it.next(),
+            MergeCursor::Resorted(it) => it.next(),
+        }
     }
 }
 
@@ -254,6 +397,55 @@ mod tests {
         let borrowed: Vec<LogKey> = LogStore::merge([&a, &b]).iter().map(|e| e.key).collect();
         let owned: Vec<LogKey> = LogStore::merge_owned([a, b]).iter().map(|e| e.key).collect();
         assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn time_sorted_flag_tracks_append_order() {
+        let mut log = LogStore::for_shard(1);
+        assert!(log.is_time_sorted(), "empty segment is trivially sorted");
+        log.append(SimTime::from_secs(5), "a");
+        log.append(SimTime::from_secs(5), "b"); // equal instants stay sorted
+        log.append(SimTime::from_secs(9), "c");
+        assert!(log.is_time_sorted());
+        log.append(SimTime::from_secs(2), "d"); // regression
+        assert!(!log.is_time_sorted());
+    }
+
+    #[test]
+    fn merge_handles_empty_and_unsorted_segments() {
+        let empty: LogStore<&str> = LogStore::for_shard(9);
+        let mut sorted = LogStore::for_shard(0);
+        sorted.append(SimTime::from_secs(1), "s0");
+        sorted.append(SimTime::from_secs(4), "s1");
+        let mut unsorted = LogStore::for_shard(1);
+        unsorted.append(SimTime::from_secs(3), "u0");
+        unsorted.append(SimTime::from_secs(1), "u1");
+        unsorted.append(SimTime::from_secs(3), "u2");
+        assert!(!unsorted.is_time_sorted());
+        let merged = LogStore::merge([&empty, &sorted, &unsorted]);
+        let records: Vec<&str> = merged.iter().map(|e| e.record).collect();
+        assert_eq!(records, vec!["s0", "u1", "u0", "u2", "s1"]);
+        for w in merged.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+    }
+
+    #[test]
+    fn merge_into_reuses_the_output_buffer() {
+        let mut a = LogStore::for_shard(0);
+        let mut b = LogStore::for_shard(1);
+        for i in 0..50u64 {
+            a.append(SimTime::from_secs(2 * i), i);
+            b.append(SimTime::from_secs(2 * i + 1), i);
+        }
+        let mut out = Vec::new();
+        LogStore::merge_into([&a, &b], &mut out);
+        assert_eq!(out.len(), 100);
+        let capacity = out.capacity();
+        LogStore::merge_into([&a, &b], &mut out);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out.capacity(), capacity, "repeat merge must not reallocate");
+        assert_eq!(out, LogStore::merge([&a, &b]));
     }
 
     #[test]

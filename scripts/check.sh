@@ -22,4 +22,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 echo "== cargo test --doc =="
 cargo test --offline --workspace --doc -q
 
+echo "== bench-smoke =="
+# Scaling smoke: profile the engine at 1/2/4/8 workers on a small
+# scenario and write BENCH_scaling.json. The bench itself prints a
+# non-fatal warning if a multi-worker shard_day exceeds the 1-worker
+# baseline (CI timing is noisy, so this never fails the gate).
+cargo bench --offline -p mhw-bench --bench engine_scaling -- --smoke
+
 echo "all checks passed"

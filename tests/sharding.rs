@@ -26,7 +26,7 @@ fn engine(seed: u64, shards: u16) -> ShardedEngine {
 #[test]
 fn worker_count_never_changes_the_dataset() {
     let baseline = engine(0x5A4D, 4).workers(1).run();
-    for workers in [2, 4, 8] {
+    for workers in [2, 4, 5, 8] {
         let run = engine(0x5A4D, 4).workers(workers).run();
         assert_eq!(
             run.dataset_digest(),
@@ -35,6 +35,46 @@ fn worker_count_never_changes_the_dataset() {
         );
         assert_eq!(run.market_trades, baseline.market_trades);
         assert_eq!(run.cross_shard_lures, baseline.cross_shard_lures);
+        assert_eq!(
+            run.run_report().to_json(),
+            baseline.run_report().to_json(),
+            "run report diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn work_stealing_keeps_the_digest_under_extreme_imbalance() {
+    // One shard carries ~10x the population of its three peers, so any
+    // static bucket assignment would leave workers idle and any
+    // scheduling leak would move records between runs. The stolen
+    // schedule differs wildly across worker counts; the datasets must
+    // not.
+    let heavy = |workers: usize| {
+        let mut config = ScenarioConfig::small_test(0xBEEF);
+        config.days = 4;
+        config.population.n_users = 260;
+        config.market_share = 0.3;
+        ShardedEngine::new(config, 4)
+            .shard_weights(vec![10, 1, 1, 1])
+            .contact_spillover(0.25)
+            .workers(workers)
+            .run()
+    };
+    let baseline = heavy(1);
+    let populations: Vec<usize> =
+        baseline.shards().iter().map(|e| e.population.len()).collect();
+    assert!(
+        populations[0] >= 9 * populations[1].max(1),
+        "weights did not skew the population: {populations:?}"
+    );
+    for workers in [2, 5, 8] {
+        let run = heavy(workers);
+        assert_eq!(
+            run.dataset_digest(),
+            baseline.dataset_digest(),
+            "digest diverged at {workers} workers under imbalance"
+        );
     }
 }
 
@@ -144,6 +184,42 @@ proptest! {
             if w[0].key.at == w[1].key.at && w[0].key.shard == w[1].key.shard {
                 prop_assert!(w[0].key.seq < w[1].key.seq);
             }
+        }
+    }
+
+    /// The k-way merge must agree element-for-element with the old
+    /// sort-based reference (concatenate everything, stable-sort by
+    /// key) on any input: duplicate `at` instants across and within
+    /// shards, empty segments in any position, and segments appended
+    /// out of time order.
+    #[test]
+    fn kway_merge_matches_the_sort_based_reference(
+        shard_sizes in proptest::collection::vec(0usize..25, 1..7),
+        // A tiny time range forces heavy `at` collisions, and the
+        // arbitrary order means many segments are NOT time-sorted,
+        // exercising the merge's per-segment resort path alongside the
+        // sorted-cursor fast path.
+        times in proptest::collection::vec(0u64..8, 1..120),
+    ) {
+        let mut segments: Vec<LogStore<u64>> = Vec::new();
+        let mut t = times.iter().cycle();
+        for (shard, n) in shard_sizes.iter().enumerate() {
+            let mut seg = LogStore::for_shard(shard as u16);
+            for i in 0..*n {
+                seg.append(SimTime::from_secs(*t.next().unwrap()), i as u64);
+            }
+            segments.push(seg);
+        }
+        let merged = LogStore::merge(segments.iter());
+        // The reference the k-way merge replaced: concatenate, then
+        // sort by the unique (at, shard, seq) key.
+        let mut reference: Vec<&_> =
+            segments.iter().flat_map(|seg| seg.entries()).collect();
+        reference.sort_by_key(|e| e.key);
+        prop_assert_eq!(merged.len(), reference.len());
+        for (got, want) in merged.iter().zip(&reference) {
+            prop_assert_eq!(got.key, want.key);
+            prop_assert_eq!(&got.record, &want.record);
         }
     }
 }
