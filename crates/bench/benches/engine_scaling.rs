@@ -46,6 +46,7 @@ fn bench_engine_scaling(c: &mut Criterion) {
                     .workers(workers)
                     .contact_spillover(0.25)
                     .run()
+                    .expect("bench run")
                     .dataset_digest()
             })
         });
@@ -56,7 +57,7 @@ fn bench_engine_scaling(c: &mut Criterion) {
         b.iter(|| {
             let mut config = scaling_config();
             config.market_share = 0.0;
-            ShardedEngine::new(config, 1).run().total_stats().incidents
+            ShardedEngine::new(config, 1).run().expect("bench run").total_stats().incidents
         })
     });
     group.finish();
@@ -113,7 +114,8 @@ fn profile_runs(config: &ScenarioConfig, n_shards: u16) -> Vec<ObsRun> {
         let run = ShardedEngine::new(config.clone(), n_shards)
             .workers(workers)
             .contact_spillover(0.25)
-            .run();
+            .run()
+            .expect("bench run");
         (run.dataset_digest(), run.profile())
     };
     // Warm caches and the allocator before anything is measured.

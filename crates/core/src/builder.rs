@@ -240,8 +240,8 @@ mod tests {
         config.days = 2;
         config.population.n_users = 90;
         let via_builder =
-            ScenarioBuilder::new(config.clone()).workers(2).sharded(3).run();
-        let direct = crate::engine::ShardedEngine::new(config, 3).workers(1).run();
+            ScenarioBuilder::new(config.clone()).workers(2).sharded(3).run().unwrap();
+        let direct = crate::engine::ShardedEngine::new(config, 3).workers(1).run().unwrap();
         assert_eq!(via_builder.dataset_digest(), direct.dataset_digest());
     }
 

@@ -1,0 +1,445 @@
+//! Day-barrier checkpoint files: versioned, checksummed resume points.
+//!
+//! # What a checkpoint is (and is not)
+//!
+//! The engine is deterministic: every shard's state at a day barrier is
+//! a pure function of `(config, completed days)`. A checkpoint therefore
+//! records a **verified resume point**, not a byte image of the world:
+//! the scenario fingerprint, the completed-day count, the engine's
+//! exchange-queue counters and raw exchange-RNG position, and — per
+//! shard — the exact positions of all six RNG streams, the event-log
+//! segment lengths, and an FNV-1a digest over the shard's full state
+//! (logs, stats, pending queues, metric snapshot). Resume rebuilds the
+//! world and replays up to the recorded barrier, then *proves* it
+//! arrived at the very same state by comparing every recorded position
+//! and digest — any divergence (changed binary, different config, bit
+//! rot) is a typed [`EngineError::CheckpointMismatch`], never a
+//! silently wrong dataset. The trade-off is honest: resume costs
+//! recompute (CPU) instead of state-file I/O, and in exchange the
+//! checkpoint file stays small, version-stable and verifiable.
+//!
+//! # File format (version 1)
+//!
+//! ```text
+//! magic    8 bytes  b"MHWCKPT\0"
+//! version  u32 LE   1
+//! body     (all integers LE)
+//!   seed u64 · shards u16 · days u64 · users u64 · config_fingerprint u64
+//!   completed_days u64
+//!   exchange_rng [u64;4] · market_trades u64 · cross_shard_lures u64
+//!   seen_incidents: u32 count, then u64 each
+//!   metrics_digest u64
+//!   shards: u32 count, then per shard:
+//!     state_digest u64 · log_lens [u64;3]
+//!     rng_states: u32 count, then [u64;4] each
+//! checksum u64 LE  FNV-1a over everything before it
+//! ```
+//!
+//! Writes are atomic (temp file + rename), so a crash mid-write leaves
+//! either the previous checkpoint or none — never a torn file. Readers
+//! reject bad magic, unknown versions, truncation and checksum
+//! mismatches with [`EngineError::CheckpointCorrupt`].
+
+use mhw_types::{CheckpointOp, EngineError, EngineResult, ShardId};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a manual-hijacking-wild checkpoint.
+pub const MAGIC: [u8; 8] = *b"MHWCKPT\0";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// FNV-1a over a byte slice (the same digest primitive the engine uses
+/// for dataset digests).
+pub(crate) fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Seed value for FNV-1a digests.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The recorded resume point of one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCheckpoint {
+    /// FNV-1a digest over the shard's full barrier state.
+    pub state_digest: u64,
+    /// Lengths of the login / mail / notification log segments.
+    pub log_lens: [u64; 3],
+    /// Raw xoshiro positions of every shard RNG stream, in the shard's
+    /// canonical stream order.
+    pub rng_states: Vec<[u64; 4]>,
+}
+
+/// A parsed checkpoint file; see the [module docs](self) for semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Master seed of the checkpointed run.
+    pub seed: u64,
+    /// Logical shard count.
+    pub n_shards: ShardId,
+    /// Total days the scenario runs.
+    pub days: u64,
+    /// Total configured users.
+    pub users: u64,
+    /// Digest over the full engine configuration (config debug form,
+    /// spillover, decoys, shard weights).
+    pub config_fingerprint: u64,
+    /// Simulated days completed at this barrier.
+    pub completed_days: u64,
+    /// Raw position of the engine's exchange RNG stream.
+    pub exchange_rng: [u64; 4],
+    /// Market trades executed so far.
+    pub market_trades: u64,
+    /// Cross-shard lures routed so far.
+    pub cross_shard_lures: u64,
+    /// Per-shard incident counts already exported at barriers.
+    pub seen_incidents: Vec<u64>,
+    /// Digest over the merged sim-time metrics snapshot at this barrier.
+    pub metrics_digest: u64,
+    /// Per-shard resume points, in shard order.
+    pub shards: Vec<ShardCheckpoint>,
+}
+
+impl Checkpoint {
+    /// Serialize to the version-1 binary format, checksum included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(256 + self.shards.len() * 256);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        let w64 = |buf: &mut Vec<u8>, v: u64| buf.extend_from_slice(&v.to_le_bytes());
+        let w32 = |buf: &mut Vec<u8>, v: u32| buf.extend_from_slice(&v.to_le_bytes());
+        w64(&mut buf, self.seed);
+        buf.extend_from_slice(&self.n_shards.to_le_bytes());
+        w64(&mut buf, self.days);
+        w64(&mut buf, self.users);
+        w64(&mut buf, self.config_fingerprint);
+        w64(&mut buf, self.completed_days);
+        for w in self.exchange_rng {
+            w64(&mut buf, w);
+        }
+        w64(&mut buf, self.market_trades);
+        w64(&mut buf, self.cross_shard_lures);
+        w32(&mut buf, self.seen_incidents.len() as u32);
+        for v in &self.seen_incidents {
+            w64(&mut buf, *v);
+        }
+        w64(&mut buf, self.metrics_digest);
+        w32(&mut buf, self.shards.len() as u32);
+        for shard in &self.shards {
+            w64(&mut buf, shard.state_digest);
+            for len in shard.log_lens {
+                w64(&mut buf, len);
+            }
+            w32(&mut buf, shard.rng_states.len() as u32);
+            for state in &shard.rng_states {
+                for w in state {
+                    w64(&mut buf, *w);
+                }
+            }
+        }
+        let checksum = fnv1a(FNV_OFFSET, &buf);
+        w64(&mut buf, checksum);
+        buf
+    }
+
+    /// Parse and validate a checkpoint image. `path` is only used for
+    /// error messages.
+    pub fn decode(bytes: &[u8], path: &Path) -> EngineResult<Checkpoint> {
+        let corrupt = |reason: String| EngineError::CheckpointCorrupt {
+            path: path.display().to_string(),
+            reason,
+        };
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(corrupt(format!("file is only {} bytes", bytes.len())));
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(corrupt("bad magic (not a checkpoint file)".into()));
+        }
+        // Checksum covers everything before the trailing u64.
+        let body_end = bytes.len() - 8;
+        let mut tail = [0u8; 8];
+        tail.copy_from_slice(&bytes[body_end..]);
+        let recorded = u64::from_le_bytes(tail);
+        let actual = fnv1a(FNV_OFFSET, &bytes[..body_end]);
+        if recorded != actual {
+            return Err(corrupt(format!(
+                "checksum mismatch (recorded {recorded:#018x}, computed {actual:#018x})"
+            )));
+        }
+        let mut pos = MAGIC.len();
+        let take = |pos: &mut usize, n: usize| -> EngineResult<&[u8]> {
+            if *pos + n > body_end {
+                return Err(corrupt(format!("truncated body at offset {pos}")));
+            }
+            let slice = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(slice)
+        };
+        let r32 = |pos: &mut usize| -> EngineResult<u32> {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(take(pos, 4)?);
+            Ok(u32::from_le_bytes(b))
+        };
+        let r64 = |pos: &mut usize| -> EngineResult<u64> {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(take(pos, 8)?);
+            Ok(u64::from_le_bytes(b))
+        };
+        let version = r32(&mut pos)?;
+        if version != VERSION {
+            return Err(corrupt(format!(
+                "unsupported version {version} (this build reads version {VERSION})"
+            )));
+        }
+        let seed = r64(&mut pos)?;
+        let n_shards = {
+            let mut b = [0u8; 2];
+            b.copy_from_slice(take(&mut pos, 2)?);
+            ShardId::from_le_bytes(b)
+        };
+        let days = r64(&mut pos)?;
+        let users = r64(&mut pos)?;
+        let config_fingerprint = r64(&mut pos)?;
+        let completed_days = r64(&mut pos)?;
+        let mut exchange_rng = [0u64; 4];
+        for w in &mut exchange_rng {
+            *w = r64(&mut pos)?;
+        }
+        let market_trades = r64(&mut pos)?;
+        let cross_shard_lures = r64(&mut pos)?;
+        let n_seen = r32(&mut pos)? as usize;
+        // Counts are bounded by the body size, so a corrupt count fails
+        // on `take` instead of attempting a huge allocation.
+        let mut seen_incidents = Vec::with_capacity(n_seen.min(body_end / 8));
+        for _ in 0..n_seen {
+            seen_incidents.push(r64(&mut pos)?);
+        }
+        let metrics_digest = r64(&mut pos)?;
+        let n_shard_entries = r32(&mut pos)? as usize;
+        let mut shards = Vec::with_capacity(n_shard_entries.min(body_end / 32));
+        for _ in 0..n_shard_entries {
+            let state_digest = r64(&mut pos)?;
+            let mut log_lens = [0u64; 3];
+            for len in &mut log_lens {
+                *len = r64(&mut pos)?;
+            }
+            let n_rngs = r32(&mut pos)? as usize;
+            let mut rng_states = Vec::with_capacity(n_rngs.min(body_end / 32));
+            for _ in 0..n_rngs {
+                let mut state = [0u64; 4];
+                for w in &mut state {
+                    *w = r64(&mut pos)?;
+                }
+                rng_states.push(state);
+            }
+            shards.push(ShardCheckpoint { state_digest, log_lens, rng_states });
+        }
+        if pos != body_end {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the last shard entry",
+                body_end - pos
+            )));
+        }
+        Ok(Checkpoint {
+            seed,
+            n_shards,
+            days,
+            users,
+            config_fingerprint,
+            completed_days,
+            exchange_rng,
+            market_trades,
+            cross_shard_lures,
+            seen_incidents,
+            metrics_digest,
+            shards,
+        })
+    }
+
+    /// Write the checkpoint atomically: serialize to `<path>.tmp`, sync,
+    /// then rename over `path`. A crash mid-write can never leave a torn
+    /// checkpoint visible under the final name.
+    pub fn write_atomic(&self, path: &Path) -> EngineResult<()> {
+        let io_err = |detail: std::io::Error| EngineError::CheckpointIo {
+            op: CheckpointOp::Write,
+            path: path.display().to_string(),
+            detail: detail.to_string(),
+        };
+        let tmp = path.with_extension("tmp");
+        let bytes = self.encode();
+        let mut file = fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(&bytes).map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Read and validate a checkpoint file.
+    pub fn read(path: &Path) -> EngineResult<Checkpoint> {
+        let bytes = fs::read(path).map_err(|e| EngineError::CheckpointIo {
+            op: CheckpointOp::Read,
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Checkpoint::decode(&bytes, path)
+    }
+}
+
+/// Canonical file name for the checkpoint taken after `completed_days`
+/// simulated days.
+pub fn file_name(completed_days: u64) -> String {
+    format!("ckpt-day{completed_days:05}.mhw")
+}
+
+/// Find the newest checkpoint (highest completed-day) in a directory,
+/// by canonical file name. Returns `Ok(None)` for an empty or absent
+/// set of checkpoints in an existing directory.
+pub fn latest_in_dir(dir: &Path) -> EngineResult<Option<PathBuf>> {
+    let entries = fs::read_dir(dir).map_err(|e| EngineError::CheckpointIo {
+        op: CheckpointOp::List,
+        path: dir.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in entries {
+        let entry = entry.map_err(|e| EngineError::CheckpointIo {
+            op: CheckpointOp::List,
+            path: dir.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(day) = name
+            .strip_prefix("ckpt-day")
+            .and_then(|rest| rest.strip_suffix(".mhw"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(d, _)| day > *d) {
+            best = Some((day, entry.path()));
+        }
+    }
+    Ok(best.map(|(_, path)| path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            seed: 0xABCD,
+            n_shards: 3,
+            days: 12,
+            users: 500,
+            config_fingerprint: 0xF00D,
+            completed_days: 8,
+            exchange_rng: [1, 2, 3, 4],
+            market_trades: 17,
+            cross_shard_lures: 9,
+            seen_incidents: vec![4, 0, 2],
+            metrics_digest: 0xFEED,
+            shards: vec![
+                ShardCheckpoint {
+                    state_digest: 11,
+                    log_lens: [100, 200, 50],
+                    rng_states: vec![[1, 1, 1, 1], [2, 2, 2, 2]],
+                },
+                ShardCheckpoint {
+                    state_digest: 22,
+                    log_lens: [90, 180, 45],
+                    rng_states: vec![[3, 3, 3, 3]],
+                },
+                ShardCheckpoint { state_digest: 33, log_lens: [0, 0, 0], rng_states: vec![] },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let ckpt = sample();
+        let bytes = ckpt.encode();
+        let back = Checkpoint::decode(&bytes, Path::new("test")).unwrap();
+        assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected() {
+        let bytes = sample().encode();
+        // Flip one bit at every offset: either the checksum catches it,
+        // or (for flips inside the trailing checksum itself) the
+        // recorded checksum no longer matches the body.
+        for offset in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[offset] ^= 0x40;
+            let err = Checkpoint::decode(&bad, Path::new("t")).unwrap_err();
+            assert!(
+                matches!(err, EngineError::CheckpointCorrupt { .. }),
+                "flip at {offset} produced {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            let err = Checkpoint::decode(&bytes[..len], Path::new("t")).unwrap_err();
+            assert!(
+                matches!(err, EngineError::CheckpointCorrupt { .. }),
+                "truncation to {len} produced {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected() {
+        let mut bytes = sample().encode();
+        // Patch the version and re-checksum so only the version is bad.
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let body_end = bytes.len() - 8;
+        let sum = fnv1a(FNV_OFFSET, &bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+        let err = Checkpoint::decode(&bytes, Path::new("t")).unwrap_err();
+        match err {
+            EngineError::CheckpointCorrupt { reason, .. } => {
+                assert!(reason.contains("version 99"), "{reason}")
+            }
+            other => panic!("expected CheckpointCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("mhw-ckpt-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(file_name(8));
+        sample().write_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::read(&path).unwrap(), sample());
+        assert!(!path.with_extension("tmp").exists(), "temp file renamed away");
+
+        // latest_in_dir picks the highest day and ignores foreign files.
+        sample().write_atomic(&dir.join(file_name(4))).unwrap();
+        fs::write(dir.join("notes.txt"), b"not a checkpoint").unwrap();
+        let latest = latest_in_dir(&dir).unwrap().unwrap();
+        assert!(latest.ends_with(file_name(8)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let err = Checkpoint::read(Path::new("/nonexistent/nowhere.mhw")).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::CheckpointIo { op: CheckpointOp::Read, .. }
+        ));
+    }
+}

@@ -41,6 +41,7 @@ use mhw_types::{
     SimDuration, SimTime, DAY, HOUR,
 };
 use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
 
 /// Credentials sitting unclaimed in crew dropboxes at end of run (the
 /// queue-depth gauge; per-shard values sum on merge).
@@ -234,6 +235,9 @@ impl Ecosystem {
         // cold-start: replay 10 synthetic home logins per user.
         let mut login_log = LoginLog::for_shard(config.shard);
         for u in &population.users {
+            // Invariant: the population generator only assigns home IPs
+            // drawn from the geo plan.
+            #[allow(clippy::expect_used)]
             let country = geo.locate(u.home_ip).expect("home IP is in plan");
             for d in 0..10u64 {
                 let at = SimTime::from_secs(d * DAY / 10 + (9 + d % 10) * HOUR % DAY);
@@ -476,6 +480,77 @@ impl Ecosystem {
             self.config.population.n_users as u32,
             self.metrics_snapshot(),
         )
+    }
+
+    // ---- checkpoint support ----
+
+    /// Raw positions of every shard RNG stream, in canonical order
+    /// (world, organic, crew, campaign, recovery, market). The
+    /// engine's checkpoint layer records these at day barriers and, on
+    /// resume, proves the replayed streams sit at exactly the recorded
+    /// positions.
+    pub fn rng_states(&self) -> Vec<[u64; 4]> {
+        vec![
+            self.rng_world.state(),
+            self.rng_organic.state(),
+            self.rng_crew.state(),
+            self.rng_campaign.state(),
+            self.rng_recovery.state(),
+            self.rng_market.state(),
+        ]
+    }
+
+    /// Lengths of the three event-log segments (logins, mail events,
+    /// notifications) — the checkpointed "how far has this shard
+    /// logged" coordinates.
+    pub fn log_lens(&self) -> [u64; 3] {
+        [
+            self.login_log.len() as u64,
+            self.provider.log_store().len() as u64,
+            self.notifications.log_store().len() as u64,
+        ]
+    }
+
+    /// FNV-1a digest over this shard's barrier state: the event-log
+    /// extents and boundary keys, the aggregate counters, every report
+    /// store's extent and latest entry, the pending cross-shard queues,
+    /// the clock and the RNG stream positions.
+    ///
+    /// This is a verification digest, not a serialization: any
+    /// behavioral divergence during a resume replay moves at least one
+    /// RNG stream (and almost always several logs), so comparing this
+    /// digest against the checkpointed one catches a changed binary,
+    /// config drift or bit rot before the engine continues the run.
+    pub fn state_digest(&self) -> u64 {
+        use crate::checkpoint::{fnv1a, FNV_OFFSET};
+        let mut h = FNV_OFFSET;
+        let mut line = String::new();
+        macro_rules! mix {
+            ($($arg:tt)*) => {{
+                line.clear();
+                let _ = write!(line, $($arg)*);
+                h = fnv1a(h, line.as_bytes());
+            }};
+        }
+        mix!("lens{:?}", self.log_lens());
+        mix!("login-edge{:?}{:?}",
+            self.login_log.store().entries().first().map(|e| e.key),
+            self.login_log.store().entries().last().map(|e| e.key));
+        mix!("mail-edge{:?}", self.provider.log_store().entries().last().map(|e| e.key));
+        mix!("notif-edge{:?}", self.notifications.log_store().entries().last().map(|e| e.key));
+        mix!("stats{:?}", self.stats);
+        mix!("pages{}|takedowns{}", self.pages.len(), self.takedowns.len());
+        mix!("incidents{}|{:?}", self.incidents.len(), self.incidents.last());
+        mix!("sessions{}|{:?}", self.sessions.len(), self.sessions.last());
+        mix!("disabled{}", self.disabled.len());
+        mix!("ext-lures{:?}", self.pending_external_lures);
+        mix!("market-outbox{:?}", self.market_outbox);
+        mix!("decoys{:?}", self.pending_decoys);
+        mix!("now{:?}|campaign{}", self.now, self.next_campaign);
+        for state in self.rng_states() {
+            mix!("rng{state:?}");
+        }
+        h
     }
 
     // ---- scheduling ----
@@ -1258,6 +1333,10 @@ impl Ecosystem {
         }
     }
 
+    // Invariants, not error handling: callers only schedule a claim for
+    // users with an active incident, incidents are created flagged, and
+    // a succeeded claim always carries its resolution time.
+    #[allow(clippy::expect_used)]
     fn file_claim(&mut self, account: AccountId, at: SimTime) {
         let incident_index = self.users[account.index()].active_incident.expect("checked");
         let (hijacked_at, disabled_at, flagged_at, recovered) = {

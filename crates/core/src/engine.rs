@@ -44,8 +44,10 @@
 //!   round-robin over shards, so Figure 7-style probes land in every
 //!   segment of the merged log.
 
+use crate::checkpoint::{self, Checkpoint, ShardCheckpoint};
 use crate::config::ScenarioConfig;
 use crate::ecosystem::{Ecosystem, Incident, RunStats};
+use crate::fault::FaultPlan;
 use crate::pool::WorkerPool;
 use mhw_adversary::SessionReport;
 use mhw_defense::NotificationRecord;
@@ -55,9 +57,14 @@ use mhw_obs::{
     span, EngineProfile, MetricId, MetricsSnapshot, PhaseProfiler, Registry, RunReport,
 };
 use mhw_simclock::SimRng;
-use mhw_types::{CachePadded, CrewId, LogStore, SimDuration, SimTime, Stamped, DAY};
+use mhw_types::{
+    CachePadded, CheckpointOp, CrewId, EngineError, EngineResult, LogStore, SimDuration, SimTime,
+    Stamped, DAY,
+};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// Credentials that changed hands on the cross-shard market (mirrors
 /// [`ShardedRun::market_trades`] in the metrics snapshot).
@@ -71,10 +78,183 @@ pub const M_DECOY_PROBES: MetricId = MetricId("engine.decoy_probes");
 /// single day barrier). A sim-time quantity: deterministic per scenario.
 pub const M_EXCHANGE_QUEUE_PEAK: MetricId = MetricId("engine.exchange_queue_peak");
 
+// Crash-safety metrics. These count *mechanics* — faults fired, panics
+// caught, checkpoint files written — so they live in the separate ops
+// registry ([`ShardedRun::ops_metrics`]) and are deliberately excluded
+// from [`ShardedRun::metrics_snapshot`]/[`RunReport`]: a resumed run
+// must serialize the very same report as an uninterrupted one.
+/// Faults the [`FaultPlan`] actually injected (panics, slowdowns,
+/// checkpoint-write failures).
+pub const M_FAULTS_INJECTED: MetricId = MetricId("engine.ops.faults_injected");
+/// Shard-job panics caught at the worker-pool boundary.
+pub const M_PANICS_CAUGHT: MetricId = MetricId("engine.ops.panics_caught");
+/// Checkpoint files successfully written.
+pub const M_CHECKPOINTS_WRITTEN: MetricId = MetricId("engine.ops.checkpoints_written");
+/// Checkpoints restored (resume replays verified against the file).
+pub const M_CHECKPOINTS_RESTORED: MetricId = MetricId("engine.ops.checkpoints_restored");
+/// Transient checkpoint-write failures absorbed by the bounded retry.
+pub const M_CHECKPOINT_RETRIES: MetricId = MetricId("engine.ops.checkpoint_retries");
+
+/// Checkpoint writes give up after this many failed attempts; the
+/// sleep between attempts doubles each time (bounded backoff).
+const CHECKPOINT_WRITE_ATTEMPTS: u32 = 3;
+
 /// Worker threads used when [`ShardedEngine::workers`] is never
 /// called: everything the machine offers.
 pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Where and how often the engine writes day-barrier checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Directory checkpoint files land in (created if missing).
+    pub dir: PathBuf,
+    /// Write a checkpoint every this many completed days (must be ≥ 1;
+    /// the final barrier is never checkpointed — the run is done).
+    pub every: u64,
+}
+
+/// Everything salvageable from an aborted run: the typed cause, the
+/// shards that were alive when it died, and a degraded forensic
+/// [`RunReport`]. Returned by [`ShardedEngine::run_salvage`];
+/// [`ShardedEngine::run`] keeps only the [`error`](RunFailure::error).
+pub struct RunFailure {
+    /// The typed failure cause.
+    pub error: EngineError,
+    /// Shards built when the run aborted, in shard order. A panicked
+    /// shard is still present, frozen at its last completed activity;
+    /// shards whose build never ran are absent.
+    pub partial_shards: Vec<Ecosystem>,
+    /// Simulated days every shard fully completed (barrier included)
+    /// before the failure.
+    pub completed_days: u64,
+    /// End-of-run report over the partial shards, with
+    /// `degraded: true` and the failure cause recorded.
+    pub report: RunReport,
+}
+
+impl std::fmt::Debug for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunFailure")
+            .field("error", &self.error)
+            .field("partial_shards", &self.partial_shards.len())
+            .field("completed_days", &self.completed_days)
+            .field("report", &self.report)
+            .finish()
+    }
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(&self.error, f)
+    }
+}
+
+impl std::error::Error for RunFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Package an abort into a [`RunFailure`] with a degraded report over
+/// whatever shards survived.
+fn salvage(
+    error: EngineError,
+    partial_shards: Vec<Ecosystem>,
+    completed_days: u64,
+    seed: u64,
+    n_shards: u16,
+    days: u64,
+    users: u32,
+) -> Box<RunFailure> {
+    let metrics =
+        MetricsSnapshot::merge_all(partial_shards.iter().map(|e| e.metrics_snapshot()));
+    let report = RunReport::new(seed, n_shards, days as u32, users, metrics)
+        .with_failure(error.to_string());
+    Box::new(RunFailure { error, partial_shards, completed_days, report })
+}
+
+/// Snapshot the engine's full barrier state as a [`Checkpoint`]. Used
+/// both to write checkpoint files and — on resume — to verify that the
+/// replayed state reproduces the recorded one exactly.
+#[allow(clippy::too_many_arguments)] // one call site; a struct would just rename the list
+fn barrier_checkpoint(
+    shards: &[&mut Ecosystem],
+    seed: u64,
+    n_shards: u16,
+    days: u64,
+    users: u64,
+    config_fingerprint: u64,
+    completed_days: u64,
+    rng_exchange: &SimRng,
+    seen_incidents: &[usize],
+    market_trades: u64,
+    cross_shard_lures: u64,
+    engine_metrics: &Registry,
+) -> Checkpoint {
+    let merged = MetricsSnapshot::merge_all(
+        shards
+            .iter()
+            .map(|e| e.metrics_snapshot())
+            .chain(std::iter::once(engine_metrics.snapshot())),
+    );
+    let metrics_digest =
+        checkpoint::fnv1a(checkpoint::FNV_OFFSET, format!("{merged:?}").as_bytes());
+    Checkpoint {
+        seed,
+        n_shards,
+        days,
+        users,
+        config_fingerprint,
+        completed_days,
+        exchange_rng: rng_exchange.state(),
+        market_trades,
+        cross_shard_lures,
+        seen_incidents: seen_incidents.iter().map(|n| *n as u64).collect(),
+        metrics_digest,
+        shards: shards
+            .iter()
+            .map(|e| ShardCheckpoint {
+                state_digest: e.state_digest(),
+                log_lens: e.log_lens(),
+                rng_states: e.rng_states(),
+            })
+            .collect(),
+    }
+}
+
+/// Compare the replayed barrier state against the checkpoint file's
+/// record, field by field, naming the first disagreement.
+fn verify_resume(path: &str, recorded: &Checkpoint, current: &Checkpoint) -> EngineResult<()> {
+    macro_rules! check {
+        ($field:ident) => {
+            if recorded.$field != current.$field {
+                return Err(EngineError::CheckpointMismatch {
+                    path: path.to_string(),
+                    field: stringify!($field).to_string(),
+                    expected: format!("{:?}", recorded.$field),
+                    found: format!("{:?}", current.$field),
+                });
+            }
+        };
+    }
+    check!(exchange_rng);
+    check!(market_trades);
+    check!(cross_shard_lures);
+    check!(seen_incidents);
+    check!(metrics_digest);
+    for (s, (rec, cur)) in recorded.shards.iter().zip(current.shards.iter()).enumerate() {
+        if rec != cur {
+            return Err(EngineError::CheckpointMismatch {
+                path: path.to_string(),
+                field: format!("shards[{s}]"),
+                expected: format!("{rec:?}"),
+                found: format!("{cur:?}"),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Configures and runs a sharded scenario.
@@ -85,6 +265,9 @@ pub struct ShardedEngine {
     contact_spillover: f64,
     decoys: Option<(usize, u64)>,
     shard_weights: Option<Vec<u64>>,
+    checkpoints: Option<CheckpointPolicy>,
+    resume: Option<PathBuf>,
+    faults: FaultPlan,
 }
 
 impl ShardedEngine {
@@ -102,6 +285,9 @@ impl ShardedEngine {
             contact_spillover: 0.25,
             decoys: None,
             shard_weights: None,
+            checkpoints: None,
+            resume: None,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -146,6 +332,51 @@ impl ShardedEngine {
     pub fn decoys(mut self, total: usize, over_days: u64) -> Self {
         self.decoys = Some((total, over_days.max(1)));
         self
+    }
+
+    /// Write a day-barrier checkpoint into `dir` every `every`
+    /// completed days. Like the worker count this is pure mechanics —
+    /// the produced datasets and [`RunReport`] are byte-identical with
+    /// checkpointing on or off. `every == 0` is rejected at run time as
+    /// [`EngineError::InvalidConfig`].
+    pub fn checkpoint_to(mut self, dir: impl Into<PathBuf>, every: u64) -> Self {
+        self.checkpoints = Some(CheckpointPolicy { dir: dir.into(), every });
+        self
+    }
+
+    /// Resume from a checkpoint file previously written under
+    /// [`checkpoint_to`](Self::checkpoint_to). Days up to the recorded
+    /// barrier are *replayed* deterministically (no faults injected, no
+    /// checkpoints written), then every recorded digest and RNG
+    /// position is verified against the file before the run continues;
+    /// any disagreement aborts with
+    /// [`EngineError::CheckpointMismatch`]. The file must come from the
+    /// same scenario: seed, shard count, days, population and the full
+    /// engine configuration are fingerprint-checked up front.
+    pub fn resume_from(mut self, file: impl Into<PathBuf>) -> Self {
+        self.resume = Some(file.into());
+        self
+    }
+
+    /// Inject a deterministic [`FaultPlan`] (shard panics, slow
+    /// workers, checkpoint-write failures). Faults are crash mechanics,
+    /// never world events: a slowed shard still produces byte-identical
+    /// datasets, and replayed days (under
+    /// [`resume_from`](Self::resume_from)) skip the plan entirely.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// FNV-1a fingerprint over the full engine configuration, recorded
+    /// in checkpoints so a resume against a different scenario fails
+    /// loudly instead of replaying garbage.
+    fn config_fingerprint(&self) -> u64 {
+        let desc = format!(
+            "{:?}|{:?}|{:?}|{:?}|{}",
+            self.base, self.contact_spillover, self.decoys, self.shard_weights, self.n_shards
+        );
+        checkpoint::fnv1a(checkpoint::FNV_OFFSET, desc.as_bytes())
     }
 
     /// Per-shard scenario configs (shard ids `0..n_shards`, population
@@ -195,8 +426,111 @@ impl ShardedEngine {
     /// workers claim from a shared atomic counter (work stealing), and
     /// each job touches only its own shard's cache-padded slot — which
     /// is why scheduling can never leak into the produced datasets.
-    pub fn run(self) -> ShardedRun {
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::InvalidConfig`] — bad checkpoint policy or
+    ///   out-of-range fault plan, rejected before anything runs;
+    /// * [`EngineError::ShardPanicked`] — a shard job panicked (organic
+    ///   or injected); the pool drains cleanly and other shards'
+    ///   partial state survives (see [`run_salvage`](Self::run_salvage));
+    /// * [`EngineError::CheckpointIo`] / [`CheckpointCorrupt`](EngineError::CheckpointCorrupt) /
+    ///   [`CheckpointMismatch`](EngineError::CheckpointMismatch) —
+    ///   checkpoint writes exhausted their bounded retries, or the
+    ///   resume file is unreadable, corrupt, or disagrees with the
+    ///   replayed state.
+    pub fn run(self) -> EngineResult<ShardedRun> {
+        self.run_salvage().map_err(|failure| failure.error)
+    }
+
+    /// Like [`run`](Self::run), but on failure hands back the whole
+    /// [`RunFailure`] — the typed error, every shard that survived, and
+    /// a degraded forensic [`RunReport`] — instead of just the error.
+    // The `expect`s below are claim-protocol invariants, not error
+    // handling: every build job claims its config index exactly once,
+    // and every slot a day-job locks was filled by the build phase
+    // (a failed build aborts before the day loop).
+    #[allow(clippy::expect_used)]
+    pub fn run_salvage(self) -> Result<ShardedRun, Box<RunFailure>> {
         let k = self.n_shards as usize;
+        let seed = self.base.seed;
+        let days = self.base.days;
+        let users32 = self.base.population.n_users as u32;
+
+        // ---- validation: reject bad plans before any thread spawns.
+        let fail_early = |error: EngineError| {
+            salvage(error, Vec::new(), 0, seed, self.n_shards, days, users32)
+        };
+        if let Some(policy) = &self.checkpoints {
+            if policy.every == 0 {
+                return Err(fail_early(EngineError::InvalidConfig {
+                    reason: "checkpoint interval must be at least 1 day (got 0)".to_string(),
+                }));
+            }
+            if let Err(e) = std::fs::create_dir_all(&policy.dir) {
+                return Err(fail_early(EngineError::CheckpointIo {
+                    op: CheckpointOp::Write,
+                    path: policy.dir.display().to_string(),
+                    detail: e.to_string(),
+                }));
+            }
+        }
+        if let Err(e) = self.faults.validate(days, self.n_shards) {
+            return Err(fail_early(e));
+        }
+        let fingerprint = self.config_fingerprint();
+        let resume: Option<(Checkpoint, String)> = match &self.resume {
+            None => None,
+            Some(path) => {
+                let ckpt = match Checkpoint::read(path) {
+                    Ok(c) => c,
+                    Err(e) => return Err(fail_early(e)),
+                };
+                let p = path.display().to_string();
+                let mismatch = |field: &str, expected: String, found: String| {
+                    EngineError::CheckpointMismatch {
+                        path: p.clone(),
+                        field: field.to_string(),
+                        expected,
+                        found,
+                    }
+                };
+                // The file must describe *this* scenario, at a barrier
+                // this run will actually cross.
+                let identity: [(&str, u64, u64); 5] = [
+                    ("seed", ckpt.seed, seed),
+                    ("n_shards", ckpt.n_shards as u64, self.n_shards as u64),
+                    ("days", ckpt.days, days),
+                    ("users", ckpt.users, self.base.population.n_users as u64),
+                    ("config_fingerprint", ckpt.config_fingerprint, fingerprint),
+                ];
+                for (field, recorded, ours) in identity {
+                    if recorded != ours {
+                        return Err(fail_early(mismatch(
+                            field,
+                            recorded.to_string(),
+                            ours.to_string(),
+                        )));
+                    }
+                }
+                if ckpt.completed_days == 0 || ckpt.completed_days >= days {
+                    return Err(fail_early(mismatch(
+                        "completed_days",
+                        format!("1..{days}"),
+                        ckpt.completed_days.to_string(),
+                    )));
+                }
+                if ckpt.shards.len() != k {
+                    return Err(fail_early(mismatch(
+                        "shards.len",
+                        k.to_string(),
+                        ckpt.shards.len().to_string(),
+                    )));
+                }
+                Some((ckpt, p))
+            }
+        };
+
         let workers = self.workers.min(k).max(1);
         // Never oversubscribe: shard days are CPU-bound, so threads
         // beyond the hardware's parallelism only add context-switch and
@@ -211,6 +545,15 @@ impl ShardedEngine {
             .with_counter(M_CROSS_SHARD_LURES)
             .with_counter(M_DECOY_PROBES)
             .with_gauge(M_EXCHANGE_QUEUE_PEAK);
+        // Crash-safety mechanics live in their own registry, never
+        // merged into the sim-time snapshot: a resumed run's report
+        // must byte-equal an uninterrupted one.
+        let ops = Registry::new()
+            .with_counter(M_FAULTS_INJECTED)
+            .with_counter(M_PANICS_CAUGHT)
+            .with_counter(M_CHECKPOINTS_WRITTEN)
+            .with_counter(M_CHECKPOINTS_RESTORED)
+            .with_counter(M_CHECKPOINT_RETRIES);
 
         // One padded slot per shard: the slot (and the hot head of the
         // ecosystem inside it) starts on its own cache line, so two
@@ -231,18 +574,28 @@ impl ShardedEngine {
         let mut seen_incidents = vec![0usize; k];
         let mut market_trades = 0u64;
         let mut cross_shard_lures = 0u64;
+        let mut completed_days = 0u64;
+        let start_day = resume.as_ref().map_or(0, |(ckpt, _)| ckpt.completed_days);
 
-        WorkerPool::scoped(threads, |pool| {
+        let run_result: EngineResult<()> = WorkerPool::scoped(threads, |pool| {
             // ---- build: each worker steals unbuilt shards by index.
-            profiler.time("build", || {
+            let built = profiler.time("build", || {
                 pool.run(k, &|_worker, i| {
                     let config = configs[i].lock().take().expect("build job claimed once");
                     let shard = config.shard;
                     let _span = span!("engine.build_shard", shard);
                     *slots[i].lock() = Some(Ecosystem::build(config));
-                });
+                })
             });
             profiler.set_build_workers(pool.take_worker_busy());
+            if let Err(p) = built {
+                ops.inc(M_PANICS_CAUGHT);
+                return Err(EngineError::ShardPanicked {
+                    shard: p.index as u16,
+                    day: 0,
+                    payload: p.payload,
+                });
+            }
 
             // ---- setup: decoy probes, round-robin over shards
             // (single-threaded; helpers are parked, locks uncontended).
@@ -270,19 +623,46 @@ impl ShardedEngine {
             };
 
             for day in 0..self.base.days {
+                // Resume replays days before the recorded barrier
+                // exactly as the original run computed them — which
+                // means fault-free and checkpoint-free.
+                let replaying = day < start_day;
+
                 // ---- parallel section: one day, shard-local state
                 // only. Workers steal shard-days from the claim index;
                 // any claim order yields the same logs because shards
                 // never touch each other mid-day.
-                profiler.time("shard_day", || {
+                let day_result = profiler.time("shard_day", || {
                     pool.run_chunked(k, claim_chunk, &|_worker, i| {
+                        if !replaying {
+                            // Injected faults fire before the shard's
+                            // slot is even locked: a panicking job
+                            // never unwinds holding shard state, and a
+                            // slowdown only delays identical work.
+                            if self.faults.should_panic(day, i as u16) {
+                                ops.inc(M_FAULTS_INJECTED);
+                                panic!("injected fault: shard {i} panicked on day {day}");
+                            }
+                            if let Some(ms) = self.faults.slowdown_ms(day, i as u16) {
+                                ops.inc(M_FAULTS_INJECTED);
+                                std::thread::sleep(Duration::from_millis(ms));
+                            }
+                        }
                         let mut slot = slots[i].lock();
                         let eco = slot.as_mut().expect("shard built");
                         let shard = eco.config.shard;
                         let _span = span!("engine.shard_day", shard);
                         eco.run_day(day);
-                    });
+                    })
                 });
+                if let Err(p) = day_result {
+                    ops.inc(M_PANICS_CAUGHT);
+                    return Err(EngineError::ShardPanicked {
+                        shard: p.index as u16,
+                        day,
+                        payload: p.payload,
+                    });
+                }
 
                 // ---- day barrier: single-threaded exchange in shard
                 // order, on the coordinator, over all slots at once.
@@ -359,15 +739,117 @@ impl ShardedEngine {
                     }
                 }
                 });
+
+                let completed = day + 1;
+                completed_days = completed;
+
+                // ---- resume verification: at the recorded barrier the
+                // replayed state must reproduce the file exactly —
+                // digests, log lengths, RNG positions, counters.
+                if let Some((ckpt, path)) = &resume {
+                    if completed == ckpt.completed_days {
+                        let current = profiler.time("checkpoint", || {
+                            barrier_checkpoint(
+                                &shards,
+                                seed,
+                                self.n_shards,
+                                days,
+                                self.base.population.n_users as u64,
+                                fingerprint,
+                                completed,
+                                &rng_exchange,
+                                &seen_incidents,
+                                market_trades,
+                                cross_shard_lures,
+                                &metrics,
+                            )
+                        });
+                        verify_resume(path, ckpt, &current)?;
+                        ops.inc(M_CHECKPOINTS_RESTORED);
+                    }
+                }
+
+                // ---- checkpoint write: bounded-backoff retries absorb
+                // transient I/O failures; exhaustion aborts the run
+                // with the last error.
+                if let Some(policy) = &self.checkpoints {
+                    if !replaying && completed % policy.every == 0 && completed < days {
+                        let written: EngineResult<()> = profiler.time("checkpoint", || {
+                            let ckpt = barrier_checkpoint(
+                                &shards,
+                                seed,
+                                self.n_shards,
+                                days,
+                                self.base.population.n_users as u64,
+                                fingerprint,
+                                completed,
+                                &rng_exchange,
+                                &seen_incidents,
+                                market_trades,
+                                cross_shard_lures,
+                                &metrics,
+                            );
+                            let path = policy.dir.join(checkpoint::file_name(completed));
+                            let mut to_inject = self.faults.checkpoint_failures_at(day);
+                            let mut last: EngineResult<()> = Ok(());
+                            for attempt in 1..=CHECKPOINT_WRITE_ATTEMPTS {
+                                let outcome = if to_inject > 0 {
+                                    to_inject -= 1;
+                                    ops.inc(M_FAULTS_INJECTED);
+                                    Err(EngineError::CheckpointIo {
+                                        op: CheckpointOp::Write,
+                                        path: path.display().to_string(),
+                                        detail: format!(
+                                            "injected transient write failure (attempt {attempt})"
+                                        ),
+                                    })
+                                } else {
+                                    ckpt.write_atomic(&path)
+                                };
+                                match outcome {
+                                    Ok(()) => {
+                                        ops.inc(M_CHECKPOINTS_WRITTEN);
+                                        return Ok(());
+                                    }
+                                    Err(e) => {
+                                        last = Err(e);
+                                        if attempt < CHECKPOINT_WRITE_ATTEMPTS {
+                                            ops.inc(M_CHECKPOINT_RETRIES);
+                                            std::thread::sleep(Duration::from_millis(
+                                                2 << attempt,
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                            last
+                        });
+                        written?;
+                    }
+                }
             }
+            Ok(())
         });
 
-        // All helpers have parked and joined; unwrap the slots (slot i
-        // is shard i, so the order is already right).
+        // All helpers have parked and joined; unwrap whatever shards
+        // exist (slot i is shard i, so the order is already right — and
+        // on a clean run every slot is occupied).
         let shards: Vec<Ecosystem> = slots
             .into_iter()
-            .map(|slot| slot.into_inner().into_inner().expect("shard built"))
+            .filter_map(|slot| slot.into_inner().into_inner())
             .collect();
+
+        if let Err(error) = run_result {
+            return Err(salvage(
+                error,
+                shards,
+                completed_days,
+                seed,
+                self.n_shards,
+                days,
+                users32,
+            ));
+        }
 
         // Time a representative merge of the three event logs so the
         // profile reflects end-to-end cost; the merged views are cheap
@@ -378,18 +860,19 @@ impl ShardedEngine {
             let _ = LogStore::merge(shards.iter().map(|e| e.notifications.log_store()));
         });
 
-        ShardedRun {
+        Ok(ShardedRun {
             shards,
             market_trades,
             cross_shard_lures,
-            seed: self.base.seed,
-            days: self.base.days,
-            users: self.base.population.n_users as u32,
+            seed,
+            days,
+            users: users32,
             n_shards: self.n_shards,
             workers,
             metrics,
+            ops,
             profiler,
-        }
+        })
     }
 }
 
@@ -406,7 +889,25 @@ pub struct ShardedRun {
     n_shards: u16,
     workers: usize,
     metrics: Registry,
+    ops: Registry,
     profiler: PhaseProfiler,
+}
+
+impl std::fmt::Debug for ShardedRun {
+    /// Compact summary (shard worlds elided — each is megabytes of
+    /// Debug output); mainly so `Result<ShardedRun, _>` works with
+    /// `expect_err` in the chaos suite.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRun")
+            .field("seed", &self.seed)
+            .field("n_shards", &self.n_shards)
+            .field("days", &self.days)
+            .field("users", &self.users)
+            .field("workers", &self.workers)
+            .field("market_trades", &self.market_trades)
+            .field("cross_shard_lures", &self.cross_shard_lures)
+            .finish_non_exhaustive()
+    }
 }
 
 /// FNV-1a over a byte slice (the digest primitive; stable across
@@ -424,6 +925,13 @@ impl ShardedRun {
     /// The per-shard worlds, in shard order.
     pub fn shards(&self) -> &[Ecosystem] {
         &self.shards
+    }
+
+    /// Consume the run, yielding the per-shard worlds in shard order
+    /// (for callers that carry a single-shard world onward, e.g. the
+    /// experiment context's checkpointable path).
+    pub fn into_shards(self) -> Vec<Ecosystem> {
+        self.shards
     }
 
     /// All login records, globally ordered by `(SimTime, shard, seq)`.
@@ -520,6 +1028,16 @@ impl ShardedRun {
         &self.metrics
     }
 
+    /// The crash-safety ops registry: faults injected, panics caught,
+    /// checkpoints written/restored, checkpoint-write retries. Pure
+    /// run *mechanics* — deliberately kept out of
+    /// [`metrics_snapshot`](Self::metrics_snapshot) and the
+    /// [`RunReport`], which must not change when a run is resumed or
+    /// fault-injected.
+    pub fn ops_metrics(&self) -> &Registry {
+        &self.ops
+    }
+
     /// Sim-time metrics merged over every shard plus the engine's own
     /// counters. All quantities are functions of the scenario (seed,
     /// shards, days, population) alone — the worker count never appears,
@@ -571,7 +1089,7 @@ mod tests {
         config.market_share = 0.0;
         let mut direct = Ecosystem::build(config.clone());
         direct.run();
-        let run = ShardedEngine::new(config, 1).run();
+        let run = ShardedEngine::new(config, 1).run().unwrap();
         assert_eq!(run.shards().len(), 1);
         let eco = &run.shards()[0];
         assert_eq!(eco.login_log.len(), direct.login_log.len());
@@ -609,8 +1127,8 @@ mod tests {
 
     #[test]
     fn worker_count_does_not_change_the_digest() {
-        let a = ShardedEngine::new(tiny(7), 3).workers(1).run();
-        let b = ShardedEngine::new(tiny(7), 3).workers(3).run();
+        let a = ShardedEngine::new(tiny(7), 3).workers(1).run().unwrap();
+        let b = ShardedEngine::new(tiny(7), 3).workers(3).run().unwrap();
         assert_eq!(a.dataset_digest(), b.dataset_digest());
         assert_eq!(a.market_trades, b.market_trades);
         assert_eq!(a.cross_shard_lures, b.cross_shard_lures);
@@ -619,14 +1137,14 @@ mod tests {
     #[test]
     fn shard_count_is_scenario_semantics() {
         // Different shard counts are different scenarios.
-        let a = ShardedEngine::new(tiny(7), 2).run();
-        let b = ShardedEngine::new(tiny(7), 3).run();
+        let a = ShardedEngine::new(tiny(7), 2).run().unwrap();
+        let b = ShardedEngine::new(tiny(7), 3).run().unwrap();
         assert_ne!(a.dataset_digest(), b.dataset_digest());
     }
 
     #[test]
     fn merged_logs_are_globally_ordered_and_complete() {
-        let run = ShardedEngine::new(tiny(11), 3).workers(2).run();
+        let run = ShardedEngine::new(tiny(11), 3).workers(2).run().unwrap();
         let merged = run.merged_logins();
         let total: usize = run.shards().iter().map(|e| e.login_log.len()).sum();
         assert_eq!(merged.len(), total);
@@ -641,8 +1159,8 @@ mod tests {
 
     #[test]
     fn run_report_is_byte_identical_across_worker_counts() {
-        let a = ShardedEngine::new(tiny(7), 3).workers(1).run();
-        let b = ShardedEngine::new(tiny(7), 3).workers(3).run();
+        let a = ShardedEngine::new(tiny(7), 3).workers(1).run().unwrap();
+        let b = ShardedEngine::new(tiny(7), 3).workers(3).run().unwrap();
         assert_eq!(a.run_report().to_json(), b.run_report().to_json());
         let snap = a.metrics_snapshot();
         assert_eq!(
@@ -653,7 +1171,7 @@ mod tests {
 
     #[test]
     fn profile_covers_every_engine_phase() {
-        let run = ShardedEngine::new(tiny(9), 2).workers(2).run();
+        let run = ShardedEngine::new(tiny(9), 2).workers(2).run().unwrap();
         let profile = run.profile();
         let phases: Vec<&str> = profile.phases.iter().map(|p| p.phase.as_str()).collect();
         assert_eq!(phases, vec!["build", "shard_day", "barrier_exchange", "log_merge"]);
@@ -664,7 +1182,7 @@ mod tests {
 
     #[test]
     fn engine_decoys_land_in_every_shard() {
-        let run = ShardedEngine::new(tiny(13), 3).decoys(9, 2).run();
+        let run = ShardedEngine::new(tiny(13), 3).decoys(9, 2).run().unwrap();
         for eco in run.shards() {
             assert_eq!(eco.decoy_accounts.len(), 3);
         }

@@ -1,0 +1,346 @@
+//! Deterministic fault injection for chaos-testing the engine.
+//!
+//! A [`FaultPlan`] is a *schedule* of faults addressed by simulation
+//! coordinates — `(day, shard)` for shard-job faults, `day` for
+//! checkpoint-write faults — never by wall clock or thread identity, so
+//! the same plan injects the same faults at the same points on every
+//! run. Plans come from two places:
+//!
+//! * explicit schedules, built programmatically or parsed from the
+//!   `--fault-plan` CLI spec (`panic@3.1,slow@2.0:25,ckpt-fail@4:2`);
+//! * seeded schedules ([`FaultPlan::seeded`], CLI spec
+//!   `seeded:panics=1,slow=2,ckpt=1`), drawn from the run's own master
+//!   seed via the dedicated `"fault-plan"` RNG stream — reproducible,
+//!   and independent of every simulation stream, so arming faults never
+//!   perturbs the world itself.
+//!
+//! Faults model *crash* events, not world events: an injected panic
+//! unwinds a shard job before the day runs, a slow worker sleeps wall
+//! clock, a checkpoint failure fails the write syscall. None of them
+//! touch simulation state, which is why a run that survives its faults
+//! (or is resumed past them) still produces byte-identical datasets.
+
+use mhw_simclock::SimRng;
+use mhw_types::{EngineError, EngineResult, ShardId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A deterministic schedule of injected faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Shard jobs to panic, by `(day, shard)`.
+    panics: BTreeSet<(u64, ShardId)>,
+    /// Shard jobs to slow down, by `(day, shard)`, value = milliseconds.
+    slowdowns: BTreeMap<(u64, ShardId), u64>,
+    /// Checkpoint writes to fail, by day, value = how many consecutive
+    /// attempts fail (transient if below the engine's retry budget).
+    checkpoint_failures: BTreeMap<u64, u32>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Panic the shard's job at the start of the given day.
+    pub fn panic_at(mut self, day: u64, shard: ShardId) -> Self {
+        self.panics.insert((day, shard));
+        self
+    }
+
+    /// Sleep the worker running the shard's job for `ms` milliseconds
+    /// on the given day (pure mechanics: stresses work stealing and
+    /// barrier waits without touching any simulation state).
+    pub fn slow_at(mut self, day: u64, shard: ShardId, ms: u64) -> Self {
+        self.slowdowns.insert((day, shard), ms);
+        self
+    }
+
+    /// Fail the first `attempts` checkpoint-write attempts at the given
+    /// day's barrier with a synthetic transient I/O error.
+    pub fn fail_checkpoint(mut self, day: u64, attempts: u32) -> Self {
+        *self.checkpoint_failures.entry(day).or_insert(0) += attempts;
+        self
+    }
+
+    /// A reproducible random schedule drawn from the run's master seed
+    /// through the dedicated `"fault-plan"` stream: `n_panics` shard
+    /// panics, `n_slow` slow workers (1–25 ms) and `n_ckpt` checkpoint
+    /// write failures, all at uniformly chosen in-range coordinates.
+    /// The same `(seed, days, shards, counts)` always yields the same
+    /// schedule.
+    pub fn seeded(
+        seed: u64,
+        days: u64,
+        shards: u16,
+        n_panics: usize,
+        n_slow: usize,
+        n_ckpt: usize,
+    ) -> Self {
+        let mut plan = FaultPlan::default();
+        if days == 0 || shards == 0 {
+            return plan;
+        }
+        let mut rng = SimRng::stream(seed, "fault-plan");
+        for _ in 0..n_panics {
+            plan.panics.insert((rng.below(days), rng.below(shards as u64) as ShardId));
+        }
+        for _ in 0..n_slow {
+            let key = (rng.below(days), rng.below(shards as u64) as ShardId);
+            plan.slowdowns.insert(key, 1 + rng.below(25));
+        }
+        for _ in 0..n_ckpt {
+            *plan.checkpoint_failures.entry(rng.below(days)).or_insert(0) += 1;
+        }
+        plan
+    }
+
+    /// Parse a CLI fault spec. Two forms:
+    ///
+    /// * explicit, comma-separated entries:
+    ///   `panic@DAY.SHARD`, `slow@DAY.SHARD:MS`, `ckpt-fail@DAY:ATTEMPTS`
+    ///   — e.g. `panic@3.1,slow@2.0:25,ckpt-fail@4:2`;
+    /// * seeded: `seeded:panics=N,slow=N,ckpt=N` (any subset of keys),
+    ///   expanded via [`FaultPlan::seeded`] from the run's seed and
+    ///   scenario dimensions.
+    ///
+    /// Errors are plain strings naming the offending entry; the CLIs
+    /// turn them into usage errors.
+    pub fn parse_spec(spec: &str, seed: u64, days: u64, shards: u16) -> Result<Self, String> {
+        let spec = spec.trim();
+        if let Some(counts) = spec.strip_prefix("seeded:") {
+            let (mut n_panics, mut n_slow, mut n_ckpt) = (0usize, 0usize, 0usize);
+            for pair in counts.split(',').filter(|p| !p.trim().is_empty()) {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("fault spec `{pair}`: expected key=N"))?;
+                let n: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("fault spec `{pair}`: `{value}` is not a count"))?;
+                match key.trim() {
+                    "panics" => n_panics = n,
+                    "slow" => n_slow = n,
+                    "ckpt" => n_ckpt = n,
+                    other => {
+                        return Err(format!(
+                            "fault spec key `{other}`: expected panics, slow or ckpt"
+                        ))
+                    }
+                }
+            }
+            return Ok(FaultPlan::seeded(seed, days, shards, n_panics, n_slow, n_ckpt));
+        }
+        let mut plan = FaultPlan::default();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let entry = entry.trim();
+            let (kind, coords) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry `{entry}`: expected kind@coordinates"))?;
+            let parse_u64 = |s: &str, what: &str| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("fault entry `{entry}`: `{s}` is not a {what}"))
+            };
+            match kind {
+                "panic" => {
+                    let (day, shard) = coords.split_once('.').ok_or_else(|| {
+                        format!("fault entry `{entry}`: expected panic@DAY.SHARD")
+                    })?;
+                    plan.panics
+                        .insert((parse_u64(day, "day")?, parse_u64(shard, "shard")? as ShardId));
+                }
+                "slow" => {
+                    let (at, ms) = coords.split_once(':').ok_or_else(|| {
+                        format!("fault entry `{entry}`: expected slow@DAY.SHARD:MS")
+                    })?;
+                    let (day, shard) = at.split_once('.').ok_or_else(|| {
+                        format!("fault entry `{entry}`: expected slow@DAY.SHARD:MS")
+                    })?;
+                    plan.slowdowns.insert(
+                        (parse_u64(day, "day")?, parse_u64(shard, "shard")? as ShardId),
+                        parse_u64(ms, "millisecond count")?,
+                    );
+                }
+                "ckpt-fail" => {
+                    let (day, attempts) = coords.split_once(':').ok_or_else(|| {
+                        format!("fault entry `{entry}`: expected ckpt-fail@DAY:ATTEMPTS")
+                    })?;
+                    *plan
+                        .checkpoint_failures
+                        .entry(parse_u64(day, "day")?)
+                        .or_insert(0) += parse_u64(attempts, "attempt count")? as u32;
+                }
+                other => {
+                    return Err(format!(
+                        "fault kind `{other}`: expected panic, slow or ckpt-fail"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.panics.is_empty()
+            && self.slowdowns.is_empty()
+            && self.checkpoint_failures.is_empty()
+    }
+
+    /// Check every scheduled fault addresses a `(day, shard)` inside
+    /// the scenario, so typo'd plans fail fast instead of silently
+    /// never firing.
+    pub fn validate(&self, days: u64, shards: u16) -> EngineResult<()> {
+        let bad = |what: String| Err(EngineError::InvalidConfig { reason: what });
+        for (day, shard) in &self.panics {
+            if *day >= days || *shard >= shards {
+                return bad(format!(
+                    "fault plan panics shard {shard} on day {day}, but the scenario has \
+                     {shards} shards and {days} days"
+                ));
+            }
+        }
+        for (day, shard) in self.slowdowns.keys() {
+            if *day >= days || *shard >= shards {
+                return bad(format!(
+                    "fault plan slows shard {shard} on day {day}, but the scenario has \
+                     {shards} shards and {days} days"
+                ));
+            }
+        }
+        for day in self.checkpoint_failures.keys() {
+            if *day >= days {
+                return bad(format!(
+                    "fault plan fails a checkpoint on day {day}, but the scenario has \
+                     {days} days"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Should the shard's job panic at the start of this day?
+    pub fn should_panic(&self, day: u64, shard: ShardId) -> bool {
+        self.panics.contains(&(day, shard))
+    }
+
+    /// Milliseconds to sleep the worker running this shard-day, if any.
+    pub fn slowdown_ms(&self, day: u64, shard: ShardId) -> Option<u64> {
+        self.slowdowns.get(&(day, shard)).copied()
+    }
+
+    /// How many checkpoint-write attempts fail at this day's barrier.
+    pub fn checkpoint_failures_at(&self, day: u64) -> u32 {
+        self.checkpoint_failures.get(&day).copied().unwrap_or(0)
+    }
+
+    /// Every scheduled panic, in `(day, shard)` order — what the chaos
+    /// suite asserts reproducibility over.
+    pub fn panic_points(&self) -> Vec<(u64, ShardId)> {
+        self.panics.iter().copied().collect()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// Canonical spec rendering: parseable back via
+    /// [`FaultPlan::parse_spec`], used by the CLIs to echo the resolved
+    /// schedule (seeded plans render their concrete fault points).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                f.write_str(",")
+            }
+        };
+        for (day, shard) in &self.panics {
+            sep(f)?;
+            write!(f, "panic@{day}.{shard}")?;
+        }
+        for ((day, shard), ms) in &self.slowdowns {
+            sep(f)?;
+            write!(f, "slow@{day}.{shard}:{ms}")?;
+        }
+        for (day, attempts) in &self.checkpoint_failures {
+            sep(f)?;
+            write!(f, "ckpt-fail@{day}:{attempts}")?;
+        }
+        if first {
+            f.write_str("(no faults)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let a = FaultPlan::seeded(0xFA17, 30, 4, 2, 3, 1);
+        let b = FaultPlan::seeded(0xFA17, 30, 4, 2, 3, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.panic_points(), b.panic_points());
+        let c = FaultPlan::seeded(0xFA18, 30, 4, 2, 3, 1);
+        assert_ne!(a, c, "a different seed draws a different schedule");
+        assert!(a.validate(30, 4).is_ok(), "seeded faults are always in range");
+    }
+
+    #[test]
+    fn explicit_spec_round_trips_through_display() {
+        let plan =
+            FaultPlan::parse_spec("panic@3.1,slow@2.0:25,ckpt-fail@4:2", 0, 10, 2).unwrap();
+        assert!(plan.should_panic(3, 1));
+        assert!(!plan.should_panic(3, 0));
+        assert_eq!(plan.slowdown_ms(2, 0), Some(25));
+        assert_eq!(plan.checkpoint_failures_at(4), 2);
+        let reparsed = FaultPlan::parse_spec(&plan.to_string(), 0, 10, 2).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn seeded_spec_expands_from_the_run_seed() {
+        let from_spec = FaultPlan::parse_spec("seeded:panics=2,slow=1,ckpt=1", 77, 20, 3).unwrap();
+        assert_eq!(from_spec, FaultPlan::seeded(77, 20, 3, 2, 1, 1));
+        assert!(!from_spec.is_empty());
+    }
+
+    #[test]
+    fn bad_specs_name_the_offending_entry() {
+        let err = FaultPlan::parse_spec("panic@x.1", 0, 10, 2).unwrap_err();
+        assert!(err.contains("panic@x.1"), "{err}");
+        let err = FaultPlan::parse_spec("explode@1.1", 0, 10, 2).unwrap_err();
+        assert!(err.contains("explode"), "{err}");
+        let err = FaultPlan::parse_spec("seeded:panics=many", 0, 10, 2).unwrap_err();
+        assert!(err.contains("many"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_faults() {
+        let plan = FaultPlan::new().panic_at(9, 0);
+        assert!(plan.validate(10, 1).is_ok());
+        assert!(matches!(
+            plan.validate(9, 1),
+            Err(EngineError::InvalidConfig { .. })
+        ));
+        let plan = FaultPlan::new().slow_at(0, 5, 10);
+        assert!(matches!(
+            plan.validate(10, 2),
+            Err(EngineError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(!plan.should_panic(0, 0));
+        assert_eq!(plan.slowdown_ms(0, 0), None);
+        assert_eq!(plan.checkpoint_failures_at(0), 0);
+        assert_eq!(plan.to_string(), "(no faults)");
+    }
+}

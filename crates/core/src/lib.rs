@@ -19,26 +19,38 @@
 //!   deterministic per-shard RNG streams, worker threads, cross-shard
 //!   exchange at day barriers, and globally ordered merged logs;
 //! * [`pool`] — the persistent work-stealing worker pool the engine
-//!   (and the experiment context) dispatch parallel phases on;
+//!   (and the experiment context) dispatch parallel phases on, with
+//!   per-job panic isolation;
+//! * [`checkpoint`] — versioned, checksummed day-barrier checkpoint
+//!   files for crash-safe resume of long runs;
+//! * [`fault`] — the deterministic fault-injection harness
+//!   ([`FaultPlan`]) behind the chaos tests and `--fault-plan`;
 //! * [`decoy`] — the §5.1 decoy-credential experiment (Figure 7);
 //! * [`datasets`] — extraction of the paper's 14 datasets (Table 1)
 //!   from the raw logs.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod builder;
 pub mod campaigns;
+pub mod checkpoint;
 pub mod config;
 pub mod datasets;
 pub mod decoy;
 pub mod ecosystem;
 pub mod engine;
+pub mod fault;
 pub mod pool;
 pub mod world;
 
 pub use builder::ScenarioBuilder;
 pub use campaigns::{run_form_campaigns, FormCampaignOutput};
+pub use checkpoint::Checkpoint;
 pub use config::{DefenseConfig, ScenarioConfig};
 pub use datasets::DatasetInventory;
 pub use decoy::{run_decoy_experiment, DecoyOutcome, DecoyReport};
 pub use ecosystem::{Ecosystem, Incident, RunStats};
-pub use engine::{default_workers, ShardedEngine, ShardedRun};
-pub use pool::WorkerPool;
+pub use engine::{default_workers, CheckpointPolicy, RunFailure, ShardedEngine, ShardedRun};
+pub use fault::FaultPlan;
+pub use mhw_types::{EngineError, EngineResult};
+pub use pool::{JobPanic, WorkerPool};

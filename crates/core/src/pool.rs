@@ -34,16 +34,60 @@
 //! never influence the output — work stealing is invisible to the
 //! dataset digest.
 //!
+//! # Panic isolation
+//!
+//! Every job invocation runs under [`std::panic::catch_unwind`], so a
+//! panicking job can neither tear down the process nor let unwinding
+//! cross the pool's coordination mutex (which would poison it and
+//! cascade secondary panics through every other worker — the exact
+//! failure mode this pool used to have). On the first caught panic the
+//! dispatch sets an abort flag; workers finish the job they are on,
+//! stop claiming new indices, and the generation drains normally. The
+//! dispatch then reports the panic as a [`JobPanic`] value — always the
+//! one with the **lowest job index**, so the reported failure is
+//! deterministic even when several jobs panic in one racy dispatch.
+//! The few pool-internal locks that remain use explicit poison-aware
+//! recovery (`PoisonError::into_inner`): coordination state is a
+//! generation counter and a done-count, both valid under any
+//! interleaving, so recovery is always safe.
+//!
 //! Determinism therefore holds by construction at any worker count,
 //! and the pool's only observable side channel is wall-clock timing
 //! ([`WorkerPool::take_worker_busy`]), which stays out of the
 //! deterministic run report.
 
 use mhw_types::CachePadded;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// A panic caught at the pool boundary while running one job.
+///
+/// `index` and `payload` are deterministic for a deterministic job set;
+/// `worker` records which participant happened to claim the job and is
+/// pure mechanics (it varies with scheduling).
+#[derive(Debug, Clone)]
+pub struct JobPanic {
+    /// The job index whose closure panicked (for the engine: the shard).
+    pub index: usize,
+    /// The pool participant that was running the job.
+    pub worker: usize,
+    /// The panic payload, stringified. `&str` and `String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder.
+    pub payload: String,
+}
+
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The job closure currently being dispatched, with its lifetime erased.
 ///
@@ -77,6 +121,12 @@ struct Shared {
     state: Mutex<State>,
     /// Next unclaimed job index — the work-stealing heart of the pool.
     next: AtomicUsize,
+    /// Set when a job panics: workers stop claiming further indices so
+    /// the generation drains instead of burning CPU on a doomed run.
+    aborting: AtomicBool,
+    /// Panics caught during the current dispatch, collected so the
+    /// dispatcher can report the lowest-index one deterministically.
+    panics: Mutex<Vec<JobPanic>>,
     /// Wakes helpers for a new generation (or shutdown).
     go: Condvar,
     /// Wakes the coordinator when the last helper finishes.
@@ -88,15 +138,46 @@ struct Shared {
 }
 
 impl Shared {
-    fn claim_loop(&self, worker: usize, job: &(dyn Fn(usize, usize) + Sync), n_jobs: usize, chunk: usize) {
+    /// Lock the coordination state with explicit poison recovery. Jobs
+    /// run under `catch_unwind` and never hold this mutex, so poisoning
+    /// can only come from a bug in the pool itself — and even then the
+    /// handshake fields (counters and flags) are valid under any
+    /// interleaving, so continuing is always sound and beats cascading
+    /// a secondary panic through every worker.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_panics(&self) -> MutexGuard<'_, Vec<JobPanic>> {
+        self.panics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn claim_loop(
+        &self,
+        worker: usize,
+        job: &(dyn Fn(usize, usize) + Sync),
+        n_jobs: usize,
+        chunk: usize,
+    ) {
         let start = Instant::now();
-        loop {
+        'claims: loop {
+            if self.aborting.load(Ordering::Relaxed) {
+                break;
+            }
             let lo = self.next.fetch_add(chunk, Ordering::Relaxed);
             if lo >= n_jobs {
                 break;
             }
             for i in lo..(lo + chunk).min(n_jobs) {
-                job(worker, i);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(worker, i))) {
+                    self.aborting.store(true, Ordering::Relaxed);
+                    self.lock_panics().push(JobPanic {
+                        index: i,
+                        worker,
+                        payload: payload_string(payload),
+                    });
+                    break 'claims;
+                }
             }
         }
         self.busy_ns[worker].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -106,7 +187,7 @@ impl Shared {
         let mut seen_generation = 0u64;
         loop {
             let (task, n_jobs, chunk) = {
-                let mut state = self.state.lock().expect("pool state poisoned");
+                let mut state = self.lock_state();
                 loop {
                     if state.shutdown {
                         return;
@@ -114,22 +195,36 @@ impl Shared {
                     if state.generation != seen_generation {
                         break;
                     }
-                    state = self.go.wait(state).expect("pool state poisoned");
+                    state = self.go.wait(state).unwrap_or_else(PoisonError::into_inner);
                 }
                 seen_generation = state.generation;
-                let task = state.task.as_ref().expect("live generation has a task").0;
-                (task, state.n_jobs, state.chunk)
+                let Some(task) = state.task.as_ref() else {
+                    unreachable!("live generation has a task");
+                };
+                (task.0, state.n_jobs, state.chunk)
             };
             // SAFETY: see `TaskPtr` — the dispatcher blocks until this
             // helper reports done, keeping the closure alive.
             let job = unsafe { &*task };
             self.claim_loop(worker, job, n_jobs, chunk);
-            let mut state = self.state.lock().expect("pool state poisoned");
+            let mut state = self.lock_state();
             state.helpers_done += 1;
             if state.helpers_done == self.helpers {
                 self.done.notify_one();
             }
         }
+    }
+
+    /// Drain the panics recorded during the dispatch that just finished
+    /// and turn them into the dispatch result: `Err` carrying the
+    /// lowest-index panic if any job panicked.
+    fn dispatch_result(&self) -> Result<(), JobPanic> {
+        let mut panics = std::mem::take(&mut *self.lock_panics());
+        if panics.is_empty() {
+            return Ok(());
+        }
+        panics.sort_by_key(|p| p.index);
+        Err(panics.swap_remove(0))
     }
 }
 
@@ -157,6 +252,8 @@ impl WorkerPool<'_> {
                 shutdown: false,
             }),
             next: AtomicUsize::new(0),
+            aborting: AtomicBool::new(false),
+            panics: Mutex::new(Vec::new()),
             go: Condvar::new(),
             done: Condvar::new(),
             busy_ns: (0..workers).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
@@ -169,7 +266,7 @@ impl WorkerPool<'_> {
             }
             let pool = WorkerPool { shared: &shared, workers };
             let out = f(&pool);
-            let mut state = shared.state.lock().expect("pool state poisoned");
+            let mut state = shared.lock_state();
             state.shutdown = true;
             drop(state);
             shared.go.notify_all();
@@ -184,34 +281,56 @@ impl WorkerPool<'_> {
 
     /// Dispatch `n_jobs` jobs claimed one index at a time — maximum
     /// balance, right for small job counts like shards-per-day.
-    pub fn run(&self, n_jobs: usize, job: &(dyn Fn(usize, usize) + Sync)) {
-        self.run_chunked(n_jobs, 1, job);
+    ///
+    /// Returns `Err` with the lowest-index caught panic if any job
+    /// panicked; the remaining jobs' effects are intact (each job owns
+    /// its index-addressed state), so callers can salvage partial
+    /// results.
+    pub fn run(&self, n_jobs: usize, job: &(dyn Fn(usize, usize) + Sync)) -> Result<(), JobPanic> {
+        self.run_chunked(n_jobs, 1, job)
     }
 
     /// Dispatch `n_jobs` jobs over the pool. Workers (the calling
     /// thread included) repeatedly claim `chunk` consecutive job
     /// indices from a shared atomic counter and invoke
-    /// `job(worker, index)` for each; the call returns once every job
-    /// has run. Larger chunks amortise claim traffic for big job lists;
-    /// chunk 1 maximises balance.
+    /// `job(worker, index)` for each; the call returns once the
+    /// generation has drained. Larger chunks amortise claim traffic for
+    /// big job lists; chunk 1 maximises balance.
     ///
-    /// `job` must confine its effects to state addressed by the job
+    /// `job` must confine its effects to state addressed by its job
     /// index — that is what keeps worker scheduling invisible to the
     /// produced data.
-    pub fn run_chunked(&self, n_jobs: usize, chunk: usize, job: &(dyn Fn(usize, usize) + Sync)) {
+    ///
+    /// A panicking job aborts the remainder of the dispatch (in-flight
+    /// jobs finish, unclaimed indices are skipped) and is reported as
+    /// `Err(JobPanic)`; every pool thread survives to serve the next
+    /// dispatch.
+    pub fn run_chunked(
+        &self,
+        n_jobs: usize,
+        chunk: usize,
+        job: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<(), JobPanic> {
         if n_jobs == 0 {
-            return;
+            return Ok(());
         }
         let chunk = chunk.max(1);
+        self.shared.aborting.store(false, Ordering::Relaxed);
         if self.workers == 1 || n_jobs == 1 {
-            // Inline fast path: nothing to coordinate.
+            // Inline fast path: nothing to coordinate, but panics are
+            // still caught so single-worker runs fail identically to
+            // parallel ones.
             let start = Instant::now();
             for i in 0..n_jobs {
-                job(0, i);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(0, i))) {
+                    self.shared.busy_ns[0]
+                        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    return Err(JobPanic { index: i, worker: 0, payload: payload_string(payload) });
+                }
             }
             self.shared.busy_ns[0]
                 .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            return;
+            return Ok(());
         }
         self.shared.next.store(0, Ordering::Relaxed);
         // SAFETY: erases the closure's borrow lifetime to publish it to
@@ -219,7 +338,7 @@ impl WorkerPool<'_> {
         // until every helper is done with it.
         let task: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(job) };
         {
-            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            let mut state = self.shared.lock_state();
             state.task = Some(TaskPtr(task));
             state.n_jobs = n_jobs;
             state.chunk = chunk;
@@ -228,11 +347,13 @@ impl WorkerPool<'_> {
         }
         self.shared.go.notify_all();
         self.shared.claim_loop(0, job, n_jobs, chunk);
-        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        let mut state = self.shared.lock_state();
         while state.helpers_done < self.shared.helpers {
-            state = self.shared.done.wait(state).expect("pool state poisoned");
+            state = self.shared.done.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
         state.task = None;
+        drop(state);
+        self.shared.dispatch_result()
     }
 
     /// Per-worker busy wall-clock time accumulated since the last call
@@ -260,7 +381,8 @@ mod tests {
             WorkerPool::scoped(workers, |pool| {
                 pool.run(hits.len(), &|_w, i| {
                     hits[i].fetch_add(1, Ordering::Relaxed);
-                });
+                })
+                .expect("no job panics");
             });
             for (i, hit) in hits.iter().enumerate() {
                 assert_eq!(hit.load(Ordering::Relaxed), 1, "job {i} at {workers} workers");
@@ -275,7 +397,8 @@ mod tests {
             for round in 1..=5u64 {
                 pool.run(16, &|_w, _i| {
                     counter.fetch_add(1, Ordering::Relaxed);
-                });
+                })
+                .expect("no job panics");
                 assert_eq!(counter.load(Ordering::Relaxed), round * 16);
             }
         });
@@ -289,7 +412,8 @@ mod tests {
         WorkerPool::scoped(3, |pool| {
             pool.run_chunked(hits.len(), 4, &|_w, i| {
                 hits[i].fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .expect("no job panics");
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
@@ -297,7 +421,7 @@ mod tests {
     #[test]
     fn empty_dispatch_is_a_no_op() {
         WorkerPool::scoped(2, |pool| {
-            pool.run(0, &|_w, _i| panic!("no jobs to run"));
+            pool.run(0, &|_w, _i| panic!("no jobs to run")).expect("zero jobs cannot panic");
             assert_eq!(pool.workers(), 2);
         });
     }
@@ -307,7 +431,8 @@ mod tests {
         WorkerPool::scoped(2, |pool| {
             pool.run(8, &|_w, _i| {
                 std::hint::black_box((0..1000u64).sum::<u64>());
-            });
+            })
+            .expect("no job panics");
             let busy = pool.take_worker_busy();
             assert_eq!(busy.len(), 2);
             assert!(busy.iter().any(|d| !d.is_zero()), "someone did the work");
@@ -323,7 +448,74 @@ mod tests {
             pool.run(4, &|w, _i| {
                 assert_eq!(w, 0);
                 assert_eq!(std::thread::current().id(), thread_id);
-            });
+            })
+            .expect("no job panics");
         });
+    }
+
+    #[test]
+    fn panic_is_caught_and_reported_with_payload() {
+        for workers in [1usize, 2, 4] {
+            let err = WorkerPool::scoped(workers, |pool| {
+                pool.run(8, &|_w, i| {
+                    if i == 3 {
+                        panic!("job {i} exploded");
+                    }
+                })
+            })
+            .expect_err("job 3 panics");
+            assert_eq!(err.index, 3, "at {workers} workers");
+            assert!(err.payload.contains("job 3 exploded"), "payload: {}", err.payload);
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_dispatch() {
+        // The load-bearing regression test for the old poisoned-mutex
+        // cascade: after a panicking generation, every thread must still
+        // be alive and the next dispatch must run normally.
+        let counter = AtomicU64::new(0);
+        WorkerPool::scoped(4, |pool| {
+            let err = pool.run(12, &|_w, i| {
+                if i == 5 {
+                    panic!("mid-run failure");
+                }
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(err.is_err(), "the panic must surface");
+            let before = counter.load(Ordering::Relaxed);
+            assert!(before < 12, "dispatch aborted early");
+            pool.run(16, &|_w, _i| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("pool recovered for the next generation");
+            assert_eq!(counter.load(Ordering::Relaxed), before + 16);
+        });
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_deterministically() {
+        // Every job panics; whichever worker gets there first, the
+        // report must always name job 0.
+        for workers in [1usize, 3, 8] {
+            let err = WorkerPool::scoped(workers, |pool| {
+                pool.run(16, &|_w, i| panic!("boom {i}"))
+            })
+            .expect_err("all jobs panic");
+            // With >1 worker several panics may be recorded; index 0 is
+            // always among them because abort only stops *new* claims
+            // and index 0 is claimed first.
+            assert_eq!(err.index, 0, "at {workers} workers");
+            assert!(err.payload.contains("boom 0"));
+        }
+    }
+
+    #[test]
+    fn non_string_payloads_get_a_placeholder() {
+        let err = WorkerPool::scoped(1, |pool| {
+            pool.run(1, &|_w, _i| std::panic::panic_any(42_u32))
+        })
+        .expect_err("job panics");
+        assert_eq!(err.payload, "non-string panic payload");
     }
 }

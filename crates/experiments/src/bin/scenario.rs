@@ -8,6 +8,8 @@
 //!          [--shards N] [--workers N]
 //!          [--lures F] [--no-defense] [--no-classifier] [--no-monitor]
 //!          [--no-challenge] [--twofactor F] [--report run-report.json]
+//!          [--checkpoint-dir DIR] [--checkpoint-every N]
+//!          [--resume FILE] [--fault-plan SPEC]
 //! ```
 //!
 //! With `--shards N` (N > 1) the run goes through the sharded parallel
@@ -15,27 +17,25 @@
 //! is pure mechanics — the printed report is byte-identical at any
 //! worker count. With `--report`, the run's deterministic
 //! [`mhw_obs::RunReport`] is written as JSON to the given path.
+//!
+//! The crash-safety flags (`--checkpoint-dir`, `--checkpoint-every`,
+//! `--resume`, `--fault-plan`; see `docs/REPRODUCING.md`) force the
+//! engine path even at `--shards 1`. Flag values that fail to parse are
+//! fatal usage errors (exit 2); runtime failures exit 1.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use mhw_adversary::Era;
 use mhw_analysis::{bar_chart, Breakdown, Ecdf};
-use mhw_core::{Ecosystem, ScenarioConfig, ShardedRun};
+use mhw_core::{Ecosystem, FaultPlan, ScenarioConfig, ShardedRun};
+use mhw_experiments::cli::{self, UsageError};
 use mhw_types::Actor;
-
-fn flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
-fn value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
+use std::path::PathBuf;
 
 /// A finished run: the plain single-world path, or the sharded engine.
 enum Run {
     Single(Box<Ecosystem>),
-    Sharded(ShardedRun),
+    Sharded(Box<ShardedRun>),
 }
 
 impl Run {
@@ -54,38 +54,100 @@ impl Run {
     }
 }
 
+/// Why the binary is exiting nonzero: usage mistakes (exit 2) vs
+/// runtime failures (exit 1).
+enum Failure {
+    Usage(UsageError),
+    Runtime(String),
+}
+
+impl From<UsageError> for Failure {
+    fn from(e: UsageError) -> Self {
+        Failure::Usage(e)
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut config = ScenarioConfig::measurement(value(&args, "--seed").unwrap_or(0x5C3A));
-    if let Some(n) = value::<usize>(&args, "--users") {
+    match run(&args) {
+        Ok(()) => {}
+        Err(Failure::Usage(e)) => {
+            eprintln!("{e}");
+            eprintln!(
+                "usage: scenario [--users N] [--days N] [--seed N] [--era 2011|2012]\n\
+                 \x20               [--shards N] [--workers N] [--lures F] [--twofactor F]\n\
+                 \x20               [--no-defense] [--no-classifier] [--no-monitor] [--no-challenge]\n\
+                 \x20               [--report FILE] [--checkpoint-dir DIR] [--checkpoint-every N]\n\
+                 \x20               [--resume FILE] [--fault-plan SPEC]"
+            );
+            std::process::exit(2);
+        }
+        Err(Failure::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Failure> {
+    let mut config = ScenarioConfig::measurement(cli::value(args, "--seed")?.unwrap_or(0x5C3A));
+    if let Some(n) = cli::value::<usize>(args, "--users")? {
         config.population.n_users = n;
     }
-    if let Some(d) = value::<u64>(&args, "--days") {
+    if let Some(d) = cli::value::<u64>(args, "--days")? {
         config.days = d;
     }
-    if let Some(l) = value::<f64>(&args, "--lures") {
+    if let Some(l) = cli::value::<f64>(args, "--lures")? {
         config.lures_per_user_day = l;
     }
-    if let Some(t) = value::<f64>(&args, "--twofactor") {
+    if let Some(t) = cli::value::<f64>(args, "--twofactor")? {
         config.population.twofactor_rate = t;
     }
-    if value::<u32>(&args, "--era") == Some(2011) {
-        config.era = Era::Y2011;
+    match cli::value::<u32>(args, "--era")? {
+        None | Some(2012) => {}
+        Some(2011) => config.era = Era::Y2011,
+        Some(other) => {
+            return Err(Failure::Usage(UsageError(format!(
+                "invalid value for --era: {other} (expected 2011 or 2012)"
+            ))));
+        }
     }
-    if flag(&args, "--no-defense") {
+    if cli::flag(args, "--no-defense") {
         config.defense = mhw_core::DefenseConfig::none();
     }
-    if flag(&args, "--no-classifier") {
+    if cli::flag(args, "--no-classifier") {
         config.defense.mail_classifier = false;
     }
-    if flag(&args, "--no-monitor") {
+    if cli::flag(args, "--no-monitor") {
         config.defense.activity_monitor = false;
     }
-    if flag(&args, "--no-challenge") {
+    if cli::flag(args, "--no-challenge") {
         config.defense.login_risk_analysis = false;
     }
-    let shards = value::<u16>(&args, "--shards").unwrap_or(1).max(1);
-    let workers = value::<usize>(&args, "--workers").unwrap_or_else(mhw_core::default_workers);
+    let shards = cli::value::<u16>(args, "--shards")?.unwrap_or(1).max(1);
+    let workers =
+        cli::value::<usize>(args, "--workers")?.unwrap_or_else(mhw_core::default_workers);
+
+    let checkpoint_dir = cli::value::<PathBuf>(args, "--checkpoint-dir")?;
+    let checkpoint_every = cli::value::<u64>(args, "--checkpoint-every")?;
+    if checkpoint_every.is_some() && checkpoint_dir.is_none() {
+        return Err(Failure::Usage(UsageError(
+            "--checkpoint-every requires --checkpoint-dir".to_string(),
+        )));
+    }
+    let resume = cli::value::<PathBuf>(args, "--resume")?;
+    let faults = match cli::value::<String>(args, "--fault-plan")? {
+        None => None,
+        Some(spec) => Some(
+            FaultPlan::parse_spec(&spec, config.seed, config.days, shards)
+                .map_err(|e| UsageError(format!("invalid value for --fault-plan: {e}")))?,
+        ),
+    };
+    // Crash-safety machinery lives in the engine, so any of its flags
+    // forces the engine path even for a single shard (identical output;
+    // the engine's determinism tests pin it).
+    let engine_path =
+        shards > 1 || checkpoint_dir.is_some() || resume.is_some() || faults.is_some();
 
     eprintln!(
         "running: {} users, {} days, era {:?}, lures/user/day {}, seed {:#x}, {} shard(s), {} worker(s)",
@@ -99,10 +161,19 @@ fn main() {
     );
     let days = config.days;
     let t0 = std::time::Instant::now();
-    let run = if shards > 1 {
-        Run::Sharded(
-            mhw_core::ScenarioBuilder::new(config).workers(workers).sharded(shards).run(),
-        )
+    let run = if engine_path {
+        let mut engine =
+            mhw_core::ScenarioBuilder::new(config).workers(workers).sharded(shards);
+        if let Some(dir) = checkpoint_dir {
+            engine = engine.checkpoint_to(dir, checkpoint_every.unwrap_or(1));
+        }
+        if let Some(file) = resume {
+            engine = engine.resume_from(file);
+        }
+        if let Some(plan) = faults {
+            engine = engine.fault_plan(plan);
+        }
+        Run::Sharded(Box::new(engine.run().map_err(|e| Failure::Runtime(e.to_string()))?))
     } else {
         Run::Single(Box::new(mhw_core::ScenarioBuilder::new(config).run()))
     };
@@ -184,8 +255,10 @@ fn main() {
         );
     }
 
-    if let Some(path) = value::<String>(&args, "--report") {
-        std::fs::write(&path, run.report_json()).expect("write run report");
+    if let Some(path) = cli::value::<String>(args, "--report")? {
+        std::fs::write(&path, run.report_json())
+            .map_err(|e| Failure::Runtime(format!("writing {path}: {e}")))?;
         eprintln!("wrote {path}");
     }
+    Ok(())
 }

@@ -1,0 +1,84 @@
+//! Strict flag parsing shared by the experiment binaries.
+//!
+//! The binaries take `--name value` pairs and boolean `--name` flags.
+//! Parsing is deliberately unforgiving: a flag with a missing or
+//! unparseable value is a [`UsageError`] naming the offending flag, and
+//! the binaries exit with status 2 instead of silently falling back to
+//! a default (`--shards foo` quietly meaning "1 shard" cost real
+//! debugging time).
+
+use std::fmt;
+
+/// A command-line usage mistake: the rendered message names the flag
+/// and the value that failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "usage error: {}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// True when the boolean flag `name` appears anywhere in `args`.
+pub fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// The value following flag `name`, parsed as `T`.
+///
+/// * flag absent → `Ok(None)`;
+/// * flag present with a parseable value → `Ok(Some(v))`;
+/// * flag present with a missing or unparseable value → `Err`, naming
+///   the flag and the offending text.
+pub fn value<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, UsageError> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err(UsageError(format!("{name} requires a value")));
+    };
+    match raw.parse() {
+        Ok(v) => Ok(Some(v)),
+        Err(_) => Err(UsageError(format!(
+            "invalid value for {name}: {raw:?} (expected {})",
+            std::any::type_name::<T>()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flag_is_none() {
+        assert_eq!(value::<u64>(&args(&["--days", "3"]), "--seed"), Ok(None));
+        assert!(!flag(&args(&["--days", "3"]), "--quick"));
+    }
+
+    #[test]
+    fn present_flag_parses() {
+        assert_eq!(value::<u64>(&args(&["--seed", "42"]), "--seed"), Ok(Some(42)));
+        assert!(flag(&args(&["--quick"]), "--quick"));
+    }
+
+    #[test]
+    fn bad_value_names_the_flag() {
+        let err = value::<u16>(&args(&["--shards", "foo"]), "--shards").unwrap_err();
+        assert!(err.0.contains("--shards"), "error must name the flag: {err}");
+        assert!(err.0.contains("foo"), "error must quote the value: {err}");
+    }
+
+    #[test]
+    fn missing_value_names_the_flag() {
+        let err = value::<u64>(&args(&["--seed"]), "--seed").unwrap_err();
+        assert!(err.0.contains("--seed"));
+    }
+}

@@ -4,9 +4,10 @@
 use mhw_adversary::Era;
 use mhw_analysis::ComparisonTable;
 use mhw_core::{
-    run_decoy_experiment, run_form_campaigns, DecoyReport, Ecosystem, FormCampaignOutput,
-    ScenarioBuilder, ScenarioConfig, WorkerPool,
+    run_decoy_experiment, run_form_campaigns, DecoyReport, Ecosystem, EngineError, FaultPlan,
+    FormCampaignOutput, ScenarioBuilder, ScenarioConfig, ShardedEngine, WorkerPool,
 };
+use std::path::PathBuf;
 use std::sync::Mutex;
 
 /// Run scale: `Quick` for tests (seconds), `Full` for the repro binary
@@ -44,11 +45,42 @@ pub struct Context {
     pub decoys: DecoyReport,
 }
 
+/// Crash-safety options for the context's main (2012-era) run, wired
+/// through from the `repro` binary's `--checkpoint-dir` /
+/// `--checkpoint-every` / `--resume` / `--fault-plan` flags.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Write day-barrier checkpoints: `(directory, every N days)`.
+    pub checkpoint: Option<(PathBuf, u64)>,
+    /// Resume the main run from this checkpoint file.
+    pub resume: Option<PathBuf>,
+    /// Deterministic fault plan injected into the main run.
+    pub faults: Option<FaultPlan>,
+}
+
+impl EngineOptions {
+    /// True when no crash-safety machinery was requested.
+    pub fn is_default(&self) -> bool {
+        self.checkpoint.is_none() && self.resume.is_none() && self.faults.is_none()
+    }
+}
+
 impl Context {
     /// Build and run everything, using every core the machine offers
-    /// for the independent worlds.
+    /// for the independent worlds. Panics on failure (test
+    /// convenience); binaries use
+    /// [`try_with_options`](Self::try_with_options).
     pub fn new(scale: Scale, seed: u64) -> Self {
         Context::with_workers(scale, seed, mhw_core::default_workers())
+    }
+
+    /// Like [`new`](Self::new) with an explicit worker cap; panics on
+    /// failure.
+    pub fn with_workers(scale: Scale, seed: u64, workers: usize) -> Self {
+        match Context::try_with_options(scale, seed, workers, &EngineOptions::default()) {
+            Ok(ctx) => ctx,
+            Err(e) => panic!("context build failed: {e}"),
+        }
     }
 
     /// Build and run everything, spreading the five independent
@@ -56,26 +88,74 @@ impl Context {
     /// experiment) over up to `workers` threads. Each run is
     /// deterministic in its own `(config, seed)` alone, so the worker
     /// count never changes any experiment's output.
-    pub fn with_workers(scale: Scale, seed: u64, workers: usize) -> Self {
+    ///
+    /// With non-default [`EngineOptions`] the main 2012-era world runs
+    /// through a single-shard [`ShardedEngine`] so checkpointing,
+    /// resume and fault injection apply to it; the single-shard engine
+    /// produces byte-identical output to the plain path (the market is
+    /// disabled at this scale), so results never depend on which route
+    /// was taken.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EngineError`] from the main run (checkpoint I/O, corrupt
+    /// or mismatched resume file, injected or organic shard panic). A
+    /// panic in one of the other four runs surfaces as
+    /// [`EngineError::ShardPanicked`] with the job index in `shard`.
+    // The slot `expect`s below are claim-protocol invariants, not error
+    // handling: job i fills slot i exactly once, and a panicking job
+    // returns through the JobPanic branch before any slot is taken.
+    #[allow(clippy::expect_used)]
+    pub fn try_with_options(
+        scale: Scale,
+        seed: u64,
+        workers: usize,
+        opts: &EngineOptions,
+    ) -> Result<Self, EngineError> {
         let (base, n_forms, n_decoys): (fn(u64) -> ScenarioConfig, usize, usize) = match scale {
             Scale::Quick => (ScenarioConfig::small_test as fn(u64) -> _, 30, 60),
             Scale::Full => (ScenarioConfig::measurement as fn(u64) -> _, 100, 200),
         };
 
+        // The checkpointable path for the main world runs first, on the
+        // coordinator: crash-safety work is inherently serial anyway
+        // (replay, barrier verification), and doing it up front keeps
+        // the pool below free of fallible jobs.
+        let prebuilt_2012: Option<Ecosystem> = if opts.is_default() {
+            None
+        } else {
+            let mut engine = ShardedEngine::new(base(seed), 1);
+            if let Some((dir, every)) = &opts.checkpoint {
+                engine = engine.checkpoint_to(dir.clone(), *every);
+            }
+            if let Some(file) = &opts.resume {
+                engine = engine.resume_from(file.clone());
+            }
+            if let Some(plan) = &opts.faults {
+                engine = engine.fault_plan(plan.clone());
+            }
+            let mut shards = engine.run()?.into_shards();
+            Some(shards.pop().expect("engine configured with one shard"))
+        };
+
         // One slot per independent run; job index i fills slot i, so
         // the pool's work stealing is invisible to the results.
-        let eco_2012 = Mutex::new(None);
+        let eco_2012 = Mutex::new(prebuilt_2012);
         let eco_2011 = Mutex::new(None);
         let eco_lockout = Mutex::new(None);
         let forms = Mutex::new(None);
         let decoy = Mutex::new(None);
         // Five independent jobs, capped at the hardware's parallelism —
         // extra CPU-bound threads on fewer cores only slow each other.
-        WorkerPool::scoped(workers.clamp(1, 5).min(mhw_core::default_workers()), |pool| {
+        let pool_result = WorkerPool::scoped(
+            workers.clamp(1, 5).min(mhw_core::default_workers()),
+            |pool| {
             pool.run(5, &|_worker, i| match i {
                 0 => {
-                    let eco = ScenarioBuilder::new(base(seed)).run();
-                    *eco_2012.lock().expect("slot poisoned") = Some(eco);
+                    let mut slot = eco_2012.lock().expect("slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(ScenarioBuilder::new(base(seed)).run());
+                    }
                 }
                 1 => {
                     let eco = ScenarioBuilder::new(base(seed ^ 0x2011)).era(Era::Y2011).run();
@@ -111,14 +191,22 @@ impl Context {
                     });
                     *decoy.lock().expect("slot poisoned") = Some(out);
                 }
+            })
+        },
+        );
+        if let Err(p) = pool_result {
+            return Err(EngineError::ShardPanicked {
+                shard: p.index as u16,
+                day: 0,
+                payload: p.payload,
             });
-        });
+        }
 
         let take = |slot: Mutex<Option<Ecosystem>>| {
             slot.into_inner().expect("slot poisoned").expect("world built")
         };
         let (decoy_eco, decoys) = decoy.into_inner().expect("slot poisoned").expect("run done");
-        Context {
+        Ok(Context {
             scale,
             seed,
             eco_2012: take(eco_2012),
@@ -127,7 +215,7 @@ impl Context {
             forms: forms.into_inner().expect("slot poisoned").expect("run done"),
             decoy_eco,
             decoys,
-        }
+        })
     }
 
     /// Tolerance width scaling: quick runs have smaller samples, so

@@ -48,7 +48,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
 
     // Render the per-page panel as a sorted rate list.
     let mut sorted = rates.clone();
-    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let mut rendering = format!(
         "{} pages with ≥30 views; mean {:.1}%, range {:.1}%–{:.1}%\n",
         rates.len(),

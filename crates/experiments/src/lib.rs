@@ -9,6 +9,9 @@
 //!
 //! The `repro` binary runs everything and writes `EXPERIMENTS.md`.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cli;
 pub mod context;
 pub mod defense_eval;
 pub mod fig10_recovery_methods;

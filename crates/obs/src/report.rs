@@ -11,7 +11,8 @@ use crate::snapshot::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Identifies the report layout; bump when fields change meaning.
-pub const REPORT_SCHEMA: &str = "mhw-run-report/v1";
+/// v2 added the `degraded`/`failure` forensic fields.
+pub const REPORT_SCHEMA: &str = "mhw-run-report/v2";
 
 /// Deterministic summary of one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,6 +28,13 @@ pub struct RunReport {
     pub days: u32,
     /// Simulated user population.
     pub users: u32,
+    /// True when the run aborted early and this report covers only the
+    /// shards/days completed before the failure — a forensic artifact,
+    /// not a full dataset.
+    pub degraded: bool,
+    /// Why the run aborted, when [`degraded`](RunReport::degraded) is
+    /// set (e.g. the rendered `EngineError`).
+    pub failure: Option<String>,
     /// Merged metrics from every subsystem registry.
     pub metrics: MetricsSnapshot,
 }
@@ -34,12 +42,31 @@ pub struct RunReport {
 impl RunReport {
     /// Assemble a report from run parameters and merged metrics.
     pub fn new(seed: u64, shards: u16, days: u32, users: u32, metrics: MetricsSnapshot) -> Self {
-        RunReport { schema: REPORT_SCHEMA.to_string(), seed, shards, days, users, metrics }
+        RunReport {
+            schema: REPORT_SCHEMA.to_string(),
+            seed,
+            shards,
+            days,
+            users,
+            degraded: false,
+            failure: None,
+            metrics,
+        }
+    }
+
+    /// Mark this report as the partial output of an aborted run,
+    /// recording the failure cause. Used by the engine to leave a
+    /// forensic artifact when a long run dies mid-way.
+    pub fn with_failure(mut self, cause: impl Into<String>) -> Self {
+        self.degraded = true;
+        self.failure = Some(cause.into());
+        self
     }
 
     /// Serialize to the canonical JSON form (fields in declaration
     /// order; byte-identical for equal reports).
     pub fn to_json(&self) -> String {
+        #[allow(clippy::expect_used)] // every field is serializable by construction
         serde_json::to_string(self).expect("run report serializes")
     }
 
@@ -72,5 +99,19 @@ mod tests {
     #[test]
     fn equal_reports_serialize_to_equal_bytes() {
         assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn degraded_marker_round_trips() {
+        let report = sample().with_failure("shard 2 panicked on day 5: boom");
+        assert!(report.degraded);
+        let json = report.to_json();
+        assert!(json.contains("\"degraded\":true"));
+        assert!(json.contains("shard 2 panicked"));
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        // A healthy report carries the fields but stays unmarked.
+        assert!(!sample().degraded);
+        assert!(sample().to_json().contains("\"degraded\":false"));
     }
 }

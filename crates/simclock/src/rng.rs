@@ -192,6 +192,18 @@ impl SimRng {
     pub fn raw(&mut self) -> &mut StdRng {
         &mut self.inner
     }
+
+    /// The exact stream position (the generator's raw state words).
+    /// Checkpointing captures this so a resumed run can verify its
+    /// replayed streams sit at precisely the recorded positions.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.state()
+    }
+
+    /// Rebuild a stream at a position captured with [`SimRng::state`].
+    pub fn from_state(state: [u64; 4]) -> Self {
+        SimRng { inner: StdRng::from_state(state) }
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +257,19 @@ mod tests {
         assert_eq!(c1.below(1 << 40), c2.below(1 << 40));
         let mut c3 = parent1.fork(1);
         assert_ne!(c1.below(1 << 40), c3.below(1 << 40));
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut a = SimRng::from_seed(123);
+        for _ in 0..17 {
+            a.f64();
+        }
+        let mut b = SimRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.below(u64::MAX), b.below(u64::MAX));
+        }
+        assert_eq!(a.state(), b.state());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Typed errors for the crash-safe engine.
+//!
+//! Everything that can go wrong on a *non-programmer-error* path —
+//! a shard job panicking mid-day, checkpoint I/O failing, a checkpoint
+//! file arriving corrupt or from a different scenario, an invalid
+//! run configuration — is represented here so callers can match on the
+//! failure instead of losing the whole process to a panic. Genuine
+//! invariant violations (index out of bounds, arithmetic bugs) still
+//! panic; the engine catches those at the worker-pool boundary and
+//! reports them as [`EngineError::ShardPanicked`].
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Workspace-wide error alias: today every fallible public path is an
+/// engine path, so [`Error`] *is* [`EngineError`]; downstream code that
+/// names `mhw_types::Error` keeps compiling if the hierarchy grows.
+pub type Error = EngineError;
+
+/// The checkpoint I/O operation that failed (part of
+/// [`EngineError::CheckpointIo`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointOp {
+    /// Writing (or atomically renaming) a checkpoint file.
+    Write,
+    /// Reading a checkpoint file back.
+    Read,
+    /// Scanning a checkpoint directory for the latest file.
+    List,
+}
+
+impl fmt::Display for CheckpointOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheckpointOp::Write => "write",
+            CheckpointOp::Read => "read",
+            CheckpointOp::List => "list",
+        })
+    }
+}
+
+/// Every way a sharded engine run can fail without it being a bug in
+/// the caller's own code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A shard job panicked mid-run. The panic was caught at the worker
+    /// pool boundary; other shards drained cleanly and their partial
+    /// logs survive for post-mortem.
+    ShardPanicked {
+        /// The logical shard whose job panicked.
+        shard: crate::log::ShardId,
+        /// The simulation day being executed (0 if the panic happened
+        /// while the shard world was still being built).
+        day: u64,
+        /// The panic payload, stringified (`&str`/`String` payloads are
+        /// preserved verbatim).
+        payload: String,
+    },
+    /// Checkpoint I/O failed after exhausting the bounded retries.
+    CheckpointIo {
+        /// Which operation failed.
+        op: CheckpointOp,
+        /// The file or directory involved.
+        path: String,
+        /// The underlying I/O error, stringified.
+        detail: String,
+    },
+    /// A checkpoint file was structurally invalid: bad magic, unknown
+    /// version, truncated body, or checksum mismatch.
+    CheckpointCorrupt {
+        /// The file that was rejected.
+        path: String,
+        /// What exactly was wrong with it.
+        reason: String,
+    },
+    /// A structurally valid checkpoint does not belong to this run:
+    /// the scenario fingerprint differs, or the state recomputed during
+    /// resume replay diverged from the recorded digests.
+    CheckpointMismatch {
+        /// The checkpoint file involved.
+        path: String,
+        /// The field that disagreed (e.g. `seed`, `shard 2 state digest`).
+        field: String,
+        /// The value recorded in the checkpoint.
+        expected: String,
+        /// The value observed in this run.
+        found: String,
+    },
+    /// The run configuration is invalid (zero checkpoint interval, a
+    /// fault plan addressing a day/shard outside the scenario, …).
+    InvalidConfig {
+        /// Human-readable description of the invalid setting.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::ShardPanicked { shard, day, payload } => {
+                write!(f, "shard {shard} panicked on day {day}: {payload}")
+            }
+            EngineError::CheckpointIo { op, path, detail } => {
+                write!(f, "checkpoint {op} failed for {path}: {detail}")
+            }
+            EngineError::CheckpointCorrupt { path, reason } => {
+                write!(f, "corrupt checkpoint {path}: {reason}")
+            }
+            EngineError::CheckpointMismatch { path, field, expected, found } => {
+                write!(
+                    f,
+                    "checkpoint {path} does not match this run: {field} \
+                     (checkpoint has {expected}, run has {found})"
+                )
+            }
+            EngineError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::ShardPanicked { shard: 3, day: 7, payload: "boom".into() };
+        let s = e.to_string();
+        assert!(s.contains("shard 3"));
+        assert!(s.contains("day 7"));
+        assert!(s.contains("boom"));
+
+        let e = EngineError::CheckpointIo {
+            op: CheckpointOp::Write,
+            path: "/tmp/x".into(),
+            detail: "disk full".into(),
+        };
+        assert!(e.to_string().contains("write"));
+        assert!(e.to_string().contains("disk full"));
+
+        let e = EngineError::CheckpointMismatch {
+            path: "ckpt".into(),
+            field: "seed".into(),
+            expected: "1".into(),
+            found: "2".into(),
+        };
+        assert!(e.to_string().contains("seed"));
+    }
+
+    #[test]
+    fn errors_are_matchable_values() {
+        let e: Error = EngineError::InvalidConfig { reason: "x".into() };
+        assert!(matches!(e, EngineError::InvalidConfig { .. }));
+        let r: EngineResult<()> =
+            Err(EngineError::CheckpointCorrupt { path: "p".into(), reason: "r".into() });
+        assert!(r.is_err());
+    }
+}

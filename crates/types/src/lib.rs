@@ -26,6 +26,7 @@
 pub mod account;
 pub mod actor;
 pub mod email;
+pub mod error;
 pub mod geo;
 pub mod ids;
 pub mod ip;
@@ -37,6 +38,7 @@ pub mod time;
 pub use account::{AccountCategory, WebmailProvider};
 pub use actor::Actor;
 pub use email::{EmailAddress, EmailDomainClass};
+pub use error::{CheckpointOp, EngineError, EngineResult, Error};
 pub use geo::{CountryCode, Language};
 pub use ids::{
     AccountId, CampaignId, ClaimId, CrewId, DeviceId, FilterId, IncidentId, MessageId, PageId,

@@ -22,6 +22,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 echo "== cargo test --doc =="
 cargo test --offline --workspace --doc -q
 
+echo "== chaos =="
+# Crash-safety gate, explicitly: panic isolation, checkpoint/resume
+# byte-identity, corrupt-checkpoint rejection, fault reproducibility.
+# (Also runs as part of the workspace suite above; kept as its own
+# step so a crash-safety regression is named at the gate.)
+cargo test --offline -q --test chaos
+
 echo "== bench-smoke =="
 # Scaling smoke: profile the engine at 1/2/4/8 workers on a small
 # scenario and write BENCH_scaling.json. The bench itself prints a

@@ -64,8 +64,9 @@ pub use mhw_types as types;
 pub mod prelude {
     pub use mhw_adversary::{CrewSpec, Era, HijackPlaybook};
     pub use mhw_core::{
-        run_decoy_experiment, run_form_campaigns, DefenseConfig, Ecosystem, Incident,
-        ScenarioBuilder, ScenarioConfig, ShardedEngine, ShardedRun,
+        run_decoy_experiment, run_form_campaigns, Checkpoint, CheckpointPolicy, DefenseConfig,
+        Ecosystem, EngineError, EngineResult, FaultPlan, Incident, RunFailure, ScenarioBuilder,
+        ScenarioConfig, ShardedEngine, ShardedRun,
     };
     pub use mhw_defense::{RiskDecision, RiskEngine, RiskWeights};
     pub use mhw_obs::{MetricsSnapshot, Registry, RunReport};

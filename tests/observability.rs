@@ -24,10 +24,10 @@ fn engine(seed: u64, shards: u16) -> ShardedEngine {
 
 #[test]
 fn run_report_is_byte_identical_across_workers() {
-    let baseline = engine(0x5A4D, 4).workers(1).run();
+    let baseline = engine(0x5A4D, 4).workers(1).run().expect("engine run");
     let baseline_json = baseline.run_report().to_json();
     for workers in [2, 4, 8] {
-        let run = engine(0x5A4D, 4).workers(workers).run();
+        let run = engine(0x5A4D, 4).workers(workers).run().expect("engine run");
         assert_eq!(
             run.run_report().to_json(),
             baseline_json,
@@ -41,7 +41,7 @@ fn run_report_is_byte_identical_across_workers() {
 
 #[test]
 fn report_covers_every_instrumented_subsystem() {
-    let run = engine(0xBEEF, 3).workers(2).run();
+    let run = engine(0xBEEF, 3).workers(2).run().expect("engine run");
     let report = run.run_report();
     let counter = |name: &str| {
         report
@@ -75,7 +75,7 @@ fn report_covers_every_instrumented_subsystem() {
 
 #[test]
 fn shard_metrics_sum_into_the_merged_snapshot() {
-    let run = engine(0xCAFE, 3).run();
+    let run = engine(0xCAFE, 3).run().expect("engine run");
     let merged = run.metrics_snapshot();
     let per_shard: u64 = run
         .shards()
@@ -101,7 +101,7 @@ fn shard_metrics_sum_into_the_merged_snapshot() {
 
 #[test]
 fn profile_is_wall_clock_and_stays_out_of_the_report() {
-    let run = engine(0xD00D, 2).workers(2).run();
+    let run = engine(0xD00D, 2).workers(2).run().expect("engine run");
     let profile = run.profile();
     assert_eq!(profile.workers, 2);
     assert!(profile.phases.iter().any(|p| p.phase == "shard_day"));

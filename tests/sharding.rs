@@ -25,9 +25,9 @@ fn engine(seed: u64, shards: u16) -> ShardedEngine {
 
 #[test]
 fn worker_count_never_changes_the_dataset() {
-    let baseline = engine(0x5A4D, 4).workers(1).run();
+    let baseline = engine(0x5A4D, 4).workers(1).run().expect("engine run");
     for workers in [2, 4, 5, 8] {
-        let run = engine(0x5A4D, 4).workers(workers).run();
+        let run = engine(0x5A4D, 4).workers(workers).run().expect("engine run");
         assert_eq!(
             run.dataset_digest(),
             baseline.dataset_digest(),
@@ -60,6 +60,7 @@ fn work_stealing_keeps_the_digest_under_extreme_imbalance() {
             .contact_spillover(0.25)
             .workers(workers)
             .run()
+            .expect("engine run")
     };
     let baseline = heavy(1);
     let populations: Vec<usize> =
@@ -80,16 +81,16 @@ fn work_stealing_keeps_the_digest_under_extreme_imbalance() {
 
 #[test]
 fn same_seed_same_digest_different_seed_different_digest() {
-    let a = engine(0xD16E, 3).run();
-    let b = engine(0xD16E, 3).run();
-    let c = engine(0xD16F, 3).run();
+    let a = engine(0xD16E, 3).run().expect("engine run");
+    let b = engine(0xD16E, 3).run().expect("engine run");
+    let c = engine(0xD16F, 3).run().expect("engine run");
     assert_eq!(a.dataset_digest(), b.dataset_digest());
     assert_ne!(a.dataset_digest(), c.dataset_digest());
 }
 
 #[test]
 fn cross_shard_effects_actually_fire() {
-    let run = engine(0xC0DE, 4).workers(2).run();
+    let run = engine(0xC0DE, 4).workers(2).run().expect("engine run");
     assert!(run.market_trades > 0, "credential market never traded");
     assert!(run.cross_shard_lures > 0, "contact graph never crossed shards");
     // The market is a diversion, not a loss: total captures stay healthy.
@@ -105,7 +106,7 @@ fn cross_shard_effects_actually_fire() {
 
 #[test]
 fn merged_views_are_complete_and_globally_ordered() {
-    let run = engine(0xF00D, 3).workers(3).run();
+    let run = engine(0xF00D, 3).workers(3).run().expect("engine run");
     let merged = run.merged_logins();
     let per_shard: usize = run.shards().iter().map(|e| e.login_log.len()).sum();
     assert_eq!(merged.len(), per_shard, "merge dropped or duplicated records");
@@ -134,7 +135,7 @@ fn one_shard_engine_matches_the_plain_scenario() {
     config.days = 5;
     config.population.n_users = 200;
     let direct = ScenarioBuilder::new(config.clone()).run();
-    let run = ShardedEngine::new(config, 1).run();
+    let run = ShardedEngine::new(config, 1).run().expect("engine run");
     let eco = &run.shards()[0];
     assert_eq!(eco.login_log.len(), direct.login_log.len());
     assert_eq!(eco.stats.credentials_captured, direct.stats.credentials_captured);

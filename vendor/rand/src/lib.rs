@@ -162,6 +162,27 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state. Together with [`StdRng::from_state`]
+        /// this makes the stream position serializable, which the
+        /// simulator's checkpoint/resume layer relies on. (Upstream `rand`
+        /// exposes the same capability through `Serialize` on the rng.)
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild an rng at an exact stream position captured with
+        /// [`StdRng::state`]. The all-zero state is forbidden by
+        /// xoshiro256** and is mapped to the same fallback as
+        /// `from_seed`, so a round trip never produces a stuck generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return StdRng { s: [1, 2, 3, 4] };
+            }
+            StdRng { s }
+        }
+    }
+
     #[inline]
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
