@@ -11,6 +11,7 @@ pub struct Breakdown {
 }
 
 impl Breakdown {
+    /// An empty breakdown.
     pub fn new() -> Self {
         Self::default()
     }
@@ -25,14 +26,17 @@ impl Breakdown {
         *self.counts.entry(label.into()).or_insert(0) += n;
     }
 
+    /// Total observations across every label.
     pub fn total(&self) -> u64 {
         self.counts.values().sum()
     }
 
+    /// Count recorded for `label` (0 when absent).
     pub fn count_of(&self, label: &str) -> u64 {
         self.counts.get(label).copied().unwrap_or(0)
     }
 
+    /// `label`'s share of the total (0.0 on an empty breakdown).
     pub fn fraction_of(&self, label: &str) -> f64 {
         let t = self.total();
         if t == 0 {
@@ -62,6 +66,14 @@ impl Breakdown {
     /// Number of distinct labels.
     pub fn distinct(&self) -> usize {
         self.counts.len()
+    }
+
+    /// `(label, fraction)` rows in descending-count order — the input
+    /// shape [`crate::distance::total_variation`] and
+    /// [`crate::distance::chi_square`] compare against the paper's
+    /// published mixes.
+    pub fn fractions(&self) -> Vec<(String, f64)> {
+        self.rows().into_iter().map(|(l, _, f)| (l, f)).collect()
     }
 }
 
@@ -112,5 +124,16 @@ mod tests {
         assert_eq!(b.total(), 0);
         assert_eq!(b.fraction_of("x"), 0.0);
         assert!(b.rows().is_empty());
+        assert!(b.fractions().is_empty());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut b = Breakdown::new();
+        b.add_n("a", 3);
+        b.add_n("b", 1);
+        let f = b.fractions();
+        assert_eq!(f[0], ("a".to_string(), 0.75));
+        assert!((f.iter().map(|(_, x)| x).sum::<f64>() - 1.0).abs() < 1e-12);
     }
 }

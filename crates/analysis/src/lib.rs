@@ -6,6 +6,10 @@
 //!   (the shapes behind Figures 5–9);
 //! * [`breakdown`] — categorical breakdown tables (Tables 2–3, Figures
 //!   3, 4, 10, 11, 12);
+//! * [`distance`] — distance metrics between measured shapes and the
+//!   paper's published numbers (KS statistics for CDF targets, total
+//!   variation / chi-square for categorical mixes, relative-error bands
+//!   for scalars) that drive the `repro --validate` fidelity scorecard;
 //! * [`render`] — plain-text rendering of tables, bar charts and
 //!   series, plus the paper-vs-measured [`Comparison`]
 //!   rows that `repro` writes into EXPERIMENTS.md.
@@ -13,7 +17,10 @@
 //! Everything operates on plain numbers extracted from the substrates'
 //! logs; nothing in here knows about hijackers.
 
+#![deny(missing_docs)]
+
 pub mod breakdown;
+pub mod distance;
 pub mod render;
 pub mod stats;
 

@@ -20,6 +20,7 @@ pub struct Comparison {
 }
 
 impl Comparison {
+    /// Assemble a row; `matches` is the experiment's own judgement.
     pub fn new(
         metric: impl Into<String>,
         paper: impl Into<String>,
@@ -40,15 +41,19 @@ impl Comparison {
 /// A titled group of comparisons (one per experiment).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ComparisonTable {
+    /// Section heading (the experiment's name).
     pub title: String,
+    /// Paper-vs-measured rows in presentation order.
     pub rows: Vec<Comparison>,
 }
 
 impl ComparisonTable {
+    /// An empty table with the given title.
     pub fn new(title: impl Into<String>) -> Self {
         ComparisonTable { title: title.into(), rows: Vec::new() }
     }
 
+    /// Append a comparison row.
     pub fn push(&mut self, row: Comparison) {
         self.rows.push(row);
     }

@@ -20,10 +20,12 @@ impl Ecdf {
         Ecdf { sorted: samples }
     }
 
+    /// Number of samples.
     pub fn len(&self) -> usize {
         self.sorted.len()
     }
 
+    /// True when there are no samples.
     pub fn is_empty(&self) -> bool {
         self.sorted.is_empty()
     }
@@ -50,14 +52,17 @@ impl Ecdf {
         self.sorted[idx]
     }
 
+    /// Smallest sample, if any.
     pub fn min(&self) -> Option<f64> {
         self.sorted.first().copied()
     }
 
+    /// Largest sample, if any.
     pub fn max(&self) -> Option<f64> {
         self.sorted.last().copied()
     }
 
+    /// Sample mean (0.0 on an empty ECDF).
     pub fn mean(&self) -> f64 {
         if self.sorted.is_empty() {
             return 0.0;
@@ -75,8 +80,11 @@ impl Ecdf {
 /// A fixed-width histogram.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
+    /// Lower bound of the first bin.
     pub lo: f64,
+    /// Width of every bin.
     pub bin_width: f64,
+    /// Per-bin sample counts.
     pub counts: Vec<u64>,
     /// Samples above the last bin.
     pub overflow: u64,
@@ -93,6 +101,7 @@ impl Histogram {
         Histogram { lo, bin_width, counts: vec![0; bins], overflow: 0 }
     }
 
+    /// Count one sample into its bin.
     pub fn add(&mut self, x: f64) {
         if x < self.lo {
             // Clamp into the first bin (latency data has no negatives;
@@ -108,6 +117,7 @@ impl Histogram {
         }
     }
 
+    /// Total samples counted, including overflow.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum::<u64>() + self.overflow
     }
@@ -126,14 +136,17 @@ impl Histogram {
 /// An hourly event-count series (Figure 6's x-axis).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct HourlySeries {
+    /// Events per simulated hour, index 0 = the first hour.
     pub counts: Vec<u32>,
 }
 
 impl HourlySeries {
+    /// Wrap raw per-hour counts.
     pub fn from_counts(counts: Vec<u32>) -> Self {
         HourlySeries { counts }
     }
 
+    /// Total events across all hours.
     pub fn total(&self) -> u64 {
         self.counts.iter().map(|c| *c as u64).sum()
     }

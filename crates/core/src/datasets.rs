@@ -70,6 +70,20 @@ pub fn hijacker_phones(eco: &Ecosystem) -> Vec<PhoneNumber> {
     eco.twofactor.hijacker_enrolled_phones_since(SimTime::EPOCH)
 }
 
+/// Dataset 11: recovery latency in hours per recovered incident,
+/// measured from the risk system's flag to the successful reclaim (the
+/// Figure 9 clock; DESIGN.md "Figure 9 anchor"). Incidents never
+/// flagged or never recovered are excluded.
+pub fn recovery_latency_hours(eco: &Ecosystem) -> Vec<f64> {
+    eco.real_incidents()
+        .filter_map(|i| {
+            let recovered = i.recovered_at?;
+            let flagged = i.flagged_at?;
+            Some(recovered.since(flagged).as_hours_f64())
+        })
+        .collect()
+}
+
 /// Dataset 8-style: messages sent from hijacked accounts during their
 /// hijack windows that recipients reported.
 pub fn hijack_sent_and_reported(eco: &Ecosystem) -> Vec<(AccountId, MessageKind)> {
@@ -199,6 +213,22 @@ mod tests {
         // Users report lures and scams; at this scale some reports exist.
         assert!(!reported.is_empty());
         assert!(reported.iter().all(|(_, _, k)| k.is_abusive()));
+    }
+
+    #[test]
+    fn recovery_latencies_are_positive_and_bounded_by_run() {
+        let eco = run();
+        let latencies = recovery_latency_hours(&eco);
+        assert!(!latencies.is_empty());
+        for l in &latencies {
+            assert!(*l >= 0.0, "negative recovery latency {l}");
+            assert!(*l <= eco.config.days as f64 * 24.0, "latency beyond run end {l}");
+        }
+        let recovered_and_flagged = eco
+            .real_incidents()
+            .filter(|i| i.recovered_at.is_some() && i.flagged_at.is_some())
+            .count();
+        assert_eq!(latencies.len(), recovered_and_flagged);
     }
 
     #[test]

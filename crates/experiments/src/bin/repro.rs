@@ -4,6 +4,7 @@
 //! ```text
 //! repro [--quick] [--seed N] [--workers N] [--out EXPERIMENTS.md]
 //!       [--report run-report.json]
+//!       [--validate] [--fidelity-out FIDELITY.json] [--scorecard FIDELITY.md]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N]
 //!       [--resume FILE] [--fault-plan SPEC]
 //! ```
@@ -15,6 +16,13 @@
 //! byte-identical for a fixed seed and scale. `--workers` caps how many
 //! threads build the independent worlds (default: all cores); it is
 //! pure mechanics and never changes any result.
+//!
+//! With `--validate`, the battery is skipped: the same worlds are
+//! measured against the calibration-target registry
+//! (`mhw_experiments::fidelity`) and the deterministic scorecard is
+//! written to `--fidelity-out` (JSON, default `FIDELITY.json`) and
+//! `--scorecard` (markdown, default `FIDELITY.md`). The process exits 1
+//! when any target FAILs, so CI can gate on it directly.
 //!
 //! The crash-safety flags apply to the main 2012-era run:
 //! `--checkpoint-dir DIR` writes day-barrier checkpoints there (every
@@ -53,6 +61,7 @@ fn main() {
             eprintln!("{e}");
             eprintln!(
                 "usage: repro [--quick] [--seed N] [--workers N] [--out FILE] [--report FILE]\n\
+                 \x20            [--validate] [--fidelity-out FILE] [--scorecard FILE]\n\
                  \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume FILE]\n\
                  \x20            [--fault-plan SPEC]"
             );
@@ -71,6 +80,11 @@ fn run(args: &[String]) -> Result<(), Failure> {
     let out_path =
         cli::value::<String>(args, "--out")?.unwrap_or_else(|| "EXPERIMENTS.md".to_string());
     let report_path = cli::value::<String>(args, "--report")?;
+    let validate = cli::flag(args, "--validate");
+    let fidelity_out =
+        cli::value::<String>(args, "--fidelity-out")?.unwrap_or_else(|| "FIDELITY.json".to_string());
+    let scorecard_out =
+        cli::value::<String>(args, "--scorecard")?.unwrap_or_else(|| "FIDELITY.md".to_string());
     let workers =
         cli::value::<usize>(args, "--workers")?.unwrap_or_else(mhw_core::default_workers);
     let scale = if quick { Scale::Quick } else { Scale::Full };
@@ -107,6 +121,31 @@ fn run(args: &[String]) -> Result<(), Failure> {
     let ctx = Context::try_with_options(scale, seed, workers, &opts)
         .map_err(|e| Failure::Runtime(e.to_string()))?;
     eprintln!("context ready in {:.1}s", start.elapsed().as_secs_f64());
+
+    if validate {
+        let report = mhw_experiments::fidelity::validate(&ctx);
+        std::fs::write(&fidelity_out, report.to_json())
+            .map_err(|e| Failure::Runtime(format!("writing {fidelity_out}: {e}")))?;
+        std::fs::write(&scorecard_out, report.scorecard_markdown())
+            .map_err(|e| Failure::Runtime(format!("writing {scorecard_out}: {e}")))?;
+        println!(
+            "fidelity: {} PASS, {} WARN, {} FAIL across {} targets (overall {})",
+            report.count(mhw_obs::FidelityStatus::Pass),
+            report.count(mhw_obs::FidelityStatus::Warn),
+            report.count(mhw_obs::FidelityStatus::Fail),
+            report.target_ids().len(),
+            report.overall(),
+        );
+        println!("wrote {fidelity_out}\nwrote {scorecard_out}");
+        if report.overall() == mhw_obs::FidelityStatus::Fail {
+            let mut msg = String::from("fidelity targets FAILed:");
+            for f in report.failures() {
+                let _ = write!(msg, "\n  {} — {}: {} vs paper {}", f.target, f.component, f.measured, f.paper);
+            }
+            return Err(Failure::Runtime(msg));
+        }
+        return Ok(());
+    }
 
     let mut md = String::new();
     let _ = writeln!(

@@ -8,6 +8,7 @@
 //!          [--shards N] [--workers N]
 //!          [--lures F] [--no-defense] [--no-classifier] [--no-monitor]
 //!          [--no-challenge] [--twofactor F] [--report run-report.json]
+//!          [--validate] [--fidelity-out FIDELITY.json]
 //!          [--checkpoint-dir DIR] [--checkpoint-every N]
 //!          [--resume FILE] [--fault-plan SPEC]
 //! ```
@@ -17,6 +18,13 @@
 //! is pure mechanics — the printed report is byte-identical at any
 //! worker count. With `--report`, the run's deterministic
 //! [`mhw_obs::RunReport`] is written as JSON to the given path.
+//!
+//! With `--validate`, the finished world is additionally scored
+//! against the world-derivable subset of the calibration-target
+//! registry (T3, F8–F11, §5 — the rest need `repro --validate`'s
+//! companion runs) and the partial scorecard is printed and written to
+//! `--fidelity-out` when given. Only single-world runs can be scored;
+//! combining `--validate` with `--shards` > 1 is a usage error.
 //!
 //! The crash-safety flags (`--checkpoint-dir`, `--checkpoint-every`,
 //! `--resume`, `--fault-plan`; see `docs/REPRODUCING.md`) force the
@@ -77,7 +85,8 @@ fn main() {
                 "usage: scenario [--users N] [--days N] [--seed N] [--era 2011|2012]\n\
                  \x20               [--shards N] [--workers N] [--lures F] [--twofactor F]\n\
                  \x20               [--no-defense] [--no-classifier] [--no-monitor] [--no-challenge]\n\
-                 \x20               [--report FILE] [--checkpoint-dir DIR] [--checkpoint-every N]\n\
+                 \x20               [--report FILE] [--validate] [--fidelity-out FILE]\n\
+                 \x20               [--checkpoint-dir DIR] [--checkpoint-every N]\n\
                  \x20               [--resume FILE] [--fault-plan SPEC]"
             );
             std::process::exit(2);
@@ -127,6 +136,19 @@ fn run(args: &[String]) -> Result<(), Failure> {
     let shards = cli::value::<u16>(args, "--shards")?.unwrap_or(1).max(1);
     let workers =
         cli::value::<usize>(args, "--workers")?.unwrap_or_else(mhw_core::default_workers);
+    let validate = cli::flag(args, "--validate");
+    let fidelity_out = cli::value::<String>(args, "--fidelity-out")?;
+    if validate && shards > 1 {
+        return Err(Failure::Usage(UsageError(
+            "--validate scores a single world; it cannot be combined with --shards > 1"
+                .to_string(),
+        )));
+    }
+    if fidelity_out.is_some() && !validate {
+        return Err(Failure::Usage(UsageError(
+            "--fidelity-out requires --validate".to_string(),
+        )));
+    }
 
     let checkpoint_dir = cli::value::<PathBuf>(args, "--checkpoint-dir")?;
     let checkpoint_every = cli::value::<u64>(args, "--checkpoint-every")?;
@@ -160,6 +182,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
         workers
     );
     let days = config.days;
+    let seed = config.seed;
     let t0 = std::time::Instant::now();
     let run = if engine_path {
         let mut engine =
@@ -259,6 +282,25 @@ fn run(args: &[String]) -> Result<(), Failure> {
         std::fs::write(&path, run.report_json())
             .map_err(|e| Failure::Runtime(format!("writing {path}: {e}")))?;
         eprintln!("wrote {path}");
+    }
+
+    if validate {
+        // Shards > 1 was rejected up front, so the run is single-world.
+        if let Run::Single(eco) = &run {
+            let report =
+                mhw_experiments::fidelity::validate_world(eco, mhw_experiments::Scale::Full, seed);
+            println!("\n{}", report.scorecard_markdown());
+            println!(
+                "(partial scorecard: world-derivable targets only — \
+                 `repro --validate` covers all {}.)",
+                mhw_experiments::fidelity::registry().len()
+            );
+            if let Some(path) = fidelity_out {
+                std::fs::write(&path, report.to_json())
+                    .map_err(|e| Failure::Runtime(format!("writing {path}: {e}")))?;
+                eprintln!("wrote {path}");
+            }
+        }
     }
     Ok(())
 }

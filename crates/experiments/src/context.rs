@@ -14,7 +14,9 @@ use std::sync::Mutex;
 /// (paper-scale sample sizes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Small worlds, wide tolerance bands — the test battery.
     Quick,
+    /// Paper-scale sample sizes — the default `repro` run.
     Full,
 }
 
@@ -28,7 +30,9 @@ pub struct ExperimentResult {
 
 /// All the simulation runs the experiments share.
 pub struct Context {
+    /// Scale the runs were built at (drives tolerance bands).
     pub scale: Scale,
+    /// RNG seed every run derives from.
     pub seed: u64,
     /// The main 2012-era measurement run.
     pub eco_2012: Ecosystem,
@@ -42,6 +46,7 @@ pub struct Context {
     pub forms: FormCampaignOutput,
     /// The §5.1 decoy experiment (Figure 7) and its world.
     pub decoy_eco: Ecosystem,
+    /// The decoy-injection outcomes measured on [`Context::decoy_eco`].
     pub decoys: DecoyReport,
 }
 

@@ -62,6 +62,7 @@ fn run_world(ctx: &Context, threshold: f64, ablate: Option<&str>) -> Point {
     }
 }
 
+/// Run the §8 defense evaluation: threshold sweep plus ablations.
 pub fn run(ctx: &Context) -> ExperimentResult {
     // Threshold sweep (the ROC-style curve).
     let thresholds = [0.15, 0.30, 0.50, 0.80];

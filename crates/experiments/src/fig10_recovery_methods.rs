@@ -6,8 +6,21 @@ use crate::context::{Context, ExperimentResult};
 use mhw_analysis::{Comparison, ComparisonTable};
 use mhw_recovery::RecoveryMethod;
 
-pub fn run(ctx: &Context) -> ExperimentResult {
-    let rates = ctx.eco_2012.recovery.success_rate_by_method();
+/// Structured Figure 10 measurement: success rate and claim volume per
+/// recovery channel.
+#[derive(Debug, Clone)]
+pub struct Fig10Measurement {
+    /// SMS success rate and claim count (paper: 80.91%).
+    pub sms: (f64, usize),
+    /// Secondary-email success rate and claim count (paper: 74.57%).
+    pub email: (f64, usize),
+    /// Fallback-options success rate and claim count (paper: 14.20%).
+    pub fallback: (f64, usize),
+}
+
+/// Extract the Figure 10 measurement from a finished world.
+pub fn measure_world(eco: &mhw_core::Ecosystem) -> Fig10Measurement {
+    let rates = eco.recovery.success_rate_by_method();
     let get = |m: RecoveryMethod| {
         rates
             .iter()
@@ -15,9 +28,24 @@ pub fn run(ctx: &Context) -> ExperimentResult {
             .map(|(_, rate, n)| (*rate, *n))
             .unwrap_or((0.0, 0))
     };
-    let (sms, sms_n) = get(RecoveryMethod::Sms);
-    let (email, email_n) = get(RecoveryMethod::Email);
-    let (fallback, fallback_n) = get(RecoveryMethod::Fallback);
+    Fig10Measurement {
+        sms: get(RecoveryMethod::Sms),
+        email: get(RecoveryMethod::Email),
+        fallback: get(RecoveryMethod::Fallback),
+    }
+}
+
+/// Extract the Figure 10 measurement from the 2012-era world.
+pub fn measure(ctx: &Context) -> Fig10Measurement {
+    measure_world(&ctx.eco_2012)
+}
+
+/// Run the Figure 10 experiment: measurement plus paper comparison.
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let m = measure(ctx);
+    let (sms, sms_n) = m.sms;
+    let (email, email_n) = m.email;
+    let (fallback, fallback_n) = m.fallback;
 
     let mut table = ComparisonTable::new("Figure 10 — recovery method success");
     table.push(crate::context::frac_row("SMS success rate", 0.8091, sms, ctx.tol(0.08, 0.18)));

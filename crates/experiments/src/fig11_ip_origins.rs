@@ -12,14 +12,33 @@ use crate::context::{Context, ExperimentResult};
 use mhw_analysis::{bar_chart, Breakdown, Comparison, ComparisonTable};
 use mhw_core::datasets::hijacker_logins;
 
-pub fn run(ctx: &Context) -> ExperimentResult {
-    let eco = &ctx.eco_2012;
+/// Structured Figure 11 measurement: geolocated hijacker login IPs by
+/// country code.
+#[derive(Debug, Clone)]
+pub struct Fig11Measurement {
+    /// Country codes of geolocated hijacker login records, counted.
+    pub countries: Breakdown,
+}
+
+/// Extract the Figure 11 measurement from a finished world.
+pub fn measure_world(eco: &mhw_core::Ecosystem) -> Fig11Measurement {
     let mut countries = Breakdown::new();
     for r in hijacker_logins(eco) {
         if let Some(c) = eco.geo.locate(r.ip) {
             countries.add(c.code().to_string());
         }
     }
+    Fig11Measurement { countries }
+}
+
+/// Extract the Figure 11 measurement from the 2012-era world.
+pub fn measure(ctx: &Context) -> Fig11Measurement {
+    measure_world(&ctx.eco_2012)
+}
+
+/// Run the Figure 11 experiment: measurement plus paper comparison.
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let countries = measure(ctx).countries;
 
     let cn = countries.fraction_of("CN");
     let my = countries.fraction_of("MY");

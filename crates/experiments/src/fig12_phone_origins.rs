@@ -11,10 +11,20 @@ use crate::context::{Context, ExperimentResult};
 use mhw_analysis::{bar_chart, Breakdown, Comparison, ComparisonTable};
 use mhw_core::datasets::hijacker_phones;
 
-pub fn run(ctx: &Context) -> ExperimentResult {
-    // The paper's dataset is 300 phone *numbers*; crews reuse a shared
-    // burner pool (§5.5), so dedupe enrollment events to numbers.
-    let mut numbers: Vec<_> = hijacker_phones(&ctx.eco_lockout);
+/// Structured Figure 12 measurement: deduped hijacker 2FA phone
+/// numbers by country code.
+#[derive(Debug, Clone)]
+pub struct Fig12Measurement {
+    /// Country codes of distinct hijacker-enrolled phone numbers,
+    /// counted.
+    pub countries: Breakdown,
+}
+
+/// Extract the Figure 12 measurement from a finished world. The
+/// paper's dataset is 300 phone *numbers*; crews reuse a shared burner
+/// pool (§5.5), so enrollment events are deduped to numbers.
+pub fn measure_world(eco: &mhw_core::Ecosystem) -> Fig12Measurement {
+    let mut numbers: Vec<_> = hijacker_phones(eco);
     numbers.sort_by_key(|p| (p.prefix(), p.national()));
     numbers.dedup();
     let mut countries = Breakdown::new();
@@ -23,6 +33,17 @@ pub fn run(ctx: &Context) -> ExperimentResult {
             countries.add(c.code().to_string());
         }
     }
+    Fig12Measurement { countries }
+}
+
+/// Extract the Figure 12 measurement from the lockout-era world.
+pub fn measure(ctx: &Context) -> Fig12Measurement {
+    measure_world(&ctx.eco_lockout)
+}
+
+/// Run the Figure 12 experiment: measurement plus paper comparison.
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let countries = measure(ctx).countries;
 
     let ng = countries.fraction_of("NG");
     let ci = countries.fraction_of("CI");

@@ -8,7 +8,27 @@ use crate::context::{Context, ExperimentResult};
 use mhw_analysis::{bar_chart, Breakdown, Comparison, ComparisonTable};
 use mhw_netmodel::referrer::Referrer;
 
-pub fn run(ctx: &Context) -> ExperimentResult {
+/// Structured Figure 3 measurement: referrer mix over every HTTP
+/// request the form-campaign pages logged.
+#[derive(Debug, Clone)]
+pub struct Fig3Measurement {
+    /// Total HTTP requests across all pages.
+    pub total: usize,
+    /// Requests with a blank referrer.
+    pub blank: usize,
+    /// Non-blank referrer sources, counted.
+    pub nonblank: Breakdown,
+}
+
+impl Fig3Measurement {
+    /// Share of requests carrying no referrer (the paper's ">99%").
+    pub fn blank_fraction(&self) -> f64 {
+        self.blank as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Extract the Figure 3 measurement from the form-campaign traffic.
+pub fn measure(ctx: &Context) -> Fig3Measurement {
     let mut blank = 0usize;
     let mut total = 0usize;
     let mut nonblank = Breakdown::new();
@@ -21,7 +41,14 @@ pub fn run(ctx: &Context) -> ExperimentResult {
             }
         }
     }
-    let blank_frac = blank as f64 / total.max(1) as f64;
+    Fig3Measurement { total, blank, nonblank }
+}
+
+/// Run the Figure 3 experiment: measurement plus paper comparison.
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let m = measure(ctx);
+    let (total, nonblank) = (m.total, &m.nonblank);
+    let blank_frac = m.blank_fraction();
 
     let mut table = ComparisonTable::new("Figure 3 — HTTP referrers");
     table.push(Comparison::new(
@@ -56,7 +83,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
         "{} total requests, {:.3}% blank.\nNon-blank referrer breakdown:\n{}",
         total,
         blank_frac * 100.0,
-        bar_chart(&nonblank, 40)
+        bar_chart(nonblank, 40)
     );
     ExperimentResult { table, rendering }
 }

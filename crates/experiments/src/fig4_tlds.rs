@@ -9,14 +9,37 @@
 use crate::context::{Context, ExperimentResult};
 use mhw_analysis::{bar_chart, Breakdown, Comparison, ComparisonTable};
 
-pub fn run(ctx: &Context) -> ExperimentResult {
+/// Structured Figure 4 measurement: TLD mix of submitted (phished)
+/// addresses.
+#[derive(Debug, Clone)]
+pub struct Fig4Measurement {
+    /// Phished-address TLDs, counted.
+    pub tlds: Breakdown,
+}
+
+impl Fig4Measurement {
+    /// `.edu`'s share of phished addresses (the paper's ">99%").
+    pub fn edu_fraction(&self) -> f64 {
+        self.tlds.fraction_of("edu")
+    }
+}
+
+/// Extract the Figure 4 measurement from the form submissions.
+pub fn measure(ctx: &Context) -> Fig4Measurement {
     let mut tlds = Breakdown::new();
     for subs in &ctx.forms.submissions {
         for s in subs {
             tlds.add(s.victim.address.tld().to_string());
         }
     }
-    let edu_frac = tlds.fraction_of("edu");
+    Fig4Measurement { tlds }
+}
+
+/// Run the Figure 4 experiment: measurement plus paper comparison.
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let m = measure(ctx);
+    let tlds = &m.tlds;
+    let edu_frac = m.edu_fraction();
 
     let mut table = ComparisonTable::new("Figure 4 — phished-address TLDs");
     table.push(Comparison::new(
@@ -37,7 +60,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     let rendering = format!(
         "Phished addresses by TLD ({} submissions):\n{}",
         tlds.total(),
-        bar_chart(&tlds, 40)
+        bar_chart(tlds, 40)
     );
     ExperimentResult { table, rendering }
 }

@@ -8,21 +8,65 @@
 use crate::context::{Context, ExperimentResult};
 use mhw_analysis::{Comparison, ComparisonTable, Ecdf};
 
+/// Structured Figure 5 measurement: per-page credential-submission
+/// ("conversion") rates.
+///
+/// ```
+/// use mhw_experiments::fig5_conversion::Fig5Measurement;
+/// let m = Fig5Measurement { rates: vec![0.03, 0.10, 0.45] };
+/// assert!((m.mean() - 0.1933).abs() < 1e-3);
+/// assert_eq!(m.min(), 0.03);
+/// assert_eq!(m.max(), 0.45);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fig5Measurement {
+    /// Success rate per page with ≥30 views, unsorted.
+    pub rates: Vec<f64>,
+}
+
+impl Fig5Measurement {
+    /// Mean conversion rate (the paper's 13.7%).
+    pub fn mean(&self) -> f64 {
+        Ecdf::new(self.rates.clone()).mean()
+    }
+
+    /// Worst page (the paper's ≈3%; 0.0 when no page qualified).
+    pub fn min(&self) -> f64 {
+        if self.rates.is_empty() {
+            0.0
+        } else {
+            self.rates.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Best page (the paper's ≈45%).
+    pub fn max(&self) -> f64 {
+        self.rates.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Extract the Figure 5 measurement: per-page conversion, restricted to
+/// pages with enough traffic for the ratio to be meaningful (the
+/// paper's pages all had substantial logs).
+pub fn measure(ctx: &Context) -> Fig5Measurement {
+    Fig5Measurement {
+        rates: ctx
+            .forms
+            .pages
+            .iter()
+            .filter(|p| p.views() >= 30)
+            .filter_map(|p| p.success_rate())
+            .collect(),
+    }
+}
+
+/// Run the Figure 5 experiment: measurement plus paper comparison.
 pub fn run(ctx: &Context) -> ExperimentResult {
-    // Per-page conversion, restricted to pages with enough traffic for
-    // the ratio to be meaningful (the paper's pages all had substantial
-    // logs).
-    let rates: Vec<f64> = ctx
-        .forms
-        .pages
-        .iter()
-        .filter(|p| p.views() >= 30)
-        .filter_map(|p| p.success_rate())
-        .collect();
-    let ecdf = Ecdf::new(rates.clone());
-    let mean = ecdf.mean();
-    let max = ecdf.max().unwrap_or(0.0);
-    let min = ecdf.min().unwrap_or(0.0);
+    let m = measure(ctx);
+    let rates = m.rates.clone();
+    let mean = m.mean();
+    let max = m.max();
+    let min = m.min();
 
     let mut table = ComparisonTable::new("Figure 5 — page conversion rates");
     table.push(crate::context::frac_row(

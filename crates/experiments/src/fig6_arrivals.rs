@@ -19,7 +19,40 @@ fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
-pub fn run(ctx: &Context) -> ExperimentResult {
+/// Structured measurement of the outlier page's panel (Figure 6,
+/// bottom).
+#[derive(Debug, Clone)]
+pub struct Fig6Outlier {
+    /// Leading hours with zero submissions (the paper's ≈15 h quiet
+    /// period).
+    pub quiet_hours: usize,
+    /// Hours the page stayed up.
+    pub hours: usize,
+    /// Total submissions over the page's life.
+    pub submissions: u32,
+    /// Peak-hour / trough-hour ratio over the post-quiet plateau,
+    /// aggregated by hour of day (diurnal modulation).
+    pub diurnal_ratio: f64,
+}
+
+/// Structured Figure 6 measurement: arrival shapes of standard pages
+/// and the high-volume outlier.
+#[derive(Debug, Clone)]
+pub struct Fig6Measurement {
+    /// Number of non-outlier pages with ≥10 submissions.
+    pub standard_pages: usize,
+    /// Average hourly submissions across standard pages, aligned at
+    /// first visit.
+    pub avg_hourly: Vec<f64>,
+    /// Whether the averaged standard series decays (first-quartile mean
+    /// > 2× last-quartile mean).
+    pub decaying: bool,
+    /// The outlier campaign's panel, when the batch produced one.
+    pub outlier: Option<Fig6Outlier>,
+}
+
+/// Extract the Figure 6 measurement from the form-campaign batch.
+pub fn measure(ctx: &Context) -> Fig6Measurement {
     // Standard pattern: average hourly submissions across non-outlier
     // pages, aligned at first visit.
     let standard: Vec<HourlySeries> = ctx
@@ -34,59 +67,77 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     let avg = HourlySeries::average(&standard);
     let avg_series = HourlySeries::from_counts(avg.iter().map(|x| (x * 100.0) as u32).collect());
 
+    let outlier = ctx.forms.outlier.map(|idx| {
+        let series = ctx.forms.pages[idx].hourly_submissions();
+        let quiet_hours = series.iter().take_while(|c| **c == 0).count();
+        let total: u32 = series.iter().sum();
+        let mut by_hour = [0.0f64; 24];
+        for (h, v) in series.iter().skip(quiet_hours).enumerate() {
+            by_hour[h % 24] += *v as f64;
+        }
+        let peak = by_hour.iter().cloned().fold(0.0, f64::max);
+        let trough = by_hour.iter().cloned().fold(f64::INFINITY, f64::min);
+        Fig6Outlier {
+            quiet_hours,
+            hours: series.len(),
+            submissions: total,
+            diurnal_ratio: peak / trough.max(1.0),
+        }
+    });
+
+    Fig6Measurement {
+        standard_pages: standard.len(),
+        avg_hourly: avg,
+        decaying: avg_series.is_decaying(2.0),
+        outlier,
+    }
+}
+
+/// Run the Figure 6 experiment: measurement plus paper comparison.
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let m = measure(ctx);
+    let avg = &m.avg_hourly;
+
     let mut table = ComparisonTable::new("Figure 6 — submission arrivals");
     table.push(Comparison::new(
         "standard pages decay from first visit",
         "clear decay",
-        if avg_series.is_decaying(2.0) { "decaying" } else { "not decaying" }.to_string(),
-        avg_series.is_decaying(2.0),
+        if m.decaying { "decaying" } else { "not decaying" }.to_string(),
+        m.decaying,
         "first-quartile vs last-quartile hourly mean",
     ));
 
     let mut rendering = format!(
         "Average hourly submissions, {} standard pages (first 72h):\n  {}\n",
-        standard.len(),
+        m.standard_pages,
         sparkline(&avg[..avg.len().min(72)])
     );
 
-    if let Some(outlier_idx) = ctx.forms.outlier {
-        let outlier = &ctx.forms.pages[outlier_idx];
-        let series = outlier.hourly_submissions();
-        let quiet_hours = series.iter().take_while(|c| **c == 0).count();
-        let total: u32 = series.iter().sum();
+    if let Some(o) = &m.outlier {
         table.push(Comparison::new(
             "outlier quiet period",
             "≈15 h",
-            format!("{quiet_hours} h"),
-            (10..=18).contains(&quiet_hours),
+            format!("{} h", o.quiet_hours),
+            (10..=18).contains(&o.quiet_hours),
             "attackers testing the page pre-launch",
         ));
         table.push(Comparison::new(
             "outlier runs for days at volume",
             "several days, high volume",
-            format!("{} h, {} submissions", series.len(), total),
-            series.len() > 72 && total > 500,
+            format!("{} h, {} submissions", o.hours, o.submissions),
+            o.hours > 72 && o.submissions > 500,
             "diurnal plateau ending at takedown",
         ));
-        // Diurnality: within the plateau, peak hour ≫ trough hour.
-        let plateau: Vec<f64> = series
-            .iter()
-            .skip(quiet_hours)
-            .map(|c| *c as f64)
-            .collect();
-        let mut by_hour = [0.0f64; 24];
-        for (h, v) in plateau.iter().enumerate() {
-            by_hour[h % 24] += v;
-        }
-        let peak = by_hour.iter().cloned().fold(0.0, f64::max);
-        let trough = by_hour.iter().cloned().fold(f64::INFINITY, f64::min);
         table.push(Comparison::new(
             "outlier diurnal modulation",
             "gentle diurnal pattern",
-            format!("peak/trough = {:.1}", peak / trough.max(1.0)),
-            peak > 1.5 * trough.max(1.0),
+            format!("peak/trough = {:.1}", o.diurnal_ratio),
+            o.diurnal_ratio > 1.5,
             "hour-of-day aggregation over the plateau",
         ));
+    }
+    if let Some(idx) = ctx.forms.outlier {
+        let series = ctx.forms.pages[idx].hourly_submissions();
         rendering.push_str(&format!(
             "Outlier page, hourly submissions ({} h total):\n  {}\n",
             series.len(),

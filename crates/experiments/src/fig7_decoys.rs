@@ -10,11 +10,36 @@ use crate::context::{Context, ExperimentResult};
 use mhw_analysis::{Comparison, ComparisonTable, Ecdf};
 use mhw_types::SimDuration;
 
+/// Structured Figure 7 measurement: how fast decoy accounts were
+/// accessed after their credentials were phished.
+#[derive(Debug, Clone)]
+pub struct Fig7Measurement {
+    /// Fraction of all decoys accessed within 30 minutes.
+    pub within_30m: f64,
+    /// Fraction of all decoys accessed within 7 hours.
+    pub within_7h: f64,
+    /// Fraction of decoys never accessed at all.
+    pub never: f64,
+    /// Access delay in hours for each accessed decoy, unsorted.
+    pub delays_hours: Vec<f64>,
+}
+
+/// Extract the Figure 7 measurement from the decoy-injection report.
+pub fn measure(ctx: &Context) -> Fig7Measurement {
+    let report = &ctx.decoys;
+    Fig7Measurement {
+        within_30m: report.fraction_accessed_within(SimDuration::from_mins(30)),
+        within_7h: report.fraction_accessed_within(SimDuration::from_hours(7)),
+        never: report.fraction_never_accessed(),
+        delays_hours: report.delays_hours(),
+    }
+}
+
+/// Run the Figure 7 experiment: measurement plus paper comparison.
 pub fn run(ctx: &Context) -> ExperimentResult {
     let report = &ctx.decoys;
-    let within_30m = report.fraction_accessed_within(SimDuration::from_mins(30));
-    let within_7h = report.fraction_accessed_within(SimDuration::from_hours(7));
-    let never = report.fraction_never_accessed();
+    let m = measure(ctx);
+    let (within_30m, within_7h, never) = (m.within_30m, m.within_7h, m.never);
 
     let mut table = ComparisonTable::new("Figure 7 — decoy access speed");
     table.push(crate::context::frac_row(
@@ -38,7 +63,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     ));
 
     // CDF rendering at the paper's figure resolution.
-    let delays = report.delays_hours();
+    let delays = m.delays_hours;
     let mut rendering = format!(
         "{} decoys; {} accessed ({:.0}% never accessed)\nCDF of access delay:\n",
         report.outcomes.len(),

@@ -15,12 +15,29 @@ use mhw_analysis::{Comparison, ComparisonTable};
 use mhw_types::Actor;
 use std::collections::{HashMap, HashSet};
 
-pub fn run(ctx: &Context) -> ExperimentResult {
-    let eco = &ctx.eco_2012;
-    // (ip, day) → set of distinct accounts attempted / succeeded.
+/// Structured Figure 8 measurement: per-IP account discipline and
+/// password correctness.
+#[derive(Debug, Clone)]
+pub struct Fig8Measurement {
+    /// Distinct accounts attempted per crew-infrastructure IP-day,
+    /// keyed `(day, count)` and sorted by day then count (deterministic
+    /// order regardless of hash-map iteration).
+    pub ip_days: Vec<(u64, usize)>,
+    /// Mean distinct accounts per hijacker IP per day (the paper's 9.6).
+    pub mean_attempts: f64,
+    /// Largest per-IP daily account count observed.
+    pub max_attempts: usize,
+    /// Fraction of hijack sessions where the crew eventually presented
+    /// the correct password (the paper's 75%).
+    pub correct_frac: f64,
+}
+
+/// Extract the Figure 8 measurement from a finished world. Samples
+/// hijacker IPs that touched at least two accounts on a day — the
+/// crew-infrastructure filter described in the module docs.
+pub fn measure_world(eco: &mhw_core::Ecosystem) -> Fig8Measurement {
+    // (ip, day) → set of distinct accounts attempted.
     let mut attempted: HashMap<(mhw_types::IpAddr, u64), HashSet<mhw_types::AccountId>> =
-        HashMap::new();
-    let mut succeeded: HashMap<(mhw_types::IpAddr, u64), HashSet<mhw_types::AccountId>> =
         HashMap::new();
     for r in eco.login_log.records() {
         if !matches!(r.actor, Actor::Hijacker(_)) {
@@ -28,22 +45,20 @@ pub fn run(ctx: &Context) -> ExperimentResult {
         }
         let key = (r.ip, r.at.day_index());
         attempted.entry(key).or_default().insert(r.account);
-        if r.outcome.is_success() {
-            succeeded.entry(key).or_default().insert(r.account);
-        }
     }
     // Crew-infrastructure filter: ≥2 accounts on the day.
-    let infra: Vec<(&(mhw_types::IpAddr, u64), usize)> = attempted
+    let mut ip_days: Vec<(u64, usize)> = attempted
         .iter()
         .filter(|(_, accounts)| accounts.len() >= 2)
-        .map(|(k, accounts)| (k, accounts.len()))
+        .map(|((_, day), accounts)| (*day, accounts.len()))
         .collect();
-    let mean_attempts = if infra.is_empty() {
+    ip_days.sort();
+    let mean_attempts = if ip_days.is_empty() {
         0.0
     } else {
-        infra.iter().map(|(_, n)| *n as f64).sum::<f64>() / infra.len() as f64
+        ip_days.iter().map(|(_, n)| *n as f64).sum::<f64>() / ip_days.len() as f64
     };
-    let max_attempts = infra.iter().map(|(_, n)| *n).max().unwrap_or(0);
+    let max_attempts = ip_days.iter().map(|(_, n)| *n).max().unwrap_or(0);
 
     // §5.1's 75%: sessions where the crew eventually presented the
     // correct password.
@@ -54,6 +69,19 @@ pub fn run(ctx: &Context) -> ExperimentResult {
         .filter(|s| s.password_eventually_correct)
         .count();
     let correct_frac = correct as f64 / attempted_sessions.max(1) as f64;
+    Fig8Measurement { ip_days, mean_attempts, max_attempts, correct_frac }
+}
+
+/// Extract the Figure 8 measurement from the 2012-era world.
+pub fn measure(ctx: &Context) -> Fig8Measurement {
+    measure_world(&ctx.eco_2012)
+}
+
+/// Run the Figure 8 experiment: measurement plus paper comparison.
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let m = measure(ctx);
+    let (mean_attempts, max_attempts, correct_frac) =
+        (m.mean_attempts, m.max_attempts, m.correct_frac);
 
     let mut table = ComparisonTable::new("Figure 8 — per-IP discipline");
     table.push(Comparison::new(
@@ -79,14 +107,14 @@ pub fn run(ctx: &Context) -> ExperimentResult {
 
     // Per-day mean, for the two-week panel.
     let mut by_day: HashMap<u64, Vec<usize>> = HashMap::new();
-    for ((_, day), n) in &infra {
+    for (day, n) in &m.ip_days {
         by_day.entry(*day).or_default().push(*n);
     }
     let mut days: Vec<u64> = by_day.keys().copied().collect();
     days.sort();
     let mut rendering = format!(
         "{} hijacker-infrastructure IP-days; overall mean {:.1} accounts/IP/day\n",
-        infra.len(),
+        m.ip_days.len(),
         mean_attempts
     );
     rendering.push_str("Daily mean distinct accounts per IP:\n");

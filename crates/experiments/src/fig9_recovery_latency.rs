@@ -8,16 +8,38 @@
 use crate::context::{Context, ExperimentResult};
 use mhw_analysis::{ComparisonTable, Ecdf, Histogram};
 
+/// Structured Figure 9 measurement: flag-to-reclaim latency per
+/// recovered incident.
+#[derive(Debug, Clone)]
+pub struct Fig9Measurement {
+    /// Latency in hours for each recovered incident, unsorted.
+    pub latencies_hours: Vec<f64>,
+}
+
+impl Fig9Measurement {
+    /// Fraction of recoveries completed within `hours` of the flag
+    /// (0.0 when no incident recovered).
+    pub fn fraction_within(&self, hours: f64) -> f64 {
+        if self.latencies_hours.is_empty() {
+            return 0.0;
+        }
+        Ecdf::new(self.latencies_hours.clone()).fraction_at_or_below(hours)
+    }
+}
+
+/// Extract the Figure 9 measurement from a finished world.
+pub fn measure_world(eco: &mhw_core::Ecosystem) -> Fig9Measurement {
+    Fig9Measurement { latencies_hours: mhw_core::datasets::recovery_latency_hours(eco) }
+}
+
+/// Extract the Figure 9 measurement from the 2012-era world.
+pub fn measure(ctx: &Context) -> Fig9Measurement {
+    measure_world(&ctx.eco_2012)
+}
+
+/// Run the Figure 9 experiment: measurement plus paper comparison.
 pub fn run(ctx: &Context) -> ExperimentResult {
-    let eco = &ctx.eco_2012;
-    let latencies_hours: Vec<f64> = eco
-        .real_incidents()
-        .filter_map(|i| {
-            let recovered = i.recovered_at?;
-            let flagged = i.flagged_at?;
-            Some(recovered.since(flagged).as_hours_f64())
-        })
-        .collect();
+    let latencies_hours = measure(ctx).latencies_hours;
 
     let mut table = ComparisonTable::new("Figure 9 — recovery latency");
     if latencies_hours.is_empty() {

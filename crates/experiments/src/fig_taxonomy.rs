@@ -15,6 +15,7 @@ use mhw_core::ScenarioBuilder;
 use mhw_simclock::SimRng;
 use mhw_types::{CrewId, EmailAddress, IpAddr, SimTime, DAY};
 
+/// Run the Figure 1 taxonomy experiment on a dedicated small world.
 pub fn run(ctx: &Context) -> ExperimentResult {
     // A dedicated small world so bot traffic does not contaminate the
     // attribution figures computed from the main run.

@@ -8,12 +8,19 @@
 //! plain-text rendering of the figure itself.
 //!
 //! The `repro` binary runs everything and writes `EXPERIMENTS.md`.
+//! Beyond the rendered battery, each figure/table module exposes a
+//! typed `measure()` returning a structured measurement; the
+//! [`fidelity`] module compares those against the machine-readable
+//! calibration-target registry and emits the PASS/WARN/FAIL scorecard
+//! (`repro --validate`).
 
+#![deny(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cli;
 pub mod context;
 pub mod defense_eval;
+pub mod fidelity;
 pub mod fig10_recovery_methods;
 pub mod fig11_ip_origins;
 pub mod fig12_phone_origins;

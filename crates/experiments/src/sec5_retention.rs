@@ -36,6 +36,7 @@ fn measure(eco: &Ecosystem) -> RetentionStats {
     RetentionStats { n, mass_delete_given_lockout: mass, recovery_change: recovery, filters, reply_to }
 }
 
+/// Run the §5.4 retention-tactic comparison across the 2011/2012 eras.
 pub fn run(ctx: &Context) -> ExperimentResult {
     let s2011 = measure(&ctx.eco_2011);
     let s2012 = measure(&ctx.eco_2012);

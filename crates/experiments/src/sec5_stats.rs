@@ -26,8 +26,72 @@ fn hijack_rate_per_million_user_days(ctx: &Context) -> f64 {
     incidents / (users as f64 * days as f64) * 1.0e6
 }
 
+/// Structured §5 measurement: exploitation statistics derivable from
+/// the main world alone. The hijack-rate and contact-cohort numbers
+/// need their own realistic-volume worlds and stay in [`run`].
+#[derive(Debug, Clone)]
+pub struct Sec5Measurement {
+    /// Mean minutes from login to the exploit/abandon decision (the
+    /// paper's 3 minutes).
+    pub mean_profiling_min: f64,
+    /// Fraction of logged-in sessions opening Starred (paper: 0.16).
+    pub starred_frac: f64,
+    /// Fraction of logged-in sessions opening Drafts (paper: 0.11).
+    pub drafts_frac: f64,
+    /// Fraction of logged-in sessions opening Sent (paper: 0.05).
+    pub sent_frac: f64,
+    /// Fraction of completed exploitations sending ≤5 messages (paper:
+    /// 0.65).
+    pub small_batch_frac: f64,
+    /// Fraction of exploitations that were customized scams (paper:
+    /// ≈0.06).
+    pub custom_frac: f64,
+    /// Phishing's share of hijack-sent messages (paper: 0.35).
+    pub phishing_share: f64,
+}
+
+/// Extract the §5 measurement from a finished world.
+pub fn measure_world(eco: &Ecosystem) -> Sec5Measurement {
+    let logged_in: Vec<_> = eco.sessions().iter().filter(|s| s.logged_in).collect();
+    let n = logged_in.len().max(1) as f64;
+    let mean_profiling_min =
+        logged_in.iter().map(|s| s.profiling_seconds as f64 / 60.0).sum::<f64>() / n;
+    let folder_frac = |folder: Folder| {
+        logged_in.iter().filter(|s| s.folders_opened.contains(&folder)).count() as f64 / n
+    };
+    let exploited: Vec<_> = eco.sessions().iter().filter(|s| s.exploited).collect();
+    let completed: Vec<_> = exploited.iter().filter(|s| !s.interrupted).collect();
+    let small_batch_frac = completed.iter().filter(|s| s.messages_sent <= 5).count() as f64
+        / completed.len().max(1) as f64;
+    let custom_frac = exploited
+        .iter()
+        .filter(|s| s.exploit_kind == Some(mhw_adversary::ExploitKind::CustomScam))
+        .count() as f64
+        / exploited.len().max(1) as f64;
+    let (phish, scam) = exploited.iter().fold((0u32, 0u32), |(p, s), r| {
+        (p + r.phishing_messages, s + r.scam_messages)
+    });
+    Sec5Measurement {
+        mean_profiling_min,
+        starred_frac: folder_frac(Folder::Starred),
+        drafts_frac: folder_frac(Folder::Drafts),
+        sent_frac: folder_frac(Folder::Sent),
+        small_batch_frac,
+        custom_frac,
+        phishing_share: phish as f64 / (phish + scam).max(1) as f64,
+    }
+}
+
+/// Extract the §5 measurement from the 2012-era world.
+pub fn measure(ctx: &Context) -> Sec5Measurement {
+    measure_world(&ctx.eco_2012)
+}
+
+/// Run the §5 experiment: measurement, companion-world rate/cohort
+/// scenarios, and paper comparison.
 pub fn run(ctx: &Context) -> ExperimentResult {
     let eco = &ctx.eco_2012;
+    let m = measure(ctx);
     let mut table = ComparisonTable::new("§5 — exploitation statistics");
 
     // §3: ~9 manual hijackings per million active users per day.
@@ -48,11 +112,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
 
     // §5.2: 3-minute value assessment.
     let logged_in: Vec<_> = eco.sessions().iter().filter(|s| s.logged_in).collect();
-    let mean_profiling_min = logged_in
-        .iter()
-        .map(|s| s.profiling_seconds as f64 / 60.0)
-        .sum::<f64>()
-        / logged_in.len().max(1) as f64;
+    let mean_profiling_min = m.mean_profiling_min;
     table.push(Comparison::new(
         "mean account value assessment",
         "3 min",
@@ -62,16 +122,11 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     ));
 
     // §5.2: folder-view probabilities.
-    for (folder, paper) in [
-        (Folder::Starred, 0.16),
-        (Folder::Drafts, 0.11),
-        (Folder::Sent, 0.05),
+    for (folder, paper, frac) in [
+        (Folder::Starred, 0.16, m.starred_frac),
+        (Folder::Drafts, 0.11, m.drafts_frac),
+        (Folder::Sent, 0.05, m.sent_frac),
     ] {
-        let frac = logged_in
-            .iter()
-            .filter(|s| s.folders_opened.contains(&folder))
-            .count() as f64
-            / logged_in.len().max(1) as f64;
         table.push(crate::context::frac_row(
             &format!("sessions opening {folder:?}"),
             paper,
@@ -94,38 +149,26 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     // the defender did not interrupt, like the paper's 575 completed
     // exploitation cases).
     let exploited: Vec<_> = eco.sessions().iter().filter(|s| s.exploited).collect();
-    let completed: Vec<_> = exploited.iter().filter(|s| !s.interrupted).collect();
-    let small_batch = completed.iter().filter(|s| s.messages_sent <= 5).count() as f64
-        / completed.len().max(1) as f64;
     table.push(crate::context::frac_row(
         "exploited accounts sending ≤5 messages",
         0.65,
-        small_batch,
+        m.small_batch_frac,
         ctx.tol(0.10, 0.18),
     ));
 
     // §5.3: ~6% customized scams with <10 recipients.
-    let custom = exploited
-        .iter()
-        .filter(|s| s.exploit_kind == Some(mhw_adversary::ExploitKind::CustomScam))
-        .count() as f64
-        / exploited.len().max(1) as f64;
     table.push(crate::context::frac_row(
         "customized (<10 recipient) exploitation",
         0.06,
-        custom,
+        m.custom_frac,
         ctx.tol(0.05, 0.08),
     ));
 
     // §5.3: 35% of hijack-sent messages are phishing, 65% scams.
-    let (phish, scam) = exploited.iter().fold((0u32, 0u32), |(p, s), r| {
-        (p + r.phishing_messages, s + r.scam_messages)
-    });
-    let phish_share = phish as f64 / (phish + scam).max(1) as f64;
     table.push(crate::context::frac_row(
         "phishing share of hijack-sent messages",
         0.35,
-        phish_share,
+        m.phishing_share,
         ctx.tol(0.10, 0.18),
     ));
 

@@ -27,7 +27,23 @@ const PAPER_SAMPLES: [(u8, &str); 14] = [
     (14, "300"),
 ];
 
-pub fn run(ctx: &Context) -> ExperimentResult {
+/// Structured Table 1 measurement: the 14-dataset inventory with this
+/// run's sample sizes.
+#[derive(Debug, Clone)]
+pub struct Table1Measurement {
+    /// The inventory, one row per paper dataset, in Table 1 order.
+    pub inventory: DatasetInventory,
+}
+
+impl Table1Measurement {
+    /// Number of datasets with at least one sample this run.
+    pub fn nonempty(&self) -> usize {
+        self.inventory.rows.iter().filter(|r| r.samples > 0).count()
+    }
+}
+
+/// Extract the Table 1 measurement across all companion runs.
+pub fn measure(ctx: &Context) -> Table1Measurement {
     let mut inv = DatasetInventory::from_run(
         &ctx.eco_2012,
         ctx.forms.pages.len(),
@@ -39,6 +55,12 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     if let Some(row) = inv.rows.iter_mut().find(|r| r.id == 14) {
         row.samples = mhw_core::datasets::hijacker_phones(&ctx.eco_lockout).len();
     }
+    Table1Measurement { inventory: inv }
+}
+
+/// Run the Table 1 experiment: measurement plus paper comparison.
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let inv = measure(ctx).inventory;
     let mut table = ComparisonTable::new("Table 1 — dataset inventory");
     let mut rows = Vec::new();
     for row in &inv.rows {

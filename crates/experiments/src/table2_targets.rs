@@ -39,7 +39,22 @@ fn reported_corpus(n: usize, rng: &mut SimRng) -> Vec<ReportedEmail> {
         .collect()
 }
 
-pub fn run(ctx: &Context) -> ExperimentResult {
+/// Structured Table 2 measurement: target-category mixes of the curated
+/// email sample and the reviewed page sample.
+#[derive(Debug, Clone)]
+pub struct Table2Measurement {
+    /// Curated phishing emails by target category.
+    pub emails: Breakdown,
+    /// Reviewed phishing pages by target category.
+    pub pages: Breakdown,
+    /// Fraction of curated emails carrying a URL (the paper's 62%).
+    pub url_fraction: f64,
+}
+
+/// Extract the Table 2 measurement: build the 5000-message reported
+/// corpus, curate it down to 100 phishing emails, and tabulate
+/// alongside 100 reviewed pages from the form-campaign batch.
+pub fn measure(ctx: &Context) -> Table2Measurement {
     let mut rng = SimRng::stream(ctx.seed, "table2");
     // Curate: manual review keeps only true phishing; take 100.
     let corpus = reported_corpus(5000, &mut rng);
@@ -60,6 +75,17 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     for p in ctx.forms.pages.iter().take(100) {
         pages.add(p.category.label());
     }
+    Table2Measurement {
+        emails,
+        pages,
+        url_fraction: with_url as f64 / curated.len().max(1) as f64,
+    }
+}
+
+/// Run the Table 2 experiment: measurement plus paper comparison.
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let m = measure(ctx);
+    let (emails, pages) = (&m.emails, &m.pages);
 
     let mut table = ComparisonTable::new("Table 2 — phishing targets");
     // n=100 curated samples ⇒ binomial sd ≈ 3.5pp; ±8pp ≈ a 95% band,
@@ -99,14 +125,14 @@ pub fn run(ctx: &Context) -> ExperimentResult {
     table.push(crate::context::frac_row(
         "curated emails containing a URL",
         0.62,
-        with_url as f64 / curated.len().max(1) as f64,
+        m.url_fraction,
         ctx.tol(0.10, 0.15),
     ));
 
     let rendering = format!(
         "Curated phishing emails by target:\n{}\nReviewed phishing pages by target:\n{}",
-        bar_chart(&emails, 40),
-        bar_chart(&pages, 40)
+        bar_chart(emails, 40),
+        bar_chart(pages, 40)
     );
     ExperimentResult { table, rendering }
 }

@@ -11,9 +11,32 @@ use mhw_adversary::{SearchTermModel, TermCategory};
 use mhw_analysis::{bar_chart, Breakdown, Comparison, ComparisonTable};
 use mhw_core::datasets::hijacker_search_queries;
 
-pub fn run(ctx: &Context) -> ExperimentResult {
+/// Structured Table 3 measurement: hijacker search queries tabulated by
+/// verbatim term and by category.
+#[derive(Debug, Clone)]
+pub struct Table3Measurement {
+    /// Verbatim query strings, counted.
+    pub terms: Breakdown,
+    /// Queries grouped into Finance/Account/Content/Other.
+    pub by_category: Breakdown,
+}
+
+impl Table3Measurement {
+    /// Finance's share of all hijacker searches (the paper's ≈93%).
+    pub fn finance_share(&self) -> f64 {
+        self.by_category.fraction_of("Finance")
+    }
+
+    /// The single most frequent query, empty when no searches ran.
+    pub fn top_term(&self) -> String {
+        self.terms.top(1).first().map(|(t, _, _)| t.clone()).unwrap_or_default()
+    }
+}
+
+/// Extract the Table 3 measurement from a finished world.
+pub fn measure_world(eco: &mhw_core::Ecosystem) -> Table3Measurement {
     let model = SearchTermModel::new();
-    let queries = hijacker_search_queries(&ctx.eco_2012);
+    let queries = hijacker_search_queries(eco);
     let mut terms = Breakdown::new();
     let mut by_category = Breakdown::new();
     for q in &queries {
@@ -25,9 +48,21 @@ pub fn run(ctx: &Context) -> ExperimentResult {
             None => by_category.add("Other"),
         }
     }
+    Table3Measurement { terms, by_category }
+}
+
+/// Extract the Table 3 measurement from the 2012-era world.
+pub fn measure(ctx: &Context) -> Table3Measurement {
+    measure_world(&ctx.eco_2012)
+}
+
+/// Run the Table 3 experiment: measurement plus paper comparison.
+pub fn run(ctx: &Context) -> ExperimentResult {
+    let m = measure(ctx);
+    let (terms, by_category) = (&m.terms, &m.by_category);
 
     let mut table = ComparisonTable::new("Table 3 — hijacker search terms");
-    let finance_share = by_category.fraction_of("Finance");
+    let finance_share = m.finance_share();
     table.push(crate::context::frac_row(
         "finance share of hijacker searches",
         0.93, // Table 3 column mass: finance ≈ 55.3 of 59.5 total
@@ -68,7 +103,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
 
     let rendering = format!(
         "Top hijacker search terms ({} searches total):\n{}\nBy category:\n{}",
-        queries.len(),
+        terms.total(),
         bar_chart(&{
             let mut top10 = Breakdown::new();
             for (t, c, _) in terms.top(10) {
@@ -76,7 +111,7 @@ pub fn run(ctx: &Context) -> ExperimentResult {
             }
             top10
         }, 40),
-        bar_chart(&by_category, 40)
+        bar_chart(by_category, 40)
     );
     ExperimentResult { table, rendering }
 }

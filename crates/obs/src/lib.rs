@@ -24,15 +24,22 @@
 //! contract (`tests/observability.rs` pins report bytes across 1/2/4/8
 //! workers), while spans and phase timings are explicitly allowed to
 //! vary run to run — they measure the hardware, not the scenario.
+//!
+//! A fourth artifact rides on the same determinism contract: the
+//! [`FidelityReport`] scorecard (`repro --validate`) that grades the
+//! regenerated figures and tables against the paper's published
+//! numbers — see [`fidelity`].
 
 #![deny(missing_docs)]
 
+pub mod fidelity;
 pub mod metric;
 pub mod profile;
 pub mod report;
 pub mod snapshot;
 pub mod trace;
 
+pub use fidelity::{FidelityReport, FidelityStatus, TargetScore, Tolerance, FIDELITY_SCHEMA};
 pub use metric::{buckets, MetricId, Registry};
 pub use profile::{EngineProfile, PhaseProfiler, PhaseTiming};
 pub use report::RunReport;

@@ -29,6 +29,22 @@ echo "== chaos =="
 # step so a crash-safety regression is named at the gate.)
 cargo test --offline -q --test chaos
 
+echo "== fidelity =="
+# Paper-fidelity gate: score the quick-scale worlds against the
+# calibration-target registry (docs/FIGURES.md). `--validate` exits 1
+# if any of the 14 targets FAILs its tolerance band; WARNs are
+# small-sample drift and do not fail the gate.
+fidelity_tmp=$(mktemp -d)
+trap 'rm -rf "$fidelity_tmp"' EXIT
+cargo run --offline --release -p mhw-experiments --bin repro -- \
+    --quick --validate \
+    --fidelity-out "$fidelity_tmp/FIDELITY.json" \
+    --scorecard "$fidelity_tmp/FIDELITY.md"
+
+echo "== docs links =="
+# Every intra-repo markdown link (and anchor) must resolve.
+scripts/check_links.sh
+
 echo "== bench-smoke =="
 # Scaling smoke: profile the engine at 1/2/4/8 workers on a small
 # scenario and write BENCH_scaling.json. The bench itself prints a

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Docs gate: every intra-repo markdown link must resolve to a file
+# that exists. External links (scheme://) are skipped; anchors are
+# stripped before the existence check; pure-anchor links (#section)
+# are checked against the headings of the containing file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# GitHub-style anchor slug: lowercase, drop everything but word
+# characters / spaces / hyphens, spaces become hyphens.
+slug() {
+    printf '%s' "$1" | tr '[:upper:]' '[:lower:]' \
+        | sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+has_anchor() { # file anchor
+    local file="$1" anchor="$2" line
+    while IFS= read -r line; do
+        line="${line###}"; line="${line## }"
+        if [ "$(slug "$line")" = "$anchor" ]; then
+            return 0
+        fi
+    done < <(grep -E '^#{1,6} ' "$file" | sed -E 's/^#{1,6} //')
+    return 1
+}
+
+while IFS= read -r md; do
+    dir=$(dirname "$md")
+    # Extract inline link targets: ](target)
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            *://*|mailto:*) continue ;;       # external
+        esac
+        anchor=""
+        case "$target" in
+            \#*) # same-file anchor
+                anchor="${target#\#}"
+                if ! has_anchor "$md" "$anchor"; then
+                    echo "BROKEN ANCHOR  $md -> $target"
+                    fail=1
+                fi
+                continue ;;
+            *\#*)
+                anchor="${target#*\#}"
+                target="${target%%\#*}" ;;
+        esac
+        path="$dir/$target"
+        if [ ! -e "$path" ]; then
+            echo "BROKEN LINK    $md -> $target"
+            fail=1
+        elif [ -n "$anchor" ] && [ -f "$path" ] && ! has_anchor "$path" "$anchor"; then
+            echo "BROKEN ANCHOR  $md -> $target#$anchor"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$md" | sed -e 's/^](//' -e 's/)$//' -e 's/ ".*"$//')
+done < <(find . -name '*.md' -not -path './target/*' -not -path './vendor/*' -not -path './.git/*')
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs link check FAILED"
+    exit 1
+fi
+echo "docs link check passed"

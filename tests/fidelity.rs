@@ -1,0 +1,130 @@
+//! The fidelity harness's own contract tests:
+//!
+//! 1. `FIDELITY.json` is byte-identical across worker counts — the
+//!    scorecard inherits the engine's determinism guarantee.
+//! 2. A deliberately miscalibrated measurement set must FAIL — the
+//!    checker actually checks.
+//! 3. Tolerance-band edge cases classify the way the registry
+//!    documents (boundaries stay in the better class).
+
+use manual_hijacking_wild::experiments::fidelity::{self, registry};
+use manual_hijacking_wild::experiments::{Context, Scale};
+use manual_hijacking_wild::obs::{FidelityReport, FidelityStatus, TargetScore, Tolerance};
+
+const SEED: u64 = 0x1914_2014;
+
+#[test]
+fn scorecard_is_byte_identical_across_worker_counts() {
+    let one = Context::with_workers(Scale::Quick, SEED, 1);
+    let four = Context::with_workers(Scale::Quick, SEED, 4);
+    let r1 = fidelity::validate(&one);
+    let r4 = fidelity::validate(&four);
+    assert_eq!(r1.to_json(), r4.to_json(), "worker count leaked into FIDELITY.json");
+    assert_eq!(
+        r1.scorecard_markdown(),
+        r4.scorecard_markdown(),
+        "worker count leaked into the rendered scorecard"
+    );
+}
+
+#[test]
+fn default_quick_scenario_has_no_failures_and_full_coverage() {
+    let ctx = Context::new(Scale::Quick, SEED);
+    let report = fidelity::validate(&ctx);
+    assert_ne!(
+        report.overall(),
+        FidelityStatus::Fail,
+        "default seed FAILs: {:?}",
+        report.failures().iter().map(|f| &f.component).collect::<Vec<_>>()
+    );
+    // Every registry target is scored, and nothing else is.
+    let scored = report.target_ids();
+    for t in registry() {
+        assert!(scored.contains(&t.id), "target {} missing from scorecard", t.id);
+    }
+    assert_eq!(scored.len(), registry().len());
+    // Round-trips through JSON unchanged.
+    let json = report.to_json();
+    let back = FidelityReport::from_json(&json).expect("valid JSON");
+    assert_eq!(back.to_json(), json);
+}
+
+#[test]
+fn miscalibrated_measurements_fail() {
+    let ctx = Context::new(Scale::Quick, SEED);
+    let mut m = fidelity::collect(&ctx);
+
+    // Sabotage three different metric families.
+    m.fig5.rates = vec![0.95; 8]; // mean conversion ≈95% vs paper 13.7%
+    m.fig9.latencies_hours = vec![500.0; 50]; // nothing recovers in 13 h
+    m.fig12.countries = {
+        let mut b = manual_hijacking_wild::analysis::Breakdown::new();
+        b.add_n("CN".to_string(), 30); // the tactic's non-adopters, dominant
+        b
+    };
+
+    let report = fidelity::score(&m, Scale::Quick, SEED);
+    assert_eq!(report.overall(), FidelityStatus::Fail);
+    for target in ["F5", "F9", "F12"] {
+        assert_eq!(
+            report.status_of(target),
+            Some(FidelityStatus::Fail),
+            "{target} should FAIL after sabotage"
+        );
+    }
+    // Untouched targets keep their verdicts — sabotage is local.
+    assert_ne!(report.status_of("F3"), Some(FidelityStatus::Fail));
+    assert_ne!(report.status_of("T1"), Some(FidelityStatus::Fail));
+}
+
+#[test]
+fn world_derivable_subset_scores_from_a_single_world() {
+    let ctx = Context::new(Scale::Quick, SEED);
+    let report = fidelity::validate_world(&ctx.eco_2012, Scale::Quick, SEED);
+    let ids = report.target_ids();
+    for expected in ["T3", "F8", "F9", "F10", "F11", "SEC5"] {
+        assert!(ids.contains(&expected), "partial scorecard missing {expected}");
+    }
+    // Targets needing companion runs are absent.
+    for absent in ["T2", "F5", "F7", "F12"] {
+        assert!(!ids.contains(&absent), "{absent} cannot be world-derived");
+    }
+    // The partial report agrees with the full pipeline on shared
+    // targets: same worlds, same measurements, same verdicts.
+    let full = fidelity::validate(&ctx);
+    for id in &ids {
+        assert_eq!(report.status_of(id), full.status_of(id), "divergent verdict for {id}");
+    }
+}
+
+#[test]
+fn tolerance_edges_classify_into_the_better_class() {
+    let t = Tolerance::new(0.10, 0.25);
+    assert_eq!(t.classify(0.0), FidelityStatus::Pass);
+    assert_eq!(t.classify(0.10), FidelityStatus::Pass, "warn boundary is a PASS");
+    assert_eq!(t.classify(0.25), FidelityStatus::Warn, "fail boundary is a WARN");
+    assert_eq!(t.classify(0.2500001), FidelityStatus::Fail);
+    assert_eq!(t.classify(f64::INFINITY), FidelityStatus::Fail);
+
+    // Degenerate zero-width band: only an exact hit passes.
+    let exact = Tolerance::new(0.0, 0.0);
+    assert_eq!(exact.classify(0.0), FidelityStatus::Pass);
+    assert_eq!(exact.classify(f64::MIN_POSITIVE), FidelityStatus::Fail);
+
+    // Scores carry the band through construction.
+    let s = TargetScore::new("X", "c", "rel_err", "1", "2", 0.25, t, "");
+    assert_eq!(s.status, FidelityStatus::Warn);
+}
+
+#[test]
+fn registry_is_documented_in_the_figure_atlas() {
+    let atlas = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/FIGURES.md"))
+        .expect("docs/FIGURES.md exists");
+    for t in registry() {
+        assert!(
+            atlas.contains(&format!("`{}`", t.id)),
+            "docs/FIGURES.md has no section for target {}",
+            t.id
+        );
+    }
+}
