@@ -20,7 +20,8 @@ use crate::config::ScenarioConfig;
 use crate::world::{WorldAdapter, VARIANT_CORRECT};
 use mhw_adversary::{CrewRoster, HijackPlaybook, SessionReport};
 use mhw_defense::{
-    ActivityMonitor, AnswererCapabilities, LoginPipeline, LoginRequest, MailClassifier,
+    ActivityMonitor, AnswererCapabilities, LoginContext, LoginPipeline, LoginRequest,
+    MailClassifier,
     NotificationEngine, RiskEngine,
 };
 use mhw_identity::{
@@ -239,10 +240,7 @@ impl Ecosystem {
             // drawn from the geo plan.
             #[allow(clippy::expect_used)]
             let country = geo.locate(u.home_ip).expect("home IP is in plan");
-            for d in 0..10u64 {
-                let at = SimTime::from_secs(d * DAY / 10 + (9 + d % 10) * HOUR % DAY);
-                login.history.get_mut(u.account).record_success(at, country, u.device);
-            }
+            login.warm_up_standard(u.account, country, u.device);
             let _ = &mut login_log; // appended during the run only
         }
 
@@ -852,15 +850,15 @@ impl Ecosystem {
             actor: Actor::Owner,
             capabilities: self.owner_capabilities(account),
         };
-        let outcome = self.login.attempt(
-            &request,
-            &self.credentials,
-            &self.options,
-            &self.twofactor,
-            &self.geo,
-            &mut self.login_log,
-            &mut self.rng_organic,
-        );
+        let ctx = LoginContext {
+            credentials: &self.credentials,
+            options: &self.options,
+            twofactor: &self.twofactor,
+            geo: &self.geo,
+        };
+        let outcome =
+            self.login
+                .attempt(&request, &ctx, &mut self.login_log, &mut self.rng_organic);
         self.stats.organic_logins += 1;
         if let Some(record) = self.login_log.records().last() {
             if record.challenge.is_some() {

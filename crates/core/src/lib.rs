@@ -25,6 +25,9 @@
 //!   files for crash-safe resume of long runs;
 //! * [`fault`] — the deterministic fault-injection harness
 //!   ([`FaultPlan`]) behind the chaos tests and `--fault-plan`;
+//! * [`replay`] — serve-mode login-log replay: synthetic workload
+//!   generation, recorded-log conversion, and the chained verdict
+//!   digest behind the batch/serve parity tests;
 //! * [`decoy`] — the §5.1 decoy-credential experiment (Figure 7);
 //! * [`datasets`] — extraction of the paper's 14 datasets (Table 1)
 //!   from the raw logs.
@@ -41,6 +44,7 @@ pub mod ecosystem;
 pub mod engine;
 pub mod fault;
 pub mod pool;
+pub mod replay;
 pub mod world;
 
 pub use builder::ScenarioBuilder;
@@ -54,3 +58,7 @@ pub use engine::{default_workers, CheckpointPolicy, RunFailure, ShardedEngine, S
 pub use fault::FaultPlan;
 pub use mhw_types::{EngineError, EngineResult};
 pub use pool::{JobPanic, WorkerPool};
+pub use replay::{
+    generate_workload, replay_stream, verdict_digest_from_log, ReplayLog, ReplayLogin,
+    WorkloadConfig,
+};

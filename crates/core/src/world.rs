@@ -10,8 +10,8 @@
 
 use mhw_adversary::world::{HijackerWorld, LoginAttemptOutcome, ProfileView};
 use mhw_defense::{
-    ActivityMonitor, AnswererCapabilities, LoginPipeline, LoginRequest, MailClassifier,
-    NotificationEngine, NotificationEvent,
+    ActivityMonitor, AnswererCapabilities, LoginContext, LoginPipeline, LoginRequest,
+    MailClassifier, NotificationEngine, NotificationEvent,
 };
 use mhw_identity::{CredentialStore, LoginLog, LoginOutcome, RecoveryOptions, TwoFactorState};
 use mhw_mailsys::{FilterAction, Folder, MailProvider, Message, MessageDraft, MessageKind};
@@ -186,15 +186,13 @@ impl<'a> HijackerWorld for WorldAdapter<'a> {
             capabilities: AnswererCapabilities::hijacker(0.18)
                 .with_second_factor(crew_controls_2fa),
         };
-        let outcome = self.login.attempt(
-            &request,
-            self.credentials,
-            self.options,
-            self.twofactor,
-            self.geo,
-            self.login_log,
-            self.rng,
-        );
+        let ctx = LoginContext {
+            credentials: &*self.credentials,
+            options: &*self.options,
+            twofactor: &*self.twofactor,
+            geo: self.geo,
+        };
+        let outcome = self.login.attempt(&request, &ctx, self.login_log, self.rng);
         match outcome {
             LoginOutcome::Success => LoginAttemptOutcome::Success(account),
             LoginOutcome::WrongPassword => LoginAttemptOutcome::WrongPassword,

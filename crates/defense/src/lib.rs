@@ -13,9 +13,14 @@
 //! * [`challenge`] — the **login challenge** (§8.2): SMS possession
 //!   proof preferred, knowledge questions as fallback, "easy to pass for
 //!   our users, but hard for hijackers".
+//! * [`service`] — the **streaming risk service**: the [`RiskService`]
+//!   trait scores one login at a time against bounded state (sliding
+//!   per-account windows, LRU-bounded IP cache via [`lru`]), the way
+//!   the paper's engine ran online at the provider.
 //! * [`pipeline`] — the full login flow: password check → risk score →
 //!   challenge/block → session, appending every attempt to the
-//!   [`LoginLog`](mhw_identity::LoginLog).
+//!   [`LoginLog`](mhw_identity::LoginLog). A thin batch adapter over
+//!   the same [`RiskService`] scoring path serve mode uses.
 //! * [`activity`] — **account behavioral risk analysis** (§8.2's "last
 //!   resort"): a model of manual-hijacker profiling behaviour (finance
 //!   searches, special-folder sweeps, contacts view, settings changes,
@@ -30,17 +35,23 @@
 pub mod activity;
 pub mod challenge;
 pub mod classifier;
+pub mod lru;
 pub mod notify;
 pub mod pipeline;
 pub mod redirects;
 pub mod risk;
+pub mod service;
 pub mod signals;
 
 pub use activity::{ActivityFeatures, ActivityMonitor, ActivityVerdict};
 pub use challenge::{AnswererCapabilities, ChallengePolicy};
 pub use classifier::{classify_mail, MailClass, MailClassifier};
 pub use notify::{NotificationChannel, NotificationEngine, NotificationEvent, NotificationRecord};
-pub use pipeline::{LoginPipeline, LoginRequest};
+pub use lru::LruCache;
+pub use pipeline::{LoginContext, LoginPipeline, LoginRequest};
 pub use redirects::{classify_redirect, review_filters, RedirectVerdict};
 pub use risk::{RiskDecision, RiskEngine, RiskWeights};
-pub use signals::{AccountHistory, HistoryStore, IpReputation, LoginSignals};
+pub use service::{RiskService, RiskVerdict, ServiceLimits, StateSize, StreamingRiskService};
+pub use signals::{
+    AccountHistory, HistoryStore, IpReputation, LoginSignals, DEFAULT_IP_CACHE_CAPACITY,
+};

@@ -1,21 +1,28 @@
-//! The complete login pipeline.
+//! The complete login pipeline — a thin batch adapter over
+//! [`RiskService`].
 //!
-//! Password verification → signal extraction → risk scoring → challenge
-//! or block → session issuance, with every attempt appended to the
-//! [`LoginLog`]. This is the §8.2 "login time risk analysis … stops the
-//! hijacker before getting into the account" flow, assembled from the
-//! mechanism crates.
+//! Password verification → risk scoring (via the shared
+//! [`StreamingRiskService`]) → challenge or block → session issuance,
+//! with every attempt appended to the [`LoginLog`]. This is the §8.2
+//! "login time risk analysis … stops the hijacker before getting into
+//! the account" flow, assembled from the mechanism crates. The
+//! pipeline owns none of the scoring logic: it routes each attempt
+//! through [`RiskService::assess`], adjudicates the outcome (password,
+//! 2FA, challenge — the parts that need provider policy and RNG), and
+//! folds the result back with [`RiskService::commit`]. Serve mode
+//! drives the same trait directly, which is what makes batch/serve
+//! verdict parity a testable property.
 
 use crate::challenge::{AnswererCapabilities, ChallengePolicy};
 use crate::risk::{RiskDecision, RiskEngine};
-use crate::signals::{extract_signals, HistoryStore, IpReputation};
+use crate::service::{RiskService, StreamingRiskService};
 use mhw_identity::{
     CredentialStore, LoginLog, LoginOutcome, LoginRecord, RecoveryOptions, TwoFactorState,
 };
 use mhw_netmodel::GeoDb;
 use mhw_obs::{MetricId, Registry};
 use mhw_simclock::SimRng;
-use mhw_types::{AccountId, Actor, DeviceId, IpAddr, SimTime};
+use mhw_types::{AccountId, Actor, CountryCode, DeviceId, IpAddr, SimTime};
 
 /// Correct-password attempts the risk engine let straight through.
 pub const M_RISK_ALLOW: MetricId = MetricId("defense.risk_allow");
@@ -41,22 +48,36 @@ pub struct LoginRequest {
     pub capabilities: AnswererCapabilities,
 }
 
+/// The provider-side stores a login attempt is adjudicated against.
+///
+/// Groups the read-only context that used to travel as four separate
+/// arguments to [`LoginPipeline::attempt`]; call sites build one per
+/// attempt (cheap — four references).
+#[derive(Clone, Copy)]
+pub struct LoginContext<'a> {
+    /// Password store used to verify the presented credential.
+    pub credentials: &'a CredentialStore,
+    /// Recovery options (phone on file) driving challenge selection.
+    pub options: &'a RecoveryOptions,
+    /// Per-account 2FA enrollment state.
+    pub twofactor: &'a TwoFactorState,
+    /// IP geolocation database.
+    pub geo: &'a GeoDb,
+}
+
 /// The assembled login defense.
 pub struct LoginPipeline {
-    pub engine: RiskEngine,
+    /// The shared scoring path (also driven directly by serve mode).
+    pub service: StreamingRiskService,
     pub challenge: ChallengePolicy,
-    pub history: HistoryStore,
-    pub ip_reputation: IpReputation,
     metrics: Registry,
 }
 
 impl LoginPipeline {
     pub fn new(engine: RiskEngine) -> Self {
         LoginPipeline {
-            engine,
+            service: StreamingRiskService::new(engine),
             challenge: ChallengePolicy::default(),
-            history: HistoryStore::new(),
-            ip_reputation: IpReputation::new(),
             metrics: Registry::new()
                 .with_counter(M_RISK_ALLOW)
                 .with_counter(M_RISK_CHALLENGE)
@@ -69,43 +90,47 @@ impl LoginPipeline {
         &self.metrics
     }
 
-    /// Register the next account (dense order, like the other stores).
+    /// The risk engine's tuning knobs (read side).
+    pub fn engine(&self) -> &RiskEngine {
+        &self.service.engine
+    }
+
+    /// Mutable access for threshold/weight ablation experiments.
+    pub fn engine_mut(&mut self) -> &mut RiskEngine {
+        &mut self.service.engine
+    }
+
+    /// Pre-materialize an account's history (optional; the underlying
+    /// store is total and handles never-seen accounts).
     pub fn register(&mut self, account: AccountId) {
-        self.history.register(account);
+        self.service.touch(account);
+    }
+
+    /// Seed the standard ten-login warm-up baseline for an account
+    /// (see [`StreamingRiskService::warm_up_standard`]).
+    pub fn warm_up_standard(&mut self, account: AccountId, country: CountryCode, device: DeviceId) {
+        self.service.warm_up_standard(account, country, device);
     }
 
     /// Process one login attempt end to end. Appends to `log` and
     /// returns the outcome.
-    #[allow(clippy::too_many_arguments)]
     pub fn attempt(
         &mut self,
         request: &LoginRequest,
-        credentials: &CredentialStore,
-        options: &RecoveryOptions,
-        twofactor: &TwoFactorState,
-        geo: &GeoDb,
+        ctx: &LoginContext<'_>,
         log: &mut LoginLog,
         rng: &mut SimRng,
     ) -> LoginOutcome {
-        let password_correct = credentials.verify(request.account, &request.password);
-        let fanout = self
-            .ip_reputation
-            .observe(request.ip, request.account, request.at);
-        let country = geo.locate(request.ip);
-        let signals = extract_signals(
-            self.history.get(request.account),
-            request.at,
-            country,
-            request.device,
-            fanout,
-        );
-        let (risk_score, decision) = self.engine.evaluate(&signals);
+        let password_correct = ctx.credentials.verify(request.account, &request.password);
+        let verdict = {
+            let service: &mut dyn RiskService = &mut self.service;
+            service.assess(request, ctx.geo)
+        };
 
         let mut challenge = None;
         let outcome = if !password_correct {
-            self.history.get_mut(request.account).record_failure(request.at);
             LoginOutcome::WrongPassword
-        } else if twofactor.enabled(request.account) {
+        } else if ctx.twofactor.enabled(request.account) {
             // §8.2: a second factor is the best client-side defense —
             // possession of the enrolled phone settles the login
             // regardless of the risk score. (It also means a crew that
@@ -116,7 +141,7 @@ impl LoginPipeline {
                 LoginOutcome::SecondFactorFailed
             }
         } else {
-            match decision {
+            match verdict.decision {
                 RiskDecision::Allow => {
                     self.metrics.inc(M_RISK_ALLOW);
                     LoginOutcome::Success
@@ -127,7 +152,7 @@ impl LoginPipeline {
                 }
                 RiskDecision::Challenge => {
                     self.metrics.inc(M_RISK_CHALLENGE);
-                    let kind = self.challenge.select(options, request.account);
+                    let kind = self.challenge.select(ctx.options, request.account);
                     let result = self.challenge.serve(kind, request.capabilities, rng);
                     challenge = Some(result);
                     if result.passed {
@@ -139,14 +164,13 @@ impl LoginPipeline {
             }
         };
 
+        {
+            let service: &mut dyn RiskService = &mut self.service;
+            service.commit(request, &verdict, outcome);
+        }
+
         let session = if outcome.is_success() {
-            let s = log.allocate_session();
-            if let Some(c) = country {
-                self.history
-                    .get_mut(request.account)
-                    .record_success(request.at, c, request.device);
-            }
-            Some(s)
+            Some(log.allocate_session())
         } else {
             None
         };
@@ -158,7 +182,7 @@ impl LoginPipeline {
             device: request.device,
             actor: request.actor,
             password_correct,
-            risk_score,
+            risk_score: verdict.score,
             challenge,
             outcome,
             session,
@@ -207,6 +231,16 @@ mod tests {
             }
         }
 
+        fn attempt(&mut self, req: &LoginRequest) -> LoginOutcome {
+            let ctx = LoginContext {
+                credentials: &self.credentials,
+                options: &self.options,
+                twofactor: &self.twofactor,
+                geo: &self.geo,
+            };
+            self.pipeline.attempt(req, &ctx, &mut self.log, &mut self.rng)
+        }
+
         fn owner_request(&self, at: SimTime) -> LoginRequest {
             LoginRequest {
                 at,
@@ -223,15 +257,7 @@ mod tests {
         fn season(&mut self) {
             for d in 0..30u64 {
                 let req = self.owner_request(SimTime::from_secs(d * DAY + 9 * HOUR));
-                let out = self.pipeline.attempt(
-                    &req,
-                    &self.credentials,
-                    &self.options,
-                    &self.twofactor,
-                    &self.geo,
-                    &mut self.log,
-                    &mut self.rng,
-                );
+                let out = self.attempt(&req);
                 assert!(out.is_success(), "day {d} owner login failed: {out:?}");
             }
         }
@@ -257,7 +283,7 @@ mod tests {
         f.season();
         let mut req = f.owner_request(SimTime::from_secs(31 * DAY));
         req.password = "wrong".into();
-        let out = f.pipeline.attempt(&req, &f.credentials, &f.options, &f.twofactor, &f.geo, &mut f.log, &mut f.rng);
+        let out = f.attempt(&req);
         assert_eq!(out, LoginOutcome::WrongPassword);
         let last = f.log.records().last().unwrap();
         assert!(!last.password_correct);
@@ -279,7 +305,7 @@ mod tests {
             actor: Actor::Hijacker(CrewId(0)),
             capabilities: AnswererCapabilities::hijacker(0.0),
         };
-        let out = f.pipeline.attempt(&req, &f.credentials, &f.options, &f.twofactor, &f.geo, &mut f.log, &mut f.rng);
+        let out = f.attempt(&req);
         assert_eq!(out, LoginOutcome::ChallengeFailed);
         let last = f.log.records().last().unwrap();
         assert!(last.risk_score > 0.4, "risk {}", last.risk_score);
@@ -289,7 +315,7 @@ mod tests {
     #[test]
     fn crew_with_disabled_engine_walks_in() {
         let mut f = Fixture::new();
-        f.pipeline.engine = RiskEngine::disabled();
+        *f.pipeline.engine_mut() = RiskEngine::disabled();
         f.season();
         let crew_ip = f.geo.stable_ip(CountryCode::NG, 3);
         let req = LoginRequest {
@@ -301,7 +327,7 @@ mod tests {
             actor: Actor::Hijacker(CrewId(0)),
             capabilities: AnswererCapabilities::hijacker(0.0),
         };
-        let out = f.pipeline.attempt(&req, &f.credentials, &f.options, &f.twofactor, &f.geo, &mut f.log, &mut f.rng);
+        let out = f.attempt(&req);
         assert_eq!(out, LoginOutcome::Success);
     }
 
@@ -334,8 +360,7 @@ mod tests {
                 actor: Actor::Owner,
                 capabilities: AnswererCapabilities::owner(true, 0.9),
             };
-            let out =
-                f.pipeline.attempt(&req, &f.credentials, &f.options, &f.twofactor, &f.geo, &mut f.log, &mut f.rng);
+            let out = f.attempt(&req);
             if f.log.records().last().unwrap().challenge.is_some() {
                 challenged += 1;
             }
@@ -356,11 +381,11 @@ mod tests {
         for i in 0..5u64 {
             let mut req = f.owner_request(t0.plus(SimDuration::from_mins(i)));
             req.password = "guess".into();
-            f.pipeline.attempt(&req, &f.credentials, &f.options, &f.twofactor, &f.geo, &mut f.log, &mut f.rng);
+            f.attempt(&req);
         }
         // Now a correct login carries failure-burst risk.
         let req = f.owner_request(t0.plus(SimDuration::from_mins(10)));
-        f.pipeline.attempt(&req, &f.credentials, &f.options, &f.twofactor, &f.geo, &mut f.log, &mut f.rng);
+        f.attempt(&req);
         let last = f.log.records().last().unwrap();
         assert!(last.risk_score > 0.2, "risk {}", last.risk_score);
     }
@@ -385,15 +410,7 @@ mod tests {
             actor: Actor::Hijacker(CrewId(0)),
             capabilities: AnswererCapabilities::hijacker(1.0), // perfect research
         };
-        let out = f.pipeline.attempt(
-            &req,
-            &f.credentials,
-            &f.options,
-            &f.twofactor,
-            &f.geo,
-            &mut f.log,
-            &mut f.rng,
-        );
+        let out = f.attempt(&req);
         assert_eq!(out, LoginOutcome::SecondFactorFailed);
     }
 
@@ -410,15 +427,7 @@ mod tests {
         );
         let mut req = f.owner_request(SimTime::from_secs(30 * DAY + HOUR));
         req.capabilities = AnswererCapabilities::owner(true, 0.9).with_second_factor(false);
-        let out = f.pipeline.attempt(
-            &req,
-            &f.credentials,
-            &f.options,
-            &f.twofactor,
-            &f.geo,
-            &mut f.log,
-            &mut f.rng,
-        );
+        let out = f.attempt(&req);
         assert_eq!(out, LoginOutcome::SecondFactorFailed);
     }
 }

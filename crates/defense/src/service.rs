@@ -1,0 +1,292 @@
+//! The streaming risk-scoring service.
+//!
+//! The paper's risk engine ran *online*: every login at the provider
+//! was scored as it arrived (§8.2). This module is that shape — a
+//! [`RiskService`] scores one [`LoginRequest`] at a time against
+//! bounded per-account and per-IP state, so an instance can serve an
+//! unbounded login stream in fixed memory. The batch simulation's
+//! [`LoginPipeline`](crate::pipeline::LoginPipeline) is a thin adapter
+//! over the same trait, so simulation and serving share one scoring
+//! path; `tests/serve_parity.rs` pins that the two produce
+//! bit-identical verdicts on a replayed world.
+//!
+//! Scoring is split into two halves so the caller owns the policy
+//! in-between:
+//!
+//! * [`assess`](RiskService::assess) — read-side: observe IP fan-out,
+//!   geolocate, extract signals, evaluate the engine. No account-state
+//!   mutation beyond the fan-out counter.
+//! * [`commit`](RiskService::commit) — write-side: fold the attempt's
+//!   *outcome* (decided by the caller: password check, 2FA, challenge)
+//!   back into account history.
+//!
+//! The split also keeps the trait general enough to later score
+//! recovery attempts (ROADMAP item 4): recovery adjudication has a
+//! different outcome alphabet but the same assess/commit shape.
+
+#![deny(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::pipeline::LoginRequest;
+use crate::risk::{RiskDecision, RiskEngine};
+use crate::signals::{
+    extract_signals, HistoryStore, IpReputation, LoginSignals, DEFAULT_IP_CACHE_CAPACITY,
+    MAX_ACCOUNTS_PER_IP,
+};
+use mhw_identity::LoginOutcome;
+use mhw_netmodel::GeoDb;
+use mhw_types::{AccountId, CountryCode, DeviceId, SimTime, DAY, HOUR};
+
+/// Everything the service concluded about one login attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskVerdict {
+    /// Noisy-OR combined risk score in `[0, 1]`.
+    pub score: f64,
+    /// The engine's threshold decision for that score.
+    pub decision: RiskDecision,
+    /// The extracted signal vector (kept for ablation/forensics).
+    pub signals: LoginSignals,
+    /// Geolocated country of the requesting IP, if locatable. Cached
+    /// here so [`RiskService::commit`] does not need a second lookup.
+    pub country: Option<CountryCode>,
+}
+
+/// A point-in-time measurement of a service's retained state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StateSize {
+    /// Accounts with materialized history.
+    pub accounts: usize,
+    /// IPs currently in the fan-out cache (≤ its LRU capacity).
+    pub ip_entries: usize,
+    /// Devices tracked across all account windows.
+    pub tracked_devices: usize,
+    /// Rough total retained bytes across both stores.
+    pub approx_bytes: usize,
+}
+
+/// Bounds for a service instance's provider-wide state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceLimits {
+    /// LRU capacity of the per-IP fan-out cache.
+    pub ip_cache_capacity: usize,
+    /// Distinct accounts counted per IP per day (signal saturates far
+    /// below this).
+    pub accounts_per_ip: usize,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> Self {
+        ServiceLimits {
+            ip_cache_capacity: DEFAULT_IP_CACHE_CAPACITY,
+            accounts_per_ip: MAX_ACCOUNTS_PER_IP,
+        }
+    }
+}
+
+/// Scores login attempts one at a time with bounded state.
+///
+/// Implementations must be deterministic: the verdict may depend only
+/// on the request, the geo database, and state accumulated through
+/// prior [`assess`](RiskService::assess)/[`commit`](RiskService::commit)
+/// calls — never on wall-clock time or ambient randomness. That is
+/// what makes batch/serve parity checkable bit-for-bit.
+pub trait RiskService {
+    /// Score one attempt: observe IP fan-out, geolocate, extract
+    /// signals, evaluate. Mutates only the fan-out counter.
+    fn assess(&mut self, request: &LoginRequest, geo: &GeoDb) -> RiskVerdict;
+
+    /// Fold the attempt's final outcome back into account state:
+    /// wrong passwords append to the failure window, successful logins
+    /// (with a locatable country) extend the account's baseline.
+    fn commit(&mut self, request: &LoginRequest, verdict: &RiskVerdict, outcome: LoginOutcome);
+
+    /// Current retained-state measurement (for capacity reporting).
+    fn state_size(&self) -> StateSize;
+}
+
+/// The production [`RiskService`]: existing signal extractors and
+/// [`RiskEngine`] over bounded [`HistoryStore`]/[`IpReputation`] state.
+#[derive(Debug)]
+pub struct StreamingRiskService {
+    /// The scoring engine (weights + thresholds). Public so ablation
+    /// experiments can swap weights mid-stream.
+    pub engine: RiskEngine,
+    history: HistoryStore,
+    ip_reputation: IpReputation,
+}
+
+impl StreamingRiskService {
+    /// A service with default state bounds.
+    pub fn new(engine: RiskEngine) -> Self {
+        Self::with_limits(engine, ServiceLimits::default())
+    }
+
+    /// A service with explicit state bounds.
+    pub fn with_limits(engine: RiskEngine, limits: ServiceLimits) -> Self {
+        StreamingRiskService {
+            engine,
+            history: HistoryStore::new(),
+            ip_reputation: IpReputation::with_limits(
+                limits.ip_cache_capacity,
+                limits.accounts_per_ip,
+            ),
+        }
+    }
+
+    /// Pre-materialize an account's history (optional; the store is
+    /// total either way).
+    pub fn touch(&mut self, account: AccountId) {
+        self.history.register(account);
+    }
+
+    /// Read an account's history (empty default for unseen accounts).
+    pub fn history(&self, account: AccountId) -> &crate::signals::AccountHistory {
+        self.history.get(account)
+    }
+
+    /// Seed one successful login into an account's baseline without
+    /// scoring it (warm-up traffic predating the observed stream).
+    pub fn warm_success(
+        &mut self,
+        account: AccountId,
+        at: SimTime,
+        country: CountryCode,
+        device: DeviceId,
+    ) {
+        self.history.get_mut(account).record_success(at, country, device);
+    }
+
+    /// The standard ten-login warm-up the simulation seeds every user
+    /// with (spread across hours and days so cold-start and odd-hour
+    /// signals settle). Shared between `Ecosystem::build` and the
+    /// serve-side replay so both sides start from the same baseline.
+    pub fn warm_up_standard(&mut self, account: AccountId, country: CountryCode, device: DeviceId) {
+        for d in 0..10u64 {
+            let at = SimTime::from_secs(d * DAY / 10 + (9 + d % 10) * HOUR % DAY);
+            self.warm_success(account, at, country, device);
+        }
+    }
+}
+
+impl RiskService for StreamingRiskService {
+    fn assess(&mut self, request: &LoginRequest, geo: &GeoDb) -> RiskVerdict {
+        let fanout = self
+            .ip_reputation
+            .observe(request.ip, request.account, request.at);
+        let country = geo.locate(request.ip);
+        let signals = extract_signals(
+            self.history.get(request.account),
+            request.at,
+            country,
+            request.device,
+            fanout,
+        );
+        let (score, decision) = self.engine.evaluate(&signals);
+        RiskVerdict { score, decision, signals, country }
+    }
+
+    fn commit(&mut self, request: &LoginRequest, verdict: &RiskVerdict, outcome: LoginOutcome) {
+        if outcome == LoginOutcome::WrongPassword {
+            self.history.get_mut(request.account).record_failure(request.at);
+        } else if outcome.is_success() {
+            if let Some(c) = verdict.country {
+                self.history
+                    .get_mut(request.account)
+                    .record_success(request.at, c, request.device);
+            }
+        }
+    }
+
+    fn state_size(&self) -> StateSize {
+        StateSize {
+            accounts: self.history.len(),
+            ip_entries: self.ip_reputation.len(),
+            tracked_devices: self.history.tracked_devices(),
+            approx_bytes: self.history.approx_bytes() + self.ip_reputation.approx_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::challenge::AnswererCapabilities;
+    use mhw_types::Actor;
+
+    fn request(at: SimTime, account: AccountId, ip: mhw_types::IpAddr) -> LoginRequest {
+        LoginRequest {
+            at,
+            account,
+            ip,
+            device: DeviceId(1),
+            password: "pw".into(),
+            actor: Actor::Owner,
+            capabilities: AnswererCapabilities::owner(true, 0.9),
+        }
+    }
+
+    #[test]
+    fn assess_never_seen_account_is_safe_and_mild() {
+        let geo = GeoDb::new();
+        let mut svc = StreamingRiskService::new(RiskEngine::default());
+        let ip = geo.stable_ip(CountryCode::US, 3);
+        let v = svc.assess(&request(SimTime::from_secs(10), AccountId(424_242), ip), &geo);
+        // Cold-start: novelty signals suppressed, decision is Allow.
+        assert_eq!(v.decision, RiskDecision::Allow);
+        assert_eq!(v.signals.new_country, 0.0);
+        assert_eq!(v.country, Some(CountryCode::US));
+    }
+
+    #[test]
+    fn warm_up_then_foreign_login_flags() {
+        let geo = GeoDb::new();
+        let mut svc = StreamingRiskService::new(RiskEngine::default());
+        let account = AccountId(5);
+        svc.warm_up_standard(account, CountryCode::US, DeviceId(1));
+        assert_eq!(svc.history(account).total_logins(), 10);
+        let foreign = geo.stable_ip(CountryCode::NG, 9);
+        let req = LoginRequest {
+            device: DeviceId(777),
+            ..request(SimTime::from_secs(2 * DAY), account, foreign)
+        };
+        let v = svc.assess(&req, &geo);
+        assert_eq!(v.signals.new_country, 1.0);
+        assert_eq!(v.signals.new_device, 1.0);
+        assert!(v.score > 0.4, "score {}", v.score);
+    }
+
+    #[test]
+    fn commit_routes_outcomes_into_history() {
+        let geo = GeoDb::new();
+        let mut svc = StreamingRiskService::new(RiskEngine::default());
+        let account = AccountId(1);
+        let ip = geo.stable_ip(CountryCode::FR, 0);
+        let req = request(SimTime::from_secs(100), account, ip);
+        let v = svc.assess(&req, &geo);
+        svc.commit(&req, &v, LoginOutcome::WrongPassword);
+        svc.commit(&req, &v, LoginOutcome::Success);
+        svc.commit(&req, &v, LoginOutcome::Blocked); // no-op
+        let h = svc.history(account);
+        assert_eq!(h.total_logins(), 1, "one success recorded");
+        let v2 = svc.assess(&req, &geo);
+        assert!(v2.signals.failure_burst > 0.0, "failure recorded");
+    }
+
+    #[test]
+    fn state_size_tracks_both_stores() {
+        let geo = GeoDb::new();
+        let mut svc = StreamingRiskService::with_limits(
+            RiskEngine::default(),
+            ServiceLimits { ip_cache_capacity: 8, accounts_per_ip: 4 },
+        );
+        for i in 0..100u32 {
+            let req = request(SimTime::from_secs(10), AccountId(i), mhw_types::IpAddr(i));
+            let v = svc.assess(&req, &geo);
+            svc.commit(&req, &v, LoginOutcome::WrongPassword);
+        }
+        let size = svc.state_size();
+        assert_eq!(size.accounts, 100);
+        assert_eq!(size.ip_entries, 8, "IP cache stays at its LRU bound");
+        assert!(size.approx_bytes > 0);
+    }
+}

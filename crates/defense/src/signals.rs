@@ -19,34 +19,92 @@
 //!
 //! Each signal is normalized to `[0, 1]`. Signals only ever read
 //! provider-visible state — never ground-truth actor labels.
+//!
+//! ## Bounded state
+//!
+//! All tracker state is bounded so a [`RiskService`] instance can score
+//! an unbounded login stream in fixed memory: per-account device
+//! tracking is a sliding window of the [`MAX_TRACKED_DEVICES`] most
+//! recently seen devices, failure history keeps at most
+//! [`MAX_RECENT_FAILURES`] timestamps, and [`IpReputation`] caps both
+//! the number of tracked IPs (LRU eviction via [`LruCache`]) and the
+//! distinct accounts counted per IP per day. The caps are sized so
+//! eviction never triggers at simulation scale — batch runs stay
+//! byte-identical — while serve mode stays O(capacity) under millions
+//! of distinct IPs.
+//!
+//! [`RiskService`]: crate::service::RiskService
+//! [`LruCache`]: crate::lru::LruCache
 
+use crate::lru::LruCache;
 use mhw_types::{AccountId, CountryCode, DeviceId, IpAddr, SimDuration, SimTime, DAY, HOUR};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
+
+/// Sliding-window cap on devices remembered per account.
+///
+/// Real users cycle through a handful of browsers/cookies; 32 covers
+/// every simulated profile (owners hold one stable device, crews mint
+/// fresh ones) so the window never evicts a device the batch pipeline
+/// would have remembered.
+pub const MAX_TRACKED_DEVICES: usize = 32;
+
+/// Cap on remembered failed-attempt timestamps per account.
+///
+/// The failure-burst signal saturates at 5 failures/day, so anything
+/// beyond 16 retained timestamps cannot change a score.
+pub const MAX_RECENT_FAILURES: usize = 16;
+
+/// Default LRU capacity for the per-IP fan-out cache.
+pub const DEFAULT_IP_CACHE_CAPACITY: usize = 65_536;
+
+/// Cap on distinct accounts counted per IP per day.
+///
+/// The fan-out signal clamps at [`SATURATING_FANOUT`] accounts, so the
+/// count saturating at 64 is semantically invisible.
+pub const MAX_ACCOUNTS_PER_IP: usize = 64;
 
 /// Per-account login history, updated on successful logins.
 #[derive(Debug, Default, Clone)]
 pub struct AccountHistory {
     /// Successful-login counts by country.
     countries: HashMap<CountryCode, u32>,
-    /// Devices previously seen on successful logins.
-    devices: HashSet<DeviceId>,
+    /// Sliding window of recently seen devices, oldest first. A device
+    /// seen again moves to the back (most recent), so the window evicts
+    /// by recency, not insertion order.
+    devices: VecDeque<DeviceId>,
     /// Most recent successful login (time, country).
     last_success: Option<(SimTime, CountryCode)>,
     /// Hour-of-day histogram of successful logins.
     hours: [u32; 24],
-    /// Recent failed attempts (time-pruned).
+    /// Recent failed attempts (time-pruned, bounded).
     recent_failures: VecDeque<SimTime>,
 }
 
 impl AccountHistory {
+    /// Total successful logins recorded on this account.
     pub fn total_logins(&self) -> u32 {
         self.countries.values().sum()
+    }
+
+    /// Whether `device` is inside the tracked-device window.
+    pub fn has_device(&self, device: DeviceId) -> bool {
+        self.devices.contains(&device)
+    }
+
+    /// Number of devices currently inside the window.
+    pub fn tracked_devices(&self) -> usize {
+        self.devices.len()
     }
 
     /// Record a successful login.
     pub fn record_success(&mut self, at: SimTime, country: CountryCode, device: DeviceId) {
         *self.countries.entry(country).or_insert(0) += 1;
-        self.devices.insert(device);
+        if let Some(pos) = self.devices.iter().position(|d| *d == device) {
+            self.devices.remove(pos);
+        } else if self.devices.len() >= MAX_TRACKED_DEVICES {
+            self.devices.pop_front();
+        }
+        self.devices.push_back(device);
         self.last_success = Some((at, country));
         self.hours[at.hour_of_day() as usize] += 1;
     }
@@ -61,6 +119,18 @@ impl AccountHistory {
                 break;
             }
         }
+        while self.recent_failures.len() > MAX_RECENT_FAILURES {
+            self.recent_failures.pop_front();
+        }
+    }
+
+    /// Rough retained-memory estimate in bytes (hash-map overhead
+    /// approximated; used only for capacity reporting, never scoring).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.countries.len() * 16
+            + self.devices.len() * std::mem::size_of::<DeviceId>()
+            + self.recent_failures.len() * std::mem::size_of::<SimTime>()
     }
 
     fn failures_in_last_day(&self, at: SimTime) -> usize {
@@ -71,63 +141,157 @@ impl AccountHistory {
     }
 }
 
+/// One IP's activity for the day it was last seen.
+#[derive(Debug, Clone)]
+struct IpDayActivity {
+    /// Day index the counts below belong to.
+    day: u64,
+    /// Distinct accounts seen from this IP that day (saturating at
+    /// [`MAX_ACCOUNTS_PER_IP`]).
+    accounts: Vec<AccountId>,
+}
+
 /// Provider-wide per-IP activity tracker (the fan-out signal).
-#[derive(Debug, Default)]
+///
+/// Backed by a fixed-capacity [`LruCache`]: under serve-mode traffic
+/// touching millions of distinct addresses, memory stays
+/// O(`capacity`). Entries are day-scoped, so LRU eviction only becomes
+/// observable if more than `capacity` distinct IPs log in within one
+/// simulated day — far above simulation scale.
+#[derive(Debug)]
 pub struct IpReputation {
-    /// (day_index, distinct accounts seen that day) per IP.
-    today: HashMap<IpAddr, (u64, HashSet<AccountId>)>,
+    today: LruCache<IpAddr, IpDayActivity>,
+    accounts_per_ip: usize,
+}
+
+impl Default for IpReputation {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl IpReputation {
+    /// Tracker with the default bounds ([`DEFAULT_IP_CACHE_CAPACITY`],
+    /// [`MAX_ACCOUNTS_PER_IP`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_limits(DEFAULT_IP_CACHE_CAPACITY, MAX_ACCOUNTS_PER_IP)
+    }
+
+    /// Tracker with explicit bounds (for tests and tuned deployments).
+    pub fn with_limits(ip_cache_capacity: usize, accounts_per_ip: usize) -> Self {
+        IpReputation {
+            today: LruCache::new(ip_cache_capacity),
+            accounts_per_ip: accounts_per_ip.max(1),
+        }
     }
 
     /// Record an attempt and return how many distinct accounts this IP
     /// has touched today (including this one).
     pub fn observe(&mut self, ip: IpAddr, account: AccountId, at: SimTime) -> usize {
         let day = at.day_index();
-        let entry = self.today.entry(ip).or_insert_with(|| (day, HashSet::new()));
-        if entry.0 != day {
-            entry.0 = day;
-            entry.1.clear();
+        let cap = self.accounts_per_ip;
+        let entry = self
+            .today
+            .get_or_insert_with(ip, || IpDayActivity { day, accounts: Vec::new() });
+        if entry.day != day {
+            entry.day = day;
+            entry.accounts.clear();
         }
-        entry.1.insert(account);
-        entry.1.len()
+        if !entry.accounts.contains(&account) && entry.accounts.len() < cap {
+            entry.accounts.push(account);
+        }
+        entry.accounts.len()
     }
 
     /// Current distinct-account count for an IP (0 if unseen today).
+    /// Reads without touching LRU recency.
     pub fn fanout(&self, ip: IpAddr, at: SimTime) -> usize {
         self.today
-            .get(&ip)
-            .filter(|(day, _)| *day == at.day_index())
-            .map(|(_, s)| s.len())
+            .peek(&ip)
+            .filter(|a| a.day == at.day_index())
+            .map(|a| a.accounts.len())
             .unwrap_or(0)
+    }
+
+    /// Number of IPs currently cached.
+    pub fn len(&self) -> usize {
+        self.today.len()
+    }
+
+    /// True when no IP has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.today.is_empty()
+    }
+
+    /// The LRU capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.today.capacity()
+    }
+
+    /// Rough retained-memory estimate in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        // key + slot links + day + saturating account vec, per entry.
+        self.today.len()
+            * (std::mem::size_of::<IpAddr>()
+                + 4 * std::mem::size_of::<usize>()
+                + self.accounts_per_ip * std::mem::size_of::<AccountId>())
     }
 }
 
 /// The history store for all accounts.
+///
+/// Total: any [`AccountId`] can be read or written, registered or not.
+/// Unknown accounts read as an empty history and are materialized on
+/// first write — serve mode sees never-before-seen accounts safely,
+/// and the batch pipeline no longer needs dense pre-registration.
 #[derive(Debug, Default)]
 pub struct HistoryStore {
-    accounts: Vec<AccountHistory>,
+    accounts: HashMap<AccountId, AccountHistory>,
+    /// Shared read-only default for accounts with no history yet.
+    empty: AccountHistory,
 }
 
 impl HistoryStore {
+    /// An empty store.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Pre-materialize an account's (empty) history. Optional — the
+    /// store is total either way — but keeps batch setup explicit.
     pub fn register(&mut self, account: AccountId) {
-        assert_eq!(account.index(), self.accounts.len(), "register accounts densely in order");
-        self.accounts.push(AccountHistory::default());
+        self.accounts.entry(account).or_default();
     }
 
+    /// This account's history; an empty default if never seen.
     pub fn get(&self, account: AccountId) -> &AccountHistory {
-        &self.accounts[account.index()]
+        self.accounts.get(&account).unwrap_or(&self.empty)
     }
 
+    /// Mutable history, materializing an empty one for new accounts.
     pub fn get_mut(&mut self, account: AccountId) -> &mut AccountHistory {
-        &mut self.accounts[account.index()]
+        self.accounts.entry(account).or_default()
+    }
+
+    /// Number of accounts with materialized history.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True when no account has history yet.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Devices tracked across all accounts (each bounded by
+    /// [`MAX_TRACKED_DEVICES`]).
+    pub fn tracked_devices(&self) -> usize {
+        self.accounts.values().map(|h| h.tracked_devices()).sum()
+    }
+
+    /// Rough retained-memory estimate in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.accounts.values().map(|h| h.approx_bytes() + 16).sum()
     }
 }
 
@@ -149,6 +313,7 @@ pub struct LoginSignals {
 }
 
 impl LoginSignals {
+    /// The six signals as a fixed array (engine weight order).
     pub fn as_array(&self) -> [f64; 6] {
         [
             self.new_country,
@@ -197,7 +362,7 @@ pub fn extract_signals(
         s.new_country = 0.5;
     }
 
-    if !cold_start && !history.devices.contains(&device) {
+    if !cold_start && !history.has_device(device) {
         s.new_device = 1.0;
     }
 
@@ -225,6 +390,7 @@ pub fn extract_signals(
 
 /// Convenience consts used by calibration tests.
 pub const SATURATING_FANOUT: usize = 20;
+/// Documentation anchors keeping the day/hour constants referenced.
 pub const _DOC_ANCHORS: (u64, u64) = (DAY, HOUR);
 
 #[cfg(test)]
@@ -376,5 +542,71 @@ mod tests {
         let day1 = SimTime::from_secs(DAY + 10);
         assert_eq!(rep.fanout(ip, day1), 0);
         assert_eq!(rep.observe(ip, AccountId(3), day1), 1);
+    }
+
+    #[test]
+    fn device_window_is_bounded_and_recency_ordered() {
+        let mut h = AccountHistory::default();
+        let t = SimTime::from_secs(0);
+        for i in 0..100u32 {
+            h.record_success(t, CountryCode::US, DeviceId(i));
+        }
+        assert_eq!(h.tracked_devices(), MAX_TRACKED_DEVICES);
+        assert!(h.has_device(DeviceId(99)), "most recent device retained");
+        assert!(!h.has_device(DeviceId(0)), "oldest device evicted");
+        // Re-seeing an old-but-retained device refreshes it.
+        h.record_success(t, CountryCode::US, DeviceId(68));
+        h.record_success(t, CountryCode::US, DeviceId(200));
+        assert!(h.has_device(DeviceId(68)), "touched device survives");
+        assert!(!h.has_device(DeviceId(69)), "untouched oldest evicted");
+    }
+
+    #[test]
+    fn failure_log_is_bounded() {
+        let mut h = AccountHistory::default();
+        let base = SimTime::from_secs(0);
+        for i in 0..1000 {
+            h.record_failure(base.plus(SimDuration::from_mins(i)));
+        }
+        assert!(h.recent_failures.len() <= MAX_RECENT_FAILURES);
+        // The burst signal still saturates.
+        let last = base.plus(SimDuration::from_mins(999));
+        assert_eq!(h.failures_in_last_day(last).min(5), 5);
+    }
+
+    #[test]
+    fn history_store_is_total() {
+        let mut store = HistoryStore::new();
+        // Reads of never-seen accounts return an empty default.
+        assert_eq!(store.get(AccountId(12345)).total_logins(), 0);
+        assert_eq!(store.len(), 0);
+        // Writes materialize history without registration.
+        store.get_mut(AccountId(7)).record_success(
+            SimTime::from_secs(10),
+            CountryCode::BR,
+            DeviceId(3),
+        );
+        assert_eq!(store.get(AccountId(7)).total_logins(), 1);
+        assert_eq!(store.len(), 1);
+        // Sparse registration is fine (no dense-order assert).
+        store.register(AccountId(4_000_000));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn ip_cache_stays_bounded() {
+        let mut rep = IpReputation::with_limits(128, 4);
+        let t = SimTime::from_secs(10);
+        for i in 0..10_000u32 {
+            rep.observe(IpAddr(i), AccountId(i % 7), t);
+        }
+        assert_eq!(rep.len(), 128);
+        assert!(rep.approx_bytes() < 128 * 128, "bytes bounded by capacity");
+        // Per-IP account counts saturate at the configured cap.
+        let ip = IpAddr::new(9, 9, 9, 9);
+        for a in 0..100u32 {
+            rep.observe(ip, AccountId(a), t);
+        }
+        assert_eq!(rep.fanout(ip, t), 4);
     }
 }

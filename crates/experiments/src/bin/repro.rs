@@ -34,44 +34,19 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use mhw_core::{FaultPlan, ScenarioConfig};
-use mhw_experiments::cli::{self, UsageError};
+use mhw_experiments::cli::{self, Failure, UsageError};
 use mhw_experiments::context::EngineOptions;
 use mhw_experiments::{all_experiments, Context, Scale};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-/// Why the binary is exiting nonzero: usage mistakes (exit 2) vs
-/// runtime failures (exit 1).
-enum Failure {
-    Usage(UsageError),
-    Runtime(String),
-}
-
-impl From<UsageError> for Failure {
-    fn from(e: UsageError) -> Self {
-        Failure::Usage(e)
-    }
-}
+const USAGE: &str = "usage: repro [--quick] [--seed N] [--workers N] [--out FILE] [--report FILE]\n\
+     \x20            [--validate] [--fidelity-out FILE] [--scorecard FILE]\n\
+     \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume FILE]\n\
+     \x20            [--fault-plan SPEC]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    match run(&args) {
-        Ok(()) => {}
-        Err(Failure::Usage(e)) => {
-            eprintln!("{e}");
-            eprintln!(
-                "usage: repro [--quick] [--seed N] [--workers N] [--out FILE] [--report FILE]\n\
-                 \x20            [--validate] [--fidelity-out FILE] [--scorecard FILE]\n\
-                 \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume FILE]\n\
-                 \x20            [--fault-plan SPEC]"
-            );
-            std::process::exit(2);
-        }
-        Err(Failure::Runtime(msg)) => {
-            eprintln!("error: {msg}");
-            std::process::exit(1);
-        }
-    }
+    cli::run_main(USAGE, run);
 }
 
 fn run(args: &[String]) -> Result<(), Failure> {

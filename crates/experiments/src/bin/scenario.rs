@@ -36,7 +36,7 @@
 use mhw_adversary::Era;
 use mhw_analysis::{bar_chart, Breakdown, Ecdf};
 use mhw_core::{Ecosystem, FaultPlan, ScenarioConfig, ShardedRun};
-use mhw_experiments::cli::{self, UsageError};
+use mhw_experiments::cli::{self, Failure, UsageError};
 use mhw_types::Actor;
 use std::path::PathBuf;
 
@@ -62,40 +62,15 @@ impl Run {
     }
 }
 
-/// Why the binary is exiting nonzero: usage mistakes (exit 2) vs
-/// runtime failures (exit 1).
-enum Failure {
-    Usage(UsageError),
-    Runtime(String),
-}
-
-impl From<UsageError> for Failure {
-    fn from(e: UsageError) -> Self {
-        Failure::Usage(e)
-    }
-}
+const USAGE: &str = "usage: scenario [--users N] [--days N] [--seed N] [--era 2011|2012]\n\
+     \x20               [--shards N] [--workers N] [--lures F] [--twofactor F]\n\
+     \x20               [--no-defense] [--no-classifier] [--no-monitor] [--no-challenge]\n\
+     \x20               [--report FILE] [--validate] [--fidelity-out FILE]\n\
+     \x20               [--checkpoint-dir DIR] [--checkpoint-every N]\n\
+     \x20               [--resume FILE] [--fault-plan SPEC]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    match run(&args) {
-        Ok(()) => {}
-        Err(Failure::Usage(e)) => {
-            eprintln!("{e}");
-            eprintln!(
-                "usage: scenario [--users N] [--days N] [--seed N] [--era 2011|2012]\n\
-                 \x20               [--shards N] [--workers N] [--lures F] [--twofactor F]\n\
-                 \x20               [--no-defense] [--no-classifier] [--no-monitor] [--no-challenge]\n\
-                 \x20               [--report FILE] [--validate] [--fidelity-out FILE]\n\
-                 \x20               [--checkpoint-dir DIR] [--checkpoint-every N]\n\
-                 \x20               [--resume FILE] [--fault-plan SPEC]"
-            );
-            std::process::exit(2);
-        }
-        Err(Failure::Runtime(msg)) => {
-            eprintln!("error: {msg}");
-            std::process::exit(1);
-        }
-    }
+    cli::run_main(USAGE, run);
 }
 
 fn run(args: &[String]) -> Result<(), Failure> {

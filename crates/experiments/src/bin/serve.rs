@@ -1,0 +1,249 @@
+//! `serve` — replay a login stream through streaming `RiskService`
+//! instances at maximum throughput and measure scoring cost.
+//!
+//! ```text
+//! serve [--users N] [--days N] [--logins-per-user-day N] [--attack-rate F]
+//!       [--seed N] [--threads LIST] [--log-in FILE] [--log-out FILE]
+//!       [--out BENCH_serve.json] [--smoke]
+//! ```
+//!
+//! Where `repro`/`scenario` run the closed-loop simulation, `serve`
+//! treats login scoring as the serving workload the paper's defense
+//! actually was: a time-ordered stream of login events is sharded by
+//! account across `--threads` worker threads (each owning one
+//! [`StreamingRiskService`] with bounded state) and replayed as fast
+//! as the hardware allows. Each
+//! thread-count configuration in `--threads` (default `1,4,8`) is
+//! measured separately; the results — logins/sec, p50/p99/mean scoring
+//! latency from an `mhw-obs` histogram, peak bounded-state footprint,
+//! and the chained verdict digest — are written to `--out` as a
+//! [`ServeReport`].
+//!
+//! The stream is either generated deterministically from the workload
+//! knobs (`--users`/`--days`/`--seed`…, optionally saved with
+//! `--log-out`) or loaded from a previously saved file (`--log-in`).
+//! `--smoke` runs the small default workload on 1 and 2 threads and
+//! verifies the written report parses and shows nonzero throughput —
+//! the CI hook. Timings measure the hardware and vary run to run; the
+//! per-run verdict digests are deterministic for a fixed stream and
+//! thread count. Usage errors exit 2, runtime failures exit 1.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+use mhw_core::replay::{self, ReplayLog, ReplayLogin, WorkloadConfig};
+use mhw_defense::{RiskEngine, RiskService, StateSize, StreamingRiskService};
+use mhw_experiments::cli::{self, Failure, UsageError};
+use mhw_netmodel::GeoDb;
+use mhw_obs::{buckets, MetricId, MetricsSnapshot, Registry, ServeReport, ServeRun};
+use std::time::Instant;
+
+const USAGE: &str = "usage: serve [--users N] [--days N] [--logins-per-user-day N] [--attack-rate F]\n\
+     \x20            [--seed N] [--threads LIST] [--log-in FILE] [--log-out FILE]\n\
+     \x20            [--out FILE] [--smoke]";
+
+/// Per-login scoring latency (assess + adjudicate + commit), wall ns.
+const M_LATENCY: MetricId = MetricId("serve.latency_ns");
+
+/// Events replayed between bounded-state size samples.
+const CHUNK: usize = 65_536;
+
+fn main() {
+    cli::run_main(USAGE, run);
+}
+
+/// One worker's replay result: its digest, its latency histogram, and
+/// the peak state footprint sampled between chunks.
+struct ShardResult {
+    digest: u64,
+    snapshot: MetricsSnapshot,
+    peak: StateSize,
+}
+
+fn max_state(a: StateSize, b: StateSize) -> StateSize {
+    StateSize {
+        accounts: a.accounts.max(b.accounts),
+        ip_entries: a.ip_entries.max(b.ip_entries),
+        tracked_devices: a.tracked_devices.max(b.tracked_devices),
+        approx_bytes: a.approx_bytes.max(b.approx_bytes),
+    }
+}
+
+/// Replay one shard through a fresh service, timing every login.
+fn replay_shard(geo: &GeoDb, events: &[ReplayLogin]) -> ShardResult {
+    let mut service = StreamingRiskService::new(RiskEngine::default());
+    let registry = Registry::new().with_histogram(M_LATENCY, buckets::SERVE_LATENCY_NANOS);
+    let mut request = replay::placeholder_request();
+    let mut digest = replay::DIGEST_SEED;
+    let mut peak = StateSize::default();
+    for chunk in events.chunks(CHUNK) {
+        for event in chunk {
+            let t = Instant::now();
+            let (verdict, outcome) = replay::score_event(&mut service, geo, event, &mut request);
+            registry.observe(M_LATENCY, t.elapsed().as_nanos() as u64);
+            digest = replay::mix_digest(digest, &verdict, outcome);
+        }
+        peak = max_state(peak, service.state_size());
+    }
+    ShardResult { digest, snapshot: registry.snapshot(), peak }
+}
+
+/// Measure one thread-count configuration: shard the stream by
+/// account, replay every shard concurrently, merge the histograms.
+fn measure(geo: &GeoDb, events: &[ReplayLogin], threads: usize) -> Result<ServeRun, Failure> {
+    let shards = replay::shard_events(events, threads);
+    let t0 = Instant::now();
+    let results: Result<Vec<ShardResult>, String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| scope.spawn(move || replay_shard(geo, shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| "replay worker panicked".to_string()))
+            .collect()
+    });
+    let results = results.map_err(Failure::Runtime)?;
+    let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+
+    let merged = MetricsSnapshot::merge_all(results.iter().map(|r| r.snapshot.clone()));
+    let latency = merged
+        .histogram(M_LATENCY.0)
+        .ok_or_else(|| Failure::Runtime("latency histogram missing from snapshot".to_string()))?;
+    let digests: Vec<u64> = results.iter().map(|r| r.digest).collect();
+    // Shards hold disjoint state, so the run's peak footprint is the
+    // sum of the per-shard peaks (each a max over its chunk samples).
+    let peak_bytes: u64 = results.iter().map(|r| r.peak.approx_bytes as u64).sum();
+    let peak_accounts: u64 = results.iter().map(|r| r.peak.accounts as u64).sum();
+    let peak_ips: u64 = results.iter().map(|r| r.peak.ip_entries as u64).sum();
+    Ok(ServeRun::from_measurement(
+        threads,
+        events.len() as u64,
+        wall_ms,
+        latency,
+        peak_bytes,
+        peak_accounts,
+        peak_ips,
+        replay::fold_digests(&digests),
+    ))
+}
+
+fn run(args: &[String]) -> Result<(), Failure> {
+    let smoke = cli::flag(args, "--smoke");
+    let seed = cli::value::<u64>(args, "--seed")?.unwrap_or(0x5E12_E014);
+    let threads = match cli::value_list::<usize>(args, "--threads")? {
+        Some(list) => list,
+        None if smoke => vec![1, 2],
+        None => vec![1, 4, 8],
+    };
+    if threads.contains(&0) {
+        return Err(UsageError("--threads values must be >= 1".to_string()).into());
+    }
+    let out_path =
+        cli::value::<String>(args, "--out")?.unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let log_in = cli::value::<String>(args, "--log-in")?;
+    let log_out = cli::value::<String>(args, "--log-out")?;
+    if log_in.is_some() && log_out.is_some() {
+        return Err(UsageError(
+            "--log-out would just copy --log-in back out; pick one".to_string(),
+        )
+        .into());
+    }
+
+    let geo = GeoDb::new();
+    let (stream_seed, users, days, events) = if let Some(path) = log_in {
+        let json = std::fs::read_to_string(&path)
+            .map_err(|e| Failure::Runtime(format!("reading {path}: {e}")))?;
+        let log = ReplayLog::from_json(&json)
+            .map_err(|e| Failure::Runtime(format!("parsing {path}: {e}")))?;
+        eprintln!("loaded {} events from {path}", log.events.len());
+        (log.seed, 0, 0, log.events)
+    } else {
+        let mut cfg = if smoke {
+            WorkloadConfig::small(seed)
+        } else {
+            WorkloadConfig {
+                users: 5_000,
+                days: 10,
+                logins_per_user_day: 2,
+                wrong_password_rate: 0.03,
+                travel_rate: 0.02,
+                attack_rate: 0.01,
+                seed,
+            }
+        };
+        if let Some(u) = cli::value::<u32>(args, "--users")? {
+            cfg.users = u;
+        }
+        if let Some(d) = cli::value::<u32>(args, "--days")? {
+            cfg.days = d;
+        }
+        if let Some(l) = cli::value::<u32>(args, "--logins-per-user-day")? {
+            cfg.logins_per_user_day = l;
+        }
+        if let Some(a) = cli::value::<f64>(args, "--attack-rate")? {
+            cfg.attack_rate = a;
+        }
+        eprintln!(
+            "generating workload: {} users x {} days x {} logins/day, seed {:#x} …",
+            cfg.users, cfg.days, cfg.logins_per_user_day, cfg.seed
+        );
+        let events = replay::generate_workload(&cfg, &geo);
+        if let Some(path) = log_out {
+            std::fs::write(&path, ReplayLog::new(cfg.seed, events.clone()).to_json())
+                .map_err(|e| Failure::Runtime(format!("writing {path}: {e}")))?;
+            eprintln!("wrote {path}");
+        }
+        (cfg.seed, cfg.users, cfg.days, events)
+    };
+    if events.is_empty() {
+        return Err(Failure::Runtime("login stream is empty".to_string()));
+    }
+
+    let mut report = ServeReport::new(stream_seed, users, days, events.len() as u64);
+    for &t in &threads {
+        eprintln!("replaying {} events on {t} thread(s) …", events.len());
+        let run = measure(&geo, &events, t)?;
+        println!(
+            "threads {t:>2}: {:>12.0} logins/s   p50 {:>6.0} ns   p99 {:>7.0} ns   \
+             peak state {} B   digest {:#018x}",
+            run.logins_per_sec, run.p50_ns, run.p99_ns, run.peak_state_bytes, run.verdict_digest
+        );
+        report.runs.push(run);
+    }
+    std::fs::write(&out_path, report.to_json())
+        .map_err(|e| Failure::Runtime(format!("writing {out_path}: {e}")))?;
+    println!("wrote {out_path}");
+
+    if smoke {
+        // Re-read what was just written: the smoke gate checks the
+        // artifact on disk, not the in-memory report.
+        let json = std::fs::read_to_string(&out_path)
+            .map_err(|e| Failure::Runtime(format!("re-reading {out_path}: {e}")))?;
+        let back = ServeReport::from_json(&json)
+            .map_err(|e| Failure::Runtime(format!("re-parsing {out_path}: {e}")))?;
+        if back.runs.len() != threads.len() {
+            return Err(Failure::Runtime(format!(
+                "smoke: expected {} runs in {out_path}, found {}",
+                threads.len(),
+                back.runs.len()
+            )));
+        }
+        for run in &back.runs {
+            if !run.logins_per_sec.is_finite() || run.logins_per_sec <= 0.0 {
+                return Err(Failure::Runtime(format!(
+                    "smoke: zero throughput at {} thread(s)",
+                    run.threads
+                )));
+            }
+            if run.events != back.events {
+                return Err(Failure::Runtime(format!(
+                    "smoke: run at {} thread(s) replayed {} of {} events",
+                    run.threads, run.events, back.events
+                )));
+            }
+        }
+        println!("serve smoke OK: {} events, {} thread configs", back.events, back.runs.len());
+    }
+    Ok(())
+}

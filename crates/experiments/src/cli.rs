@@ -22,9 +22,78 @@ impl fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
+/// Why a binary is exiting nonzero: usage mistakes (exit 2) vs runtime
+/// failures (exit 1). Shared by `repro`, `scenario` and `serve` so the
+/// exit-code contract stays in one place.
+pub enum Failure {
+    /// Bad flags: rendered with the usage string, exit status 2.
+    Usage(UsageError),
+    /// Anything that went wrong after parsing: exit status 1.
+    Runtime(String),
+}
+
+impl From<UsageError> for Failure {
+    fn from(e: UsageError) -> Self {
+        Failure::Usage(e)
+    }
+}
+
+/// Run a binary body under the shared exit-code contract: usage errors
+/// print the error plus `usage` and exit 2; runtime errors print
+/// `error: …` and exit 1; success exits 0.
+pub fn run_main(usage: &str, body: impl FnOnce(&[String]) -> Result<(), Failure>) -> ! {
+    let args: Vec<String> = std::env::args().collect();
+    match body(&args) {
+        Ok(()) => std::process::exit(0),
+        Err(Failure::Usage(e)) => {
+            eprintln!("{e}");
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+        Err(Failure::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// True when the boolean flag `name` appears anywhere in `args`.
 pub fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// The value following flag `name`, parsed as a comma-separated list
+/// of `T` (e.g. `--threads 1,4,8`).
+///
+/// * flag absent → `Ok(None)`;
+/// * empty list or any unparseable element → `Err` naming the flag.
+pub fn value_list<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+) -> Result<Option<Vec<T>>, UsageError> {
+    let Some(raw) = value::<String>(args, name)? else {
+        return Ok(None);
+    };
+    let mut out = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.parse() {
+            Ok(v) => out.push(v),
+            Err(_) => {
+                return Err(UsageError(format!(
+                    "invalid value for {name}: {part:?} in {raw:?} (expected comma-separated {})",
+                    std::any::type_name::<T>()
+                )))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(UsageError(format!("{name} requires at least one value")));
+    }
+    Ok(Some(out))
 }
 
 /// The value following flag `name`, parsed as `T`.
@@ -80,5 +149,30 @@ mod tests {
     fn missing_value_names_the_flag() {
         let err = value::<u64>(&args(&["--seed"]), "--seed").unwrap_err();
         assert!(err.0.contains("--seed"));
+    }
+
+    #[test]
+    fn value_list_parses_comma_separated() {
+        let v = value_list::<usize>(&args(&["--threads", "1,4,8"]), "--threads").unwrap();
+        assert_eq!(v, Some(vec![1, 4, 8]));
+        assert_eq!(value_list::<usize>(&args(&["--x", "1"]), "--threads").unwrap(), None);
+        // Whitespace and trailing commas are tolerated.
+        let v = value_list::<usize>(&args(&["--threads", "1, 2,"]), "--threads").unwrap();
+        assert_eq!(v, Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn value_list_rejects_bad_elements() {
+        let err = value_list::<usize>(&args(&["--threads", "1,x,8"]), "--threads").unwrap_err();
+        assert!(err.0.contains("--threads"), "{err}");
+        assert!(err.0.contains('x'), "{err}");
+        let err = value_list::<usize>(&args(&["--threads", ","]), "--threads").unwrap_err();
+        assert!(err.0.contains("at least one"), "{err}");
+    }
+
+    #[test]
+    fn usage_error_converts_into_usage_failure() {
+        let f: Failure = UsageError("bad".into()).into();
+        assert!(matches!(f, Failure::Usage(_)));
     }
 }

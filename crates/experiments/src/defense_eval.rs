@@ -34,9 +34,9 @@ fn run_world(ctx: &Context, threshold: f64, ablate: Option<&str>) -> Point {
         .days(days)
         .lures_per_user_day(2.0)
         .build();
-    eco.login.engine.challenge_threshold = threshold;
+    eco.login.engine_mut().challenge_threshold = threshold;
     if let Some(signal) = ablate {
-        eco.login.engine.weights = RiskWeights::default().without(signal);
+        eco.login.engine_mut().weights = RiskWeights::default().without(signal);
     }
     eco.run();
     let sessions = eco.sessions().iter().filter(|s| s.password_eventually_correct).count();

@@ -36,6 +36,7 @@ pub mod fidelity;
 pub mod metric;
 pub mod profile;
 pub mod report;
+pub mod serve;
 pub mod snapshot;
 pub mod trace;
 
@@ -43,5 +44,6 @@ pub use fidelity::{FidelityReport, FidelityStatus, TargetScore, Tolerance, FIDEL
 pub use metric::{buckets, MetricId, Registry};
 pub use profile::{EngineProfile, PhaseProfiler, PhaseTiming};
 pub use report::RunReport;
+pub use serve::{ServeReport, ServeRun, SERVE_SCHEMA};
 pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
 pub use trace::{SpanGuard, SpanRecord, TraceSink};

@@ -67,6 +67,33 @@ pub mod buckets {
     /// Small-count buckets: 1, 2, 5, 10, 20, 50, 100 (+ overflow), for
     /// per-event quantities like recipients per blast or queue depths.
     pub const SMALL_COUNTS: &[u64] = &[1, 2, 5, 10, 20, 50, 100];
+
+    /// Wall-clock scoring-latency buckets in **nanoseconds** (+
+    /// overflow), for serve-mode per-login latency. Unlike
+    /// [`LATENCY_SECS`] these measure real machine time, not simulated
+    /// time: 50 ns resolves a warm in-memory assess, the 1–4 decade
+    /// spread absorbs cache misses, allocator stalls and scheduler
+    /// preemption, and the 10 ms top bound keeps even a pathological
+    /// page fault out of the overflow bucket.
+    pub const SERVE_LATENCY_NANOS: &[u64] = &[
+        50,
+        100,
+        250,
+        500,
+        1_000,
+        2_500,
+        5_000,
+        10_000,
+        25_000,
+        50_000,
+        100_000,
+        250_000,
+        500_000,
+        1_000_000,
+        2_500_000,
+        5_000_000,
+        10_000_000,
+    ];
 }
 
 /// A histogram's atomic cells: one bucket per boundary plus overflow.

@@ -1,0 +1,154 @@
+//! The serve-mode benchmark report (`BENCH_serve.json`).
+//!
+//! Where [`RunReport`](crate::report::RunReport) is deterministic by
+//! contract, a [`ServeReport`] deliberately measures the *hardware*:
+//! wall-clock throughput and scoring latency of replaying a login
+//! stream through per-thread `RiskService` instances. The only
+//! deterministic fields are the workload identity (seed, users, days,
+//! event count) and each run's verdict digest — those are what CI can
+//! assert on; the timings are the perf trajectory.
+
+use crate::snapshot::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Identifies the serve-report layout; bump when fields change meaning.
+pub const SERVE_SCHEMA: &str = "mhw-serve/v1";
+
+/// One thread-count configuration's replay measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRun {
+    /// Worker threads (each owning one `RiskService` shard).
+    pub threads: usize,
+    /// Login events replayed (all shards together).
+    pub events: u64,
+    /// Wall-clock replay time in milliseconds.
+    pub wall_ms: f64,
+    /// Aggregate throughput in logins per second.
+    pub logins_per_sec: f64,
+    /// Median per-login scoring latency in nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile per-login scoring latency in nanoseconds.
+    pub p99_ns: f64,
+    /// Mean per-login scoring latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Peak bounded-state footprint across all shards, in bytes
+    /// (sampled between replay chunks).
+    pub peak_state_bytes: u64,
+    /// Peak accounts with materialized history across all shards.
+    pub peak_accounts: u64,
+    /// Peak IP-cache entries across all shards (≤ capacity × shards).
+    pub peak_ip_entries: u64,
+    /// Chained verdict digest over the replay (per-shard digests
+    /// folded in shard order). Equal across repeat runs at the same
+    /// thread count; differs across thread counts because per-shard
+    /// IP fan-out state partitions differently.
+    pub verdict_digest: u64,
+}
+
+impl ServeRun {
+    /// Assemble one run's row from the merged latency histogram and
+    /// the measured wall time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_measurement(
+        threads: usize,
+        events: u64,
+        wall_ms: f64,
+        latency: &HistogramSnapshot,
+        peak_state_bytes: u64,
+        peak_accounts: u64,
+        peak_ip_entries: u64,
+        verdict_digest: u64,
+    ) -> Self {
+        ServeRun {
+            threads,
+            events,
+            wall_ms,
+            logins_per_sec: if wall_ms > 0.0 { events as f64 / (wall_ms / 1_000.0) } else { 0.0 },
+            p50_ns: latency.quantile(0.50).unwrap_or(0.0),
+            p99_ns: latency.quantile(0.99).unwrap_or(0.0),
+            mean_ns: latency.mean().unwrap_or(0.0),
+            peak_state_bytes,
+            peak_accounts,
+            peak_ip_entries,
+            verdict_digest,
+        }
+    }
+}
+
+/// The full serve benchmark artifact: workload identity plus one
+/// [`ServeRun`] per thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Report schema tag ([`SERVE_SCHEMA`]).
+    pub schema: String,
+    /// Workload seed (0 when replaying a recorded log).
+    pub seed: u64,
+    /// Users in the generating workload (0 for recorded logs).
+    pub users: u32,
+    /// Days of generated traffic (0 for recorded logs).
+    pub days: u32,
+    /// Total login events in the stream.
+    pub events: u64,
+    /// One measurement per thread count, in the order run.
+    pub runs: Vec<ServeRun>,
+}
+
+impl ServeReport {
+    /// Assemble a report around its workload identity.
+    pub fn new(seed: u64, users: u32, days: u32, events: u64) -> Self {
+        ServeReport { schema: SERVE_SCHEMA.to_string(), seed, users, days, events, runs: Vec::new() }
+    }
+
+    /// Serialize to canonical JSON (fields in declaration order).
+    pub fn to_json(&self) -> String {
+        #[allow(clippy::expect_used)] // every field is serializable by construction
+        serde_json::to_string(self).expect("serve report serializes")
+    }
+
+    /// Parse a report back from [`ServeReport::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency() -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: "serve.latency".into(),
+            bounds: vec![100, 1_000, 10_000],
+            counts: vec![50, 40, 10, 0],
+            total: 100,
+            sum: 60_000,
+        }
+    }
+
+    #[test]
+    fn run_row_derives_throughput_and_quantiles() {
+        let run = ServeRun::from_measurement(4, 1_000, 250.0, &latency(), 4096, 100, 64, 0xabc);
+        assert_eq!(run.logins_per_sec, 4_000.0);
+        assert_eq!(run.p50_ns, 100.0);
+        assert!(run.p99_ns > run.p50_ns);
+        assert_eq!(run.mean_ns, 600.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = ServeReport::new(7, 200, 3, 1_000);
+        report
+            .runs
+            .push(ServeRun::from_measurement(1, 1_000, 500.0, &latency(), 4096, 100, 64, 0xabc));
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"mhw-serve/v1\""));
+        let back = ServeReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn zero_wall_time_does_not_divide_by_zero() {
+        let run = ServeRun::from_measurement(1, 10, 0.0, &latency(), 0, 0, 0, 0);
+        assert_eq!(run.logins_per_sec, 0.0);
+    }
+}

@@ -52,6 +52,42 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Option<f64> {
         (self.total > 0).then(|| self.sum as f64 / self.total as f64)
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation inside the bucket holding the target rank.
+    ///
+    /// Observations that landed in the overflow bucket are only known
+    /// to exceed the last bound, so a quantile that falls there
+    /// reports that bound (a lower bound on the true value). Returns
+    /// `None` when nothing was observed.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: q=0 → first, q=1 → last.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let prev_cum = cum;
+            cum += count;
+            if cum < rank {
+                continue;
+            }
+            if i >= self.bounds.len() {
+                // Overflow bucket: the last finite bound is all we know.
+                return Some(*self.bounds.last()? as f64);
+            }
+            let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] as f64 };
+            let upper = self.bounds[i] as f64;
+            let frac = (rank - prev_cum) as f64 / count as f64;
+            return Some(lower + frac * (upper - lower));
+        }
+        None
+    }
 }
 
 /// A complete, name-sorted set of rendered metrics.
@@ -195,6 +231,44 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = HistogramSnapshot {
+            name: "h".into(),
+            bounds: vec![100, 200, 400],
+            // 10 obs ≤100, 10 in (100,200], none in (200,400], 0 overflow.
+            counts: vec![10, 10, 0, 0],
+            total: 20,
+            sum: 3000,
+        };
+        assert_eq!(h.quantile(0.0), Some(10.0)); // rank 1 of 10 in [0,100]
+        assert_eq!(h.quantile(0.5), Some(100.0)); // rank 10: top of bucket 0
+        assert_eq!(h.quantile(0.75), Some(150.0)); // rank 15: mid bucket 1
+        assert_eq!(h.quantile(1.0), Some(200.0));
+        // Out-of-range q clamps.
+        assert_eq!(h.quantile(7.0), Some(200.0));
+    }
+
+    #[test]
+    fn quantile_overflow_reports_last_bound() {
+        let h = HistogramSnapshot {
+            name: "h".into(),
+            bounds: vec![100],
+            counts: vec![1, 9], // 9 observations above the last bound
+            total: 10,
+            sum: 10_000,
+        };
+        assert_eq!(h.quantile(0.99), Some(100.0));
+        let empty = HistogramSnapshot {
+            name: "e".into(),
+            bounds: vec![100],
+            counts: vec![0, 0],
+            total: 0,
+            sum: 0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

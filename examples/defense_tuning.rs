@@ -15,8 +15,8 @@ fn run_world(threshold: f64, weights: RiskWeights, seed: u64) -> (f64, f64, u64)
         .days(10)
         .lures_per_user_day(2.0)
         .build();
-    eco.login.engine.challenge_threshold = threshold;
-    eco.login.engine.weights = weights;
+    eco.login.engine_mut().challenge_threshold = threshold;
+    eco.login.engine_mut().weights = weights;
     eco.run();
     let attempts = eco
         .sessions()

@@ -45,6 +45,14 @@ echo "== docs links =="
 # Every intra-repo markdown link (and anchor) must resolve.
 scripts/check_links.sh
 
+echo "== serve-smoke =="
+# Serve-mode gate: generate the small workload, replay it through
+# per-thread RiskService instances on 1 and 2 threads, and verify the
+# written BENCH_serve.json parses with nonzero throughput. Usage
+# errors exit 2, runtime failures exit 1 (shared cli contract).
+cargo run --offline --release -p mhw-experiments --bin serve -- \
+    --smoke --out "$fidelity_tmp/BENCH_serve.json"
+
 echo "== bench-smoke =="
 # Scaling smoke: profile the engine at 1/2/4/8 workers on a small
 # scenario and write BENCH_scaling.json. The bench itself prints a

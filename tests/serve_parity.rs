@@ -1,0 +1,117 @@
+//! Batch/serve parity: the streaming `RiskService` replayed over a
+//! simulation's recorded login log must reproduce the batch pipeline's
+//! verdicts bit for bit, and its state must stay bounded no matter how
+//! many distinct IPs it sees.
+
+use manual_hijacking_wild::core::replay::{self, ReplayLogin, WorkloadConfig};
+use manual_hijacking_wild::defense::{
+    RiskService, ServiceLimits, StreamingRiskService, DEFAULT_IP_CACHE_CAPACITY,
+};
+use manual_hijacking_wild::netmodel::GeoDb;
+use manual_hijacking_wild::prelude::*;
+use manual_hijacking_wild::types::{DeviceId, IpAddr, SimTime};
+
+/// A fresh streaming service warmed up exactly the way
+/// `Ecosystem::build` warms every user (same shared
+/// `warm_up_standard`), ready to re-score the world's login log.
+fn warmed_service(eco: &Ecosystem) -> StreamingRiskService {
+    let mut svc = StreamingRiskService::new(RiskEngine::default());
+    for u in &eco.population.users {
+        let country = eco.geo.locate(u.home_ip).expect("home IP is in plan");
+        svc.warm_up_standard(u.account, country, u.device);
+    }
+    svc
+}
+
+#[test]
+fn streaming_replay_reproduces_batch_verdicts_bit_for_bit() {
+    let eco = ScenarioBuilder::small_test(0x5E2E).days(10).run();
+    let records = eco.login_log.records();
+    assert!(records.len() > 1_000, "world produced a real login stream");
+
+    let events = replay::from_login_log(&eco.login_log);
+    let mut svc = warmed_service(&eco);
+    let mut i = 0usize;
+    let stream_digest =
+        replay::replay_stream(&mut svc, &eco.geo, &events, replay::DIGEST_SEED, |_, v, out| {
+            assert_eq!(
+                v.score.to_bits(),
+                records[i].risk_score.to_bits(),
+                "score diverged at event {i} ({:?})",
+                records[i]
+            );
+            assert_eq!(out, records[i].outcome, "outcome diverged at event {i}");
+            i += 1;
+        });
+    assert_eq!(i, records.len(), "every recorded login was replayed");
+
+    // The chained digest pins the same thing end to end: batch-side
+    // (recorded scores + engine thresholds) equals streaming-side.
+    let batch_digest = replay::verdict_digest_from_log(&eco.login_log, eco.login.engine());
+    assert_eq!(stream_digest, batch_digest, "batch and serve verdict digests diverged");
+}
+
+#[test]
+fn sharded_replay_covers_every_event_deterministically() {
+    let geo = GeoDb::new();
+    let events = replay::generate_workload(&WorkloadConfig::small(0xA11), &geo);
+    let run = |threads: usize| -> (usize, u64) {
+        let shards = replay::shard_events(&events, threads);
+        let mut digests = Vec::new();
+        let mut n = 0;
+        for shard in &shards {
+            let mut svc = StreamingRiskService::new(RiskEngine::default());
+            digests.push(replay::replay_stream(
+                &mut svc,
+                &geo,
+                shard,
+                replay::DIGEST_SEED,
+                |_, _, _| n += 1,
+            ));
+        }
+        (n, replay::fold_digests(&digests))
+    };
+    let (n1, d1) = run(4);
+    let (n2, d2) = run(4);
+    assert_eq!(n1, events.len(), "sharding loses no events");
+    assert_eq!((n1, d1), (n2, d2), "sharded replay is deterministic");
+}
+
+#[test]
+fn bounded_state_stays_flat_under_a_million_distinct_ips() {
+    let geo = GeoDb::new();
+    let mut svc = StreamingRiskService::with_limits(
+        RiskEngine::default(),
+        ServiceLimits { ip_cache_capacity: DEFAULT_IP_CACHE_CAPACITY, accounts_per_ip: 64 },
+    );
+    let mut request = replay::placeholder_request();
+    let accounts = 512u32;
+    for i in 0..1_000_000u32 {
+        let event = ReplayLogin {
+            at: SimTime::from_secs(i as u64),
+            account: AccountId(i % accounts),
+            ip: IpAddr(i.wrapping_mul(2_654_435_761)), // distinct for all i
+            device: DeviceId(i % accounts),
+            password_correct: true,
+            challenge_pass: true,
+            outcome: None,
+        };
+        replay::score_event(&mut svc, &geo, &event, &mut request);
+    }
+    let size = svc.state_size();
+    assert!(
+        size.ip_entries <= DEFAULT_IP_CACHE_CAPACITY,
+        "IP cache exceeded its LRU bound: {} entries",
+        size.ip_entries
+    );
+    assert!(
+        size.accounts as u32 <= accounts,
+        "history exists only for seen accounts: {} > {accounts}",
+        size.accounts
+    );
+    assert!(
+        size.approx_bytes < 32 << 20,
+        "bounded state grew with the stream: {} bytes",
+        size.approx_bytes
+    );
+}
