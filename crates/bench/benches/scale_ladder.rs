@@ -1,0 +1,232 @@
+//! `bench_scale_ladder`: the population scaling ladder behind
+//! `BENCH_scale.json` — the same sharded engine at 10k, 100k and 1M
+//! users, reporting simulated user-days per wall-clock second, peak
+//! RSS, and the `shard_day` speedup across worker counts.
+//!
+//! Each rung runs in a **re-executed child process** (`--rung` mode):
+//! peak RSS is read from `/proc/self/status` `VmHWM`, which is a
+//! high-water mark for the whole process, so rungs must not share an
+//! address space or the 1M rung would inflate every smaller one. The
+//! parent collects one JSON row per child from stdout and writes the
+//! assembled ladder to `BENCH_scale.json` at the workspace root.
+//!
+//! Worker counts are mechanics, never semantics: within a rung the
+//! parent asserts every worker count produced the identical dataset
+//! digest (the same invariant `tests/sharding.rs` pins at unit scale).
+//! Speedup numbers are only meaningful on a host with that many
+//! hardware threads — the document records `host_parallelism` so a
+//! 1-core CI box reporting ~1.0x is read as "no cores", not "no
+//! scaling".
+//!
+//! The endurance rung (1M users x 180 days) also spills the merged
+//! logs to disk through [`mhw_types::LogStore::spill`] and reports the
+//! spilled volume and FNV digest, exercising the bounded-RSS path a
+//! million-user world needs.
+//!
+//! Run with `-- --smoke` (what `scripts/check.sh bench-scale` does) to
+//! execute a miniature rung through the same child-process machinery —
+//! including the cross-worker digest assertion — without touching the
+//! committed `BENCH_scale.json`.
+
+use mhw_core::{ScenarioConfig, ShardedEngine};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Logical shards per rung: enough to keep 16 workers busy, few enough
+/// that per-shard fixed costs stay invisible at 10k users.
+const SHARDS: u16 = 8;
+/// One seed for the whole ladder; rungs differ by size, not by world.
+const SEED: u64 = 0x5CA7E;
+
+/// One rung of `BENCH_scale.json`: a single (users, days, workers) run.
+#[derive(Serialize, Deserialize)]
+struct ScaleRow {
+    users: usize,
+    days: u64,
+    workers: usize,
+    build_s: f64,
+    elapsed_s: f64,
+    /// Simulated user-days per wall-clock second, the ladder's
+    /// throughput unit (1M users x 180 days = 180M user-days).
+    user_days_per_sec: f64,
+    shard_day_ms: f64,
+    /// `shard_day` at 1 worker divided by this row's; `null` for rungs
+    /// that only ran one worker count.
+    speedup: Option<f64>,
+    /// `VmHWM` of the rung's dedicated process, in MiB.
+    peak_rss_mib: f64,
+    digest: String,
+    /// Merged logs spilled to disk (endurance rung only): MiB written.
+    spilled_mib: Option<f64>,
+    /// FNV-1a digest over the spilled bytes (endurance rung only).
+    spill_digest: Option<String>,
+}
+
+/// The whole `BENCH_scale.json` document.
+#[derive(Serialize)]
+struct ScaleBench {
+    scenario: String,
+    /// `std::thread::available_parallelism` on the recording host —
+    /// the ceiling on every speedup column below.
+    host_parallelism: usize,
+    rungs: Vec<ScaleRow>,
+}
+
+fn peak_rss_mib() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Child mode: run one (users, days, workers) rung in this process and
+/// print its row as the last stdout line.
+fn run_rung(users: usize, days: u64, workers: usize, spill: bool) {
+    let config = ScenarioConfig::scale_world(SEED, users, days);
+    let t0 = Instant::now();
+    let engine = ShardedEngine::new(config, SHARDS).workers(workers).contact_spillover(0.25);
+    let run = engine.run().expect("scale rung run");
+    let elapsed = t0.elapsed().as_secs_f64();
+    let profile = run.profile();
+    let phase = |name: &str| {
+        profile.phases.iter().find(|p| p.phase == name).map_or(0.0, |p| p.total_ms)
+    };
+    let (spilled_mib, spill_digest) = if spill {
+        let dir = std::env::temp_dir().join(format!("mhw-scale-spill-{users}-{workers}"));
+        let files = run.spill_logs(&dir).expect("spill merged logs");
+        let bytes: u64 = files.iter().map(|f| f.bytes).sum();
+        let mut digest = 0u64;
+        for f in &files {
+            digest ^= f.digest;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        (Some(bytes as f64 / (1024.0 * 1024.0)), Some(format!("{digest:016x}")))
+    } else {
+        (None, None)
+    };
+    let row = ScaleRow {
+        users,
+        days,
+        workers,
+        build_s: phase("build") / 1e3,
+        elapsed_s: elapsed,
+        user_days_per_sec: (users as f64 * days as f64) / elapsed.max(f64::MIN_POSITIVE),
+        shard_day_ms: phase("shard_day"),
+        speedup: None, // filled in by the parent against the rung's baseline
+        peak_rss_mib: peak_rss_mib(),
+        digest: format!("{:016x}", run.dataset_digest()),
+        spilled_mib,
+        spill_digest,
+    };
+    println!("SCALE_ROW {}", serde_json::to_string(&row).expect("serialize row"));
+}
+
+/// Parent side: re-execute ourselves for one rung and parse its row.
+fn spawn_rung(users: usize, days: u64, workers: usize, spill: bool) -> ScaleRow {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--rung".to_string(),
+            users.to_string(),
+            days.to_string(),
+            workers.to_string(),
+            u8::from(spill).to_string(),
+        ])
+        .output()
+        .expect("spawn rung child");
+    assert!(
+        out.status.success(),
+        "rung {users}x{days}d @{workers}w failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .rev()
+        .find_map(|l| l.strip_prefix("SCALE_ROW "))
+        .expect("child printed no SCALE_ROW line");
+    serde_json::from_str(line).expect("parse child row")
+}
+
+/// Run one population size across `worker_counts`, fill in speedups
+/// against the first count, and assert digest equality across counts.
+fn run_ladder_rung(users: usize, days: u64, worker_counts: &[usize], spill: bool) -> Vec<ScaleRow> {
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for &workers in worker_counts {
+        eprintln!("scale rung: {users} users x {days} days @ {workers} workers...");
+        let row = spawn_rung(users, days, workers, spill);
+        eprintln!(
+            "  {:.0} user-days/s, shard_day {:.0} ms, peak RSS {:.0} MiB, digest {}",
+            row.user_days_per_sec, row.shard_day_ms, row.peak_rss_mib, row.digest
+        );
+        rows.push(row);
+    }
+    let baseline = rows[0].shard_day_ms;
+    let base_digest = rows[0].digest.clone();
+    let sweep = rows.len() > 1;
+    for row in &mut rows {
+        assert_eq!(
+            row.digest, base_digest,
+            "dataset digest changed with worker count at {users} users — \
+             workers leaked into semantics"
+        );
+        // A single-count rung (the endurance run) keeps speedup = null.
+        if sweep {
+            row.speedup = Some(baseline / row.shard_day_ms.max(f64::MIN_POSITIVE));
+        }
+    }
+    rows
+}
+
+fn write_scale_bench(rungs: Vec<ScaleRow>, scenario: &str) {
+    let doc = ScaleBench {
+        scenario: scenario.to_string(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rungs,
+    };
+    let json = serde_json::to_string(&doc).expect("serialize BENCH_scale.json");
+    let path: PathBuf = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json").into();
+    std::fs::write(&path, json).expect("write BENCH_scale.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--rung") {
+        let users: usize = args[i + 1].parse().expect("users");
+        let days: u64 = args[i + 2].parse().expect("days");
+        let workers: usize = args[i + 3].parse().expect("workers");
+        let spill: u8 = args[i + 4].parse().expect("spill flag");
+        run_rung(users, days, workers, spill != 0);
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        // check.sh gate: a miniature rung through the full child-process
+        // machinery (including the cross-worker digest assertion), no
+        // artifact written.
+        let rows = run_ladder_rung(2_000, 2, &[1, 4], false);
+        for row in &rows {
+            println!(
+                "smoke rung ok: {} users @ {} workers, {:.0} user-days/s, digest {}",
+                row.users, row.workers, row.user_days_per_sec, row.digest
+            );
+        }
+        return;
+    }
+    let mut rungs = Vec::new();
+    rungs.extend(run_ladder_rung(10_000, 30, &[1, 4, 8, 16], false));
+    rungs.extend(run_ladder_rung(100_000, 30, &[1, 4, 8, 16], false));
+    // The endurance rung: a million users for the paper's full
+    // 180-day observation window, with the merged logs spilled to
+    // disk. One worker count — the point is completion and RSS, and
+    // digest stability across workers is already pinned above.
+    rungs.extend(run_ladder_rung(1_000_000, 180, &[8], true));
+    write_scale_bench(
+        rungs,
+        "scale ladder: 8 shards, low-activity scale_world preset, seed 0x5CA7E",
+    );
+}

@@ -121,6 +121,27 @@ impl ScenarioConfig {
             ..ScenarioConfig::default()
         }
     }
+
+    /// A scale-ladder configuration: `n_users` with per-user activity
+    /// turned down so wall-clock cost is dominated by the per-user
+    /// bookkeeping the ladder measures (state columns, log appends,
+    /// merges), not by lure volume. Used by the `scale_ladder` bench;
+    /// the attack pipeline stays enabled so hot paths are exercised
+    /// end to end.
+    pub fn scale_world(seed: u64, n_users: usize, days: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            days,
+            population: PopulationConfig {
+                n_users,
+                seed_mailboxes: false,
+                activity_scale: 0.02,
+                ..PopulationConfig::default()
+            },
+            lures_per_user_day: 0.02,
+            ..ScenarioConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]

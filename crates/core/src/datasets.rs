@@ -35,9 +35,8 @@ pub fn reported_messages(eco: &Ecosystem) -> Vec<(AccountId, mhw_types::MessageI
 pub fn hijacker_logins(eco: &Ecosystem) -> Vec<&LoginRecord> {
     eco.login_log
         .records()
-        .iter()
         .filter(|r| r.actor.is_hijacker())
-        .map(|r| &r.record)
+        .map(|e| e.record)
         .collect()
 }
 

@@ -38,8 +38,8 @@ use mhw_population::{Population, PopulationBuilder};
 use mhw_recovery::{run_remission, ClaimTrigger, RecoveryService, RemissionReport};
 use mhw_simclock::SimRng;
 use mhw_types::{
-    AccountId, Actor, CampaignId, CrewId, EmailAddress, IncidentId, MessageId, PageId,
-    SimDuration, SimTime, DAY, HOUR,
+    AccountId, Actor, CampaignId, CrewId, DenseMap, EmailAddress, IncidentId, MessageId, PageId,
+    SimDuration, SimTime, Span, StrArena, DAY, HOUR,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -61,20 +61,116 @@ enum LureSource {
     Direct(CrewId),
 }
 
-/// Per-user dynamic state.
-#[derive(Debug, Clone)]
-struct UserState {
-    /// The password the user believes is theirs.
-    known_password: String,
-    travelling_today: bool,
+/// Sentinel for "no active incident" in the dense incident column.
+const NO_INCIDENT: u32 = u32::MAX;
+
+/// Per-user dynamic state, stored struct-of-arrays and indexed by the
+/// dense account index.
+///
+/// The daily loop touches every user several times (travel flag at
+/// scheduling, password + incident checks per login, awareness and
+/// claim timers at every sweep), so each field lives in its own column:
+/// a scan reads only the bytes it needs, and a million users cost a
+/// handful of flat allocations instead of a million scattered structs.
+/// Known passwords are spans into one shared [`StrArena`]; the rare
+/// cold field (failed recovery methods for an open incident) lives in a
+/// side table keyed by account index.
+#[derive(Debug, Default)]
+struct UserStates {
+    /// The password each user believes is theirs (span into `arena`).
+    known_password: Vec<Span>,
+    arena: StrArena,
+    travelling_today: Vec<bool>,
     /// When the user (will) realize the account is hijacked.
-    aware_at: Option<SimTime>,
+    aware_at: Vec<Option<SimTime>>,
     /// Next recovery-claim attempt.
-    next_claim_at: Option<SimTime>,
-    claim_attempts: u32,
-    /// Methods that already failed for the active incident.
-    failed_methods: Vec<mhw_recovery::RecoveryMethod>,
-    active_incident: Option<usize>,
+    next_claim_at: Vec<Option<SimTime>>,
+    claim_attempts: Vec<u32>,
+    /// Index into [`Ecosystem::incidents`], or [`NO_INCIDENT`].
+    active_incident: Vec<u32>,
+    /// Cold side table: methods that already failed for the active
+    /// incident (empty for almost every user on almost every day).
+    failed_methods: HashMap<u32, Vec<mhw_recovery::RecoveryMethod>>,
+}
+
+impl UserStates {
+    fn len(&self) -> usize {
+        self.known_password.len()
+    }
+
+    /// Append the next user's state (users are registered densely in
+    /// account order).
+    fn push(&mut self, password: &str) {
+        let span = self.arena.push(password);
+        self.known_password.push(span);
+        self.travelling_today.push(false);
+        self.aware_at.push(None);
+        self.next_claim_at.push(None);
+        self.claim_attempts.push(0);
+        self.active_incident.push(NO_INCIDENT);
+    }
+
+    fn password(&self, i: usize) -> &str {
+        self.arena.get(self.known_password[i])
+    }
+
+    fn set_password(&mut self, i: usize, password: &str) {
+        self.known_password[i] = self.arena.push(password);
+    }
+
+    /// The user's active incident, if any (in-range and set).
+    fn active_incident(&self, i: usize) -> Option<usize> {
+        match self.active_incident.get(i) {
+            Some(&idx) if idx != NO_INCIDENT => Some(idx as usize),
+            _ => None,
+        }
+    }
+
+    fn failed_methods(&self, i: usize) -> &[mhw_recovery::RecoveryMethod] {
+        self.failed_methods.get(&(i as u32)).map_or(&[], Vec::as_slice)
+    }
+
+    fn note_failed_method(&mut self, i: usize, method: mhw_recovery::RecoveryMethod) {
+        let methods = self.failed_methods.entry(i as u32).or_default();
+        if !methods.contains(&method) {
+            methods.push(method);
+        }
+    }
+
+    /// Reset all per-incident state after a successful recovery.
+    fn clear_incident(&mut self, i: usize) {
+        self.active_incident[i] = NO_INCIDENT;
+        self.aware_at[i] = None;
+        self.next_claim_at[i] = None;
+        self.claim_attempts[i] = 0;
+        self.failed_methods.remove(&(i as u32));
+    }
+}
+
+/// The `Copy` slice of a profile an organic session needs, extracted up
+/// front so the hot path never clones a full `UserProfile` (address and
+/// other heap fields) once per login.
+#[derive(Debug, Clone, Copy)]
+struct UserVitals {
+    device: mhw_types::DeviceId,
+    report_propensity: f64,
+    gullibility: f64,
+    sends_per_day: f64,
+    logins_per_day: f64,
+    searches_per_day: f64,
+}
+
+impl UserVitals {
+    fn of(u: &mhw_population::UserProfile) -> Self {
+        UserVitals {
+            device: u.device,
+            report_propensity: u.report_propensity,
+            gullibility: u.gullibility,
+            sends_per_day: u.sends_per_day,
+            logins_per_day: u.logins_per_day,
+            searches_per_day: u.searches_per_day,
+        }
+    }
 }
 
 /// One confirmed manual-hijacking incident.
@@ -152,7 +248,7 @@ pub struct Ecosystem {
     pub obs: Registry,
     /// Decoy accounts injected by the Figure 7 experiment.
     pub decoy_accounts: HashSet<AccountId>,
-    users: Vec<UserState>,
+    users: UserStates,
     /// Decoy submissions scheduled by the Figure 7 experiment.
     pending_decoys: Vec<(SimTime, AccountId, CrewId)>,
     /// Lures queued from outside this shard (cross-shard contact-graph
@@ -164,7 +260,10 @@ pub struct Ecosystem {
     /// Prompt dropbox pickups queued by capture_credential, run between
     /// events (never re-entrantly).
     pending_pickups: Vec<(usize, CapturedCredential, SimTime)>,
-    lure_index: HashMap<MessageId, LureSource>,
+    /// Which crew a delivered lure feeds, keyed by dense message index.
+    /// Shard-0 message ids fill the dense region; ids carrying a shard
+    /// tag in the high byte land in the map's overflow region.
+    lure_index: DenseMap<LureSource>,
     /// Per-crew current link-lure page (index into `pages`).
     crew_pages: Vec<Option<usize>>,
     /// Per-crew (hour index, sessions run that hour) budget tracker.
@@ -249,19 +348,10 @@ impl Ecosystem {
         let crew_pages = vec![None; crews.crews.len()];
         let crew_hour_used = vec![(u64::MAX, 0); crews.crews.len()];
 
-        let users = population
-            .users
-            .iter()
-            .map(|u| UserState {
-                known_password: credentials.password_for_capture(u.account).to_string(),
-                travelling_today: false,
-                aware_at: None,
-                next_claim_at: None,
-                claim_attempts: 0,
-                failed_methods: Vec::new(),
-                active_incident: None,
-            })
-            .collect();
+        let mut users = UserStates::default();
+        for u in &population.users {
+            users.push(credentials.password_for_capture(u.account));
+        }
 
         Ecosystem {
             geo,
@@ -298,7 +388,7 @@ impl Ecosystem {
             pending_external_lures: Vec::new(),
             market_outbox: Vec::new(),
             pending_pickups: Vec::new(),
-            lure_index: HashMap::new(),
+            lure_index: DenseMap::new(),
             crew_pages,
             crew_hour_used,
             log_cursor: 0,
@@ -532,10 +622,10 @@ impl Ecosystem {
         }
         mix!("lens{:?}", self.log_lens());
         mix!("login-edge{:?}{:?}",
-            self.login_log.store().entries().first().map(|e| e.key),
-            self.login_log.store().entries().last().map(|e| e.key));
-        mix!("mail-edge{:?}", self.provider.log_store().entries().last().map(|e| e.key));
-        mix!("notif-edge{:?}", self.notifications.log_store().entries().last().map(|e| e.key));
+            self.login_log.store().first().map(|e| e.key),
+            self.login_log.store().last().map(|e| e.key));
+        mix!("mail-edge{:?}", self.provider.log_store().last().map(|e| e.key));
+        mix!("notif-edge{:?}", self.notifications.log_store().last().map(|e| e.key));
         mix!("stats{:?}", self.stats);
         mix!("pages{}|takedowns{}", self.pages.len(), self.takedowns.len());
         mix!("incidents{}|{:?}", self.incidents.len(), self.incidents.last());
@@ -559,8 +649,8 @@ impl Ecosystem {
 
         // Organic logins, diurnal per user timezone.
         for u in &self.population.users {
-            let st = &mut self.users[u.account.index()];
-            st.travelling_today = self.rng_organic.chance(u.travel_propensity);
+            self.users.travelling_today[u.account.index()] =
+                self.rng_organic.chance(u.travel_propensity);
             let n = self.rng_organic.poisson(u.logins_per_day);
             for _ in 0..n {
                 // Local waking hours 7..23.
@@ -771,7 +861,7 @@ impl Ecosystem {
         if self.provider.mailbox(target).folder_of(id) == Some(Folder::Spam) {
             self.stats.lures_spam_foldered += 1;
         }
-        self.lure_index.insert(id, source);
+        self.lure_index.insert(id.index() as u32, source);
         self.drain_monitor_top();
     }
 
@@ -782,8 +872,8 @@ impl Ecosystem {
         }
         let log = self.provider.log();
         let mut flagged = Vec::new();
-        for event in &log[self.log_cursor..] {
-            let v = self.monitor.observe(event);
+        for event in log.iter_from(self.log_cursor) {
+            let v = self.monitor.observe(&event);
             if v.flagged && !self.disabled.contains(&event.account) {
                 flagged.push((event.account, event.at));
             }
@@ -801,7 +891,7 @@ impl Ecosystem {
                 );
             }
             // Anti-abuse disable interrupts any ongoing incident.
-            if let Some(idx) = self.users.get(account.index()).and_then(|s| s.active_incident) {
+            if let Some(idx) = self.users.active_incident(account.index()) {
                 let inc = &mut self.incidents[idx];
                 if inc.disabled_at.is_none() {
                     inc.disabled_at = Some(at);
@@ -837,15 +927,19 @@ impl Ecosystem {
             self.mark_aware(account, at);
             return;
         }
-        let user = self.population.users[account.index()].clone();
-        let st_travelling = self.users[account.index()].travelling_today;
-        let (ip, _) = user.login_origin(&self.geo, &mut self.rng_organic, st_travelling);
-        let password = self.users[account.index()].known_password.clone();
+        let idx = account.index();
+        // Copy out the profile scalars the session needs instead of
+        // cloning the whole profile (address and friends) per login.
+        let vitals = UserVitals::of(&self.population.users[idx]);
+        let travelling = self.users.travelling_today[idx];
+        let (ip, _) =
+            self.population.users[idx].login_origin(&self.geo, &mut self.rng_organic, travelling);
+        let password = self.users.password(idx).to_string();
         let request = LoginRequest {
             at,
             account,
             ip,
-            device: user.device,
+            device: vitals.device,
             password,
             actor: Actor::Owner,
             capabilities: self.owner_capabilities(account),
@@ -860,7 +954,7 @@ impl Ecosystem {
             self.login
                 .attempt(&request, &ctx, &mut self.login_log, &mut self.rng_organic);
         self.stats.organic_logins += 1;
-        if let Some(record) = self.login_log.records().last() {
+        if let Some(record) = self.login_log.store().last() {
             if record.challenge.is_some() {
                 self.stats.organic_challenges += 1;
                 if !record.outcome.is_success() {
@@ -872,8 +966,8 @@ impl Ecosystem {
             LoginOutcome::WrongPassword => {
                 // If a hijacker rotated the password, the owner now knows.
                 if self
-                    .users[account.index()]
-                    .active_incident
+                    .users
+                    .active_incident(idx)
                     .map(|i| {
                         self.credentials
                             .hijacker_changed_since(account, self.incidents[i].hijack_start)
@@ -883,11 +977,11 @@ impl Ecosystem {
                     self.mark_aware(account, at);
                 }
             }
-            LoginOutcome::Success => self.organic_mail_activity(at, account, &user),
+            LoginOutcome::Success => self.organic_mail_activity(at, account, vitals),
             LoginOutcome::SecondFactorFailed => {
                 // A second factor the owner does not control means a
                 // crew swapped it: the lockout is unmistakable.
-                if self.users[account.index()].active_incident.is_some() {
+                if self.users.active_incident(idx).is_some() {
                     self.mark_aware(account, at);
                 }
             }
@@ -895,12 +989,7 @@ impl Ecosystem {
         }
     }
 
-    fn organic_mail_activity(
-        &mut self,
-        at: SimTime,
-        account: AccountId,
-        user: &mhw_population::UserProfile,
-    ) {
+    fn organic_mail_activity(&mut self, at: SimTime, account: AccountId, user: UserVitals) {
         let mut t = at.plus(SimDuration::from_secs(30));
         // Read a few unread inbox messages; react to abuse.
         let inbox = self.provider.mailbox(account).list_folder(Folder::Inbox);
@@ -1003,11 +1092,11 @@ impl Ecosystem {
         &mut self,
         at: SimTime,
         account: AccountId,
-        user: &mhw_population::UserProfile,
+        user: UserVitals,
         message: MessageId,
         from: &EmailAddress,
     ) {
-        let Some(mut source) = self.lure_index.get(&message).copied() else {
+        let Some(mut source) = self.lure_index.get(message.index() as u32).copied() else {
             return; // a hijacker-forwarded copy or seeded mail
         };
         // A share of contact-phished credentials gets sold on rather
@@ -1192,7 +1281,7 @@ impl Ecosystem {
             )
         };
         for (id, crew) in lure_sink {
-            self.lure_index.insert(id, LureSource::Direct(crew));
+            self.lure_index.insert(id.index() as u32, LureSource::Direct(crew));
         }
         self.stats.sessions_run += 1;
         self.register_session(report);
@@ -1240,7 +1329,7 @@ impl Ecosystem {
         self.obs.inc(M_INCIDENTS);
         self.incidents.push(incident);
         if account.index() < self.users.len() {
-            self.users[account.index()].active_incident = Some(incident_index);
+            self.users.active_incident[account.index()] = incident_index as u32;
             self.schedule_awareness(incident_index);
         }
     }
@@ -1285,24 +1374,25 @@ impl Ecosystem {
             candidates.push(ended.plus(SimDuration::from_days(2)));
         }
         if let Some(min) = candidates.into_iter().min() {
-            let st = &mut self.users[account.index()];
-            st.aware_at = Some(st.aware_at.map_or(min, |a| a.min(min)));
+            let aware = &mut self.users.aware_at[account.index()];
+            *aware = Some(aware.map_or(min, |a| a.min(min)));
         }
     }
 
     fn mark_aware(&mut self, account: AccountId, at: SimTime) {
-        if account.index() >= self.users.len() {
+        let idx = account.index();
+        if idx >= self.users.len() {
             return;
         }
-        let st = &mut self.users[account.index()];
-        if st.active_incident.is_none() {
+        if self.users.active_incident(idx).is_none() {
             return;
         }
-        st.aware_at = Some(st.aware_at.map_or(at, |a| a.min(at)));
-        if st.next_claim_at.is_none() {
+        let aware = &mut self.users.aware_at[idx];
+        *aware = Some(aware.map_or(at, |a| a.min(at)));
+        if self.users.next_claim_at[idx].is_none() {
             // Filing takes a little while (finding the form, §6.1).
             let delay = 120 + self.rng_recovery.below(1200);
-            st.next_claim_at = Some(at.plus(SimDuration::from_secs(delay)));
+            self.users.next_claim_at[idx] = Some(at.plus(SimDuration::from_secs(delay)));
         }
     }
 
@@ -1315,11 +1405,11 @@ impl Ecosystem {
             .iter()
             .map(|u| u.account)
             .filter(|a| {
-                let st = &self.users[a.index()];
-                if st.active_incident.is_none() || st.claim_attempts >= 8 {
+                let i = a.index();
+                if self.users.active_incident(i).is_none() || self.users.claim_attempts[i] >= 8 {
                     return false;
                 }
-                match (st.aware_at, st.next_claim_at) {
+                match (self.users.aware_at[i], self.users.next_claim_at[i]) {
                     (Some(aw), Some(next)) => aw <= at && next <= at,
                     (Some(aw), None) => aw <= at,
                     _ => false,
@@ -1336,7 +1426,7 @@ impl Ecosystem {
     // a succeeded claim always carries its resolution time.
     #[allow(clippy::expect_used)]
     fn file_claim(&mut self, account: AccountId, at: SimTime) {
-        let incident_index = self.users[account.index()].active_incident.expect("checked");
+        let incident_index = self.users.active_incident(account.index()).expect("checked");
         let (hijacked_at, disabled_at, flagged_at, recovered) = {
             let inc = &self.incidents[incident_index];
             (
@@ -1347,7 +1437,7 @@ impl Ecosystem {
             )
         };
         if recovered {
-            self.users[account.index()].active_incident = None;
+            self.users.active_incident[account.index()] = NO_INCIDENT;
             return;
         }
         let trigger = if disabled_at.is_some() {
@@ -1366,7 +1456,7 @@ impl Ecosystem {
         // flagging instant resolves "before" the flag, yielding
         // negative recovery latencies.
         let filed_at = at.max(flagged_at);
-        let failed_methods = self.users[account.index()].failed_methods.clone();
+        let failed_methods = self.users.failed_methods(account.index()).to_vec();
         let resolution = self.recovery.process_claim(
             account,
             hijacked_at,
@@ -1378,8 +1468,7 @@ impl Ecosystem {
             &failed_methods,
             &mut self.rng_recovery,
         );
-        let st = &mut self.users[account.index()];
-        st.claim_attempts += 1;
+        self.users.claim_attempts[account.index()] += 1;
         if resolution.claim.succeeded {
             let resolved_at = resolution.claim.resolved_at.expect("resolved");
             let mut remission = run_remission(
@@ -1414,26 +1503,21 @@ impl Ecosystem {
             inc.recovered_at = Some(resolved_at);
             inc.remission = Some(remission);
             self.stats.recovered += 1;
-            let st = &mut self.users[account.index()];
-            st.active_incident = None;
-            st.aware_at = None;
-            st.next_claim_at = None;
-            st.claim_attempts = 0;
-            st.failed_methods.clear();
-            st.known_password = self.credentials.password_for_capture(account).to_string();
+            self.users.clear_incident(account.index());
+            self.users
+                .set_password(account.index(), self.credentials.password_for_capture(account));
             self.disabled.remove(&account);
             // Monitoring state should not immediately re-flag the owner.
         } else {
             if let Some(m) = resolution.claim.method {
-                if !st.failed_methods.contains(&m) {
-                    st.failed_methods.push(m);
-                }
+                self.users.note_failed_method(account.index(), m);
             }
             // Users retry a failed claim later the same day or the next
             // morning (§6.3: multiple options are offered), switching to
             // a different channel.
             let delay = 6 * HOUR + self.rng_recovery.below(12 * HOUR);
-            st.next_claim_at = Some(at.plus(SimDuration::from_secs(delay)));
+            self.users.next_claim_at[account.index()] =
+                Some(at.plus(SimDuration::from_secs(delay)));
         }
     }
 
@@ -1558,7 +1642,6 @@ mod tests {
         let crew_logins = eco
             .login_log
             .records()
-            .iter()
             .filter(|r| matches!(r.actor, Actor::Hijacker(_)))
             .count();
         assert!(crew_logins > 0);
@@ -1631,8 +1714,8 @@ mod tests {
                 .credentials
                 .hijacker_changed_since(inc.account, inc.recovered_at.unwrap());
             if !rehijacked {
-                let st = &eco.users[inc.account.index()];
-                assert!(eco.credentials.verify(inc.account, &st.known_password));
+                let pw = eco.users.password(inc.account.index());
+                assert!(eco.credentials.verify(inc.account, pw));
             }
         }
     }
@@ -1648,7 +1731,6 @@ mod tests {
         let owner_logins = eco
             .login_log
             .records()
-            .iter()
             .filter(|r| r.account == d && r.actor == Actor::Owner)
             .count();
         assert_eq!(owner_logins, 0);

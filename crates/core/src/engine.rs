@@ -58,12 +58,12 @@ use mhw_obs::{
 };
 use mhw_simclock::SimRng;
 use mhw_types::{
-    CachePadded, CheckpointOp, CrewId, EngineError, EngineResult, LogStore, SimDuration, SimTime,
-    Stamped, DAY,
+    CachePadded, CheckpointOp, CrewId, EngineError, EngineResult, Entry, Fnv1a, LogStore,
+    SimDuration, SimTime, SpillFile, DAY,
 };
 use parking_lot::Mutex;
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Credentials that changed hands on the cross-shard market (mirrors
@@ -910,17 +910,6 @@ impl std::fmt::Debug for ShardedRun {
     }
 }
 
-/// FNV-1a over a byte slice (the digest primitive; stable across
-/// platforms and runs).
-fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
-    let mut h = hash;
-    for b in bytes {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 impl ShardedRun {
     /// The per-shard worlds, in shard order.
     pub fn shards(&self) -> &[Ecosystem] {
@@ -935,18 +924,34 @@ impl ShardedRun {
     }
 
     /// All login records, globally ordered by `(SimTime, shard, seq)`.
-    pub fn merged_logins(&self) -> Vec<&Stamped<LoginRecord>> {
+    pub fn merged_logins(&self) -> Vec<Entry<'_, LoginRecord>> {
         LogStore::merge(self.shards.iter().map(|e| e.login_log.store()))
     }
 
     /// All mail-provider events, globally ordered.
-    pub fn merged_mail_events(&self) -> Vec<&Stamped<MailEvent>> {
+    pub fn merged_mail_events(&self) -> Vec<Entry<'_, MailEvent>> {
         LogStore::merge(self.shards.iter().map(|e| e.provider.log_store()))
     }
 
     /// All notification records, globally ordered.
-    pub fn merged_notifications(&self) -> Vec<&Stamped<NotificationRecord>> {
+    pub fn merged_notifications(&self) -> Vec<Entry<'_, NotificationRecord>> {
         LogStore::merge(self.shards.iter().map(|e| e.notifications.log_store()))
+    }
+
+    /// Stream the three merged event logs to `dir` (one file each:
+    /// `logins.log`, `mail_events.log`, `notifications.log`) and return
+    /// the spill receipts in that order. The bytes written are exactly
+    /// what [`dataset_digest`](Self::dataset_digest) hashes for each
+    /// log, so long-horizon runs can drop the in-memory merged views
+    /// and re-verify the datasets from disk later via
+    /// [`mhw_types::read_spilled_digest`].
+    pub fn spill_logs(&self, dir: &Path) -> std::io::Result<Vec<SpillFile>> {
+        std::fs::create_dir_all(dir)?;
+        Ok(vec![
+            LogStore::spill(self.merged_logins(), &dir.join("logins.log"))?,
+            LogStore::spill(self.merged_mail_events(), &dir.join("mail_events.log"))?,
+            LogStore::spill(self.merged_notifications(), &dir.join("notifications.log"))?,
+        ])
     }
 
     /// All incidents, tagged with their shard id.
@@ -991,35 +996,36 @@ impl ShardedRun {
     /// what `tests/sharding.rs` pins.
     pub fn dataset_digest(&self) -> u64 {
         let mut line = String::new();
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h = Fnv1a::new();
         for r in self.merged_logins() {
             line.clear();
             let _ = write!(line, "{:?}|{:?}", r.key, r.record);
-            h = fnv1a(h, line.as_bytes());
+            h.write(line.as_bytes());
         }
         for e in self.merged_mail_events() {
             line.clear();
             let _ = write!(line, "{:?}|{:?}", e.key, e.record);
-            h = fnv1a(h, line.as_bytes());
+            h.write(line.as_bytes());
         }
         for n in self.merged_notifications() {
             line.clear();
             let _ = write!(line, "{:?}|{:?}", n.key, n.record);
-            h = fnv1a(h, line.as_bytes());
+            h.write(line.as_bytes());
         }
         for (shard, inc) in self.incidents() {
             line.clear();
             let _ = write!(line, "{shard}|{inc:?}");
-            h = fnv1a(h, line.as_bytes());
+            h.write(line.as_bytes());
         }
         for (shard, sess) in self.sessions() {
             line.clear();
             let _ = write!(line, "{shard}|{sess:?}");
-            h = fnv1a(h, line.as_bytes());
+            h.write(line.as_bytes());
         }
         line.clear();
         let _ = write!(line, "{:?}", self.total_stats());
-        fnv1a(h, line.as_bytes())
+        h.write(line.as_bytes());
+        h.finish()
     }
 
     /// The engine's own metrics registry (market trades, cross-shard

@@ -202,7 +202,6 @@ pub fn generate_workload(cfg: &WorkloadConfig, geo: &GeoDb) -> Vec<ReplayLogin> 
 /// re-scoring of the same state trajectory.
 pub fn from_login_log(log: &LoginLog) -> Vec<ReplayLogin> {
     log.records()
-        .iter()
         .map(|r| ReplayLogin {
             at: r.at,
             account: r.account,

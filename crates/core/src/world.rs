@@ -66,8 +66,8 @@ impl<'a> WorldAdapter<'a> {
         };
         let log = self.provider.log();
         let mut newly_flagged = Vec::new();
-        for event in &log[*self.log_cursor..] {
-            let verdict = monitor.observe(event);
+        for event in log.iter_from(*self.log_cursor) {
+            let verdict = monitor.observe(&event);
             if verdict.flagged && !self.disabled.contains(&event.account) {
                 newly_flagged.push((event.account, event.at));
             }

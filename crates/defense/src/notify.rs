@@ -13,7 +13,7 @@
 use mhw_identity::RecoveryOptions;
 use mhw_obs::{MetricId, Registry};
 use mhw_simclock::SimRng;
-use mhw_types::{AccountId, EventSink, LogStore, ShardId, SimTime, Stamped};
+use mhw_types::{AccountId, Entry, EventSink, LogStore, ShardId, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Notification attempts fired (any channel, including none-on-file).
@@ -124,8 +124,9 @@ impl NotificationEngine {
         record
     }
 
-    pub fn log(&self) -> &[Stamped<NotificationRecord>] {
-        self.log.entries()
+    /// The engine's notification log.
+    pub fn log(&self) -> &LogStore<NotificationRecord> {
+        &self.log
     }
 
     /// The underlying segment (for cross-shard merging).
@@ -139,9 +140,9 @@ impl NotificationEngine {
         &self,
         account: AccountId,
         since: SimTime,
-    ) -> Option<&Stamped<NotificationRecord>> {
+    ) -> Option<Entry<'_, NotificationRecord>> {
         self.log
-            .iter()
+            .entries()
             .find(|r| r.account == account && r.at >= since && r.delivered)
     }
 }

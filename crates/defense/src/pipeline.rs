@@ -270,7 +270,6 @@ mod tests {
         let challenged = f
             .log
             .records()
-            .iter()
             .filter(|r| r.challenge.is_some())
             .count();
         assert_eq!(challenged, 0);

@@ -37,8 +37,8 @@
 //! [`LruCache`]: crate::lru::LruCache
 
 use crate::lru::LruCache;
-use mhw_types::{AccountId, CountryCode, DeviceId, IpAddr, SimDuration, SimTime, DAY, HOUR};
-use std::collections::{HashMap, VecDeque};
+use mhw_types::{AccountId, CountryCode, DenseMap, DeviceId, IpAddr, SimDuration, SimTime, DAY, HOUR};
+use std::collections::VecDeque;
 
 /// Sliding-window cap on devices remembered per account.
 ///
@@ -66,8 +66,11 @@ pub const MAX_ACCOUNTS_PER_IP: usize = 64;
 /// Per-account login history, updated on successful logins.
 #[derive(Debug, Default, Clone)]
 pub struct AccountHistory {
-    /// Successful-login counts by country.
-    countries: HashMap<CountryCode, u32>,
+    /// Successful-login counts by country, sorted by country code.
+    /// Users see one or two countries in their lifetime, so a sorted
+    /// pair-vec beats a per-account hash map by an order of magnitude
+    /// in memory and loses nothing in lookup time.
+    countries: Vec<(CountryCode, u32)>,
     /// Sliding window of recently seen devices, oldest first. A device
     /// seen again moves to the back (most recent), so the window evicts
     /// by recency, not insertion order.
@@ -83,7 +86,12 @@ pub struct AccountHistory {
 impl AccountHistory {
     /// Total successful logins recorded on this account.
     pub fn total_logins(&self) -> u32 {
-        self.countries.values().sum()
+        self.countries.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Whether a successful login was ever recorded from `country`.
+    pub fn has_country(&self, country: CountryCode) -> bool {
+        self.countries.binary_search_by_key(&country, |(c, _)| *c).is_ok()
     }
 
     /// Whether `device` is inside the tracked-device window.
@@ -98,7 +106,10 @@ impl AccountHistory {
 
     /// Record a successful login.
     pub fn record_success(&mut self, at: SimTime, country: CountryCode, device: DeviceId) {
-        *self.countries.entry(country).or_insert(0) += 1;
+        match self.countries.binary_search_by_key(&country, |(c, _)| *c) {
+            Ok(i) => self.countries[i].1 += 1,
+            Err(i) => self.countries.insert(i, (country, 1)),
+        }
         if let Some(pos) = self.devices.iter().position(|d| *d == device) {
             self.devices.remove(pos);
         } else if self.devices.len() >= MAX_TRACKED_DEVICES {
@@ -124,11 +135,11 @@ impl AccountHistory {
         }
     }
 
-    /// Rough retained-memory estimate in bytes (hash-map overhead
-    /// approximated; used only for capacity reporting, never scoring).
+    /// Rough retained-memory estimate in bytes (used only for capacity
+    /// reporting, never scoring).
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.countries.len() * 16
+            + self.countries.len() * std::mem::size_of::<(CountryCode, u32)>()
             + self.devices.len() * std::mem::size_of::<DeviceId>()
             + self.recent_failures.len() * std::mem::size_of::<SimTime>()
     }
@@ -244,9 +255,14 @@ impl IpReputation {
 /// Unknown accounts read as an empty history and are materialized on
 /// first write — serve mode sees never-before-seen accounts safely,
 /// and the batch pipeline no longer needs dense pre-registration.
+///
+/// Backed by a [`DenseMap`]: account ids are allocated densely from 0,
+/// so a batch world's histories live in one `Vec` indexed by account
+/// — no hashing on the per-login hot path. Serve-mode traffic with
+/// sparse or namespaced ids falls back to the map's overflow region.
 #[derive(Debug, Default)]
 pub struct HistoryStore {
-    accounts: HashMap<AccountId, AccountHistory>,
+    accounts: DenseMap<AccountHistory>,
     /// Shared read-only default for accounts with no history yet.
     empty: AccountHistory,
 }
@@ -257,20 +273,36 @@ impl HistoryStore {
         Self::default()
     }
 
+    /// An empty store pre-sized for accounts `0..n` (admits the whole
+    /// population to the dense region up front).
+    pub fn with_capacity(n: usize) -> Self {
+        HistoryStore {
+            accounts: DenseMap::with_dense_capacity(n),
+            empty: AccountHistory::default(),
+        }
+    }
+
     /// Pre-materialize an account's (empty) history. Optional — the
     /// store is total either way — but keeps batch setup explicit.
     pub fn register(&mut self, account: AccountId) {
-        self.accounts.entry(account).or_default();
+        let key = account.index() as u32;
+        if self.accounts.get(key).is_none() {
+            self.accounts.insert(key, AccountHistory::default());
+        }
     }
 
     /// This account's history; an empty default if never seen.
     pub fn get(&self, account: AccountId) -> &AccountHistory {
-        self.accounts.get(&account).unwrap_or(&self.empty)
+        self.accounts.get(account.index() as u32).unwrap_or(&self.empty)
     }
 
     /// Mutable history, materializing an empty one for new accounts.
     pub fn get_mut(&mut self, account: AccountId) -> &mut AccountHistory {
-        self.accounts.entry(account).or_default()
+        let key = account.index() as u32;
+        if self.accounts.get(key).is_none() {
+            self.accounts.insert(key, AccountHistory::default());
+        }
+        self.accounts.get_mut(key).expect("just materialized")
     }
 
     /// Number of accounts with materialized history.
@@ -348,7 +380,7 @@ pub fn extract_signals(
     let cold_start = history.total_logins() < 3;
 
     if let Some(c) = country {
-        if !cold_start && !history.countries.contains_key(&c) {
+        if !cold_start && !history.has_country(c) {
             s.new_country = 1.0;
         }
         if let Some((last_at, last_country)) = history.last_success {

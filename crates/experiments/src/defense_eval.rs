@@ -44,7 +44,7 @@ fn run_world(ctx: &Context, threshold: f64, ablate: Option<&str>) -> Point {
         / sessions.max(1) as f64;
     let owner_challenge_rate =
         eco.stats.organic_challenges as f64 / eco.stats.organic_logins.max(1) as f64;
-    let (crew_contact, crew_total) = eco.login_log.records().iter().fold((0u64, 0u64), |(c, t), r| {
+    let (crew_contact, crew_total) = eco.login_log.records().fold((0u64, 0u64), |(c, t), r| {
         if matches!(r.actor, Actor::Hijacker(_)) && r.password_correct {
             let friction = r.challenge.is_some()
                 || matches!(r.outcome, mhw_identity::LoginOutcome::Blocked);

@@ -9,6 +9,7 @@
 //! share, so the 75% emerges from capture quality rather than a
 //! hard-coded coin flip at login time.
 
+use mhw_types::intern::{Span, StrArena};
 use mhw_types::Actor;
 use mhw_types::{AccountId, SimTime};
 
@@ -19,17 +20,27 @@ pub struct PasswordChange {
     pub actor: Actor,
 }
 
-/// Per-account credential state.
+/// Per-account credential state. The password itself lives in the
+/// store-wide string arena; the per-account row is a fixed-size span
+/// handle, so a million credentials cost one buffer instead of a
+/// million heap strings.
 #[derive(Debug, Clone)]
 struct Credential {
-    password: String,
+    password: Span,
     changes: Vec<PasswordChange>,
 }
 
 /// The credential store for the whole provider.
+///
+/// Passwords are arena-backed: registration and rotation append into
+/// one shared [`StrArena`] and the dense per-account table stores
+/// 8-byte [`Span`] handles. Rotated-away passwords stay in the arena
+/// (append-only) — at simulation scale the dead bytes are noise next
+/// to the per-`String` allocator overhead they replace.
 #[derive(Debug, Default)]
 pub struct CredentialStore {
     creds: Vec<Credential>,
+    arena: StrArena,
 }
 
 impl CredentialStore {
@@ -45,19 +56,20 @@ impl CredentialStore {
             self.creds.len(),
             "accounts must be registered densely in order"
         );
-        self.creds.push(Credential { password: password.to_string(), changes: Vec::new() });
+        let span = self.arena.push(password);
+        self.creds.push(Credential { password: span, changes: Vec::new() });
     }
 
     /// Exact password check.
     pub fn verify(&self, account: AccountId, candidate: &str) -> bool {
-        self.creds[account.index()].password == candidate
+        self.arena.get(self.creds[account.index()].password) == candidate
     }
 
     /// Whether `candidate` is within the trivial-variant neighbourhood of
     /// the real password (used by crew retry logic; the crew does not see
     /// the real password — the simulator adjudicates the retry).
     pub fn verify_with_variants(&self, account: AccountId, candidate: &str) -> bool {
-        let actual = &self.creds[account.index()].password;
+        let actual = self.arena.get(self.creds[account.index()].password);
         candidate == actual || is_trivial_variant(candidate, actual)
     }
 
@@ -70,8 +82,9 @@ impl CredentialStore {
         new_password: &str,
         at: SimTime,
     ) {
+        let span = self.arena.push(new_password);
         let c = &mut self.creds[account.index()];
-        c.password = new_password.to_string();
+        c.password = span;
         c.changes.push(PasswordChange { at, actor });
     }
 
@@ -91,7 +104,7 @@ impl CredentialStore {
     /// The real password (simulator-internal: used to seed victim typing
     /// models; never exposed to detection code).
     pub fn password_for_capture(&self, account: AccountId) -> &str {
-        &self.creds[account.index()].password
+        self.arena.get(self.creds[account.index()].password)
     }
 }
 

@@ -8,8 +8,8 @@
 
 use mhw_obs::{MetricId, Registry};
 use mhw_types::{
-    AccountId, Actor, DeviceId, EventSink, IpAddr, LogKey, LogStore, SessionId, ShardId, SimTime,
-    Stamped,
+    AccountId, Actor, DeviceId, Entries, Entry, EventSink, IpAddr, LogKey, LogStore, SessionId,
+    ShardId, SimTime,
 };
 use serde::{Deserialize, Serialize};
 
@@ -175,8 +175,10 @@ impl LoginLog {
         }
     }
 
-    pub fn records(&self) -> &[Stamped<LoginRecord>] {
-        self.store.entries()
+    /// The stamped records in emission order (read straight off the
+    /// segment's columns).
+    pub fn records(&self) -> Entries<'_, LoginRecord> {
+        self.store.iter()
     }
 
     /// The underlying segment (for cross-shard merging).
@@ -198,7 +200,7 @@ impl LoginLog {
         &self,
         account: AccountId,
         since: SimTime,
-    ) -> Option<&Stamped<LoginRecord>> {
+    ) -> Option<Entry<'_, LoginRecord>> {
         self.store
             .iter()
             .filter(|r| r.account == account && r.at >= since && r.outcome.is_success())
@@ -206,12 +208,12 @@ impl LoginLog {
     }
 
     /// All records for an account.
-    pub fn for_account(&self, account: AccountId) -> impl Iterator<Item = &Stamped<LoginRecord>> {
+    pub fn for_account(&self, account: AccountId) -> impl Iterator<Item = Entry<'_, LoginRecord>> {
         self.store.iter().filter(move |r| r.account == account)
     }
 
     /// All records from an IP.
-    pub fn from_ip(&self, ip: IpAddr) -> impl Iterator<Item = &Stamped<LoginRecord>> {
+    pub fn from_ip(&self, ip: IpAddr) -> impl Iterator<Item = Entry<'_, LoginRecord>> {
         self.store.iter().filter(move |r| r.ip == ip)
     }
 

@@ -14,9 +14,9 @@ use crate::message::{Message, MessageDraft};
 use crate::search::{search, SearchQuery};
 use mhw_obs::{MetricId, Registry};
 use mhw_types::{
-    AccountId, EmailAddress, EventSink, FilterId, LogStore, MessageId, ShardId, SimTime, Stamped,
+    AccountId, EmailAddress, EventSink, FilterId, Interner, LogStore, MessageId, ShardId, SimTime,
+    Sym,
 };
-use std::collections::HashMap;
 
 /// Messages sent from internal accounts (one per Sent event).
 pub const M_MESSAGES_SENT: MetricId = MetricId("mailsys.messages_sent");
@@ -38,10 +38,11 @@ pub struct SettingsAudit<T> {
     pub new: T,
 }
 
-/// Per-account state held by the provider.
+/// Per-account state held by the provider. The account's primary
+/// address lives in the provider-wide address interner (symbol index ==
+/// account index), not here.
 #[derive(Debug, Default)]
 struct AccountState {
-    address: Option<EmailAddress>,
     mailbox: Mailbox,
     filters: Vec<MailFilter>,
     reply_to: Option<EmailAddress>,
@@ -53,7 +54,11 @@ struct AccountState {
 #[derive(Debug)]
 pub struct MailProvider {
     accounts: Vec<AccountState>,
-    by_address: HashMap<EmailAddress, AccountId>,
+    /// Every registered primary address, interned in account order —
+    /// so the symbol for an account's address *is* its dense account
+    /// index, and address → account resolution is one table probe with
+    /// no separate reverse map.
+    addresses: Interner<EmailAddress>,
     next_message: u32,
     next_filter: u32,
     log: LogStore<MailEvent>,
@@ -64,7 +69,7 @@ impl Default for MailProvider {
     fn default() -> Self {
         MailProvider {
             accounts: Vec::new(),
-            by_address: HashMap::new(),
+            addresses: Interner::new(),
             next_message: 0,
             next_filter: 0,
             log: LogStore::default(),
@@ -104,15 +109,13 @@ impl MailProvider {
     /// Panics if the address is already registered.
     pub fn create_account(&mut self, address: EmailAddress) -> AccountId {
         assert!(
-            !self.by_address.contains_key(&address),
+            self.addresses.lookup(&address).is_none(),
             "address {address} already registered"
         );
         let id = AccountId::from_index(self.accounts.len());
-        self.accounts.push(AccountState {
-            address: Some(address.clone()),
-            ..AccountState::default()
-        });
-        self.by_address.insert(address, id);
+        self.accounts.push(AccountState::default());
+        let sym = self.addresses.intern(address);
+        debug_assert_eq!(sym.index(), id.index(), "address symbols track account ids");
         id
     }
 
@@ -122,15 +125,12 @@ impl MailProvider {
 
     /// Primary address of an account.
     pub fn address_of(&self, id: AccountId) -> &EmailAddress {
-        self.accounts[id.index()]
-            .address
-            .as_ref()
-            .expect("account has an address")
+        self.addresses.resolve(Sym::from_index(id.index()))
     }
 
     /// Resolve an address to an internal account, if it is one of ours.
     pub fn resolve(&self, address: &EmailAddress) -> Option<AccountId> {
-        self.by_address.get(address).copied()
+        self.addresses.lookup(address).map(|sym| AccountId::from_index(sym.index()))
     }
 
     /// Immutable mailbox access (measurement only).
@@ -143,9 +143,11 @@ impl MailProvider {
         &mut self.accounts[id.index()].mailbox
     }
 
-    /// The full activity log.
-    pub fn log(&self) -> &[Stamped<MailEvent>] {
-        self.log.entries()
+    /// The full activity log (a columnar segment; iterate it for
+    /// stamped entries, or use [`LogStore::iter_from`] for incremental
+    /// cursor-based consumers).
+    pub fn log(&self) -> &LogStore<MailEvent> {
+        &self.log
     }
 
     /// The underlying segment (for cross-shard merging).

@@ -48,6 +48,11 @@ pub struct PopulationConfig {
     /// Whether to seed mailbox content (slow for very large populations;
     /// measurement scenarios need it, micro-benchmarks may not).
     pub seed_mailboxes: bool,
+    /// Multiplier applied to every user's sampled per-day activity
+    /// rates (logins, sends, searches). 1.0 is the paper-calibrated
+    /// default; the scale-ladder benchmarks turn it down so wall-clock
+    /// cost tracks population size rather than event volume.
+    pub activity_scale: f64,
 }
 
 impl Default for PopulationConfig {
@@ -66,6 +71,7 @@ impl Default for PopulationConfig {
             p_within: 0.45,
             long_links: 3,
             seed_mailboxes: true,
+            activity_scale: 1.0,
         }
     }
 }
@@ -190,9 +196,9 @@ impl<'a> PopulationBuilder<'a> {
                 address,
                 country,
                 language: country.language(),
-                logins_per_day,
-                sends_per_day,
-                searches_per_day,
+                logins_per_day: logins_per_day * config.activity_scale,
+                sends_per_day: sends_per_day * config.activity_scale,
+                searches_per_day: searches_per_day * config.activity_scale,
                 gullibility: 0.12 + 0.8 * rng.f64() * rng.f64(), // skewed low, floor 0.12
                 report_propensity: 0.1 + rng.f64() * 0.5,
                 travel_propensity: 0.005 + rng.f64() * 0.03,

@@ -41,6 +41,16 @@ define_id!(
     "acct"
 );
 define_id!(
+    /// A human user of the simulated ecosystem.
+    ///
+    /// Users and accounts are allocated densely in lockstep by the
+    /// population builder, so `UserId(i)` owns `AccountId(i)` — but the
+    /// two sides index different stores (behavioral columns vs. provider
+    /// state) and the distinct newtypes keep those joins explicit.
+    UserId,
+    "user"
+);
+define_id!(
     /// A single email message in some mailbox.
     MessageId,
     "msg"
@@ -97,6 +107,16 @@ mod tests {
             assert_eq!(AccountId::from_index(i).index(), i);
             assert_eq!(MessageId::from_index(i).index(), i);
         }
+    }
+
+    #[test]
+    fn user_and_account_ids_do_not_unify() {
+        // Same dense index, different types: `UserId(3) == AccountId(3)`
+        // must not compile; the explicit bridge is via `index()`.
+        let user = UserId::from_index(3);
+        let account = AccountId::from_index(user.index());
+        assert_eq!(account.index(), user.index());
+        assert_eq!(user.to_string(), "user3");
     }
 
     #[test]

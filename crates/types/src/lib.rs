@@ -29,6 +29,7 @@ pub mod email;
 pub mod error;
 pub mod geo;
 pub mod ids;
+pub mod intern;
 pub mod ip;
 pub mod log;
 pub mod phone;
@@ -42,10 +43,14 @@ pub use error::{CheckpointOp, EngineError, EngineResult, Error};
 pub use geo::{CountryCode, Language};
 pub use ids::{
     AccountId, CampaignId, ClaimId, CrewId, DeviceId, FilterId, IncidentId, MessageId, PageId,
-    SessionId,
+    SessionId, UserId,
 };
+pub use intern::{DenseMap, Interner, Span, StrArena, Sym};
 pub use ip::{IpAddr, IpBlock};
-pub use log::{EventSink, LogKey, LogStore, ShardId, Stamped};
+pub use log::{
+    read_spilled_digest, Entries, Entry, EventSink, Fnv1a, LogKey, LogStore, ShardId, SpillFile,
+    Stamped,
+};
 pub use phone::PhoneNumber;
 pub use sync::CachePadded;
 pub use time::{SimDuration, SimTime, Weekday, DAY, HOUR, MINUTE, WEEK};

@@ -13,6 +13,23 @@
 //!   emit records (world adapters, defense hooks) does not care which
 //!   segment it is writing into.
 //!
+//! # Columnar layout
+//!
+//! A segment stores its entries as *columns*, not an array of structs:
+//! a timestamp column (`Vec<SimTime>`) and a payload column (`Vec<T>`).
+//! The rest of the key is implicit — `shard` is constant per segment
+//! and `seq` is the dense append counter, i.e. the row index — so the
+//! key column costs nothing to materialize. The win at scale: scans
+//! that only need timestamps (merge cursors, day-window queries) touch
+//! 8 bytes per row instead of dragging whole records through cache,
+//! and a segment of `n` records costs two allocations, not `n`.
+//!
+//! Borrowing iteration yields [`Entry`] — a `Copy` (key, `&record`)
+//! pair that derefs to the record, so call sites read `e.at`, `e.kind`
+//! etc. exactly as they did when entries were stored as structs. The
+//! owned form [`Stamped`] survives for consumers that need to hold
+//! records outside the segment's lifetime.
+//!
 //! The key design constraint is determinism: `seq` is allocated densely
 //! per shard in append order, so a segment's contents are a pure
 //! function of the events that shard processed — independent of how
@@ -25,17 +42,26 @@
 //! Merging is a true k-way merge, not concatenate-then-sort: each
 //! segment tracks whether its appends arrived in time order (they
 //! almost always do — a shard emits while advancing its simulated
-//! clock), sorted segments are consumed in place, the rare unsorted
-//! segment is sorted *on its own*, and a cursor heap interleaves the
-//! k sorted streams in `O(n log k)`. [`LogStore::merge_into`] exposes
-//! the same merge over a caller-owned, pre-sized output buffer so
-//! repeated merges (benchmarks, digest loops) reuse one allocation.
+//! clock), sorted segments are consumed straight off their columns, the
+//! rare unsorted segment is sorted *on its own*, and a cursor heap
+//! interleaves the k sorted streams in `O(n log k)`.
+//! [`LogStore::merge_into`] exposes the same merge over a caller-owned,
+//! pre-sized output buffer so repeated merges reuse one allocation.
+//!
+//! For worlds whose merged logs outgrow RAM, [`LogStore::spill`]
+//! streams a merged view to disk in the exact byte format the dataset
+//! digest hashes, so the spilled file's [`Fnv1a`] digest equals the
+//! in-memory one and can be re-verified later with
+//! [`read_spilled_digest`].
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt::Debug;
+use std::io::{BufRead, Write};
 use std::ops::Deref;
+use std::path::Path;
 
 /// Identifier of the logical shard a record was produced on.
 ///
@@ -59,10 +85,11 @@ pub struct LogKey {
     pub seq: u64,
 }
 
-/// A log record together with its ordering key.
+/// A log record together with its ordering key, owned.
 ///
-/// Derefs to the record so existing call sites (`r.at`, `r.actor`,
-/// `matches!(e.kind, ..)`) keep working unchanged on stamped entries.
+/// The borrowing analogue handed out by segment iteration is
+/// [`Entry`]; `Stamped` is for consumers that keep records beyond the
+/// segment's lifetime (e.g. [`LogStore::merge_owned`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stamped<T> {
     /// The global ordering key: `(SimTime, shard, seq)`.
@@ -84,6 +111,56 @@ impl<T> AsRef<T> for Stamped<T> {
     }
 }
 
+/// A borrowed log entry: the ordering key (reassembled from the
+/// segment's columns) plus a reference into the payload column.
+///
+/// `Entry` is `Copy` and derefs to the record, so existing call sites
+/// (`r.at`, `r.actor`, `matches!(e.kind, ..)`) work unchanged on
+/// entries read out of a columnar segment.
+#[derive(Debug)]
+pub struct Entry<'a, T> {
+    /// The global ordering key: `(SimTime, shard, seq)`.
+    pub key: LogKey,
+    /// The domain record, borrowed from the segment's payload column.
+    pub record: &'a T,
+}
+
+impl<'a, T> Clone for Entry<'a, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, T> Copy for Entry<'a, T> {}
+
+impl<'a, T> Deref for Entry<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.record
+    }
+}
+
+impl<'a, T> AsRef<T> for Entry<'a, T> {
+    fn as_ref(&self) -> &T {
+        self.record
+    }
+}
+
+impl<'a, T: PartialEq> PartialEq for Entry<'a, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.record == other.record
+    }
+}
+
+impl<'a, T> Entry<'a, T> {
+    /// Clone into an owned [`Stamped`] record.
+    pub fn to_stamped(self) -> Stamped<T>
+    where
+        T: Clone,
+    {
+        Stamped { key: self.key, record: self.record.clone() }
+    }
+}
+
 /// Write interface shared by every log producer.
 pub trait EventSink<T> {
     /// Append `record` as happening at `at`, returning the key it was
@@ -91,17 +168,32 @@ pub trait EventSink<T> {
     fn emit(&mut self, at: SimTime, record: T) -> LogKey;
 }
 
-/// An append-only log segment.
+/// An append-only columnar log segment.
 ///
 /// Entries arrive in emission order, which is *approximately* — not
 /// exactly — time order (concurrent sessions interleave, exactly like
 /// real log ingestion). Queries must therefore not assume the segment
 /// is time-sorted; [`LogStore::merge`] sorts by key when a globally
 /// ordered view is needed.
+///
+/// ```
+/// use mhw_types::{LogStore, SimTime};
+///
+/// let mut log = LogStore::for_shard(2);
+/// log.append(SimTime::from_secs(10), "login");
+/// log.append(SimTime::from_secs(11), "send");
+/// let last = log.last().unwrap();
+/// assert_eq!((*last.record, last.key.seq, last.key.shard), ("send", 1, 2));
+/// assert_eq!(log.ats(), &[SimTime::from_secs(10), SimTime::from_secs(11)]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct LogStore<T> {
     shard: ShardId,
-    entries: Vec<Stamped<T>>,
+    /// Timestamp column: `ats[i]` is the emission instant of row `i`.
+    ats: Vec<SimTime>,
+    /// Payload column: `records[i]` is the domain record of row `i`.
+    /// The row index doubles as the key's `seq`.
+    records: Vec<T>,
     /// Whether appends have arrived in non-decreasing `at` order so far.
     /// Maintained incrementally by [`LogStore::append`]; lets
     /// [`LogStore::merge`] consume the segment without re-sorting it.
@@ -124,7 +216,8 @@ impl<T> LogStore<T> {
     pub fn for_shard(shard: ShardId) -> Self {
         LogStore {
             shard,
-            entries: Vec::new(),
+            ats: Vec::new(),
+            records: Vec::new(),
             time_sorted: true,
         }
     }
@@ -137,17 +230,18 @@ impl<T> LogStore<T> {
     /// Append in emission order, stamping the next dense sequence
     /// number for this shard.
     pub fn append(&mut self, at: SimTime, record: T) -> LogKey {
-        if let Some(last) = self.entries.last() {
-            if at < last.key.at {
+        if let Some(&last) = self.ats.last() {
+            if at < last {
                 self.time_sorted = false;
             }
         }
         let key = LogKey {
             at,
             shard: self.shard,
-            seq: self.entries.len() as u64,
+            seq: self.ats.len() as u64,
         };
-        self.entries.push(Stamped { key, record });
+        self.ats.push(at);
+        self.records.push(record);
         key
     }
 
@@ -159,34 +253,70 @@ impl<T> LogStore<T> {
         self.time_sorted
     }
 
-    /// All entries in emission order.
-    pub fn entries(&self) -> &[Stamped<T>] {
-        &self.entries
+    /// The timestamp column: emission instant per row, in append order.
+    /// Timestamp-only scans (day windows, merge planning) read this
+    /// without touching the payload column.
+    pub fn ats(&self) -> &[SimTime] {
+        &self.ats
     }
 
-    /// The records alone, in emission order.
-    pub fn records(&self) -> impl Iterator<Item = &T> {
-        self.entries.iter().map(|e| &e.record)
+    /// The key of row `i` (reassembled: shard is constant, `seq == i`).
+    fn key_at(&self, i: usize) -> LogKey {
+        LogKey { at: self.ats[i], shard: self.shard, seq: i as u64 }
+    }
+
+    /// All entries in emission order.
+    pub fn entries(&self) -> Entries<'_, T> {
+        self.iter()
+    }
+
+    /// The records alone, in emission order (a straight scan of the
+    /// payload column).
+    pub fn records(&self) -> std::slice::Iter<'_, T> {
+        self.records.iter()
     }
 
     /// Iterator over the stamped entries in emission order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Stamped<T>> {
-        self.entries.iter()
+    pub fn iter(&self) -> Entries<'_, T> {
+        self.iter_from(0)
+    }
+
+    /// Iterator over entries starting at row `start` — the incremental
+    /// form cursor-based consumers (the behavioral monitor) use to see
+    /// only what appeared since their last drain.
+    pub fn iter_from(&self, start: usize) -> Entries<'_, T> {
+        let start = start.min(self.records.len());
+        Entries {
+            ats: &self.ats[start..],
+            records: self.records[start..].iter(),
+            shard: self.shard,
+            next_seq: start as u64,
+        }
     }
 
     /// Number of records in this segment.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.records.len()
     }
 
     /// Whether the segment holds no records.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.records.is_empty()
+    }
+
+    /// The entry at row `i`, if in bounds.
+    pub fn get(&self, i: usize) -> Option<Entry<'_, T>> {
+        self.records.get(i).map(|record| Entry { key: self.key_at(i), record })
+    }
+
+    /// The first emitted entry, if any.
+    pub fn first(&self) -> Option<Entry<'_, T>> {
+        self.get(0)
     }
 
     /// The most recently emitted entry, if any.
-    pub fn last(&self) -> Option<&Stamped<T>> {
-        self.entries.last()
+    pub fn last(&self) -> Option<Entry<'_, T>> {
+        self.len().checked_sub(1).and_then(|i| self.get(i))
     }
 
     /// Merge per-shard segments into one globally ordered view, sorted
@@ -195,10 +325,10 @@ impl<T> LogStore<T> {
     ///
     /// This is a k-way merge over the per-segment streams, not a sort
     /// of the concatenation: time-sorted segments (the overwhelmingly
-    /// common case — see [`LogStore::is_time_sorted`]) are consumed in
-    /// place, and only a segment that recorded out-of-order appends is
-    /// sorted, on its own, before merging.
-    pub fn merge<'a>(segments: impl IntoIterator<Item = &'a LogStore<T>>) -> Vec<&'a Stamped<T>>
+    /// common case — see [`LogStore::is_time_sorted`]) are consumed
+    /// straight off their columns, and only a segment that recorded
+    /// out-of-order appends is sorted, on its own, before merging.
+    pub fn merge<'a>(segments: impl IntoIterator<Item = &'a LogStore<T>>) -> Vec<Entry<'a, T>>
     where
         T: 'a,
     {
@@ -213,7 +343,7 @@ impl<T> LogStore<T> {
     /// before any entry is pushed.
     pub fn merge_into<'a>(
         segments: impl IntoIterator<Item = &'a LogStore<T>>,
-        out: &mut Vec<&'a Stamped<T>>,
+        out: &mut Vec<Entry<'a, T>>,
     ) where
         T: 'a,
     {
@@ -221,19 +351,19 @@ impl<T> LogStore<T> {
         let mut total = 0usize;
         let mut cursors: Vec<MergeCursor<'a, T>> = Vec::new();
         for seg in segments {
-            if seg.entries.is_empty() {
+            if seg.is_empty() {
                 continue;
             }
-            total += seg.entries.len();
+            total += seg.len();
             if seg.time_sorted {
                 debug_assert!(
-                    seg.entries.windows(2).all(|w| w[0].key < w[1].key),
-                    "segment flagged time-sorted has out-of-order keys (shard {})",
+                    seg.ats.windows(2).all(|w| w[0] <= w[1]),
+                    "segment flagged time-sorted has out-of-order timestamps (shard {})",
                     seg.shard
                 );
-                cursors.push(MergeCursor::Sorted(seg.entries.iter()));
+                cursors.push(MergeCursor::Sorted(seg.iter()));
             } else {
-                let mut view: Vec<&'a Stamped<T>> = seg.entries.iter().collect();
+                let mut view: Vec<Entry<'a, T>> = seg.iter().collect();
                 view.sort_by_key(|e| e.key);
                 cursors.push(MergeCursor::Resorted(view.into_iter()));
             }
@@ -243,7 +373,7 @@ impl<T> LogStore<T> {
             0 => {}
             1 => out.extend(std::iter::from_fn(move || cursors[0].next())),
             _ => {
-                let mut heads: Vec<Option<&'a Stamped<T>>> =
+                let mut heads: Vec<Option<Entry<'a, T>>> =
                     cursors.iter_mut().map(MergeCursor::next).collect();
                 let mut heap: BinaryHeap<Reverse<(LogKey, usize)>> = heads
                     .iter()
@@ -280,12 +410,23 @@ impl<T> LogStore<T> {
         let mut total = 0usize;
         let mut iters: Vec<std::vec::IntoIter<Stamped<T>>> = Vec::new();
         for seg in segments {
-            if seg.entries.is_empty() {
+            if seg.is_empty() {
                 continue;
             }
-            total += seg.entries.len();
-            let mut entries = seg.entries;
-            if !seg.time_sorted {
+            total += seg.len();
+            let shard = seg.shard;
+            let time_sorted = seg.time_sorted;
+            let mut entries: Vec<Stamped<T>> = seg
+                .ats
+                .into_iter()
+                .zip(seg.records)
+                .enumerate()
+                .map(|(i, (at, record))| Stamped {
+                    key: LogKey { at, shard, seq: i as u64 },
+                    record,
+                })
+                .collect();
+            if !time_sorted {
                 entries.sort_by_key(|e| e.key);
             }
             iters.push(entries.into_iter());
@@ -311,16 +452,172 @@ impl<T> LogStore<T> {
     }
 }
 
-/// One segment's position in an in-progress k-way merge: a plain slice
-/// iterator for segments already in key order, an owned sorted view for
-/// the rare segment that recorded out-of-order appends.
+impl<T: Debug> LogStore<T> {
+    /// Stream a merged view to `path`, one `"{key:?}|{record:?}\n"`
+    /// line per entry — exactly the bytes the dataset digest hashes, so
+    /// the returned [`SpillFile::digest`] equals the digest of the same
+    /// entries hashed in memory, and [`read_spilled_digest`] recovers
+    /// it from disk later without holding the log in RAM.
+    pub fn spill<'a>(
+        entries: impl IntoIterator<Item = Entry<'a, T>>,
+        path: &Path,
+    ) -> std::io::Result<SpillFile>
+    where
+        T: 'a,
+    {
+        let file = std::fs::File::create(path)?;
+        let mut writer = std::io::BufWriter::new(file);
+        let mut digest = Fnv1a::new();
+        let mut lines = 0u64;
+        let mut bytes = 0u64;
+        let mut line = String::new();
+        for e in entries {
+            use std::fmt::Write as _;
+            line.clear();
+            writeln!(line, "{:?}|{:?}", e.key, e.record).expect("format entry");
+            digest.write(line.as_bytes());
+            writer.write_all(line.as_bytes())?;
+            lines += 1;
+            bytes += line.len() as u64;
+        }
+        writer.flush()?;
+        Ok(SpillFile {
+            path: path.display().to_string(),
+            lines,
+            bytes,
+            digest: digest.finish(),
+        })
+    }
+}
+
+/// Receipt for one spilled log: where it went, how much, and the FNV
+/// digest of its bytes (identical to digesting the same merged entries
+/// in memory).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpillFile {
+    /// Where the merged log landed (display form of the spill path,
+    /// kept as a `String` so the receipt serializes into bench JSON).
+    pub path: String,
+    /// Number of entries (one line each).
+    pub lines: u64,
+    /// Total bytes written.
+    pub bytes: u64,
+    /// FNV-1a digest over every written byte.
+    pub digest: u64,
+}
+
+/// Re-digest a spilled log from disk, streaming line by line, returning
+/// `(lines, digest)`. Matching the [`SpillFile`] the spill returned
+/// proves the on-disk copy is intact and byte-equivalent to the
+/// in-memory merged view it replaced.
+pub fn read_spilled_digest(path: &Path) -> std::io::Result<(u64, u64)> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut digest = Fnv1a::new();
+    let mut lines = 0u64;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        let n = reader.read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        digest.write(&buf);
+        lines += 1;
+    }
+    Ok((lines, digest.finish()))
+}
+
+/// Incremental FNV-1a hasher — the workspace's standard digest for
+/// datasets and state snapshots. Stable across platforms and Rust
+/// versions (unlike `DefaultHasher`), cheap enough to run over every
+/// log record of a million-user world.
+///
+/// ```
+/// use mhw_types::log::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"hello");
+/// let once = h.finish();
+/// let mut again = Fnv1a::new();
+/// again.write(b"hel");
+/// again.write(b"lo");
+/// assert_eq!(once, again.finish(), "chunking never changes the digest");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// The FNV-1a 64-bit offset basis.
+    pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// The FNV-1a 64-bit prime.
+    pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Absorb `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Borrowing iterator over a segment's entries, reassembling each
+/// [`LogKey`] from the timestamp column and the implicit (shard, seq)
+/// coordinates.
+#[derive(Debug, Clone)]
+pub struct Entries<'a, T> {
+    ats: &'a [SimTime],
+    records: std::slice::Iter<'a, T>,
+    shard: ShardId,
+    next_seq: u64,
+}
+
+impl<'a, T> Iterator for Entries<'a, T> {
+    type Item = Entry<'a, T>;
+
+    fn next(&mut self) -> Option<Entry<'a, T>> {
+        let record = self.records.next()?;
+        let (&at, rest) = self.ats.split_first().expect("columns same length");
+        self.ats = rest;
+        let key = LogKey { at, shard: self.shard, seq: self.next_seq };
+        self.next_seq += 1;
+        Some(Entry { key, record })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.records.size_hint()
+    }
+}
+
+impl<'a, T> ExactSizeIterator for Entries<'a, T> {}
+
+/// One segment's position in an in-progress k-way merge: a plain
+/// column-walking iterator for segments already in key order, an owned
+/// sorted view for the rare segment that recorded out-of-order appends.
 enum MergeCursor<'a, T> {
-    Sorted(std::slice::Iter<'a, Stamped<T>>),
-    Resorted(std::vec::IntoIter<&'a Stamped<T>>),
+    Sorted(Entries<'a, T>),
+    Resorted(std::vec::IntoIter<Entry<'a, T>>),
 }
 
 impl<'a, T> MergeCursor<'a, T> {
-    fn next(&mut self) -> Option<&'a Stamped<T>> {
+    fn next(&mut self) -> Option<Entry<'a, T>> {
         match self {
             MergeCursor::Sorted(it) => it.next(),
             MergeCursor::Resorted(it) => it.next(),
@@ -335,10 +632,10 @@ impl<T> EventSink<T> for LogStore<T> {
 }
 
 impl<'a, T> IntoIterator for &'a LogStore<T> {
-    type Item = &'a Stamped<T>;
-    type IntoIter = std::slice::Iter<'a, Stamped<T>>;
+    type Item = Entry<'a, T>;
+    type IntoIter = Entries<'a, T>;
     fn into_iter(self) -> Self::IntoIter {
-        self.entries.iter()
+        self.iter()
     }
 }
 
@@ -369,6 +666,24 @@ mod tests {
     }
 
     #[test]
+    fn columns_reassemble_the_entries() {
+        let mut log = LogStore::for_shard(5);
+        for i in 0..10u64 {
+            log.append(SimTime::from_secs(100 + i), i * i);
+        }
+        assert_eq!(log.ats().len(), 10);
+        for (i, e) in log.iter().enumerate() {
+            assert_eq!(e.key, LogKey { at: log.ats()[i], shard: 5, seq: i as u64 });
+            assert_eq!(*e.record, (i * i) as u64);
+            assert_eq!(log.get(i).unwrap(), e);
+        }
+        assert_eq!(log.iter_from(7).count(), 3);
+        assert_eq!(log.iter_from(7).next().unwrap().key.seq, 7);
+        assert!(log.iter_from(99).next().is_none());
+        assert_eq!(log.first().unwrap().key.seq, 0);
+    }
+
+    #[test]
     fn merge_is_globally_ordered_and_complete() {
         let mut a = LogStore::for_shard(0);
         let mut b = LogStore::for_shard(1);
@@ -382,8 +697,8 @@ mod tests {
             assert!(w[0].key < w[1].key);
         }
         // Same-instant records from different shards order by shard id.
-        assert_eq!(merged[0].record, "a0");
-        assert_eq!(merged[1].record, "b1");
+        assert_eq!(*merged[0].record, "a0");
+        assert_eq!(*merged[1].record, "b1");
     }
 
     #[test]
@@ -423,7 +738,7 @@ mod tests {
         unsorted.append(SimTime::from_secs(3), "u2");
         assert!(!unsorted.is_time_sorted());
         let merged = LogStore::merge([&empty, &sorted, &unsorted]);
-        let records: Vec<&str> = merged.iter().map(|e| e.record).collect();
+        let records: Vec<&str> = merged.iter().map(|e| *e.record).collect();
         assert_eq!(records, vec!["s0", "u1", "u0", "u2", "s1"]);
         for w in merged.windows(2) {
             assert!(w[0].key < w[1].key);
@@ -457,5 +772,42 @@ mod tests {
         let mut log = LogStore::new();
         emit_twice(&mut log);
         assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn spill_then_read_preserves_the_digest() {
+        let mut a = LogStore::for_shard(0);
+        let mut b = LogStore::for_shard(1);
+        for i in 0..200u64 {
+            a.append(SimTime::from_secs(3 * i), format!("a{i}"));
+            b.append(SimTime::from_secs(3 * i + 1), format!("b{i}"));
+        }
+        let merged = LogStore::merge([&a, &b]);
+        // The in-memory reference digest: hash the same lines directly.
+        let mut reference = Fnv1a::new();
+        for e in &merged {
+            reference.write(format!("{:?}|{:?}\n", e.key, e.record).as_bytes());
+        }
+        let dir = std::env::temp_dir().join(format!("mhw-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merged.log");
+        let spilled = LogStore::spill(merged.iter().copied(), &path).unwrap();
+        assert_eq!(spilled.lines, 400);
+        assert_eq!(spilled.digest, reference.finish(), "spill digest != in-memory digest");
+        let (lines, digest) = read_spilled_digest(&path).unwrap();
+        assert_eq!(lines, spilled.lines);
+        assert_eq!(digest, spilled.digest, "on-disk re-digest diverged");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv_constants_match_the_reference_vectors() {
+        // Known FNV-1a test vectors.
+        let mut h = Fnv1a::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
     }
 }

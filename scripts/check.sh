@@ -60,4 +60,12 @@ echo "== bench-smoke =="
 # baseline (CI timing is noisy, so this never fails the gate).
 cargo bench --offline -p mhw-bench --bench engine_scaling -- --smoke
 
+echo "== bench-scale =="
+# Scale-ladder smoke: one miniature rung through the ladder's
+# child-process machinery (VmHWM sampling, row parsing, and the fatal
+# cross-worker digest assertion). Does not rewrite BENCH_scale.json —
+# the committed ladder comes from a full `cargo bench --bench
+# scale_ladder` run (see docs/SCALING.md).
+cargo bench --offline -p mhw-bench --bench scale_ladder -- --smoke
+
 echo "all checks passed"

@@ -79,7 +79,7 @@ fn salvage_keeps_partial_shards_and_a_degraded_report() {
     assert_eq!(failure.partial_shards.len(), 4);
     assert_eq!(failure.completed_days, 3);
     for eco in &failure.partial_shards {
-        assert!(!eco.login_log.records().is_empty(), "partial shard has no logs");
+        assert!(eco.login_log.records().len() > 0, "partial shard has no logs");
     }
     // The forensic report is explicitly degraded and names the cause.
     assert!(failure.report.degraded);

@@ -23,7 +23,6 @@ fn full_lifecycle_produces_every_paper_artifact() {
     let located = eco
         .login_log
         .records()
-        .iter()
         .filter(|r| matches!(r.actor, Actor::Hijacker(_)))
         .filter(|r| eco.geo.locate(r.ip).is_some())
         .count();

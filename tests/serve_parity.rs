@@ -26,7 +26,7 @@ fn warmed_service(eco: &Ecosystem) -> StreamingRiskService {
 #[test]
 fn streaming_replay_reproduces_batch_verdicts_bit_for_bit() {
     let eco = ScenarioBuilder::small_test(0x5E2E).days(10).run();
-    let records = eco.login_log.records();
+    let records: Vec<_> = eco.login_log.records().collect();
     assert!(records.len() > 1_000, "world produced a real login stream");
 
     let events = replay::from_login_log(&eco.login_log);

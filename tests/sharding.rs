@@ -214,7 +214,7 @@ proptest! {
         let merged = LogStore::merge(segments.iter());
         // The reference the k-way merge replaced: concatenate, then
         // sort by the unique (at, shard, seq) key.
-        let mut reference: Vec<&_> =
+        let mut reference: Vec<_> =
             segments.iter().flat_map(|seg| seg.entries()).collect();
         reference.sort_by_key(|e| e.key);
         prop_assert_eq!(merged.len(), reference.len());
