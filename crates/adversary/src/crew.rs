@@ -78,6 +78,7 @@ struct IpDiscipline {
 }
 
 /// A live crew.
+#[derive(Clone)]
 pub struct Crew {
     pub id: CrewId,
     pub spec: CrewSpec,
@@ -144,6 +145,7 @@ impl Crew {
 }
 
 /// All crews in a scenario.
+#[derive(Clone)]
 pub struct CrewRoster {
     pub crews: Vec<Crew>,
 }

@@ -54,6 +54,12 @@ struct ScaleRow {
     /// `shard_day` at 1 worker divided by this row's; `null` for rungs
     /// that only ran one worker count.
     speedup: Option<f64>,
+    /// Whether the speedup column means anything on the recording host:
+    /// `false` when the row ran more workers than the host has hardware
+    /// threads (`host_parallelism < workers`), where ~1.0x reads as "no
+    /// cores", not "no scaling". `null` when `speedup` is `null`.
+    /// Filled in by the parent; child rows emit it as `null`.
+    speedup_valid: Option<bool>,
     /// `VmHWM` of the rung's dedicated process, in MiB.
     peak_rss_mib: f64,
     digest: String,
@@ -117,6 +123,7 @@ fn run_rung(users: usize, days: u64, workers: usize, spill: bool) {
         user_days_per_sec: (users as f64 * days as f64) / elapsed.max(f64::MIN_POSITIVE),
         shard_day_ms: phase("shard_day"),
         speedup: None, // filled in by the parent against the rung's baseline
+        speedup_valid: None,
         peak_rss_mib: peak_rss_mib(),
         digest: format!("{:016x}", run.dataset_digest()),
         spilled_mib,
@@ -182,10 +189,17 @@ fn run_ladder_rung(users: usize, days: u64, worker_counts: &[usize], spill: bool
     rows
 }
 
-fn write_scale_bench(rungs: Vec<ScaleRow>, scenario: &str) {
+fn write_scale_bench(mut rungs: Vec<ScaleRow>, scenario: &str) {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for row in &mut rungs {
+        // A speedup measured with more workers than hardware threads is
+        // oversubscription noise, not scaling — flag it so readers (and
+        // the figure atlas) can grey the cell out.
+        row.speedup_valid = row.speedup.map(|_| row.workers <= host_parallelism);
+    }
     let doc = ScaleBench {
         scenario: scenario.to_string(),
-        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_parallelism,
         rungs,
     };
     let json = serde_json::to_string(&doc).expect("serialize BENCH_scale.json");

@@ -9,6 +9,8 @@
 use mhw_core::{run_form_campaigns, Ecosystem, FormCampaignOutput, ScenarioBuilder};
 use std::sync::OnceLock;
 
+pub mod sweep;
+
 /// A small finished ecosystem run shared by the extraction benches.
 pub fn bench_world() -> &'static Ecosystem {
     static WORLD: OnceLock<Ecosystem> = OnceLock::new();

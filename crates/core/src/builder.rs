@@ -197,6 +197,17 @@ impl ScenarioBuilder {
         );
         ShardedEngine::new(self.config, n_shards).workers(self.workers)
     }
+
+    /// Fork a divergent continuation from a frozen [`WorldSnapshot`](crate::WorldSnapshot)
+    /// instead of building a world from scratch: the snapshot's
+    /// expensive prefix (population, contact graph, warmed-up user
+    /// state, completed days) is reused, and only the continuation's
+    /// remaining days are simulated. The returned [`ForkBuilder`](crate::ForkBuilder)
+    /// defaults to reproducing the snapshot's own run byte-for-byte;
+    /// its setters diverge the seed, defense config, or fault plan.
+    pub fn fork_from(snapshot: &crate::WorldSnapshot) -> crate::ForkBuilder<'_> {
+        snapshot.fork()
+    }
 }
 
 #[cfg(test)]

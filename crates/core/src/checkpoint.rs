@@ -50,19 +50,7 @@ pub const MAGIC: [u8; 8] = *b"MHWCKPT\0";
 /// Current checkpoint format version.
 pub const VERSION: u32 = 1;
 
-/// FNV-1a over a byte slice (the same digest primitive the engine uses
-/// for dataset digests).
-pub(crate) fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
-    let mut h = hash;
-    for b in bytes {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Seed value for FNV-1a digests.
-pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+use mhw_types::fnv::{fnv1a, OFFSET as FNV_OFFSET};
 
 /// The recorded resume point of one shard.
 #[derive(Debug, Clone, PartialEq, Eq)]

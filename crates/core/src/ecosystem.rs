@@ -43,6 +43,7 @@ use mhw_types::{
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Credentials sitting unclaimed in crew dropboxes at end of run (the
 /// queue-depth gauge; per-shard values sum on merge).
@@ -75,7 +76,7 @@ const NO_INCIDENT: u32 = u32::MAX;
 /// Known passwords are spans into one shared [`StrArena`]; the rare
 /// cold field (failed recovery methods for an open incident) lives in a
 /// side table keyed by account index.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct UserStates {
     /// The password each user believes is theirs (span into `arena`).
     known_password: Vec<Span>,
@@ -213,16 +214,27 @@ pub struct RunStats {
 }
 
 /// The assembled world.
+///
+/// `Clone` is the copy-on-write fork primitive: the `Arc`-shared
+/// structural fields below (geo plan, domain model, population +
+/// contact graph) are shared by pointer, while all mutable simulation
+/// state (logs, stores, RNG streams, per-user columns) is deep-copied,
+/// so a forked world costs O(dynamic state), not O(world).
+#[derive(Clone)]
 pub struct Ecosystem {
     pub config: ScenarioConfig,
-    pub geo: GeoDb,
-    pub domains: DomainModel,
+    /// Immutable after build; shared across forks.
+    pub geo: Arc<GeoDb>,
+    /// Immutable after build; shared across forks.
+    pub domains: Arc<DomainModel>,
     pub phones: PhonePlan,
     pub provider: MailProvider,
     pub credentials: CredentialStore,
     pub options: RecoveryOptions,
     pub twofactor: TwoFactorState,
-    pub population: Population,
+    /// Immutable after build (profiles + contact graph); shared across
+    /// forks.
+    pub population: Arc<Population>,
     pub crews: CrewRoster,
     pub playbook: HijackPlaybook,
     pub login: LoginPipeline,
@@ -354,14 +366,14 @@ impl Ecosystem {
         }
 
         Ecosystem {
-            geo,
-            domains,
+            geo: Arc::new(geo),
+            domains: Arc::new(domains),
             phones,
             provider,
             credentials,
             options,
             twofactor,
-            population,
+            population: Arc::new(population),
             crews,
             playbook: HijackPlaybook::default(),
             login,
@@ -570,6 +582,44 @@ impl Ecosystem {
         )
     }
 
+    // ---- fork support ----
+
+    /// Swap the active defense configuration mid-world. Most defenses
+    /// (mail classifier, activity monitor, notifications) are read from
+    /// `config.defense` per event, but the login risk engine is baked
+    /// into the pipeline at build time, so flipping
+    /// `login_risk_analysis` swaps the engine in place. Used by forked
+    /// continuations diverging on defense config.
+    pub fn set_defense(&mut self, defense: crate::config::DefenseConfig) {
+        if defense.login_risk_analysis != self.config.defense.login_risk_analysis {
+            *self.login.engine_mut() = if defense.login_risk_analysis {
+                RiskEngine::default()
+            } else {
+                RiskEngine::disabled()
+            };
+        }
+        self.config.defense = defense;
+    }
+
+    /// Deterministically perturb every shard RNG stream from its
+    /// current position mixed with `salt`. Used by forked continuations
+    /// diverging on seed: the same `(snapshot, salt)` pair always
+    /// produces the same divergent world, while distinct salts (or
+    /// distinct fork points) produce unrelated draw sequences.
+    pub(crate) fn perturb_rngs(&mut self, salt: u64) {
+        let streams = [
+            &mut self.rng_world,
+            &mut self.rng_organic,
+            &mut self.rng_crew,
+            &mut self.rng_campaign,
+            &mut self.rng_recovery,
+            &mut self.rng_market,
+        ];
+        for (i, rng) in streams.into_iter().enumerate() {
+            rng.perturb(salt ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+    }
+
     // ---- checkpoint support ----
 
     /// Raw positions of every shard RNG stream, in canonical order
@@ -610,7 +660,7 @@ impl Ecosystem {
     /// digest against the checkpointed one catches a changed binary,
     /// config drift or bit rot before the engine continues the run.
     pub fn state_digest(&self) -> u64 {
-        use crate::checkpoint::{fnv1a, FNV_OFFSET};
+        use mhw_types::fnv::{fnv1a, OFFSET as FNV_OFFSET};
         let mut h = FNV_OFFSET;
         let mut line = String::new();
         macro_rules! mix {

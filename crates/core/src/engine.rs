@@ -45,7 +45,7 @@
 //!   segment of the merged log.
 
 use crate::checkpoint::{self, Checkpoint, ShardCheckpoint};
-use crate::config::ScenarioConfig;
+use crate::config::{DefenseConfig, ScenarioConfig};
 use crate::ecosystem::{Ecosystem, Incident, RunStats};
 use crate::fault::FaultPlan;
 use crate::pool::WorkerPool;
@@ -64,6 +64,7 @@ use mhw_types::{
 use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Credentials that changed hands on the cross-shard market (mirrors
@@ -200,7 +201,7 @@ fn barrier_checkpoint(
             .chain(std::iter::once(engine_metrics.snapshot())),
     );
     let metrics_digest =
-        checkpoint::fnv1a(checkpoint::FNV_OFFSET, format!("{merged:?}").as_bytes());
+        mhw_types::fnv::digest(format!("{merged:?}").as_bytes());
     Checkpoint {
         seed,
         n_shards,
@@ -376,7 +377,7 @@ impl ShardedEngine {
             "{:?}|{:?}|{:?}|{:?}|{}",
             self.base, self.contact_spillover, self.decoys, self.shard_weights, self.n_shards
         );
-        checkpoint::fnv1a(checkpoint::FNV_OFFSET, desc.as_bytes())
+        mhw_types::fnv::digest(desc.as_bytes())
     }
 
     /// Per-shard scenario configs (shard ids `0..n_shards`, population
@@ -452,10 +453,91 @@ impl ShardedEngine {
     // (a failed build aborts before the day loop).
     #[allow(clippy::expect_used)]
     pub fn run_salvage(self) -> Result<ShardedRun, Box<RunFailure>> {
+        let seed = self.base.seed;
+        let days = self.base.days;
+        let users32 = self.base.population.n_users as u32;
+        let n_shards = self.n_shards;
+        let executed = self.execute(RunMode::Full)?;
+        Ok(finish_run(executed, seed, days, users32, n_shards))
+    }
+
+    /// Run the scenario through `day` complete days, then freeze the
+    /// world at that barrier as a copy-on-write [`WorldSnapshot`]
+    /// instead of finishing the run.
+    ///
+    /// The snapshot is captured *mid-run of this scenario* — the
+    /// barrier spillover horizon and decoy schedule are those of the
+    /// full `days`-day run — so a continuation forked with the original
+    /// seed and config reproduces the uninterrupted run's dataset
+    /// byte-for-byte. The barrier state is also recorded as a
+    /// [`Checkpoint`] ([`WorldSnapshot::checkpoint`]); every fork is
+    /// digest-verified against it before diverging.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] if `day` is not a mid-run barrier
+    /// (`1..days`), plus everything [`run`](Self::run) can return.
+    pub fn snapshot_after(self, day: u64) -> EngineResult<WorldSnapshot> {
+        let fingerprint = self.config_fingerprint();
+        let mut executed =
+            self.execute(RunMode::SnapshotAfter(day)).map_err(|failure| failure.error)?;
+        let checkpoint = {
+            let refs: Vec<&mut Ecosystem> = executed.shards.iter_mut().collect();
+            barrier_checkpoint(
+                &refs,
+                self.base.seed,
+                self.n_shards,
+                self.base.days,
+                self.base.population.n_users as u64,
+                fingerprint,
+                day,
+                &executed.exchange_rng,
+                &executed.seen_incidents,
+                executed.market_trades,
+                executed.cross_shard_lures,
+                &executed.metrics,
+            )
+        };
+        Ok(WorldSnapshot {
+            base: self.base,
+            n_shards: self.n_shards,
+            contact_spillover: self.contact_spillover,
+            decoys: self.decoys,
+            shard_weights: self.shard_weights,
+            shards: executed.shards.into_iter().map(Arc::new).collect(),
+            seen_incidents: executed.seen_incidents,
+            market_trades: executed.market_trades,
+            cross_shard_lures: executed.cross_shard_lures,
+            decoy_probes: executed.metrics.counter_value(M_DECOY_PROBES).unwrap_or(0),
+            exchange_queue_peak: executed
+                .metrics
+                .gauge_value(M_EXCHANGE_QUEUE_PEAK)
+                .unwrap_or(0),
+            checkpoint,
+        })
+    }
+
+    /// The shared execution core behind [`run_salvage`](Self::run_salvage)
+    /// (`RunMode::Full`), [`snapshot_after`](Self::snapshot_after)
+    /// (`RunMode::SnapshotAfter`) and forked continuations
+    /// (`RunMode::Forked`): build or install the shard worlds, then
+    /// drive the day loop from `first_day` to either `days` or the
+    /// snapshot barrier.
+    #[allow(clippy::expect_used)]
+    fn execute(&self, mode: RunMode) -> Result<Executed, Box<RunFailure>> {
         let k = self.n_shards as usize;
         let seed = self.base.seed;
         let days = self.base.days;
         let users32 = self.base.population.n_users as u32;
+        let first_day = match &mode {
+            RunMode::Forked(f) => f.start_day,
+            _ => 0,
+        };
+        let (stop_after, fork) = match mode {
+            RunMode::Full => (None, None),
+            RunMode::SnapshotAfter(p) => (Some(p), None),
+            RunMode::Forked(f) => (None, Some(*f)),
+        };
 
         // ---- validation: reject bad plans before any thread spawns.
         let fail_early = |error: EngineError| {
@@ -477,6 +559,15 @@ impl ShardedEngine {
         }
         if let Err(e) = self.faults.validate(days, self.n_shards) {
             return Err(fail_early(e));
+        }
+        if let Some(p) = stop_after {
+            if p == 0 || p >= days {
+                return Err(fail_early(EngineError::InvalidConfig {
+                    reason: format!(
+                        "snapshot day must be a mid-run barrier (1..{days}), got {p}"
+                    ),
+                }));
+            }
         }
         let fingerprint = self.config_fingerprint();
         let resume: Option<(Checkpoint, String)> = match &self.resume {
@@ -561,45 +652,73 @@ impl ShardedEngine {
         // Slot `i` always holds shard `i` — results need no sorting.
         let slots: Vec<CachePadded<Mutex<Option<Ecosystem>>>> =
             (0..k).map(|_| CachePadded::new(Mutex::new(None))).collect();
-        let configs: Vec<Mutex<Option<ScenarioConfig>>> = self
-            .shard_configs()
-            .into_iter()
-            .map(|c| Mutex::new(Some(c)))
-            .collect();
         // Claim granularity: single jobs for small shard counts (max
         // balance), short runs for huge ones (less claim traffic).
         let claim_chunk = (k / (workers * 8)).max(1);
 
-        let mut rng_exchange = SimRng::stream(self.base.seed, "exchange");
-        let mut seen_incidents = vec![0usize; k];
-        let mut market_trades = 0u64;
-        let mut cross_shard_lures = 0u64;
-        let mut completed_days = 0u64;
+        let mut completed_days = first_day;
         let start_day = resume.as_ref().map_or(0, |(ckpt, _)| ckpt.completed_days);
+        let (mut rng_exchange, mut seen_incidents, mut market_trades, mut cross_shard_lures);
+        let forked = fork.is_some();
+        match fork {
+            Some(f) => {
+                rng_exchange = f.exchange_rng;
+                seen_incidents = f.seen_incidents;
+                market_trades = f.market_trades;
+                cross_shard_lures = f.cross_shard_lures;
+                // Resume the engine registry at the snapshot's values so
+                // a same-config forked run's report byte-equals an
+                // uninterrupted run's.
+                metrics.add(M_MARKET_TRADES, f.market_trades);
+                metrics.add(M_CROSS_SHARD_LURES, f.cross_shard_lures);
+                metrics.add(M_DECOY_PROBES, f.decoy_probes);
+                metrics.gauge_max(M_EXCHANGE_QUEUE_PEAK, f.exchange_queue_peak);
+                for (slot, eco) in slots.iter().zip(f.shards) {
+                    *slot.lock() = Some(eco);
+                }
+            }
+            None => {
+                rng_exchange = SimRng::stream(self.base.seed, "exchange");
+                seen_incidents = vec![0usize; k];
+                market_trades = 0;
+                cross_shard_lures = 0;
+            }
+        }
+        let configs: Vec<Mutex<Option<ScenarioConfig>>> = if forked {
+            Vec::new()
+        } else {
+            self.shard_configs().into_iter().map(|c| Mutex::new(Some(c))).collect()
+        };
 
         let run_result: EngineResult<()> = WorkerPool::scoped(threads, |pool| {
-            // ---- build: each worker steals unbuilt shards by index.
-            let built = profiler.time("build", || {
-                pool.run(k, &|_worker, i| {
-                    let config = configs[i].lock().take().expect("build job claimed once");
-                    let shard = config.shard;
-                    let _span = span!("engine.build_shard", shard);
-                    *slots[i].lock() = Some(Ecosystem::build(config));
-                })
-            });
-            profiler.set_build_workers(pool.take_worker_busy());
-            if let Err(p) = built {
-                ops.inc(M_PANICS_CAUGHT);
-                return Err(EngineError::ShardPanicked {
-                    shard: p.index as u16,
-                    day: 0,
-                    payload: p.payload,
+            // A forked continuation's shards arrive pre-built (installed
+            // into the slots above) with their decoy schedule already in
+            // flight, so both the build and setup phases are skipped —
+            // that skip is exactly the fork speedup.
+            let n_crews = if forked {
+                slots[0].lock().as_ref().map_or(0, |e| e.crews.crews.len())
+            } else {
+                // ---- build: each worker steals unbuilt shards by index.
+                let built = profiler.time("build", || {
+                    pool.run(k, &|_worker, i| {
+                        let config = configs[i].lock().take().expect("build job claimed once");
+                        let shard = config.shard;
+                        let _span = span!("engine.build_shard", shard);
+                        *slots[i].lock() = Some(Ecosystem::build(config));
+                    })
                 });
-            }
+                profiler.set_build_workers(pool.take_worker_busy());
+                if let Err(p) = built {
+                    ops.inc(M_PANICS_CAUGHT);
+                    return Err(EngineError::ShardPanicked {
+                        shard: p.index as u16,
+                        day: 0,
+                        payload: p.payload,
+                    });
+                }
 
-            // ---- setup: decoy probes, round-robin over shards
-            // (single-threaded; helpers are parked, locks uncontended).
-            let n_crews = {
+                // ---- setup: decoy probes, round-robin over shards
+                // (single-threaded; helpers are parked, locks uncontended).
                 let mut guards: Vec<_> = slots.iter().map(|s| s.lock()).collect();
                 let mut shards: Vec<&mut Ecosystem> =
                     guards.iter_mut().map(|g| g.as_mut().expect("shard built")).collect();
@@ -622,7 +741,7 @@ impl ShardedEngine {
                 shards.first().map_or(0, |e| e.crews.crews.len())
             };
 
-            for day in 0..self.base.days {
+            for day in first_day..self.base.days {
                 // Resume replays days before the recorded barrier
                 // exactly as the original run computed them — which
                 // means fault-free and checkpoint-free.
@@ -827,6 +946,12 @@ impl ShardedEngine {
                         written?;
                     }
                 }
+
+                // ---- snapshot stop: freeze the world at this barrier;
+                // the caller packages the slots as a [`WorldSnapshot`].
+                if stop_after == Some(completed) {
+                    break;
+                }
             }
             Ok(())
         });
@@ -851,28 +976,382 @@ impl ShardedEngine {
             ));
         }
 
-        // Time a representative merge of the three event logs so the
-        // profile reflects end-to-end cost; the merged views are cheap
-        // borrows and are rebuilt on demand by the accessors.
-        profiler.time("log_merge", || {
-            let _ = LogStore::merge(shards.iter().map(|e| e.login_log.store()));
-            let _ = LogStore::merge(shards.iter().map(|e| e.provider.log_store()));
-            let _ = LogStore::merge(shards.iter().map(|e| e.notifications.log_store()));
-        });
-
-        Ok(ShardedRun {
+        Ok(Executed {
             shards,
             market_trades,
             cross_shard_lures,
-            seed,
-            days,
-            users: users32,
-            n_shards: self.n_shards,
+            seen_incidents,
+            exchange_rng: rng_exchange,
             workers,
             metrics,
             ops,
             profiler,
         })
+    }
+}
+
+/// How [`ShardedEngine::execute`] drives the day loop.
+enum RunMode {
+    /// Build every shard and run all days (the normal path).
+    Full,
+    /// Build every shard, run through this many complete days, then
+    /// stop at the barrier so the caller can freeze a [`WorldSnapshot`].
+    SnapshotAfter(u64),
+    /// Install pre-built shard worlds and continue from a snapshot
+    /// barrier — no build phase, no replay.
+    Forked(Box<ForkState>),
+}
+
+/// The state a forked continuation resumes from: deep-cloned shard
+/// worlds plus the engine-level barrier state captured in the snapshot.
+struct ForkState {
+    shards: Vec<Ecosystem>,
+    start_day: u64,
+    exchange_rng: SimRng,
+    seen_incidents: Vec<usize>,
+    market_trades: u64,
+    cross_shard_lures: u64,
+    decoy_probes: u64,
+    exchange_queue_peak: u64,
+}
+
+/// What [`ShardedEngine::execute`] hands back: everything a
+/// [`ShardedRun`] needs, plus the barrier state a snapshot captures.
+struct Executed {
+    shards: Vec<Ecosystem>,
+    market_trades: u64,
+    cross_shard_lures: u64,
+    seen_incidents: Vec<usize>,
+    exchange_rng: SimRng,
+    workers: usize,
+    metrics: Registry,
+    ops: Registry,
+    profiler: PhaseProfiler,
+}
+
+/// Package an [`Executed`] core result as the public [`ShardedRun`],
+/// timing a representative merge of the three event logs so the profile
+/// reflects end-to-end cost (the merged views are cheap borrows and are
+/// rebuilt on demand by the accessors).
+fn finish_run(mut executed: Executed, seed: u64, days: u64, users: u32, n_shards: u16) -> ShardedRun {
+    let shards = &executed.shards;
+    executed.profiler.time("log_merge", || {
+        let _ = LogStore::merge(shards.iter().map(|e| e.login_log.store()));
+        let _ = LogStore::merge(shards.iter().map(|e| e.provider.log_store()));
+        let _ = LogStore::merge(shards.iter().map(|e| e.notifications.log_store()));
+    });
+    ShardedRun {
+        shards: executed.shards,
+        market_trades: executed.market_trades,
+        cross_shard_lures: executed.cross_shard_lures,
+        seed,
+        days,
+        users,
+        n_shards,
+        workers: executed.workers,
+        metrics: executed.metrics,
+        ops: executed.ops,
+        profiler: executed.profiler,
+    }
+}
+
+/// A frozen, copy-on-write world at a day barrier — the expensive
+/// common prefix of a sweep, built once and forked N times.
+///
+/// Produced by [`ShardedEngine::snapshot_after`]. The per-shard worlds
+/// live behind `Arc`, and each [`Ecosystem`]'s structural state (geo
+/// plan, domain model, population + contact graph) is itself
+/// `Arc`-shared, so forking copies only the dynamic simulation state
+/// (logs, stores, per-user columns, RNG streams) — O(changed-state),
+/// not O(world). The snapshot also records the barrier as a
+/// [`Checkpoint`]; [`ForkBuilder::run`] re-derives the clone's barrier
+/// state and digest-verifies it against that record before diverging,
+/// so a corrupted or stale snapshot fails loudly with
+/// [`EngineError::CheckpointMismatch`] naming the first divergent
+/// field (the PR 4 resume taxonomy, reused verbatim).
+pub struct WorldSnapshot {
+    base: ScenarioConfig,
+    n_shards: u16,
+    contact_spillover: f64,
+    decoys: Option<(usize, u64)>,
+    shard_weights: Option<Vec<u64>>,
+    shards: Vec<Arc<Ecosystem>>,
+    seen_incidents: Vec<usize>,
+    market_trades: u64,
+    cross_shard_lures: u64,
+    decoy_probes: u64,
+    exchange_queue_peak: u64,
+    checkpoint: Checkpoint,
+}
+
+impl std::fmt::Debug for WorldSnapshot {
+    /// Compact summary (the shard worlds are megabytes of state).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldSnapshot")
+            .field("seed", &self.base.seed)
+            .field("n_shards", &self.n_shards)
+            .field("days", &self.base.days)
+            .field("completed_days", &self.checkpoint.completed_days)
+            .field("market_trades", &self.market_trades)
+            .field("cross_shard_lures", &self.cross_shard_lures)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorldSnapshot {
+    /// The master seed the prefix was built with.
+    pub fn seed(&self) -> u64 {
+        self.base.seed
+    }
+
+    /// Total days of the scenario the snapshot belongs to.
+    pub fn days(&self) -> u64 {
+        self.base.days
+    }
+
+    /// Complete days simulated before the world was frozen.
+    pub fn completed_days(&self) -> u64 {
+        self.checkpoint.completed_days
+    }
+
+    /// Shard count of the frozen world.
+    pub fn n_shards(&self) -> u16 {
+        self.n_shards
+    }
+
+    /// The scenario configuration the prefix was built with.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.base
+    }
+
+    /// The recorded barrier state at the fork point. Every fork is
+    /// verified against this record; it can also be written to disk
+    /// ([`WorldSnapshot::write_record`]) so a later process can rebuild
+    /// the prefix and prove it reached the identical barrier.
+    pub fn checkpoint(&self) -> &Checkpoint {
+        &self.checkpoint
+    }
+
+    /// Write the fork-point record to `path` in the PR 4 checkpoint
+    /// format (atomic tmp-file + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::CheckpointIo`] on write failure.
+    pub fn write_record(&self, path: &Path) -> EngineResult<()> {
+        self.checkpoint.write_atomic(path)
+    }
+
+    /// Verify that `recorded` (a fork-point record read back from
+    /// `path`) describes exactly this snapshot's barrier — identity
+    /// fields first, then the digest comparison the resume path uses.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::CheckpointMismatch`] naming the first divergent
+    /// field.
+    pub fn verify_record(&self, recorded: &Checkpoint, path: &str) -> EngineResult<()> {
+        let ours = &self.checkpoint;
+        let identity: [(&str, u64, u64); 6] = [
+            ("seed", recorded.seed, ours.seed),
+            ("n_shards", recorded.n_shards as u64, ours.n_shards as u64),
+            ("days", recorded.days, ours.days),
+            ("users", recorded.users, ours.users),
+            ("config_fingerprint", recorded.config_fingerprint, ours.config_fingerprint),
+            ("completed_days", recorded.completed_days, ours.completed_days),
+        ];
+        for (field, rec, cur) in identity {
+            if rec != cur {
+                return Err(EngineError::CheckpointMismatch {
+                    path: path.to_string(),
+                    field: field.to_string(),
+                    expected: rec.to_string(),
+                    found: cur.to_string(),
+                });
+            }
+        }
+        verify_resume(path, recorded, ours)
+    }
+
+    /// Start a forked continuation of this world. The defaults
+    /// reproduce the uninterrupted run exactly; use the builder's
+    /// setters to diverge on seed, defense config, or fault plan.
+    pub fn fork(&self) -> ForkBuilder<'_> {
+        ForkBuilder {
+            snapshot: self,
+            seed: None,
+            defense: None,
+            faults: FaultPlan::new(),
+            checkpoints: None,
+            workers: None,
+        }
+    }
+}
+
+/// A divergent continuation of a [`WorldSnapshot`], built by
+/// [`WorldSnapshot::fork`] (or
+/// [`ScenarioBuilder::fork_from`](crate::ScenarioBuilder::fork_from)).
+///
+/// Defaults reproduce the uninterrupted run byte-for-byte; each setter
+/// diverges one axis. [`run`](Self::run) deep-clones the snapshot's
+/// shards (cheap: structural state is `Arc`-shared), digest-verifies
+/// the clones against the snapshot's fork-point [`Checkpoint`], applies
+/// the divergence, and resumes the day loop at the barrier — no
+/// rebuild, no replay.
+pub struct ForkBuilder<'a> {
+    snapshot: &'a WorldSnapshot,
+    seed: Option<u64>,
+    defense: Option<DefenseConfig>,
+    faults: FaultPlan,
+    checkpoints: Option<(PathBuf, u64)>,
+    workers: Option<usize>,
+}
+
+impl<'a> ForkBuilder<'a> {
+    /// Continue with a different master seed: every shard RNG stream
+    /// (and the exchange stream) is deterministically perturbed from
+    /// its snapshot position mixed with the new seed, so the
+    /// continuation diverges immediately but reproducibly — the same
+    /// `(snapshot, seed)` pair always yields the same world. Passing
+    /// the snapshot's own seed is a no-op.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Continue under a different defense configuration (the §8
+    /// ablation surface): per-event toggles switch instantly, and the
+    /// login risk engine is swapped in place when
+    /// `login_risk_analysis` flips.
+    pub fn defense(mut self, defense: DefenseConfig) -> Self {
+        self.defense = Some(defense);
+        self
+    }
+
+    /// Inject deterministic faults into the continuation (days are
+    /// absolute scenario days, as in [`ShardedEngine::fault_plan`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Checkpoint the continuation every `every` days into `dir`.
+    pub fn checkpoint_to(mut self, dir: impl Into<PathBuf>, every: u64) -> Self {
+        self.checkpoints = Some((dir.into(), every));
+        self
+    }
+
+    /// Worker threads for the continuation (mechanics, never
+    /// semantics). Defaults to the engine's hardware-derived default.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Verify the fork point and run the continuation to the end of
+    /// the scenario.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::CheckpointMismatch`] — the deep-cloned shards
+    ///   do not reproduce the snapshot's recorded barrier state (a
+    ///   corrupted snapshot or a clone bug), naming the first
+    ///   divergent field;
+    /// * everything [`ShardedEngine::run`] can return.
+    pub fn run(self) -> EngineResult<ShardedRun> {
+        let snap = self.snapshot;
+
+        // Deep-clone the shard worlds. Structural state (population,
+        // contact graph, geo, domains) is shared via `Arc`; only the
+        // dynamic state is copied.
+        let mut shards: Vec<Ecosystem> = snap.shards.iter().map(|a| (**a).clone()).collect();
+
+        // Digest-verify the fork point: the clones must reproduce the
+        // snapshot's recorded barrier exactly before any divergence is
+        // applied.
+        {
+            let metrics = Registry::new()
+                .with_counter(M_MARKET_TRADES)
+                .with_counter(M_CROSS_SHARD_LURES)
+                .with_counter(M_DECOY_PROBES)
+                .with_gauge(M_EXCHANGE_QUEUE_PEAK);
+            metrics.add(M_MARKET_TRADES, snap.market_trades);
+            metrics.add(M_CROSS_SHARD_LURES, snap.cross_shard_lures);
+            metrics.add(M_DECOY_PROBES, snap.decoy_probes);
+            metrics.gauge_max(M_EXCHANGE_QUEUE_PEAK, snap.exchange_queue_peak);
+            let refs: Vec<&mut Ecosystem> = shards.iter_mut().collect();
+            let current = barrier_checkpoint(
+                &refs,
+                snap.checkpoint.seed,
+                snap.n_shards,
+                snap.checkpoint.days,
+                snap.checkpoint.users,
+                snap.checkpoint.config_fingerprint,
+                snap.checkpoint.completed_days,
+                &SimRng::from_state(snap.checkpoint.exchange_rng),
+                &snap.seen_incidents,
+                snap.market_trades,
+                snap.cross_shard_lures,
+                &metrics,
+            );
+            verify_resume("<fork>", &snap.checkpoint, &current)?;
+        }
+
+        // Apply the divergence.
+        let mut base = snap.base.clone();
+        let mut exchange = SimRng::from_state(snap.checkpoint.exchange_rng);
+        if let Some(defense) = self.defense {
+            base.defense = defense;
+            for eco in &mut shards {
+                eco.set_defense(defense);
+            }
+        }
+        if let Some(seed) = self.seed {
+            if seed != snap.base.seed {
+                base.seed = seed;
+                for eco in &mut shards {
+                    let shard = u64::from(eco.config.shard);
+                    eco.config.seed = seed;
+                    eco.perturb_rngs(seed ^ (shard + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                }
+                exchange.perturb(seed);
+            }
+        }
+
+        // Resume the day loop at the barrier.
+        let mut engine = ShardedEngine::new(base, snap.n_shards)
+            .contact_spillover(snap.contact_spillover)
+            .fault_plan(self.faults);
+        if let Some(w) = self.workers {
+            engine = engine.workers(w);
+        }
+        if let Some(weights) = snap.shard_weights.clone() {
+            engine = engine.shard_weights(weights);
+        }
+        if let Some((total, over_days)) = snap.decoys {
+            engine = engine.decoys(total, over_days);
+        }
+        if let Some((dir, every)) = self.checkpoints {
+            engine = engine.checkpoint_to(dir, every);
+        }
+        let seed = engine.base.seed;
+        let days = engine.base.days;
+        let users32 = engine.base.population.n_users as u32;
+        let n_shards = engine.n_shards;
+        let state = ForkState {
+            shards,
+            start_day: snap.checkpoint.completed_days,
+            exchange_rng: exchange,
+            seen_incidents: snap.seen_incidents.clone(),
+            market_trades: snap.market_trades,
+            cross_shard_lures: snap.cross_shard_lures,
+            decoy_probes: snap.decoy_probes,
+            exchange_queue_peak: snap.exchange_queue_peak,
+        };
+        let executed = engine
+            .execute(RunMode::Forked(Box::new(state)))
+            .map_err(|failure| failure.error)?;
+        Ok(finish_run(executed, seed, days, users32, n_shards))
     }
 }
 

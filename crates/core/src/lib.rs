@@ -54,7 +54,10 @@ pub use config::{DefenseConfig, ScenarioConfig};
 pub use datasets::DatasetInventory;
 pub use decoy::{run_decoy_experiment, DecoyOutcome, DecoyReport};
 pub use ecosystem::{Ecosystem, Incident, RunStats};
-pub use engine::{default_workers, CheckpointPolicy, RunFailure, ShardedEngine, ShardedRun};
+pub use engine::{
+    default_workers, CheckpointPolicy, ForkBuilder, RunFailure, ShardedEngine, ShardedRun,
+    WorldSnapshot,
+};
 pub use fault::FaultPlan;
 pub use mhw_types::{EngineError, EngineResult};
 pub use pool::{JobPanic, WorkerPool};

@@ -20,7 +20,7 @@
 
 #![deny(missing_docs)]
 
-use crate::checkpoint::{fnv1a, FNV_OFFSET};
+use mhw_types::fnv::{fnv1a, OFFSET as FNV_OFFSET};
 use mhw_defense::{
     AnswererCapabilities, LoginRequest, RiskDecision, RiskEngine, RiskService, RiskVerdict,
 };

@@ -81,7 +81,7 @@ pub struct ActivityVerdict {
 }
 
 /// Sliding-window behavioral monitor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ActivityMonitor {
     /// Window length.
     pub window: SimDuration,

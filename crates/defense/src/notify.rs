@@ -52,7 +52,7 @@ pub struct NotificationRecord {
 }
 
 /// The notification engine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NotificationEngine {
     log: LogStore<NotificationRecord>,
     metrics: Registry,

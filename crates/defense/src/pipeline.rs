@@ -66,6 +66,7 @@ pub struct LoginContext<'a> {
 }
 
 /// The assembled login defense.
+#[derive(Clone)]
 pub struct LoginPipeline {
     /// The shared scoring path (also driven directly by serve mode).
     pub service: StreamingRiskService,

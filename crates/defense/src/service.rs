@@ -106,7 +106,7 @@ pub trait RiskService {
 
 /// The production [`RiskService`]: existing signal extractors and
 /// [`RiskEngine`] over bounded [`HistoryStore`]/[`IpReputation`] state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StreamingRiskService {
     /// The scoring engine (weights + thresholds). Public so ablation
     /// experiments can swap weights mid-stream.

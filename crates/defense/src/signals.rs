@@ -169,7 +169,7 @@ struct IpDayActivity {
 /// O(`capacity`). Entries are day-scoped, so LRU eviction only becomes
 /// observable if more than `capacity` distinct IPs log in within one
 /// simulated day — far above simulation scale.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IpReputation {
     today: LruCache<IpAddr, IpDayActivity>,
     accounts_per_ip: usize,
@@ -260,7 +260,7 @@ impl IpReputation {
 /// so a batch world's histories live in one `Vec` indexed by account
 /// — no hashing on the per-login hot path. Serve-mode traffic with
 /// sparse or namespaced ids falls back to the map's overflow region.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct HistoryStore {
     accounts: DenseMap<AccountHistory>,
     /// Shared read-only default for accounts with no history yet.

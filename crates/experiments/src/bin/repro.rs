@@ -7,6 +7,8 @@
 //!       [--validate] [--fidelity-out FIDELITY.json] [--scorecard FIDELITY.md]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N]
 //!       [--resume FILE] [--fault-plan SPEC]
+//!       [--snapshot-at DAY --snapshot-out FILE]
+//!       [--fork-from FILE] [--fork-seed N]
 //! ```
 //!
 //! Runs the full experiment battery against freshly simulated worlds,
@@ -30,6 +32,16 @@
 //! a checkpoint file, and `--fault-plan SPEC` injects deterministic
 //! faults (see `docs/REPRODUCING.md`). Exit status: 0 on success, 2 on
 //! a usage error, 1 on any runtime failure.
+//!
+//! The world-forking flags also apply to the main 2012-era run:
+//! `--snapshot-at DAY --snapshot-out FILE` records the fork point after
+//! `DAY` complete days (the battery still runs to completion —
+//! finishing via a same-seed fork is byte-identical to never
+//! snapshotting); `--fork-from FILE` rebuilds the recorded prefix,
+//! digest-verifies the fork point against the record, and runs the main
+//! world as a continuation, diverging its RNG from the fork point
+//! onward when `--fork-seed N` is given. Both are mutually exclusive
+//! with the crash-safety flags — they drive the same engine slot.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -43,7 +55,8 @@ use std::path::PathBuf;
 const USAGE: &str = "usage: repro [--quick] [--seed N] [--workers N] [--out FILE] [--report FILE]\n\
      \x20            [--validate] [--fidelity-out FILE] [--scorecard FILE]\n\
      \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume FILE]\n\
-     \x20            [--fault-plan SPEC]";
+     \x20            [--fault-plan SPEC] [--snapshot-at DAY --snapshot-out FILE]\n\
+     \x20            [--fork-from FILE] [--fork-seed N]";
 
 fn main() {
     cli::run_main(USAGE, run);
@@ -85,10 +98,38 @@ fn run(args: &[String]) -> Result<(), Failure> {
             UsageError(format!("invalid value for --fault-plan: {e}"))
         })?),
     };
+    let snapshot_at = cli::value::<u64>(args, "--snapshot-at")?;
+    let snapshot_out = cli::value::<PathBuf>(args, "--snapshot-out")?;
+    if snapshot_at.is_some() != snapshot_out.is_some() {
+        return Err(Failure::Usage(UsageError(
+            "--snapshot-at and --snapshot-out must be given together".to_string(),
+        )));
+    }
+    let fork_from = cli::value::<PathBuf>(args, "--fork-from")?;
+    let fork_seed = cli::value::<u64>(args, "--fork-seed")?;
+    if fork_seed.is_some() && fork_from.is_none() {
+        return Err(Failure::Usage(UsageError("--fork-seed requires --fork-from".to_string())));
+    }
+    let forking = snapshot_out.is_some() || fork_from.is_some();
+    if snapshot_out.is_some() && fork_from.is_some() {
+        return Err(Failure::Usage(UsageError(
+            "--snapshot-out and --fork-from cannot be combined".to_string(),
+        )));
+    }
+    if forking && (checkpoint_dir.is_some() || resume.is_some() || faults.is_some()) {
+        return Err(Failure::Usage(UsageError(
+            "the forking flags and the crash-safety flags drive the same engine slot; \
+             use one mechanism per run"
+                .to_string(),
+        )));
+    }
     let opts = EngineOptions {
         checkpoint: checkpoint_dir.map(|dir| (dir, checkpoint_every.unwrap_or(1))),
         resume,
         faults,
+        snapshot: snapshot_at.zip(snapshot_out),
+        fork_from,
+        fork_seed,
     };
 
     eprintln!("building context (scale {scale:?}, seed {seed:#x}, {workers} workers) …");

@@ -11,6 +11,8 @@
 //!          [--validate] [--fidelity-out FIDELITY.json]
 //!          [--checkpoint-dir DIR] [--checkpoint-every N]
 //!          [--resume FILE] [--fault-plan SPEC]
+//!          [--snapshot-at DAY --snapshot-out FILE]
+//!          [--fork-from FILE] [--fork-seed N]
 //! ```
 //!
 //! With `--shards N` (N > 1) the run goes through the sharded parallel
@@ -30,6 +32,16 @@
 //! `--resume`, `--fault-plan`; see `docs/REPRODUCING.md`) force the
 //! engine path even at `--shards 1`. Flag values that fail to parse are
 //! fatal usage errors (exit 2); runtime failures exit 1.
+//!
+//! The world-forking flags (see `docs/REPRODUCING.md`): `--snapshot-at
+//! DAY --snapshot-out FILE` runs the scenario through `DAY` complete
+//! days and freezes the fork point as a verification record instead of
+//! finishing the run. `--fork-from FILE` replays the recorded prefix
+//! (the scenario flags must describe the original run — the rebuilt
+//! fork point is digest-verified against the record, and any drift is
+//! a fatal `CheckpointMismatch` naming the first divergent field),
+//! then runs a continuation; `--fork-seed N` diverges the
+//! continuation's RNG from the fork point onward.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -67,7 +79,9 @@ const USAGE: &str = "usage: scenario [--users N] [--days N] [--seed N] [--era 20
      \x20               [--no-defense] [--no-classifier] [--no-monitor] [--no-challenge]\n\
      \x20               [--report FILE] [--validate] [--fidelity-out FILE]\n\
      \x20               [--checkpoint-dir DIR] [--checkpoint-every N]\n\
-     \x20               [--resume FILE] [--fault-plan SPEC]";
+     \x20               [--resume FILE] [--fault-plan SPEC]\n\
+     \x20               [--snapshot-at DAY --snapshot-out FILE]\n\
+     \x20               [--fork-from FILE] [--fork-seed N]";
 
 fn main() {
     cli::run_main(USAGE, run);
@@ -140,6 +154,54 @@ fn run(args: &[String]) -> Result<(), Failure> {
                 .map_err(|e| UsageError(format!("invalid value for --fault-plan: {e}")))?,
         ),
     };
+    let snapshot_at = cli::value::<u64>(args, "--snapshot-at")?;
+    let snapshot_out = cli::value::<PathBuf>(args, "--snapshot-out")?;
+    if snapshot_at.is_some() != snapshot_out.is_some() {
+        return Err(Failure::Usage(UsageError(
+            "--snapshot-at and --snapshot-out must be given together".to_string(),
+        )));
+    }
+    let fork_from = cli::value::<PathBuf>(args, "--fork-from")?;
+    let fork_seed = cli::value::<u64>(args, "--fork-seed")?;
+    if fork_seed.is_some() && fork_from.is_none() {
+        return Err(Failure::Usage(UsageError("--fork-seed requires --fork-from".to_string())));
+    }
+    if snapshot_out.is_some() && (fork_from.is_some() || resume.is_some()) {
+        return Err(Failure::Usage(UsageError(
+            "--snapshot-out freezes a fresh run; it cannot be combined with \
+             --fork-from or --resume"
+                .to_string(),
+        )));
+    }
+    if fork_from.is_some() && resume.is_some() {
+        return Err(Failure::Usage(UsageError(
+            "--fork-from and --resume are different continuation mechanisms; pick one"
+                .to_string(),
+        )));
+    }
+    if snapshot_out.is_some() && (validate || cli::value::<String>(args, "--report")?.is_some()) {
+        return Err(Failure::Usage(UsageError(
+            "--snapshot-out stops mid-run; --report/--validate need a finished run".to_string(),
+        )));
+    }
+
+    // Freeze mode: run the prefix, write the fork-point record, stop.
+    if let (Some(day), Some(out)) = (snapshot_at, &snapshot_out) {
+        let engine = mhw_core::ScenarioBuilder::new(config).workers(workers).sharded(shards);
+        let t0 = std::time::Instant::now();
+        let snapshot = engine.snapshot_after(day).map_err(|e| Failure::Runtime(e.to_string()))?;
+        snapshot.write_record(out).map_err(|e| Failure::Runtime(e.to_string()))?;
+        eprintln!(
+            "froze {} shard(s) after day {}/{} in {:.1}s; fork-point record -> {}",
+            snapshot.n_shards(),
+            snapshot.completed_days(),
+            snapshot.days(),
+            t0.elapsed().as_secs_f64(),
+            out.display()
+        );
+        return Ok(());
+    }
+
     // Crash-safety machinery lives in the engine, so any of its flags
     // forces the engine path even for a single shard (identical output;
     // the engine's determinism tests pin it).
@@ -159,7 +221,38 @@ fn run(args: &[String]) -> Result<(), Failure> {
     let days = config.days;
     let seed = config.seed;
     let t0 = std::time::Instant::now();
-    let run = if engine_path {
+    let run = if let Some(file) = fork_from {
+        // Rebuild the recorded prefix, digest-verify the fork point
+        // against the record, then run the (optionally divergent)
+        // continuation.
+        let record =
+            mhw_core::Checkpoint::read(&file).map_err(|e| Failure::Runtime(e.to_string()))?;
+        eprintln!(
+            "forking from {} (fork point: day {}/{}, {} shard(s))",
+            file.display(),
+            record.completed_days,
+            record.days,
+            record.n_shards
+        );
+        let engine = mhw_core::ScenarioBuilder::new(config).workers(workers).sharded(shards);
+        let snapshot = engine
+            .snapshot_after(record.completed_days)
+            .map_err(|e| Failure::Runtime(e.to_string()))?;
+        snapshot
+            .verify_record(&record, &file.display().to_string())
+            .map_err(|e| Failure::Runtime(e.to_string()))?;
+        let mut fork = mhw_core::ScenarioBuilder::fork_from(&snapshot).workers(workers);
+        if let Some(seed) = fork_seed {
+            fork = fork.seed(seed);
+        }
+        if let Some(dir) = checkpoint_dir {
+            fork = fork.checkpoint_to(dir, checkpoint_every.unwrap_or(1));
+        }
+        if let Some(plan) = faults {
+            fork = fork.fault_plan(plan);
+        }
+        Run::Sharded(Box::new(fork.run().map_err(|e| Failure::Runtime(e.to_string()))?))
+    } else if engine_path {
         let mut engine =
             mhw_core::ScenarioBuilder::new(config).workers(workers).sharded(shards);
         if let Some(dir) = checkpoint_dir {

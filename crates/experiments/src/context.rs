@@ -50,9 +50,11 @@ pub struct Context {
     pub decoys: DecoyReport,
 }
 
-/// Crash-safety options for the context's main (2012-era) run, wired
-/// through from the `repro` binary's `--checkpoint-dir` /
-/// `--checkpoint-every` / `--resume` / `--fault-plan` flags.
+/// Crash-safety and world-forking options for the context's main
+/// (2012-era) run, wired through from the `repro` binary's
+/// `--checkpoint-dir` / `--checkpoint-every` / `--resume` /
+/// `--fault-plan` / `--snapshot-at` / `--snapshot-out` / `--fork-from`
+/// / `--fork-seed` flags.
 #[derive(Debug, Clone, Default)]
 pub struct EngineOptions {
     /// Write day-barrier checkpoints: `(directory, every N days)`.
@@ -61,12 +63,27 @@ pub struct EngineOptions {
     pub resume: Option<PathBuf>,
     /// Deterministic fault plan injected into the main run.
     pub faults: Option<FaultPlan>,
+    /// Freeze the main run's fork point `(after day, record path)`.
+    /// The run still completes — a same-seed fork finishes the
+    /// remaining days, which the engine guarantees is byte-identical
+    /// to never snapshotting at all.
+    pub snapshot: Option<(u64, PathBuf)>,
+    /// Rebuild the recorded prefix, digest-verify the fork point
+    /// against this record, and run the main world as a continuation.
+    pub fork_from: Option<PathBuf>,
+    /// Divergent continuation seed (with [`EngineOptions::fork_from`]).
+    pub fork_seed: Option<u64>,
 }
 
 impl EngineOptions {
-    /// True when no crash-safety machinery was requested.
+    /// True when no crash-safety or forking machinery was requested.
     pub fn is_default(&self) -> bool {
-        self.checkpoint.is_none() && self.resume.is_none() && self.faults.is_none()
+        self.checkpoint.is_none()
+            && self.resume.is_none()
+            && self.faults.is_none()
+            && self.snapshot.is_none()
+            && self.fork_from.is_none()
+            && self.fork_seed.is_none()
     }
 }
 
@@ -128,6 +145,28 @@ impl Context {
         // the pool below free of fallible jobs.
         let prebuilt_2012: Option<Ecosystem> = if opts.is_default() {
             None
+        } else if let Some((day, path)) = &opts.snapshot {
+            // Freeze the fork point, record it, then finish the run via
+            // a same-seed fork — byte-identical to an uninterrupted run
+            // (pinned by the engine's forking tests).
+            let snapshot = ShardedEngine::new(base(seed), 1).snapshot_after(*day)?;
+            snapshot.write_record(path)?;
+            let mut shards = snapshot.fork().run()?.into_shards();
+            Some(shards.pop().expect("engine configured with one shard"))
+        } else if let Some(file) = &opts.fork_from {
+            // Rebuild the recorded prefix, verify the fork point against
+            // the record, then run the (optionally divergent)
+            // continuation as the main world.
+            let record = mhw_core::Checkpoint::read(file)?;
+            let snapshot =
+                ShardedEngine::new(base(seed), 1).snapshot_after(record.completed_days)?;
+            snapshot.verify_record(&record, &file.display().to_string())?;
+            let mut fork = snapshot.fork();
+            if let Some(fork_seed) = opts.fork_seed {
+                fork = fork.seed(fork_seed);
+            }
+            let mut shards = fork.run()?.into_shards();
+            Some(shards.pop().expect("engine configured with one shard"))
         } else {
             let mut engine = ShardedEngine::new(base(seed), 1);
             if let Some((dir, every)) = &opts.checkpoint {

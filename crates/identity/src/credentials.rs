@@ -37,7 +37,7 @@ struct Credential {
 /// 8-byte [`Span`] handles. Rotated-away passwords stay in the arena
 /// (append-only) — at simulation scale the dead bytes are noise next
 /// to the per-`String` allocator overhead they replace.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CredentialStore {
     creds: Vec<Credential>,
     arena: StrArena,

@@ -92,7 +92,7 @@ pub struct LoginRecord {
 /// Every [`append`](LoginLog::append) also updates the log's metrics
 /// [`Registry`] (attempt, outcome and challenge counters), so a shard's
 /// authentication activity is observable without replaying its records.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LoginLog {
     store: LogStore<LoginRecord>,
     next_session: u32,

@@ -69,7 +69,7 @@ pub struct AccountOptions {
 }
 
 /// Store of recovery options for all accounts.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RecoveryOptions {
     accounts: Vec<AccountOptions>,
 }

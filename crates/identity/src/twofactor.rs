@@ -43,7 +43,7 @@ struct AccountTwoFactor {
 }
 
 /// 2FA state for all accounts.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TwoFactorState {
     accounts: Vec<AccountTwoFactor>,
 }

@@ -41,7 +41,7 @@ pub struct SettingsAudit<T> {
 /// Per-account state held by the provider. The account's primary
 /// address lives in the provider-wide address interner (symbol index ==
 /// account index), not here.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct AccountState {
     mailbox: Mailbox,
     filters: Vec<MailFilter>,
@@ -51,7 +51,7 @@ struct AccountState {
 }
 
 /// The simulated mail provider.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MailProvider {
     accounts: Vec<AccountState>,
     /// Every registered primary address, interned in account order —

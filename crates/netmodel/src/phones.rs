@@ -11,7 +11,7 @@ use mhw_types::{CountryCode, PhoneNumber};
 use std::collections::HashSet;
 
 /// A numbering plan that issues unique numbers per country.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PhonePlan {
     issued: HashSet<PhoneNumber>,
     counter: u64,

@@ -46,7 +46,7 @@ pub struct CapturedCredential {
 }
 
 /// A crew's credential dropbox (FIFO queue with suspension).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropbox {
     pub crew: CrewId,
     queue: VecDeque<CapturedCredential>,

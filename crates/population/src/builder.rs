@@ -96,6 +96,7 @@ const USER_COUNTRIES: [(CountryCode, f64); 12] = [
 
 /// The constructed population plus the substrate handles it registered
 /// itself into.
+#[derive(Clone)]
 pub struct Population {
     pub users: Vec<UserProfile>,
     pub graph: ContactGraph,

@@ -32,7 +32,7 @@ pub struct ClaimResolution {
 }
 
 /// The recovery service.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RecoveryService {
     next_claim: u32,
     claims: Vec<RecoveryClaim>,

@@ -15,6 +15,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 /// A deterministic random stream.
+///
+/// `Clone` duplicates the exact generator position: the clone and the
+/// original produce identical draw sequences from the clone point, which
+/// is what lets forked worlds replay a snapshot's RNG state verbatim.
+#[derive(Clone)]
 pub struct SimRng {
     inner: StdRng,
 }
@@ -30,12 +35,7 @@ impl SimRng {
     /// independent streams and the mapping is stable across runs and
     /// platforms.
     pub fn stream(master_seed: u64, label: &str) -> Self {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in label.as_bytes() {
-            h ^= *b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        SimRng::from_seed(master_seed ^ h)
+        SimRng::from_seed(master_seed ^ mhw_types::fnv::digest(label.as_bytes()))
     }
 
     /// Derive a labelled sub-stream for one logical shard of a sharded
@@ -203,6 +203,21 @@ impl SimRng {
     /// Rebuild a stream at a position captured with [`SimRng::state`].
     pub fn from_state(state: [u64; 4]) -> Self {
         SimRng { inner: StdRng::from_state(state) }
+    }
+
+    /// Deterministically reseed this stream from its current position
+    /// mixed with `salt`. Used when forking a world with a divergent
+    /// seed: the perturbed stream depends on both the snapshot position
+    /// (so distinct fork points diverge differently) and the salt (so
+    /// distinct fork seeds diverge from one another), while the same
+    /// `(position, salt)` pair always yields the same stream.
+    pub fn perturb(&mut self, salt: u64) {
+        let mut h = mhw_types::fnv::OFFSET;
+        for w in self.state() {
+            h = mhw_types::fnv::fnv1a(h, &w.to_le_bytes());
+        }
+        h = mhw_types::fnv::fnv1a(h, &salt.to_le_bytes());
+        *self = SimRng::from_seed(h);
     }
 }
 

@@ -1,0 +1,114 @@
+//! FNV-1a — the workspace's one and only digest primitive.
+//!
+//! Every digest in the workspace — dataset digests, checkpoint state
+//! digests, RNG stream labels, spilled-log checksums — is 64-bit
+//! FNV-1a. It is stable across platforms and Rust versions (unlike
+//! `DefaultHasher`), has no lookup tables or per-hasher allocation, and
+//! is cheap enough to run over every log record of a million-user
+//! world. This module is the single definition; the incremental
+//! [`Fnv1a`] hasher and the free [`fnv1a`]/[`digest`] functions below
+//! are the same algorithm in streaming and one-shot form.
+
+/// The FNV-1a 64-bit offset basis (the initial hash state).
+pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an in-progress FNV-1a hash state. Start from
+/// [`OFFSET`]; feeding chunks through repeated calls is identical to
+/// one call over the concatenation.
+#[must_use]
+pub fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// One-shot digest of a byte slice: `fnv1a(OFFSET, bytes)`.
+#[must_use]
+pub fn digest(bytes: &[u8]) -> u64 {
+    fnv1a(OFFSET, bytes)
+}
+
+/// Incremental FNV-1a hasher — the workspace's standard digest for
+/// datasets and state snapshots.
+///
+/// ```
+/// use mhw_types::fnv::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"hello");
+/// let once = h.finish();
+/// let mut again = Fnv1a::new();
+/// again.write(b"hel");
+/// again.write(b"lo");
+/// assert_eq!(once, again.finish(), "chunking never changes the digest");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// The FNV-1a 64-bit offset basis.
+    pub const OFFSET: u64 = OFFSET;
+    /// The FNV-1a 64-bit prime.
+    pub const PRIME: u64 = PRIME;
+
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(OFFSET)
+    }
+
+    /// Absorb `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.0 = fnv1a(self.0, bytes);
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_the_offset_basis() {
+        assert_eq!(digest(b""), OFFSET);
+        assert_eq!(Fnv1a::new().finish(), OFFSET);
+    }
+
+    #[test]
+    fn published_reference_vectors() {
+        // Official FNV-1a 64-bit test vectors (Noll's reference set).
+        assert_eq!(digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"handcrafted fraud and extortion";
+        let mut h = Fnv1a::new();
+        for chunk in data.chunks(3) {
+            h.write(chunk);
+        }
+        assert_eq!(h.finish(), digest(data));
+        assert_eq!(fnv1a(fnv1a(OFFSET, &data[..10]), &data[10..]), digest(data));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(digest(b"shard-0"), digest(b"shard-1"));
+        assert_ne!(digest(b"ab"), digest(b"ba"), "order matters");
+    }
+}

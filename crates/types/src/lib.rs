@@ -27,6 +27,7 @@ pub mod account;
 pub mod actor;
 pub mod email;
 pub mod error;
+pub mod fnv;
 pub mod geo;
 pub mod ids;
 pub mod intern;
@@ -40,6 +41,7 @@ pub use account::{AccountCategory, WebmailProvider};
 pub use actor::Actor;
 pub use email::{EmailAddress, EmailDomainClass};
 pub use error::{CheckpointOp, EngineError, EngineResult, Error};
+pub use fnv::Fnv1a;
 pub use geo::{CountryCode, Language};
 pub use ids::{
     AccountId, CampaignId, ClaimId, CrewId, DeviceId, FilterId, IncidentId, MessageId, PageId,
@@ -48,8 +50,7 @@ pub use ids::{
 pub use intern::{DenseMap, Interner, Span, StrArena, Sym};
 pub use ip::{IpAddr, IpBlock};
 pub use log::{
-    read_spilled_digest, Entries, Entry, EventSink, Fnv1a, LogKey, LogStore, ShardId, SpillFile,
-    Stamped,
+    read_spilled_digest, Entries, Entry, EventSink, LogKey, LogStore, ShardId, SpillFile, Stamped,
 };
 pub use phone::PhoneNumber;
 pub use sync::CachePadded;

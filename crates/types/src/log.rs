@@ -528,55 +528,7 @@ pub fn read_spilled_digest(path: &Path) -> std::io::Result<(u64, u64)> {
     Ok((lines, digest.finish()))
 }
 
-/// Incremental FNV-1a hasher — the workspace's standard digest for
-/// datasets and state snapshots. Stable across platforms and Rust
-/// versions (unlike `DefaultHasher`), cheap enough to run over every
-/// log record of a million-user world.
-///
-/// ```
-/// use mhw_types::log::Fnv1a;
-///
-/// let mut h = Fnv1a::new();
-/// h.write(b"hello");
-/// let once = h.finish();
-/// let mut again = Fnv1a::new();
-/// again.write(b"hel");
-/// again.write(b"lo");
-/// assert_eq!(once, again.finish(), "chunking never changes the digest");
-/// ```
-#[derive(Debug, Clone)]
-pub struct Fnv1a(u64);
-
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Fnv1a::new()
-    }
-}
-
-impl Fnv1a {
-    /// The FNV-1a 64-bit offset basis.
-    pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    /// The FNV-1a 64-bit prime.
-    pub const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    /// A fresh hasher at the offset basis.
-    pub fn new() -> Self {
-        Fnv1a(Self::OFFSET)
-    }
-
-    /// Absorb `bytes`.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    /// The digest of everything written so far.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
+pub use crate::fnv::Fnv1a;
 
 /// Borrowing iterator over a segment's entries, reassembling each
 /// [`LogKey`] from the timestamp column and the implicit (shard, seq)

@@ -68,4 +68,13 @@ echo "== bench-scale =="
 # scale_ladder` run (see docs/SCALING.md).
 cargo bench --offline -p mhw-bench --bench scale_ladder -- --smoke
 
+echo "== bench-fork =="
+# Fork-sweep smoke: a miniature 4-cell grid through both sweep arms —
+# fork continuations off a shared prefix vs build each cell from
+# scratch — including the fatal baseline-digest cross-check (a fork
+# must never change semantics). Does not rewrite BENCH_fork.json —
+# the committed artifact comes from a full `cargo bench --bench
+# fork_sweep` run (see docs/REPRODUCING.md).
+cargo bench --offline -p mhw-bench --bench fork_sweep -- --smoke
+
 echo "all checks passed"
