@@ -59,7 +59,7 @@ use mhw_obs::{
 use mhw_simclock::SimRng;
 use mhw_types::{
     CachePadded, CheckpointOp, CrewId, EngineError, EngineResult, Entry, Fnv1a, LogStore,
-    SimDuration, SimTime, SpillFile, DAY,
+    RetryPolicy, SimDuration, SimTime, SpillFile, DAY,
 };
 use parking_lot::Mutex;
 use std::fmt::Write as _;
@@ -99,6 +99,15 @@ pub const M_CHECKPOINT_RETRIES: MetricId = MetricId("engine.ops.checkpoint_retri
 /// Checkpoint writes give up after this many failed attempts; the
 /// sleep between attempts doubles each time (bounded backoff).
 const CHECKPOINT_WRITE_ATTEMPTS: u32 = 3;
+
+/// The shared bounded-backoff policy applied to every durable write in
+/// the engine: day-barrier checkpoints and fork-point records. The 4ms
+/// base doubling to 8ms reproduces the historical `2 << attempt`
+/// schedule of the original inline loop.
+const CHECKPOINT_RETRY: RetryPolicy = RetryPolicy {
+    attempts: CHECKPOINT_WRITE_ATTEMPTS,
+    base_delay: Duration::from_millis(4),
+};
 
 /// Worker threads used when [`ShardedEngine::workers`] is never
 /// called: everything the machine offers.
@@ -910,38 +919,30 @@ impl ShardedEngine {
                             );
                             let path = policy.dir.join(checkpoint::file_name(completed));
                             let mut to_inject = self.faults.checkpoint_failures_at(day);
-                            let mut last: EngineResult<()> = Ok(());
-                            for attempt in 1..=CHECKPOINT_WRITE_ATTEMPTS {
-                                let outcome = if to_inject > 0 {
-                                    to_inject -= 1;
-                                    ops.inc(M_FAULTS_INJECTED);
-                                    Err(EngineError::CheckpointIo {
-                                        op: CheckpointOp::Write,
-                                        path: path.display().to_string(),
-                                        detail: format!(
-                                            "injected transient write failure (attempt {attempt})"
-                                        ),
-                                    })
-                                } else {
+                            let mut attempt = 0u32;
+                            let outcome = CHECKPOINT_RETRY.run_with(
+                                &mut || {
+                                    attempt += 1;
+                                    if to_inject > 0 {
+                                        to_inject -= 1;
+                                        ops.inc(M_FAULTS_INJECTED);
+                                        return Err(EngineError::CheckpointIo {
+                                            op: CheckpointOp::Write,
+                                            path: path.display().to_string(),
+                                            detail: format!(
+                                                "injected transient write failure \
+                                                 (attempt {attempt})"
+                                            ),
+                                        });
+                                    }
                                     ckpt.write_atomic(&path)
-                                };
-                                match outcome {
-                                    Ok(()) => {
-                                        ops.inc(M_CHECKPOINTS_WRITTEN);
-                                        return Ok(());
-                                    }
-                                    Err(e) => {
-                                        last = Err(e);
-                                        if attempt < CHECKPOINT_WRITE_ATTEMPTS {
-                                            ops.inc(M_CHECKPOINT_RETRIES);
-                                            std::thread::sleep(Duration::from_millis(
-                                                2 << attempt,
-                                            ));
-                                        }
-                                    }
-                                }
+                                },
+                                |_| ops.inc(M_CHECKPOINT_RETRIES),
+                            );
+                            if outcome.is_ok() {
+                                ops.inc(M_CHECKPOINTS_WRITTEN);
                             }
-                            last
+                            outcome
                         });
                         written?;
                     }
@@ -1133,13 +1134,16 @@ impl WorldSnapshot {
     }
 
     /// Write the fork-point record to `path` in the PR 4 checkpoint
-    /// format (atomic tmp-file + rename).
+    /// format (atomic tmp-file + rename), absorbing transient I/O
+    /// failures with the same bounded-backoff retry policy the engine
+    /// applies to day-barrier checkpoints.
     ///
     /// # Errors
     ///
-    /// [`EngineError::CheckpointIo`] on write failure.
+    /// [`EngineError::CheckpointIo`] once every retry attempt has
+    /// failed.
     pub fn write_record(&self, path: &Path) -> EngineResult<()> {
-        self.checkpoint.write_atomic(path)
+        CHECKPOINT_RETRY.run(|| self.checkpoint.write_atomic(path))
     }
 
     /// Verify that `recorded` (a fork-point record read back from

@@ -21,7 +21,7 @@
 //! (or is resumed past them) still produces byte-identical datasets.
 
 use mhw_simclock::SimRng;
-use mhw_types::{EngineError, EngineResult, ShardId};
+use mhw_types::{faultspec, EngineError, EngineResult, ShardId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -106,75 +106,57 @@ impl FaultPlan {
     ///   scenario dimensions.
     ///
     /// Errors are plain strings naming the offending entry; the CLIs
-    /// turn them into usage errors.
+    /// turn them into usage errors (exit code 2). The grammar itself —
+    /// entry splitting, coordinate helpers, error wording — is shared
+    /// with the serve tier's `ServeFaultPlan` via
+    /// [`mhw_types::faultspec`].
     pub fn parse_spec(spec: &str, seed: u64, days: u64, shards: u16) -> Result<Self, String> {
-        let spec = spec.trim();
-        if let Some(counts) = spec.strip_prefix("seeded:") {
-            let (mut n_panics, mut n_slow, mut n_ckpt) = (0usize, 0usize, 0usize);
-            for pair in counts.split(',').filter(|p| !p.trim().is_empty()) {
-                let (key, value) = pair
-                    .split_once('=')
-                    .ok_or_else(|| format!("fault spec `{pair}`: expected key=N"))?;
-                let n: usize = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("fault spec `{pair}`: `{value}` is not a count"))?;
-                match key.trim() {
-                    "panics" => n_panics = n,
-                    "slow" => n_slow = n,
-                    "ckpt" => n_ckpt = n,
-                    other => {
-                        return Err(format!(
-                            "fault spec key `{other}`: expected panics, slow or ckpt"
-                        ))
-                    }
-                }
+        let entries = match faultspec::parse(spec, &["panics", "slow", "ckpt"])? {
+            faultspec::FaultSpec::Seeded(counts) => {
+                return Ok(FaultPlan::seeded(
+                    seed,
+                    days,
+                    shards,
+                    counts.get("panics") as usize,
+                    counts.get("slow") as usize,
+                    counts.get("ckpt") as usize,
+                ));
             }
-            return Ok(FaultPlan::seeded(seed, days, shards, n_panics, n_slow, n_ckpt));
-        }
+            faultspec::FaultSpec::Explicit(entries) => entries,
+        };
         let mut plan = FaultPlan::default();
-        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
-            let entry = entry.trim();
-            let (kind, coords) = entry
-                .split_once('@')
-                .ok_or_else(|| format!("fault entry `{entry}`: expected kind@coordinates"))?;
-            let parse_u64 = |s: &str, what: &str| {
-                s.parse::<u64>()
-                    .map_err(|_| format!("fault entry `{entry}`: `{s}` is not a {what}"))
-            };
-            match kind {
+        for entry in &entries {
+            let raw = entry.raw.as_str();
+            let coords = entry.coords.as_str();
+            match entry.kind.as_str() {
                 "panic" => {
-                    let (day, shard) = coords.split_once('.').ok_or_else(|| {
-                        format!("fault entry `{entry}`: expected panic@DAY.SHARD")
-                    })?;
-                    plan.panics
-                        .insert((parse_u64(day, "day")?, parse_u64(shard, "shard")? as ShardId));
+                    let (day, shard) = faultspec::split2(raw, coords, '.', "panic@DAY.SHARD")?;
+                    plan.panics.insert((
+                        faultspec::num(raw, day, "day")?,
+                        faultspec::num(raw, shard, "shard")? as ShardId,
+                    ));
                 }
                 "slow" => {
-                    let (at, ms) = coords.split_once(':').ok_or_else(|| {
-                        format!("fault entry `{entry}`: expected slow@DAY.SHARD:MS")
-                    })?;
-                    let (day, shard) = at.split_once('.').ok_or_else(|| {
-                        format!("fault entry `{entry}`: expected slow@DAY.SHARD:MS")
-                    })?;
+                    let (at, ms) = faultspec::split2(raw, coords, ':', "slow@DAY.SHARD:MS")?;
+                    let (day, shard) = faultspec::split2(raw, at, '.', "slow@DAY.SHARD:MS")?;
                     plan.slowdowns.insert(
-                        (parse_u64(day, "day")?, parse_u64(shard, "shard")? as ShardId),
-                        parse_u64(ms, "millisecond count")?,
+                        (
+                            faultspec::num(raw, day, "day")?,
+                            faultspec::num(raw, shard, "shard")? as ShardId,
+                        ),
+                        faultspec::num(raw, ms, "millisecond count")?,
                     );
                 }
                 "ckpt-fail" => {
-                    let (day, attempts) = coords.split_once(':').ok_or_else(|| {
-                        format!("fault entry `{entry}`: expected ckpt-fail@DAY:ATTEMPTS")
-                    })?;
+                    let (day, attempts) =
+                        faultspec::split2(raw, coords, ':', "ckpt-fail@DAY:ATTEMPTS")?;
                     *plan
                         .checkpoint_failures
-                        .entry(parse_u64(day, "day")?)
-                        .or_insert(0) += parse_u64(attempts, "attempt count")? as u32;
+                        .entry(faultspec::num(raw, day, "day")?)
+                        .or_insert(0) += faultspec::num(raw, attempts, "attempt count")? as u32;
                 }
                 other => {
-                    return Err(format!(
-                        "fault kind `{other}`: expected panic, slow or ckpt-fail"
-                    ))
+                    return Err(faultspec::unknown_kind(other, &["panic", "slow", "ckpt-fail"]))
                 }
             }
         }

@@ -28,6 +28,10 @@
 //! * [`replay`] — serve-mode login-log replay: synthetic workload
 //!   generation, recorded-log conversion, and the chained verdict
 //!   digest behind the batch/serve parity tests;
+//! * [`resilience`] — overload-safe replay: [`ServeFaultPlan`]
+//!   signal-source faults, bounded admission queues with load
+//!   shedding, and the deterministic virtual-time loop behind
+//!   `tests/serve_chaos.rs`;
 //! * [`decoy`] — the §5.1 decoy-credential experiment (Figure 7);
 //! * [`datasets`] — extraction of the paper's 14 datasets (Table 1)
 //!   from the raw logs.
@@ -45,6 +49,7 @@ pub mod engine;
 pub mod fault;
 pub mod pool;
 pub mod replay;
+pub mod resilience;
 pub mod world;
 
 pub use builder::ScenarioBuilder;
@@ -64,4 +69,7 @@ pub use pool::{JobPanic, WorkerPool};
 pub use replay::{
     generate_workload, replay_stream, verdict_digest_from_log, ReplayLog, ReplayLogin,
     WorkloadConfig,
+};
+pub use resilience::{
+    replay_stream_resilient, ReplayStats, ServeFaultPlan, ServeOptions, ShedPolicy,
 };

@@ -292,11 +292,16 @@ fn outcome_code(outcome: LoginOutcome) -> u8 {
     }
 }
 
-/// Fold one verdict into the chained digest (exact score bits, the
-/// threshold decision, and the adjudicated outcome).
+/// Fold one verdict into the chained digest: exact score bits, the
+/// threshold decision, the adjudicated outcome, and the verdict's
+/// fidelity byte — so degraded or shed scoring changes the digest and
+/// is pinned by byte-identity checks, never silent.
 pub fn mix_digest(digest: u64, verdict: &RiskVerdict, outcome: LoginOutcome) -> u64 {
     let h = fnv1a(digest, &verdict.score.to_bits().to_le_bytes());
-    fnv1a(h, &[decision_code(verdict.decision), outcome_code(outcome)])
+    fnv1a(
+        h,
+        &[decision_code(verdict.decision), outcome_code(outcome), verdict.fidelity.byte()],
+    )
 }
 
 /// Replay `events` through `service`, chaining the verdict digest from
@@ -326,9 +331,15 @@ pub fn replay_stream<S: RiskService + ?Sized>(
 /// must reproduce.
 pub fn verdict_digest_from_log(log: &LoginLog, engine: &RiskEngine) -> u64 {
     let mut h = DIGEST_SEED;
+    // Batch scoring always runs full-fidelity, so the batch side mixes
+    // the empty fidelity byte — clean-arm serve digests match exactly.
+    let fidelity = mhw_defense::Fidelity::FULL.byte();
     for r in log.records() {
         h = fnv1a(h, &r.risk_score.to_bits().to_le_bytes());
-        h = fnv1a(h, &[decision_code(engine.decide(r.risk_score)), outcome_code(r.outcome)]);
+        h = fnv1a(
+            h,
+            &[decision_code(engine.decide(r.risk_score)), outcome_code(r.outcome), fidelity],
+        );
     }
     h
 }

@@ -1,0 +1,657 @@
+//! Graceful degradation for the serve tier.
+//!
+//! The paper's risk engine ran *online*, where the binding constraint
+//! is availability: a scorer that stalls when a dependency degrades
+//! fails open for every login behind it. This module gives the
+//! streaming service a production failure model while keeping the
+//! workspace's determinism contract — nothing here reads a wall clock;
+//! breakers and deadlines are keyed to event [`SimTime`] and to a
+//! *virtual* nanosecond cost model, so the same fault plan degrades the
+//! same events on every run.
+//!
+//! Three pieces:
+//!
+//! * [`Fidelity`] — a per-verdict bitset naming which signal sources
+//!   were served from fallbacks instead of live state. Full-fidelity
+//!   verdicts are byte-identical to batch scoring; degraded ones are
+//!   honest about what they did not know.
+//! * [`CircuitBreaker`] — one per [`SignalSource`], classic
+//!   closed/open/half-open on consecutive faults. An open breaker skips
+//!   the source entirely (fallback at zero cost) until a cooldown of
+//!   simulated time passes, then probes it half-open.
+//! * [`DegradedScoring`] — the per-request ladder: each source is
+//!   consulted under its breaker and the request's remaining deadline
+//!   budget; a source that is down, too slow, or breaker-open falls
+//!   back instead of blocking. Fallbacks are the *conservative prior*
+//!   for each signal: missing history scores as a new account, a cold
+//!   IP cache as fan-out 1, unlocatable geo as the 0.5 country-novelty
+//!   prior the extractor already applies.
+
+#![deny(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use mhw_types::{SimDuration, SimTime};
+use std::fmt;
+
+/// The three external state sources a scoring pass consults, in the
+/// order the ladder consults them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalSource {
+    /// Per-account login history (the [`HistoryStore`]).
+    ///
+    /// [`HistoryStore`]: crate::signals::HistoryStore
+    History,
+    /// The per-IP fan-out cache (the [`IpReputation`] LRU).
+    ///
+    /// [`IpReputation`]: crate::signals::IpReputation
+    IpCache,
+    /// IP geolocation (the `GeoDb`).
+    Geo,
+}
+
+impl SignalSource {
+    /// All sources, in ladder order.
+    pub const ALL: [SignalSource; 3] = [SignalSource::History, SignalSource::IpCache, SignalSource::Geo];
+
+    /// Stable index into per-source arrays.
+    pub fn index(self) -> usize {
+        match self {
+            SignalSource::History => 0,
+            SignalSource::IpCache => 1,
+            SignalSource::Geo => 2,
+        }
+    }
+
+    /// The spec / report name for this source.
+    pub fn name(self) -> &'static str {
+        match self {
+            SignalSource::History => "history",
+            SignalSource::IpCache => "ip-cache",
+            SignalSource::Geo => "geo",
+        }
+    }
+
+    /// Parse a spec name (`history`, `ip-cache`/`ip`, `geo`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "history" => Some(SignalSource::History),
+            "ip-cache" | "ip" => Some(SignalSource::IpCache),
+            "geo" => Some(SignalSource::Geo),
+            _ => None,
+        }
+    }
+}
+
+/// Which parts of a verdict came from fallbacks — a bitset carried on
+/// every [`RiskVerdict`](crate::service::RiskVerdict) and mixed into
+/// the replay digest, so degraded scoring is visible (and pinned) in
+/// byte-identity checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fidelity(u8);
+
+impl Fidelity {
+    const HISTORY: u8 = 1 << 0;
+    const IP_CACHE: u8 = 1 << 1;
+    const GEO: u8 = 1 << 2;
+    const SHED: u8 = 1 << 3;
+
+    /// Every signal served from live state.
+    pub const FULL: Fidelity = Fidelity(0);
+
+    /// The verdict a shed request gets: never scored, every source
+    /// degraded, shed bit set.
+    pub fn shed() -> Fidelity {
+        Fidelity(Self::HISTORY | Self::IP_CACHE | Self::GEO | Self::SHED)
+    }
+
+    /// Mark one source as served from its fallback.
+    pub fn degrade(&mut self, source: SignalSource) {
+        self.0 |= match source {
+            SignalSource::History => Self::HISTORY,
+            SignalSource::IpCache => Self::IP_CACHE,
+            SignalSource::Geo => Self::GEO,
+        };
+    }
+
+    /// True when every signal came from live state.
+    pub fn is_full(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when the request was shed before scoring.
+    pub fn is_shed(self) -> bool {
+        self.0 & Self::SHED != 0
+    }
+
+    /// Was this source served from its fallback?
+    pub fn is_degraded(self, source: SignalSource) -> bool {
+        self.0
+            & match source {
+                SignalSource::History => Self::HISTORY,
+                SignalSource::IpCache => Self::IP_CACHE,
+                SignalSource::Geo => Self::GEO,
+            }
+            != 0
+    }
+
+    /// The raw bitset byte (mixed into replay digests).
+    pub fn byte(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fidelity {
+    /// `full`, `shed`, or `degraded:geo+history` style.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_full() {
+            return f.write_str("full");
+        }
+        if self.is_shed() {
+            return f.write_str("shed");
+        }
+        f.write_str("degraded:")?;
+        let mut first = true;
+        for source in SignalSource::ALL {
+            if self.is_degraded(source) {
+                if !first {
+                    f.write_str("+")?;
+                }
+                first = false;
+                f.write_str(source.name())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One source's injected condition for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceCondition {
+    /// The source fails fast (outage): consulting it costs its nominal
+    /// latency, returns nothing, and counts as a breaker fault.
+    pub down: bool,
+    /// Injected response latency in virtual nanoseconds (0 = nominal).
+    pub latency_ns: u64,
+}
+
+/// The injected conditions for all sources at one event — what a
+/// `ServeFaultPlan` resolves to per event index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SignalConditions {
+    /// Per-source conditions, indexed by [`SignalSource::index`].
+    pub sources: [SourceCondition; 3],
+}
+
+impl SignalConditions {
+    /// Every source healthy at nominal latency.
+    pub const fn healthy() -> Self {
+        SignalConditions {
+            sources: [
+                SourceCondition { down: false, latency_ns: 0 },
+                SourceCondition { down: false, latency_ns: 0 },
+                SourceCondition { down: false, latency_ns: 0 },
+            ],
+        }
+    }
+
+    /// The condition for one source.
+    pub fn source(&self, source: SignalSource) -> &SourceCondition {
+        &self.sources[source.index()]
+    }
+
+    /// Mutable condition for one source (plan builders).
+    pub fn source_mut(&mut self, source: SignalSource) -> &mut SourceCondition {
+        &mut self.sources[source.index()]
+    }
+}
+
+/// Breaker tuning. Defaults open after 8 consecutive faults, stay open
+/// for 2 simulated hours, and close again after 1 successful probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive faults that trip a closed breaker open.
+    pub fault_threshold: u32,
+    /// Simulated time an open breaker waits before probing half-open.
+    pub cooldown: SimDuration,
+    /// Successful half-open probes required to close.
+    pub probes_to_close: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            fault_threshold: 8,
+            cooldown: SimDuration::from_hours(2),
+            probes_to_close: 1,
+        }
+    }
+}
+
+/// The classic three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every request consults the source.
+    Closed,
+    /// Tripped: the source is skipped (fallback at zero cost) until
+    /// the cooldown elapses in simulated time.
+    Open,
+    /// Probing: requests consult the source again; one more fault
+    /// re-opens, enough successes close.
+    HalfOpen,
+}
+
+/// Lifetime transition counts for one or more breakers — the
+/// availability report's breaker section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerTransitions {
+    /// Closed/half-open → open trips.
+    pub opened: u64,
+    /// Open → half-open probe windows.
+    pub half_opened: u64,
+    /// Half-open → closed recoveries.
+    pub closed: u64,
+}
+
+impl BreakerTransitions {
+    /// Fold another counter set into this one (cross-shard merge).
+    pub fn merge(&mut self, other: &BreakerTransitions) {
+        self.opened += other.opened;
+        self.half_opened += other.half_opened;
+        self.closed += other.closed;
+    }
+}
+
+/// A deterministic circuit breaker for one signal source, keyed to
+/// event [`SimTime`] — no wall clock anywhere, so the same event stream
+/// trips and recovers the breaker identically on every run.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_faults: u32,
+    opened_at: SimTime,
+    probe_successes: u32,
+    transitions: BreakerTransitions,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_faults: 0,
+            opened_at: SimTime::from_secs(0),
+            probe_successes: 0,
+            transitions: BreakerTransitions::default(),
+        }
+    }
+
+    /// Current state (after any cooldown-driven transition at `at`).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Transition counts so far.
+    pub fn transitions(&self) -> BreakerTransitions {
+        self.transitions
+    }
+
+    /// May a request at `at` consult the source? An open breaker whose
+    /// cooldown has elapsed moves to half-open here (and permits the
+    /// probe); otherwise open means "use the fallback, free".
+    pub fn permits(&mut self, at: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if at.since(self.opened_at) >= self.config.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    self.transitions.half_opened += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The source answered healthily at `at`.
+    pub fn record_success(&mut self, _at: SimTime) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_faults = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.probes_to_close.max(1) {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_faults = 0;
+                    self.transitions.closed += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The source faulted (outage or deadline overrun) at `at`.
+    pub fn record_fault(&mut self, at: SimTime) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_faults += 1;
+                if self.consecutive_faults >= self.config.fault_threshold.max(1) {
+                    self.trip(at);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(at),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, at: SimTime) {
+        self.state = BreakerState::Open;
+        self.opened_at = at;
+        self.consecutive_faults = 0;
+        self.probe_successes = 0;
+        self.transitions.opened += 1;
+    }
+}
+
+/// "No deadline": the batch pipeline's budget, under which a healthy
+/// service never degrades anything.
+pub const DEADLINE_UNLIMITED: u64 = u64::MAX;
+
+/// Fixed per-request bookkeeping cost in virtual nanoseconds.
+pub const NOMINAL_OVERHEAD_NS: u64 = 100;
+/// Nominal virtual cost of a history lookup.
+pub const NOMINAL_HISTORY_NS: u64 = 200;
+/// Nominal virtual cost of an IP-cache read.
+pub const NOMINAL_IP_NS: u64 = 150;
+/// Nominal virtual cost of a geo lookup.
+pub const NOMINAL_GEO_NS: u64 = 250;
+/// A fully healthy assess: overhead + all three sources.
+pub const NOMINAL_ASSESS_NS: u64 =
+    NOMINAL_OVERHEAD_NS + NOMINAL_HISTORY_NS + NOMINAL_IP_NS + NOMINAL_GEO_NS;
+
+/// Nominal virtual cost of one source.
+pub fn nominal_cost(source: SignalSource) -> u64 {
+    match source {
+        SignalSource::History => NOMINAL_HISTORY_NS,
+        SignalSource::IpCache => NOMINAL_IP_NS,
+        SignalSource::Geo => NOMINAL_GEO_NS,
+    }
+}
+
+/// How long after a cache wipe the fan-out signal is reported as
+/// degraded ("saturation-free"): the cache undercounts until a day of
+/// traffic has refilled it, but one simulated hour covers the window
+/// where verdicts visibly diverge.
+pub const COLD_CACHE_WINDOW: SimDuration = SimDuration::from_hours(1);
+
+/// Per-service resilience tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Virtual nanoseconds one assess may spend before remaining
+    /// sources downgrade to fallbacks instead of blocking.
+    pub deadline_ns: u64,
+    /// Breaker tuning shared by all three per-source breakers.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ResilienceConfig {
+    /// Unlimited deadline (batch posture): degradation only ever comes
+    /// from injected outages, never from the cost model.
+    fn default() -> Self {
+        ResilienceConfig { deadline_ns: DEADLINE_UNLIMITED, breaker: BreakerConfig::default() }
+    }
+}
+
+impl ResilienceConfig {
+    /// Serve posture: the given per-request deadline budget.
+    pub fn with_deadline(deadline_ns: u64) -> Self {
+        ResilienceConfig { deadline_ns, ..ResilienceConfig::default() }
+    }
+}
+
+/// Resilience counters a service accumulated — summed across shards
+/// into the availability report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceSnapshot {
+    /// Breaker transitions summed over all three sources.
+    pub breakers: BreakerTransitions,
+    /// Source consultations abandoned because the per-request deadline
+    /// budget ran out (each one downgraded to a fallback).
+    pub deadline_downgrades: u64,
+}
+
+/// The per-request degradation ladder: breakers + deadline budget.
+///
+/// [`DegradedScoring::consult`] is called once per source per assess,
+/// in ladder order; it answers "query the live source?" and accounts
+/// the virtual cost either way. The service maps a `false` to that
+/// source's fallback value and marks the verdict's [`Fidelity`].
+#[derive(Debug, Clone)]
+pub struct DegradedScoring {
+    config: ResilienceConfig,
+    breakers: [CircuitBreaker; 3],
+    /// Until when the IP cache reports as cold after a wipe.
+    cold_until: Option<SimTime>,
+    deadline_downgrades: u64,
+}
+
+impl DegradedScoring {
+    /// A healthy ladder with the given tuning.
+    pub fn new(config: ResilienceConfig) -> Self {
+        DegradedScoring {
+            config,
+            breakers: [
+                CircuitBreaker::new(config.breaker),
+                CircuitBreaker::new(config.breaker),
+                CircuitBreaker::new(config.breaker),
+            ],
+            cold_until: None,
+            deadline_downgrades: 0,
+        }
+    }
+
+    /// The configured tuning.
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    /// One source's breaker (read side, for tests/reports).
+    pub fn breaker(&self, source: SignalSource) -> &CircuitBreaker {
+        &self.breakers[source.index()]
+    }
+
+    /// Decide whether to query a live source, charging `spent` with the
+    /// virtual cost of whatever happens:
+    ///
+    /// * breaker open (cooldown not elapsed) → fallback, **free** —
+    ///   that is the point of a breaker;
+    /// * source down → pay its nominal cost (fast error), breaker
+    ///   fault, fallback;
+    /// * response latency exceeds the remaining deadline budget → wait
+    ///   out the budget, breaker fault, fallback — the deadline
+    ///   *downgrades* instead of blocking;
+    /// * budget already exhausted → fallback without blaming the
+    ///   source (an earlier source spent the budget);
+    /// * otherwise → pay the (nominal or injected) latency, breaker
+    ///   success, query the live source.
+    pub fn consult(
+        &mut self,
+        source: SignalSource,
+        cond: &SourceCondition,
+        at: SimTime,
+        spent: &mut u64,
+    ) -> bool {
+        let breaker = &mut self.breakers[source.index()];
+        if !breaker.permits(at) {
+            return false;
+        }
+        if cond.down {
+            *spent = spent.saturating_add(nominal_cost(source));
+            breaker.record_fault(at);
+            return false;
+        }
+        let cost = if cond.latency_ns > 0 { cond.latency_ns } else { nominal_cost(source) };
+        let remaining = self.config.deadline_ns.saturating_sub(*spent);
+        if remaining == 0 {
+            self.deadline_downgrades += 1;
+            return false;
+        }
+        if cost > remaining {
+            *spent = self.config.deadline_ns;
+            self.deadline_downgrades += 1;
+            breaker.record_fault(at);
+            return false;
+        }
+        *spent += cost;
+        breaker.record_success(at);
+        true
+    }
+
+    /// Note a cache wipe at `at`: the fan-out signal reports degraded
+    /// until [`COLD_CACHE_WINDOW`] of simulated time has passed.
+    pub fn note_wipe(&mut self, at: SimTime) {
+        self.cold_until = Some(at + COLD_CACHE_WINDOW);
+    }
+
+    /// Is the IP cache still inside its post-wipe cold window?
+    pub fn is_cold(&self, at: SimTime) -> bool {
+        self.cold_until.is_some_and(|until| at < until)
+    }
+
+    /// Accumulated counters (summed across the three breakers).
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        let mut breakers = BreakerTransitions::default();
+        for b in &self.breakers {
+            breakers.merge(&b.transitions());
+        }
+        ResilienceSnapshot { breakers, deadline_downgrades: self.deadline_downgrades }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhw_types::HOUR;
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn fidelity_tracks_and_displays_degraded_sources() {
+        let mut f = Fidelity::FULL;
+        assert!(f.is_full());
+        assert_eq!(f.to_string(), "full");
+        f.degrade(SignalSource::Geo);
+        f.degrade(SignalSource::History);
+        assert!(!f.is_full());
+        assert!(f.is_degraded(SignalSource::Geo));
+        assert!(!f.is_degraded(SignalSource::IpCache));
+        assert_eq!(f.to_string(), "degraded:history+geo");
+        assert_eq!(Fidelity::shed().to_string(), "shed");
+        assert!(Fidelity::shed().is_degraded(SignalSource::IpCache));
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_faults_and_recovers() {
+        let config = BreakerConfig { fault_threshold: 3, ..BreakerConfig::default() };
+        let mut b = CircuitBreaker::new(config);
+        for i in 0..2 {
+            assert!(b.permits(at(i)));
+            b.record_fault(at(i));
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.record_fault(at(2));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.permits(at(3)), "open: fallback without consulting");
+        // Cooldown (2 h) elapses in simulated time → half-open probe.
+        assert!(b.permits(at(2 + 2 * HOUR)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(at(2 + 2 * HOUR));
+        assert_eq!(b.state(), BreakerState::Closed);
+        let t = b.transitions();
+        assert_eq!((t.opened, t.half_opened, t.closed), (1, 1, 1));
+    }
+
+    #[test]
+    fn half_open_fault_reopens_immediately() {
+        let config = BreakerConfig { fault_threshold: 1, ..BreakerConfig::default() };
+        let mut b = CircuitBreaker::new(config);
+        b.record_fault(at(0));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.permits(at(2 * HOUR)));
+        b.record_fault(at(2 * HOUR));
+        assert_eq!(b.state(), BreakerState::Open, "one probe fault re-opens");
+        assert!(!b.permits(at(2 * HOUR + 1)));
+        assert_eq!(b.transitions().opened, 2);
+    }
+
+    #[test]
+    fn consecutive_fault_count_resets_on_success() {
+        let config = BreakerConfig { fault_threshold: 2, ..BreakerConfig::default() };
+        let mut b = CircuitBreaker::new(config);
+        b.record_fault(at(0));
+        b.record_success(at(1));
+        b.record_fault(at(2));
+        assert_eq!(b.state(), BreakerState::Closed, "non-consecutive faults do not trip");
+    }
+
+    #[test]
+    fn consult_charges_nominal_costs_when_healthy() {
+        let mut ladder = DegradedScoring::new(ResilienceConfig::default());
+        let healthy = SourceCondition::default();
+        let mut spent = NOMINAL_OVERHEAD_NS;
+        for source in SignalSource::ALL {
+            assert!(ladder.consult(source, &healthy, at(0), &mut spent));
+        }
+        assert_eq!(spent, NOMINAL_ASSESS_NS);
+        assert_eq!(ladder.snapshot(), ResilienceSnapshot::default());
+    }
+
+    #[test]
+    fn outage_falls_back_and_eventually_opens_the_breaker() {
+        let mut ladder = DegradedScoring::new(ResilienceConfig::default());
+        let down = SourceCondition { down: true, latency_ns: 0 };
+        let threshold = ladder.config().breaker.fault_threshold as u64;
+        // Until the breaker trips, each consult pays the fast-error cost.
+        for i in 0..threshold {
+            let mut spent = 0;
+            assert!(!ladder.consult(SignalSource::Geo, &down, at(i), &mut spent));
+            assert_eq!(spent, NOMINAL_GEO_NS);
+        }
+        assert_eq!(ladder.breaker(SignalSource::Geo).state(), BreakerState::Open);
+        // Open breaker: fallback is free.
+        let mut spent = 0;
+        assert!(!ladder.consult(SignalSource::Geo, &down, at(threshold), &mut spent));
+        assert_eq!(spent, 0, "open breaker skips the source at zero cost");
+        assert_eq!(ladder.snapshot().breakers.opened, 1);
+    }
+
+    #[test]
+    fn slow_source_downgrades_at_the_deadline_instead_of_blocking() {
+        let mut ladder = DegradedScoring::new(ResilienceConfig::with_deadline(5_000));
+        let slow = SourceCondition { down: false, latency_ns: 25_000 };
+        let mut spent = NOMINAL_OVERHEAD_NS;
+        assert!(!ladder.consult(SignalSource::Geo, &slow, at(0), &mut spent));
+        assert_eq!(spent, 5_000, "waited out the budget, not the injected 25µs");
+        assert_eq!(ladder.snapshot().deadline_downgrades, 1);
+        // The budget is gone: a later healthy source falls back without
+        // being blamed for it.
+        let before = ladder.breaker(SignalSource::History).transitions();
+        assert!(!ladder.consult(SignalSource::History, &SourceCondition::default(), at(0), &mut spent));
+        assert_eq!(ladder.breaker(SignalSource::History).transitions(), before);
+        assert_eq!(ladder.snapshot().deadline_downgrades, 2);
+    }
+
+    #[test]
+    fn wipe_marks_a_cold_window_in_simulated_time() {
+        let mut ladder = DegradedScoring::new(ResilienceConfig::default());
+        assert!(!ladder.is_cold(at(0)));
+        ladder.note_wipe(at(100));
+        assert!(ladder.is_cold(at(100)));
+        assert!(ladder.is_cold(at(100 + HOUR - 1)));
+        assert!(!ladder.is_cold(at(100 + HOUR)));
+    }
+}

@@ -17,6 +17,10 @@
 //!   trait scores one login at a time against bounded state (sliding
 //!   per-account windows, LRU-bounded IP cache via [`lru`]), the way
 //!   the paper's engine ran online at the provider.
+//! * [`degrade`] — the serve tier's **overload model**: per-source
+//!   circuit breakers, deadline budgets, and degraded-scoring fallbacks
+//!   with a per-verdict [`Fidelity`] record, all deterministic (keyed
+//!   to event `SimTime` and a virtual cost model, never wall clock).
 //! * [`pipeline`] — the full login flow: password check → risk score →
 //!   challenge/block → session, appending every attempt to the
 //!   [`LoginLog`](mhw_identity::LoginLog). A thin batch adapter over
@@ -35,6 +39,7 @@
 pub mod activity;
 pub mod challenge;
 pub mod classifier;
+pub mod degrade;
 pub mod lru;
 pub mod notify;
 pub mod pipeline;
@@ -46,12 +51,19 @@ pub mod signals;
 pub use activity::{ActivityFeatures, ActivityMonitor, ActivityVerdict};
 pub use challenge::{AnswererCapabilities, ChallengePolicy};
 pub use classifier::{classify_mail, MailClass, MailClassifier};
+pub use degrade::{
+    BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker, DegradedScoring, Fidelity,
+    ResilienceConfig, ResilienceSnapshot, SignalConditions, SignalSource, SourceCondition,
+    DEADLINE_UNLIMITED, NOMINAL_ASSESS_NS,
+};
 pub use notify::{NotificationChannel, NotificationEngine, NotificationEvent, NotificationRecord};
 pub use lru::LruCache;
 pub use pipeline::{LoginContext, LoginPipeline, LoginRequest};
 pub use redirects::{classify_redirect, review_filters, RedirectVerdict};
 pub use risk::{RiskDecision, RiskEngine, RiskWeights};
-pub use service::{RiskService, RiskVerdict, ServiceLimits, StateSize, StreamingRiskService};
+pub use service::{
+    Assessment, RiskService, RiskVerdict, ServiceLimits, StateSize, StreamingRiskService,
+};
 pub use signals::{
     AccountHistory, HistoryStore, IpReputation, LoginSignals, DEFAULT_IP_CACHE_CAPACITY,
 };

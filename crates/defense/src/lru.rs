@@ -116,6 +116,17 @@ impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
         self.map.get(key).map(|&i| &self.slots[i].value)
     }
 
+    /// Drop every entry, keeping the configured capacity. The slot
+    /// arena is released too (a wiped cache rebuilds it on demand) —
+    /// this is the serve tier's `cache-wipe` fault, so it must model a
+    /// genuinely cold cache, not a warm arena with empty entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     /// Fetch `key` (touching it) or insert `default()`, evicting the
     /// least-recently-used entry if the cache is at capacity. Returns
     /// the entry's value.

@@ -13,20 +13,32 @@
 //! Scoring is split into two halves so the caller owns the policy
 //! in-between:
 //!
-//! * [`assess`](RiskService::assess) — read-side: observe IP fan-out,
-//!   geolocate, extract signals, evaluate the engine. No account-state
-//!   mutation beyond the fan-out counter.
-//! * [`commit`](RiskService::commit) — write-side: fold the attempt's
-//!   *outcome* (decided by the caller: password check, 2FA, challenge)
-//!   back into account history.
+//! * [`assess`](RiskService::assess) — read-side, **pure**: project IP
+//!   fan-out, geolocate, extract signals, evaluate the engine. No state
+//!   mutation at all, so a request that is shed (or assessed but never
+//!   committed) leaves no trace anywhere.
+//! * [`commit`](RiskService::commit) — write-side: record the attempt
+//!   in the IP fan-out cache and fold its *outcome* (decided by the
+//!   caller: password check, 2FA, challenge) back into account history.
 //!
 //! The split also keeps the trait general enough to later score
 //! recovery attempts (ROADMAP item 4): recovery adjudication has a
 //! different outcome alphabet but the same assess/commit shape.
+//!
+//! The serve tier adds an overload model on top
+//! ([`assess_with`](RiskService::assess_with)): each signal source sits
+//! behind a [`CircuitBreaker`](crate::degrade::CircuitBreaker) and a
+//! per-request deadline budget, and
+//! degrades to a conservative fallback instead of blocking — see
+//! [`crate::degrade`] and the ARCHITECTURE.md "Overload model" section.
 
 #![deny(missing_docs)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use crate::degrade::{
+    DegradedScoring, Fidelity, ResilienceConfig, ResilienceSnapshot, SignalConditions,
+    SignalSource, NOMINAL_ASSESS_NS, NOMINAL_OVERHEAD_NS,
+};
 use crate::pipeline::LoginRequest;
 use crate::risk::{RiskDecision, RiskEngine};
 use crate::signals::{
@@ -49,6 +61,22 @@ pub struct RiskVerdict {
     /// Geolocated country of the requesting IP, if locatable. Cached
     /// here so [`RiskService::commit`] does not need a second lookup.
     pub country: Option<CountryCode>,
+    /// Which signals were served from degraded fallbacks (full-fidelity
+    /// verdicts are byte-identical to batch scoring). Mixed into replay
+    /// digests so degradation is pinned, not silent.
+    pub fidelity: Fidelity,
+}
+
+/// One [`RiskService::assess_with`] result: the verdict plus what it
+/// cost in the deterministic virtual-time model that drives serve-mode
+/// admission control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assessment {
+    /// The scoring verdict.
+    pub verdict: RiskVerdict,
+    /// Virtual nanoseconds the assess spent (overhead + per-source
+    /// costs, injected latencies capped by the deadline budget).
+    pub virtual_ns: u64,
 }
 
 /// A point-in-time measurement of a service's retained state.
@@ -91,14 +119,65 @@ impl Default for ServiceLimits {
 /// calls — never on wall-clock time or ambient randomness. That is
 /// what makes batch/serve parity checkable bit-for-bit.
 pub trait RiskService {
-    /// Score one attempt: observe IP fan-out, geolocate, extract
-    /// signals, evaluate. Mutates only the fan-out counter.
+    /// Score one attempt with every source healthy: project IP fan-out,
+    /// geolocate, extract signals, evaluate. Pure read — state changes
+    /// only through [`commit`](RiskService::commit).
     fn assess(&mut self, request: &LoginRequest, geo: &GeoDb) -> RiskVerdict;
 
-    /// Fold the attempt's final outcome back into account state:
-    /// wrong passwords append to the failure window, successful logins
-    /// (with a locatable country) extend the account's baseline.
+    /// Score one attempt under injected source conditions, degrading
+    /// rather than blocking (see [`crate::degrade`]). The default
+    /// ignores the conditions and reports the nominal virtual cost —
+    /// implementations without an overload model still compose with
+    /// the resilient serve loop.
+    fn assess_with(
+        &mut self,
+        request: &LoginRequest,
+        geo: &GeoDb,
+        conditions: &SignalConditions,
+    ) -> Assessment {
+        let _ = conditions;
+        Assessment { verdict: self.assess(request, geo), virtual_ns: NOMINAL_ASSESS_NS }
+    }
+
+    /// A cheap risk prior for load-shedding decisions: must be O(1),
+    /// read-only, and use no external sources (no geo, no fan-out).
+    /// Higher means riskier; the `shed-lowest-risk-first` policy drops
+    /// the queued request with the lowest prior.
+    fn cheap_prior(&self, request: &LoginRequest) -> f64 {
+        let _ = request;
+        0.0
+    }
+
+    /// The verdict a shed request gets: scored from the cheap prior
+    /// alone, fidelity marked [`Fidelity::shed`]. Never committed.
+    fn shed_verdict(&self, request: &LoginRequest) -> RiskVerdict {
+        let _ = request;
+        RiskVerdict {
+            score: 0.0,
+            decision: RiskDecision::Allow,
+            signals: LoginSignals::default(),
+            country: None,
+            fidelity: Fidelity::shed(),
+        }
+    }
+
+    /// Record the attempt in the fan-out cache and fold its final
+    /// outcome back into account state: wrong passwords append to the
+    /// failure window, successful logins (with a locatable country)
+    /// extend the account's baseline.
     fn commit(&mut self, request: &LoginRequest, verdict: &RiskVerdict, outcome: LoginOutcome);
+
+    /// Inject a `cache-wipe` fault at simulated time `at`: drop every
+    /// derived-state cache (default: nothing to wipe).
+    fn inject_cache_wipe(&mut self, at: SimTime) {
+        let _ = at;
+    }
+
+    /// Accumulated resilience counters (breaker transitions, deadline
+    /// downgrades). Default: all zero.
+    fn resilience_snapshot(&self) -> ResilienceSnapshot {
+        ResilienceSnapshot::default()
+    }
 
     /// Current retained-state measurement (for capacity reporting).
     fn state_size(&self) -> StateSize;
@@ -113,6 +192,7 @@ pub struct StreamingRiskService {
     pub engine: RiskEngine,
     history: HistoryStore,
     ip_reputation: IpReputation,
+    resilience: DegradedScoring,
 }
 
 impl StreamingRiskService {
@@ -123,6 +203,16 @@ impl StreamingRiskService {
 
     /// A service with explicit state bounds.
     pub fn with_limits(engine: RiskEngine, limits: ServiceLimits) -> Self {
+        Self::with_resilience(engine, limits, ResilienceConfig::default())
+    }
+
+    /// A service with explicit state bounds and overload tuning
+    /// (deadline budget + breaker thresholds).
+    pub fn with_resilience(
+        engine: RiskEngine,
+        limits: ServiceLimits,
+        resilience: ResilienceConfig,
+    ) -> Self {
         StreamingRiskService {
             engine,
             history: HistoryStore::new(),
@@ -130,7 +220,13 @@ impl StreamingRiskService {
                 limits.ip_cache_capacity,
                 limits.accounts_per_ip,
             ),
+            resilience: DegradedScoring::new(resilience),
         }
+    }
+
+    /// The degradation ladder (read side, for tests/reports).
+    pub fn resilience(&self) -> &DegradedScoring {
+        &self.resilience
     }
 
     /// Pre-materialize an account's history (optional; the store is
@@ -170,22 +266,106 @@ impl StreamingRiskService {
 
 impl RiskService for StreamingRiskService {
     fn assess(&mut self, request: &LoginRequest, geo: &GeoDb) -> RiskVerdict {
-        let fanout = self
-            .ip_reputation
-            .observe(request.ip, request.account, request.at);
-        let country = geo.locate(request.ip);
-        let signals = extract_signals(
-            self.history.get(request.account),
-            request.at,
-            country,
-            request.device,
-            fanout,
+        self.assess_with(request, geo, &SignalConditions::healthy()).verdict
+    }
+
+    fn assess_with(
+        &mut self,
+        request: &LoginRequest,
+        geo: &GeoDb,
+        conditions: &SignalConditions,
+    ) -> Assessment {
+        let at = request.at;
+        let mut spent = NOMINAL_OVERHEAD_NS;
+        // Consult the ladder for all three sources first (it owns the
+        // breakers and the deadline budget), then read the survivors.
+        let use_history = self.resilience.consult(
+            SignalSource::History,
+            conditions.source(SignalSource::History),
+            at,
+            &mut spent,
         );
+        let use_ip = self.resilience.consult(
+            SignalSource::IpCache,
+            conditions.source(SignalSource::IpCache),
+            at,
+            &mut spent,
+        );
+        let use_geo = self.resilience.consult(
+            SignalSource::Geo,
+            conditions.source(SignalSource::Geo),
+            at,
+            &mut spent,
+        );
+        let mut fidelity = Fidelity::FULL;
+        // Fallback: missing history scores as a brand-new account
+        // (cold-start posture suppresses the novelty signals).
+        let history = if use_history {
+            self.history.get(request.account)
+        } else {
+            fidelity.degrade(SignalSource::History);
+            self.history.fallback()
+        };
+        // Fallback: a cold or unavailable fan-out cache reports the
+        // saturation-free floor of 1 (this attempt alone). A freshly
+        // wiped cache still answers, but undercounts — flag it.
+        let fanout = if use_ip {
+            if self.resilience.is_cold(at) {
+                fidelity.degrade(SignalSource::IpCache);
+            }
+            self.ip_reputation.projected_fanout(request.ip, request.account, at)
+        } else {
+            fidelity.degrade(SignalSource::IpCache);
+            1
+        };
+        // Fallback: unlocatable geo is a first-class extractor input
+        // already — `None` scores as the 0.5 country-novelty prior.
+        let country = if use_geo {
+            geo.locate(request.ip)
+        } else {
+            fidelity.degrade(SignalSource::Geo);
+            None
+        };
+        let signals = extract_signals(history, at, country, request.device, fanout);
         let (score, decision) = self.engine.evaluate(&signals);
-        RiskVerdict { score, decision, signals, country }
+        Assessment {
+            verdict: RiskVerdict { score, decision, signals, country, fidelity },
+            virtual_ns: spent,
+        }
+    }
+
+    fn cheap_prior(&self, request: &LoginRequest) -> f64 {
+        let history = self.history.get(request.account);
+        if history.total_logins() < 3 {
+            // Unknown account: mildly risky, but below any real signal.
+            return 0.15;
+        }
+        let mut prior = 0.02;
+        if !history.has_device(request.device) {
+            prior += 0.55;
+        }
+        let failures = history.failures_in_last_day(request.at).min(5) as f64;
+        prior += 0.04 * failures;
+        prior.clamp(0.0, 1.0)
+    }
+
+    fn shed_verdict(&self, request: &LoginRequest) -> RiskVerdict {
+        let score = self.cheap_prior(request);
+        RiskVerdict {
+            score,
+            decision: self.engine.decide(score),
+            signals: LoginSignals::default(),
+            country: None,
+            fidelity: Fidelity::shed(),
+        }
     }
 
     fn commit(&mut self, request: &LoginRequest, verdict: &RiskVerdict, outcome: LoginOutcome) {
+        // Fan-out observation is commit-side so assess stays pure: a
+        // request that is shed (never committed) leaves no IP-cache
+        // trace. Assess scores against `projected_fanout`, which is
+        // exactly what this observation makes real.
+        self.ip_reputation.observe(request.ip, request.account, request.at);
         if outcome == LoginOutcome::WrongPassword {
             self.history.get_mut(request.account).record_failure(request.at);
         } else if outcome.is_success() {
@@ -195,6 +375,15 @@ impl RiskService for StreamingRiskService {
                     .record_success(request.at, c, request.device);
             }
         }
+    }
+
+    fn inject_cache_wipe(&mut self, at: SimTime) {
+        self.ip_reputation.wipe();
+        self.resilience.note_wipe(at);
+    }
+
+    fn resilience_snapshot(&self) -> ResilienceSnapshot {
+        self.resilience.snapshot()
     }
 
     fn state_size(&self) -> StateSize {

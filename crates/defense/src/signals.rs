@@ -144,7 +144,10 @@ impl AccountHistory {
             + self.recent_failures.len() * std::mem::size_of::<SimTime>()
     }
 
-    fn failures_in_last_day(&self, at: SimTime) -> usize {
+    /// Failed attempts recorded within 24 h of `at` — the raw count
+    /// behind the failure-burst signal, also used by the serve tier's
+    /// cheap load-shedding prior.
+    pub fn failures_in_last_day(&self, at: SimTime) -> usize {
         self.recent_failures
             .iter()
             .filter(|t| at.since(**t) <= SimDuration::from_hours(24))
@@ -212,6 +215,29 @@ impl IpReputation {
             entry.accounts.push(account);
         }
         entry.accounts.len()
+    }
+
+    /// What [`IpReputation::observe`] *would* return for this attempt,
+    /// without recording it: the distinct-account count including this
+    /// attempt, from a pure read (no recency touch, no mutation).
+    ///
+    /// This is the assess-side view — scoring reads the projection, and
+    /// only a later commit makes it real. A request that is shed or
+    /// never committed therefore leaves no trace in the cache.
+    pub fn projected_fanout(&self, ip: IpAddr, account: AccountId, at: SimTime) -> usize {
+        match self.today.peek(&ip).filter(|a| a.day == at.day_index()) {
+            Some(a) if a.accounts.contains(&account) || a.accounts.len() >= self.accounts_per_ip => {
+                a.accounts.len()
+            }
+            Some(a) => a.accounts.len() + 1,
+            None => 1,
+        }
+    }
+
+    /// Drop every cached entry — the serve tier's `cache-wipe` fault.
+    /// The next observation of any IP starts from a cold, empty cache.
+    pub fn wipe(&mut self) {
+        self.today.clear();
     }
 
     /// Current distinct-account count for an IP (0 if unseen today).
@@ -294,6 +320,12 @@ impl HistoryStore {
     /// This account's history; an empty default if never seen.
     pub fn get(&self, account: AccountId) -> &AccountHistory {
         self.accounts.get(account.index() as u32).unwrap_or(&self.empty)
+    }
+
+    /// The shared empty history — the degraded-scoring fallback when
+    /// the history source is down ("treat as a new account").
+    pub fn fallback(&self) -> &AccountHistory {
+        &self.empty
     }
 
     /// Mutable history, materializing an empty one for new accounts.

@@ -1,0 +1,115 @@
+//! Property tests for the bounded-state primitives under the
+//! streaming service: `LruCache` edge cases (degenerate capacities,
+//! `peek` recency-neutrality under eviction pressure) and
+//! `HistoryStore` total-get semantics for never-seen accounts.
+
+use mhw_defense::lru::LruCache;
+use mhw_defense::signals::HistoryStore;
+use mhw_types::AccountId;
+use proptest::prelude::*;
+
+#[test]
+fn lru_capacity_zero_clamps_to_one() {
+    let mut c: LruCache<u32, u32> = LruCache::new(0);
+    assert_eq!(c.capacity(), 1, "capacity 0 is clamped to 1");
+    c.get_or_insert_with(1, || 10);
+    c.get_or_insert_with(2, || 20);
+    assert_eq!(c.len(), 1);
+    assert_eq!(c.peek(&1), None);
+    assert_eq!(c.peek(&2), Some(&20), "the newest insert survives");
+}
+
+#[test]
+fn lru_clear_empties_but_keeps_capacity() {
+    let mut c: LruCache<u32, u32> = LruCache::new(4);
+    for k in 0..10 {
+        c.get_or_insert_with(k, || k);
+    }
+    assert_eq!(c.len(), 4);
+    c.clear();
+    assert!(c.is_empty());
+    assert_eq!(c.capacity(), 4);
+    assert_eq!(c.peek(&9), None, "a wiped cache is genuinely cold");
+    c.get_or_insert_with(7, || 70);
+    assert_eq!(c.peek(&7), Some(&70), "a wiped cache accepts new entries");
+}
+
+proptest! {
+    /// A capacity-1 cache always holds exactly the last-inserted key,
+    /// whatever the access sequence.
+    #[test]
+    fn lru_capacity_one_holds_only_the_last_insert(
+        keys in proptest::collection::vec(0u32..8, 1..40),
+    ) {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        for &k in &keys {
+            *c.get_or_insert_with(k, || 0) = k * 10;
+        }
+        prop_assert_eq!(c.len(), 1);
+        let last = *keys.last().unwrap();
+        let expected = last * 10;
+        for k in 0..8 {
+            prop_assert_eq!(c.peek(&k), if k == last { Some(&expected) } else { None });
+        }
+    }
+
+    /// `peek` never perturbs eviction: a cache that additionally peeks
+    /// between every operation evicts exactly the same keys as one
+    /// that never peeks. Ops are encoded as op*16+key over a 16-key
+    /// domain against a capacity-4 cache, so eviction pressure is
+    /// constant.
+    #[test]
+    fn lru_peek_is_recency_neutral_under_eviction_pressure(
+        ops in proptest::collection::vec(0u32..32, 1..120),
+    ) {
+        let mut with_peeks: LruCache<u32, u32> = LruCache::new(4);
+        let mut without: LruCache<u32, u32> = LruCache::new(4);
+        for &op in &ops {
+            let key = op % 16;
+            match op / 16 {
+                0 => {
+                    *with_peeks.get_or_insert_with(key, || 0) = key;
+                    *without.get_or_insert_with(key, || 0) = key;
+                }
+                _ => {
+                    with_peeks.get_mut(&key);
+                    without.get_mut(&key);
+                }
+            }
+            // The probe sequence only the first cache sees.
+            for k in 0..16 {
+                with_peeks.peek(&k);
+            }
+        }
+        prop_assert_eq!(with_peeks.len(), without.len());
+        for k in 0..16 {
+            prop_assert_eq!(
+                with_peeks.peek(&k),
+                without.peek(&k),
+                "peeks changed the survivor set at key {}",
+                k
+            );
+        }
+    }
+
+    /// The history store is total: reading any never-seen account
+    /// yields the empty history and materializes nothing, however many
+    /// reads happen and wherever the ids land.
+    #[test]
+    fn history_store_total_get_never_materializes(
+        probes in proptest::collection::vec(0u32..1_000_000, 1..50),
+    ) {
+        let mut store = HistoryStore::new();
+        store.register(AccountId(3));
+        let len_before = store.len();
+        for &id in &probes {
+            let h = store.get(AccountId(id + 10)); // ids disjoint from the registered one
+            prop_assert_eq!(h.total_logins(), 0);
+            prop_assert_eq!(h.failures_in_last_day(mhw_types::SimTime::from_secs(0)), 0);
+        }
+        prop_assert_eq!(store.len(), len_before, "total get must not materialize");
+        // get_mut is the materializing path.
+        store.get_mut(AccountId(probes[0] + 10));
+        prop_assert_eq!(store.len(), len_before + 1);
+    }
+}

@@ -1,10 +1,12 @@
 //! `serve` — replay a login stream through streaming `RiskService`
-//! instances at maximum throughput and measure scoring cost.
+//! instances at maximum throughput and measure scoring cost, healthy
+//! and under injected partial outages.
 //!
 //! ```text
 //! serve [--users N] [--days N] [--logins-per-user-day N] [--attack-rate F]
 //!       [--seed N] [--threads LIST] [--log-in FILE] [--log-out FILE]
-//!       [--out BENCH_serve.json] [--smoke]
+//!       [--fault-plan SPEC[;SPEC...]] [--deadline-ns N] [--queue-cap N]
+//!       [--shed-policy fifo|lowest-risk] [--out BENCH_serve.json] [--smoke]
 //! ```
 //!
 //! Where `repro`/`scenario` run the closed-loop simulation, `serve`
@@ -12,52 +14,89 @@
 //! actually was: a time-ordered stream of login events is sharded by
 //! account across `--threads` worker threads (each owning one
 //! [`StreamingRiskService`] with bounded state) and replayed as fast
-//! as the hardware allows. Each
-//! thread-count configuration in `--threads` (default `1,4,8`) is
-//! measured separately; the results — logins/sec, p50/p99/mean scoring
-//! latency from an `mhw-obs` histogram, peak bounded-state footprint,
-//! and the chained verdict digest — are written to `--out` as a
-//! [`ServeReport`].
+//! as the hardware allows. Each thread-count configuration in
+//! `--threads` (default `1,4,8`) is measured separately; the results —
+//! logins/sec, p50/p99/mean scoring latency from an `mhw-obs`
+//! histogram, peak bounded-state footprint, and the chained verdict
+//! digest — are written to `--out` as a [`ServeReport`].
+//!
+//! **Fault arms.** Each `;`-separated spec in `--fault-plan` (grammar:
+//! `geo-down@A..B`, `slow-signal@SRC:NS`, `cache-wipe@E`,
+//! `seeded:geo=N,slow=N,wipe=N`) adds one *fault arm* per thread
+//! count, replayed through the overload-safe path: a bounded admission
+//! queue (`--queue-cap`) shedding by `--shed-policy`, per-request
+//! deadline budgets (`--deadline-ns`) that downgrade signals instead
+//! of blocking, and per-source circuit breakers. Fault coordinates
+//! address each worker's local substream. Fault-arm rows report
+//! *virtual*-clock latency quantiles (queueing + modeled scoring
+//! cost — deterministic, unlike the wall-clock clean rows) and a
+//! [`ServeAvailability`] block: shed rate, per-source degradation
+//! counts, breaker transitions, and decision divergence from the
+//! clean arm at the same thread count.
 //!
 //! The stream is either generated deterministically from the workload
 //! knobs (`--users`/`--days`/`--seed`…, optionally saved with
 //! `--log-out`) or loaded from a previously saved file (`--log-in`).
-//! `--smoke` runs the small default workload on 1 and 2 threads and
-//! verifies the written report parses and shows nonzero throughput —
-//! the CI hook. Timings measure the hardware and vary run to run; the
-//! per-run verdict digests are deterministic for a fixed stream and
-//! thread count. Usage errors exit 2, runtime failures exit 1.
+//! `--smoke` runs the small default workload on 1 and 2 threads,
+//! verifies the written report parses and shows nonzero throughput,
+//! and — when fault arms are present — replays each arm twice to
+//! assert a byte-identical digest and a shed rate ≤ 0.5: the CI chaos
+//! hook. Timings measure the hardware and vary run to run; the per-run
+//! verdict digests (and every fault-arm availability figure) are
+//! deterministic for a fixed stream, plan and thread count. Usage
+//! errors exit 2, runtime failures exit 1.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
 use mhw_core::replay::{self, ReplayLog, ReplayLogin, WorkloadConfig};
-use mhw_defense::{RiskEngine, RiskService, StateSize, StreamingRiskService};
+use mhw_core::resilience::{
+    replay_stream_resilient, ReplayStats, ServeFaultPlan, ServeOptions, ShedPolicy,
+    DEFAULT_DEADLINE_NS, DEFAULT_QUEUE_CAP,
+};
+use mhw_defense::{
+    BreakerTransitions, ResilienceConfig, RiskDecision, RiskEngine, RiskService, ServiceLimits,
+    StateSize, StreamingRiskService,
+};
 use mhw_experiments::cli::{self, Failure, UsageError};
 use mhw_netmodel::GeoDb;
-use mhw_obs::{buckets, MetricId, MetricsSnapshot, Registry, ServeReport, ServeRun};
+use mhw_obs::{
+    buckets, MetricId, MetricsSnapshot, Registry, ServeAvailability, ServeReport, ServeRun,
+    ARM_CLEAN,
+};
+use mhw_types::RetryPolicy;
 use std::time::Instant;
 
 const USAGE: &str = "usage: serve [--users N] [--days N] [--logins-per-user-day N] [--attack-rate F]\n\
      \x20            [--seed N] [--threads LIST] [--log-in FILE] [--log-out FILE]\n\
-     \x20            [--out FILE] [--smoke]";
+     \x20            [--fault-plan SPEC[;SPEC...]] [--deadline-ns N] [--queue-cap N]\n\
+     \x20            [--shed-policy fifo|lowest-risk] [--out FILE] [--smoke]";
 
-/// Per-login scoring latency (assess + adjudicate + commit), wall ns.
+/// Per-login scoring latency: wall ns on the clean arm, virtual ns
+/// (queueing + modeled scoring cost) on fault arms.
 const M_LATENCY: MetricId = MetricId("serve.latency_ns");
 
-/// Events replayed between bounded-state size samples.
+/// Events replayed between bounded-state size samples (clean arm).
 const CHUNK: usize = 65_536;
+
+/// Fault arms in `--smoke` must shed no more than this fraction.
+const SMOKE_MAX_SHED_RATE: f64 = 0.5;
 
 fn main() {
     cli::run_main(USAGE, run);
 }
 
-/// One worker's replay result: its digest, its latency histogram, and
-/// the peak state footprint sampled between chunks.
+/// One worker's replay result: its digest, its latency histogram, the
+/// peak state footprint, its per-event decisions (for the divergence
+/// comparison), and — on fault arms — the overload accounting.
 struct ShardResult {
     digest: u64,
     snapshot: MetricsSnapshot,
     peak: StateSize,
+    decisions: Vec<RiskDecision>,
+    stats: ReplayStats,
+    breakers: BreakerTransitions,
+    deadline_downgrades: u64,
 }
 
 fn max_state(a: StateSize, b: StateSize) -> StateSize {
@@ -69,34 +108,87 @@ fn max_state(a: StateSize, b: StateSize) -> StateSize {
     }
 }
 
-/// Replay one shard through a fresh service, timing every login.
+/// Replay one shard through a fresh service, timing every login on the
+/// wall clock (the clean arm).
 fn replay_shard(geo: &GeoDb, events: &[ReplayLogin]) -> ShardResult {
     let mut service = StreamingRiskService::new(RiskEngine::default());
     let registry = Registry::new().with_histogram(M_LATENCY, buckets::SERVE_LATENCY_NANOS);
     let mut request = replay::placeholder_request();
     let mut digest = replay::DIGEST_SEED;
     let mut peak = StateSize::default();
+    let mut decisions = Vec::with_capacity(events.len());
     for chunk in events.chunks(CHUNK) {
         for event in chunk {
             let t = Instant::now();
             let (verdict, outcome) = replay::score_event(&mut service, geo, event, &mut request);
             registry.observe(M_LATENCY, t.elapsed().as_nanos() as u64);
             digest = replay::mix_digest(digest, &verdict, outcome);
+            decisions.push(verdict.decision);
         }
         peak = max_state(peak, service.state_size());
     }
-    ShardResult { digest, snapshot: registry.snapshot(), peak }
+    ShardResult {
+        digest,
+        snapshot: registry.snapshot(),
+        peak,
+        decisions,
+        stats: ReplayStats::default(),
+        breakers: BreakerTransitions::default(),
+        deadline_downgrades: 0,
+    }
 }
 
-/// Measure one thread-count configuration: shard the stream by
-/// account, replay every shard concurrently, merge the histograms.
-fn measure(geo: &GeoDb, events: &[ReplayLogin], threads: usize) -> Result<ServeRun, Failure> {
+/// Replay one shard through the overload-safe path under `opts`,
+/// recording *virtual* per-login latency (a fault arm).
+fn replay_shard_resilient(geo: &GeoDb, events: &[ReplayLogin], opts: &ServeOptions) -> ShardResult {
+    let mut service = StreamingRiskService::with_resilience(
+        RiskEngine::default(),
+        ServiceLimits::default(),
+        ResilienceConfig::with_deadline(opts.deadline_ns),
+    );
+    let registry = Registry::new().with_histogram(M_LATENCY, buckets::SERVE_LATENCY_NANOS);
+    let mut stats = ReplayStats::default();
+    let mut decisions = vec![RiskDecision::Allow; events.len()];
+    let digest = replay_stream_resilient(
+        &mut service,
+        geo,
+        events,
+        replay::DIGEST_SEED,
+        opts,
+        &mut stats,
+        |index, _event, verdict, _outcome, virtual_ns| {
+            registry.observe(M_LATENCY, virtual_ns);
+            decisions[index] = verdict.decision;
+        },
+    );
+    let resilience = service.resilience_snapshot();
+    ShardResult {
+        digest,
+        snapshot: registry.snapshot(),
+        peak: service.state_size(),
+        decisions,
+        stats,
+        breakers: resilience.breakers,
+        deadline_downgrades: resilience.deadline_downgrades,
+    }
+}
+
+/// Shard the stream by account, replay every shard concurrently with
+/// `replay`, merge the histograms into one [`ServeRun`] row.
+fn measure(
+    geo: &GeoDb,
+    events: &[ReplayLogin],
+    threads: usize,
+    arm: &str,
+    replay: impl Fn(&GeoDb, &[ReplayLogin]) -> ShardResult + Sync,
+) -> Result<(ServeRun, Vec<ShardResult>), Failure> {
     let shards = replay::shard_events(events, threads);
     let t0 = Instant::now();
     let results: Result<Vec<ShardResult>, String> = std::thread::scope(|scope| {
+        let replay = &replay;
         let handles: Vec<_> = shards
             .iter()
-            .map(|shard| scope.spawn(move || replay_shard(geo, shard)))
+            .map(|shard| scope.spawn(move || replay(geo, shard)))
             .collect();
         handles
             .into_iter()
@@ -116,7 +208,8 @@ fn measure(geo: &GeoDb, events: &[ReplayLogin], threads: usize) -> Result<ServeR
     let peak_bytes: u64 = results.iter().map(|r| r.peak.approx_bytes as u64).sum();
     let peak_accounts: u64 = results.iter().map(|r| r.peak.accounts as u64).sum();
     let peak_ips: u64 = results.iter().map(|r| r.peak.ip_entries as u64).sum();
-    Ok(ServeRun::from_measurement(
+    let run = ServeRun::from_measurement(
+        arm,
         threads,
         events.len() as u64,
         wall_ms,
@@ -125,7 +218,75 @@ fn measure(geo: &GeoDb, events: &[ReplayLogin], threads: usize) -> Result<ServeR
         peak_accounts,
         peak_ips,
         replay::fold_digests(&digests),
-    ))
+    );
+    Ok((run, results))
+}
+
+/// Measure one fault arm at one thread count and fill in its
+/// availability block, comparing decisions against the clean arm's.
+fn measure_fault_arm(
+    geo: &GeoDb,
+    events: &[ReplayLogin],
+    threads: usize,
+    arm: &str,
+    opts: &ServeOptions,
+    clean: &[ShardResult],
+) -> Result<ServeRun, Failure> {
+    let (mut run, results) =
+        measure(geo, events, threads, arm, |geo, shard| replay_shard_resilient(geo, shard, opts))?;
+    let mut stats = ReplayStats::default();
+    let mut breakers = BreakerTransitions::default();
+    let mut deadline_downgrades = 0u64;
+    let mut diverged = 0u64;
+    for (shard, result) in results.iter().enumerate() {
+        stats.merge(&result.stats);
+        breakers.merge(&result.breakers);
+        deadline_downgrades += result.deadline_downgrades;
+        diverged += result
+            .decisions
+            .iter()
+            .zip(&clean[shard].decisions)
+            .filter(|(faulted, clean)| faulted != clean)
+            .count() as u64;
+    }
+    run.availability = Some(ServeAvailability {
+        fault_plan: opts.faults.to_string(),
+        shed_policy: opts.shed_policy.name().to_string(),
+        deadline_ns: opts.deadline_ns,
+        queue_cap: opts.queue_cap as u64,
+        events_scored: stats.scored,
+        events_shed: stats.shed,
+        shed_rate: stats.shed_rate(),
+        degraded_events: stats.degraded_events,
+        degraded_geo: stats.degraded_by_source[2],
+        degraded_ip_cache: stats.degraded_by_source[1],
+        degraded_history: stats.degraded_by_source[0],
+        deadline_downgrades,
+        cache_wipes: stats.cache_wipes,
+        breaker_opened: breakers.opened,
+        breaker_half_opened: breakers.half_opened,
+        breaker_closed: breakers.closed,
+        peak_queue_depth: stats.peak_queue_depth,
+        divergence_from_clean: if events.is_empty() {
+            0.0
+        } else {
+            diverged as f64 / events.len() as f64
+        },
+        diverged_events: diverged,
+    });
+    Ok(run)
+}
+
+/// Write `contents` to `path`, absorbing transient I/O errors with the
+/// workspace's bounded-backoff retry policy.
+fn write_artifact(path: &str, contents: &str) -> Result<(), Failure> {
+    RetryPolicy::default()
+        .run(|| std::fs::write(path, contents.as_bytes()))
+        .map_err(|e| Failure::Runtime(format!("writing {path}: {e}")))
+}
+
+fn usage(message: String) -> Failure {
+    UsageError(message).into()
 }
 
 fn run(args: &[String]) -> Result<(), Failure> {
@@ -137,18 +298,28 @@ fn run(args: &[String]) -> Result<(), Failure> {
         None => vec![1, 4, 8],
     };
     if threads.contains(&0) {
-        return Err(UsageError("--threads values must be >= 1".to_string()).into());
+        return Err(usage("--threads values must be >= 1".to_string()));
     }
     let out_path =
         cli::value::<String>(args, "--out")?.unwrap_or_else(|| "BENCH_serve.json".to_string());
     let log_in = cli::value::<String>(args, "--log-in")?;
     let log_out = cli::value::<String>(args, "--log-out")?;
     if log_in.is_some() && log_out.is_some() {
-        return Err(UsageError(
-            "--log-out would just copy --log-in back out; pick one".to_string(),
-        )
-        .into());
+        return Err(usage("--log-out would just copy --log-in back out; pick one".to_string()));
     }
+    let deadline_ns = cli::value::<u64>(args, "--deadline-ns")?.unwrap_or(DEFAULT_DEADLINE_NS);
+    if deadline_ns == 0 {
+        return Err(usage("--deadline-ns must be >= 1".to_string()));
+    }
+    let queue_cap = cli::value::<usize>(args, "--queue-cap")?.unwrap_or(DEFAULT_QUEUE_CAP);
+    if queue_cap == 0 {
+        return Err(usage("--queue-cap must be >= 1".to_string()));
+    }
+    let shed_policy = match cli::value::<String>(args, "--shed-policy")? {
+        Some(name) => name.parse::<ShedPolicy>().map_err(usage)?,
+        None => ShedPolicy::default(),
+    };
+    let fault_spec = cli::value::<String>(args, "--fault-plan")?;
 
     let geo = GeoDb::new();
     let (stream_seed, users, days, events) = if let Some(path) = log_in {
@@ -190,8 +361,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
         );
         let events = replay::generate_workload(&cfg, &geo);
         if let Some(path) = log_out {
-            std::fs::write(&path, ReplayLog::new(cfg.seed, events.clone()).to_json())
-                .map_err(|e| Failure::Runtime(format!("writing {path}: {e}")))?;
+            write_artifact(&path, &ReplayLog::new(cfg.seed, events.clone()).to_json())?;
             eprintln!("wrote {path}");
         }
         (cfg.seed, cfg.users, cfg.days, events)
@@ -200,19 +370,68 @@ fn run(args: &[String]) -> Result<(), Failure> {
         return Err(Failure::Runtime("login stream is empty".to_string()));
     }
 
+    // Parse fault arms against the stream we now know the length of;
+    // coordinates apply to each worker's local substream, so ranges
+    // past a short shard simply never fire there.
+    let mut arms: Vec<ServeFaultPlan> = Vec::new();
+    if let Some(spec) = &fault_spec {
+        for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let plan = ServeFaultPlan::parse_spec(part, stream_seed, events.len() as u64)
+                .map_err(usage)?;
+            plan.validate(events.len() as u64).map_err(usage)?;
+            arms.push(plan);
+        }
+    }
+
     let mut report = ServeReport::new(stream_seed, users, days, events.len() as u64);
     for &t in &threads {
-        eprintln!("replaying {} events on {t} thread(s) …", events.len());
-        let run = measure(&geo, &events, t)?;
+        eprintln!("replaying {} events on {t} thread(s) [clean] …", events.len());
+        let (clean_run, clean_shards) = measure(&geo, &events, t, ARM_CLEAN, replay_shard)?;
         println!(
-            "threads {t:>2}: {:>12.0} logins/s   p50 {:>6.0} ns   p99 {:>7.0} ns   \
+            "threads {t:>2} [clean]: {:>12.0} logins/s   p50 {:>6.0} ns   p99 {:>7.0} ns   \
              peak state {} B   digest {:#018x}",
-            run.logins_per_sec, run.p50_ns, run.p99_ns, run.peak_state_bytes, run.verdict_digest
+            clean_run.logins_per_sec,
+            clean_run.p50_ns,
+            clean_run.p99_ns,
+            clean_run.peak_state_bytes,
+            clean_run.verdict_digest
         );
-        report.runs.push(run);
+        report.runs.push(clean_run);
+        for plan in &arms {
+            let arm = plan.to_string();
+            let opts = ServeOptions { deadline_ns, queue_cap, shed_policy, faults: plan.clone() };
+            eprintln!("replaying {} events on {t} thread(s) [{arm}] …", events.len());
+            let run = measure_fault_arm(&geo, &events, t, &arm, &opts, &clean_shards)?;
+            if smoke {
+                // The chaos gate: a second replay of the same arm must
+                // produce a byte-identical digest.
+                let again = measure_fault_arm(&geo, &events, t, &arm, &opts, &clean_shards)?;
+                if again.verdict_digest != run.verdict_digest {
+                    return Err(Failure::Runtime(format!(
+                        "smoke: fault arm `{arm}` at {t} thread(s) is nondeterministic: \
+                         {:#018x} then {:#018x}",
+                        run.verdict_digest, again.verdict_digest
+                    )));
+                }
+            }
+            #[allow(clippy::expect_used)] // fault arms always carry availability
+            let avail = run.availability.as_ref().expect("fault arm availability");
+            println!(
+                "threads {t:>2} [{arm}]: virtual p50 {:>6.0} ns   p99 {:>7.0} ns   \
+                 shed {:>5.3}   degraded {}   breakers {}/{}/{}   digest {:#018x}",
+                run.p50_ns,
+                run.p99_ns,
+                avail.shed_rate,
+                avail.degraded_events,
+                avail.breaker_opened,
+                avail.breaker_half_opened,
+                avail.breaker_closed,
+                run.verdict_digest
+            );
+            report.runs.push(run);
+        }
     }
-    std::fs::write(&out_path, report.to_json())
-        .map_err(|e| Failure::Runtime(format!("writing {out_path}: {e}")))?;
+    write_artifact(&out_path, &report.to_json())?;
     println!("wrote {out_path}");
 
     if smoke {
@@ -222,28 +441,54 @@ fn run(args: &[String]) -> Result<(), Failure> {
             .map_err(|e| Failure::Runtime(format!("re-reading {out_path}: {e}")))?;
         let back = ServeReport::from_json(&json)
             .map_err(|e| Failure::Runtime(format!("re-parsing {out_path}: {e}")))?;
-        if back.runs.len() != threads.len() {
+        let expected = threads.len() * (1 + arms.len());
+        if back.runs.len() != expected {
             return Err(Failure::Runtime(format!(
-                "smoke: expected {} runs in {out_path}, found {}",
-                threads.len(),
+                "smoke: expected {expected} runs in {out_path}, found {}",
                 back.runs.len()
             )));
         }
         for run in &back.runs {
-            if !run.logins_per_sec.is_finite() || run.logins_per_sec <= 0.0 {
-                return Err(Failure::Runtime(format!(
-                    "smoke: zero throughput at {} thread(s)",
-                    run.threads
-                )));
-            }
             if run.events != back.events {
                 return Err(Failure::Runtime(format!(
-                    "smoke: run at {} thread(s) replayed {} of {} events",
-                    run.threads, run.events, back.events
+                    "smoke: run `{}` at {} thread(s) replayed {} of {} events",
+                    run.arm, run.threads, run.events, back.events
+                )));
+            }
+            if run.arm == ARM_CLEAN {
+                if !run.logins_per_sec.is_finite() || run.logins_per_sec <= 0.0 {
+                    return Err(Failure::Runtime(format!(
+                        "smoke: zero throughput at {} thread(s)",
+                        run.threads
+                    )));
+                }
+                continue;
+            }
+            let Some(avail) = &run.availability else {
+                return Err(Failure::Runtime(format!(
+                    "smoke: fault arm `{}` is missing its availability block",
+                    run.arm
+                )));
+            };
+            if avail.events_scored + avail.events_shed != run.events {
+                return Err(Failure::Runtime(format!(
+                    "smoke: fault arm `{}` lost events: {} scored + {} shed != {}",
+                    run.arm, avail.events_scored, avail.events_shed, run.events
+                )));
+            }
+            if avail.shed_rate > SMOKE_MAX_SHED_RATE {
+                return Err(Failure::Runtime(format!(
+                    "smoke: fault arm `{}` shed {:.3} of the stream (cap {SMOKE_MAX_SHED_RATE})",
+                    run.arm, avail.shed_rate
                 )));
             }
         }
-        println!("serve smoke OK: {} events, {} thread configs", back.events, back.runs.len());
+        println!(
+            "serve smoke OK: {} events, {} thread configs, {} fault arm(s)",
+            back.events,
+            threads.len(),
+            arms.len()
+        );
     }
     Ok(())
 }

@@ -44,6 +44,6 @@ pub use fidelity::{FidelityReport, FidelityStatus, TargetScore, Tolerance, FIDEL
 pub use metric::{buckets, MetricId, Registry};
 pub use profile::{EngineProfile, PhaseProfiler, PhaseTiming};
 pub use report::RunReport;
-pub use serve::{ServeReport, ServeRun, SERVE_SCHEMA};
+pub use serve::{ServeAvailability, ServeReport, ServeRun, ARM_CLEAN, SERVE_SCHEMA};
 pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
 pub use trace::{SpanGuard, SpanRecord, TraceSink};

@@ -5,31 +5,99 @@
 //! wall-clock throughput and scoring latency of replaying a login
 //! stream through per-thread `RiskService` instances. The only
 //! deterministic fields are the workload identity (seed, users, days,
-//! event count) and each run's verdict digest — those are what CI can
-//! assert on; the timings are the perf trajectory.
+//! event count), each run's verdict digest, and — on fault arms — the
+//! whole [`ServeAvailability`] block (shed counts, degradation counts,
+//! breaker transitions, divergence from the clean arm); those are what
+//! CI can assert on. The timings are the perf trajectory: wall-clock
+//! nanoseconds on clean arms, *virtual* nanoseconds (queueing + the
+//! service's modeled scoring cost) on fault arms, so fault-arm latency
+//! quantiles are reproducible too.
 
 use crate::snapshot::HistogramSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Identifies the serve-report layout; bump when fields change meaning.
-pub const SERVE_SCHEMA: &str = "mhw-serve/v1";
+///
+/// v2 added per-run `arm` labels and the optional `availability` block
+/// for fault arms, and widened the digest domain with the verdict
+/// fidelity byte.
+pub const SERVE_SCHEMA: &str = "mhw-serve/v2";
 
-/// One thread-count configuration's replay measurement.
+/// The arm label for the unfaulted baseline run.
+pub const ARM_CLEAN: &str = "clean";
+
+/// Overload/degradation accounting for one fault arm: everything the
+/// resilient replay did besides scoring, all deterministic for a fixed
+/// stream, plan and thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeAvailability {
+    /// The canonical fault-plan spec this arm injected.
+    pub fault_plan: String,
+    /// Which request was dropped on queue overflow (`fifo` or
+    /// `lowest-risk`).
+    pub shed_policy: String,
+    /// Per-request virtual-nanosecond deadline budget.
+    pub deadline_ns: u64,
+    /// Bounded admission-queue depth per service instance.
+    pub queue_cap: u64,
+    /// Events scored through the full degradation ladder.
+    pub events_scored: u64,
+    /// Events shed by admission control (cheap-prior verdict, never
+    /// committed).
+    pub events_shed: u64,
+    /// `events_shed / (events_scored + events_shed)`.
+    pub shed_rate: f64,
+    /// Scored events with at least one degraded signal.
+    pub degraded_events: u64,
+    /// Events scored with the geo fallback (country-novelty prior).
+    pub degraded_geo: u64,
+    /// Events scored with the cold-cache fan-out fallback.
+    pub degraded_ip_cache: u64,
+    /// Events scored with the new-account history posture.
+    pub degraded_history: u64,
+    /// Source consultations abandoned on an exhausted deadline budget.
+    pub deadline_downgrades: u64,
+    /// IP-cache wipes injected by the plan (summed over shards).
+    pub cache_wipes: u64,
+    /// Circuit-breaker trips (closed/half-open → open) across sources
+    /// and shards.
+    pub breaker_opened: u64,
+    /// Breaker probe windows (open → half-open).
+    pub breaker_half_opened: u64,
+    /// Breaker recoveries (half-open → closed).
+    pub breaker_closed: u64,
+    /// Deepest any shard's admission queue got.
+    pub peak_queue_depth: u64,
+    /// Fraction of events whose decision differs from the clean arm at
+    /// the same thread count (shed events compare their cheap-prior
+    /// decision).
+    pub divergence_from_clean: f64,
+    /// Absolute count behind [`ServeAvailability::divergence_from_clean`].
+    pub diverged_events: u64,
+}
+
+/// One (thread count, arm) configuration's replay measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeRun {
+    /// Which arm this row measures: [`ARM_CLEAN`] or a fault-plan spec.
+    pub arm: String,
     /// Worker threads (each owning one `RiskService` shard).
     pub threads: usize,
     /// Login events replayed (all shards together).
     pub events: u64,
     /// Wall-clock replay time in milliseconds.
     pub wall_ms: f64,
-    /// Aggregate throughput in logins per second.
+    /// Aggregate throughput in logins per second (wall clock).
     pub logins_per_sec: f64,
-    /// Median per-login scoring latency in nanoseconds.
+    /// Median per-login latency in nanoseconds: wall-clock scoring time
+    /// on the clean arm, virtual time (queueing + modeled scoring cost)
+    /// on fault arms.
     pub p50_ns: f64,
-    /// 99th-percentile per-login scoring latency in nanoseconds.
+    /// 99th-percentile per-login latency in nanoseconds (same clock as
+    /// [`ServeRun::p50_ns`]).
     pub p99_ns: f64,
-    /// Mean per-login scoring latency in nanoseconds.
+    /// Mean per-login latency in nanoseconds (same clock as
+    /// [`ServeRun::p50_ns`]).
     pub mean_ns: f64,
     /// Peak bounded-state footprint across all shards, in bytes
     /// (sampled between replay chunks).
@@ -40,16 +108,20 @@ pub struct ServeRun {
     pub peak_ip_entries: u64,
     /// Chained verdict digest over the replay (per-shard digests
     /// folded in shard order). Equal across repeat runs at the same
-    /// thread count; differs across thread counts because per-shard
-    /// IP fan-out state partitions differently.
+    /// thread count and arm; differs across thread counts because
+    /// per-shard IP fan-out state partitions differently.
     pub verdict_digest: u64,
+    /// Overload accounting — present on fault arms only.
+    pub availability: Option<ServeAvailability>,
 }
 
 impl ServeRun {
     /// Assemble one run's row from the merged latency histogram and
-    /// the measured wall time.
+    /// the measured wall time. `availability` stays `None` (the clean
+    /// arm); fault arms fill it in afterwards.
     #[allow(clippy::too_many_arguments)]
     pub fn from_measurement(
+        arm: &str,
         threads: usize,
         events: u64,
         wall_ms: f64,
@@ -60,6 +132,7 @@ impl ServeRun {
         verdict_digest: u64,
     ) -> Self {
         ServeRun {
+            arm: arm.to_string(),
             threads,
             events,
             wall_ms,
@@ -71,12 +144,13 @@ impl ServeRun {
             peak_accounts,
             peak_ip_entries,
             verdict_digest,
+            availability: None,
         }
     }
 }
 
 /// The full serve benchmark artifact: workload identity plus one
-/// [`ServeRun`] per thread count.
+/// [`ServeRun`] per (thread count, arm) pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Report schema tag ([`SERVE_SCHEMA`]).
@@ -89,7 +163,7 @@ pub struct ServeReport {
     pub days: u32,
     /// Total login events in the stream.
     pub events: u64,
-    /// One measurement per thread count, in the order run.
+    /// One measurement per (thread count, arm), in the order run.
     pub runs: Vec<ServeRun>,
 }
 
@@ -125,30 +199,73 @@ mod tests {
         }
     }
 
+    fn availability() -> ServeAvailability {
+        ServeAvailability {
+            fault_plan: "geo-down@10..40".into(),
+            shed_policy: "lowest-risk".into(),
+            deadline_ns: 5_000,
+            queue_cap: 64,
+            events_scored: 950,
+            events_shed: 50,
+            shed_rate: 0.05,
+            degraded_events: 30,
+            degraded_geo: 30,
+            degraded_ip_cache: 0,
+            degraded_history: 0,
+            deadline_downgrades: 0,
+            cache_wipes: 0,
+            breaker_opened: 1,
+            breaker_half_opened: 1,
+            breaker_closed: 1,
+            peak_queue_depth: 9,
+            divergence_from_clean: 0.02,
+            diverged_events: 20,
+        }
+    }
+
     #[test]
     fn run_row_derives_throughput_and_quantiles() {
-        let run = ServeRun::from_measurement(4, 1_000, 250.0, &latency(), 4096, 100, 64, 0xabc);
+        let run = ServeRun::from_measurement(
+            ARM_CLEAN, 4, 1_000, 250.0, &latency(), 4096, 100, 64, 0xabc,
+        );
         assert_eq!(run.logins_per_sec, 4_000.0);
         assert_eq!(run.p50_ns, 100.0);
         assert!(run.p99_ns > run.p50_ns);
         assert_eq!(run.mean_ns, 600.0);
+        assert_eq!(run.arm, "clean");
+        assert!(run.availability.is_none(), "clean arms carry no availability block");
     }
 
     #[test]
     fn report_round_trips_through_json() {
         let mut report = ServeReport::new(7, 200, 3, 1_000);
-        report
-            .runs
-            .push(ServeRun::from_measurement(1, 1_000, 500.0, &latency(), 4096, 100, 64, 0xabc));
+        report.runs.push(ServeRun::from_measurement(
+            ARM_CLEAN, 1, 1_000, 500.0, &latency(), 4096, 100, 64, 0xabc,
+        ));
+        let mut faulted = ServeRun::from_measurement(
+            "geo-down@10..40",
+            1,
+            1_000,
+            500.0,
+            &latency(),
+            4096,
+            100,
+            64,
+            0xdef,
+        );
+        faulted.availability = Some(availability());
+        report.runs.push(faulted);
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"mhw-serve/v1\""));
+        assert!(json.contains("\"schema\":\"mhw-serve/v2\""));
+        assert!(json.contains("\"availability\":null"), "clean arm serializes an empty block");
+        assert!(json.contains("\"breaker_opened\":1"));
         let back = ServeReport::from_json(&json).unwrap();
         assert_eq!(back, report);
     }
 
     #[test]
     fn zero_wall_time_does_not_divide_by_zero() {
-        let run = ServeRun::from_measurement(1, 10, 0.0, &latency(), 0, 0, 0, 0);
+        let run = ServeRun::from_measurement(ARM_CLEAN, 1, 10, 0.0, &latency(), 0, 0, 0, 0);
         assert_eq!(run.logins_per_sec, 0.0);
     }
 }

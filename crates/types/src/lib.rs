@@ -27,6 +27,7 @@ pub mod account;
 pub mod actor;
 pub mod email;
 pub mod error;
+pub mod faultspec;
 pub mod fnv;
 pub mod geo;
 pub mod ids;
@@ -34,6 +35,7 @@ pub mod intern;
 pub mod ip;
 pub mod log;
 pub mod phone;
+pub mod retry;
 pub mod sync;
 pub mod time;
 
@@ -53,5 +55,6 @@ pub use log::{
     read_spilled_digest, Entries, Entry, EventSink, LogKey, LogStore, ShardId, SpillFile, Stamped,
 };
 pub use phone::PhoneNumber;
+pub use retry::RetryPolicy;
 pub use sync::CachePadded;
 pub use time::{SimDuration, SimTime, Weekday, DAY, HOUR, MINUTE, WEEK};

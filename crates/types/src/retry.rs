@@ -1,0 +1,121 @@
+//! Bounded-backoff retry for transient I/O.
+//!
+//! The checkpoint writer (PR 4) retried failed writes inline with a
+//! doubling millisecond backoff; this module lifts that loop into a
+//! reusable [`RetryPolicy`] so every artifact writer in the workspace
+//! (checkpoints, snapshot fork-point records, serve's `--out` /
+//! `--log-out` reports) survives transient I/O errors the same way.
+//!
+//! Retrying is pure *mechanics*: it sleeps wall clock between attempts
+//! but never touches simulation state, so a run that needed a retry is
+//! still byte-identical to one that did not.
+
+use std::thread;
+use std::time::Duration;
+
+/// A bounded retry schedule: up to `attempts` tries, sleeping a
+/// doubling backoff between them (`base_delay`, then 2×, 4×, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (must be ≥ 1).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles after each failure.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// The checkpoint writer's historical schedule: 3 attempts with
+    /// 4 ms then 8 ms between them.
+    fn default() -> Self {
+        RetryPolicy { attempts: 3, base_delay: Duration::from_millis(4) }
+    }
+}
+
+impl RetryPolicy {
+    /// Run `op` until it succeeds or the attempt budget is spent,
+    /// returning the last error if every attempt fails.
+    pub fn run<T, E>(&self, mut op: impl FnMut() -> Result<T, E>) -> Result<T, E> {
+        self.run_with(&mut op, |_| {})
+    }
+
+    /// Like [`RetryPolicy::run`], but calls `on_retry(next_attempt)`
+    /// before each backoff sleep — the hook the engine uses to count
+    /// retries in its ops registry.
+    pub fn run_with<T, E>(
+        &self,
+        op: &mut impl FnMut() -> Result<T, E>,
+        mut on_retry: impl FnMut(u32),
+    ) -> Result<T, E> {
+        let attempts = self.attempts.max(1);
+        let mut delay = self.base_delay;
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(err) => {
+                    attempt += 1;
+                    if attempt >= attempts {
+                        return Err(err);
+                    }
+                    on_retry(attempt);
+                    thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_without_retrying_when_op_succeeds() {
+        let mut calls = 0;
+        let out: Result<i32, ()> = RetryPolicy::default().run(|| {
+            calls += 1;
+            Ok(7)
+        });
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_transient_failures_up_to_the_budget() {
+        let policy = RetryPolicy { attempts: 3, base_delay: Duration::ZERO };
+        let mut calls = 0;
+        let mut retries = Vec::new();
+        let out = policy.run_with(
+            &mut || {
+                calls += 1;
+                if calls < 3 {
+                    Err("transient")
+                } else {
+                    Ok(calls)
+                }
+            },
+            |attempt| retries.push(attempt),
+        );
+        assert_eq!(out, Ok(3));
+        assert_eq!(retries, vec![1, 2]);
+    }
+
+    #[test]
+    fn returns_the_last_error_when_the_budget_is_spent() {
+        let policy = RetryPolicy { attempts: 2, base_delay: Duration::ZERO };
+        let mut calls = 0;
+        let out: Result<(), String> = policy.run(|| {
+            calls += 1;
+            Err(format!("attempt {calls}"))
+        });
+        assert_eq!(out, Err("attempt 2".to_string()));
+    }
+
+    #[test]
+    fn zero_attempts_still_runs_once() {
+        let policy = RetryPolicy { attempts: 0, base_delay: Duration::ZERO };
+        let out: Result<i32, ()> = policy.run(|| Ok(1));
+        assert_eq!(out, Ok(1));
+    }
+}

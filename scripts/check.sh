@@ -53,6 +53,16 @@ echo "== serve-smoke =="
 cargo run --offline --release -p mhw-experiments --bin serve -- \
     --smoke --out "$fidelity_tmp/BENCH_serve.json"
 
+echo "== serve-chaos =="
+# Overload gate: the same smoke workload with a seeded fault plan (one
+# geo outage window, two deadline-busting slow signals) through the
+# resilient path — zero panics, every event scored or shed, shed rate
+# bounded (≤ 0.5), and each fault arm replayed twice to assert a
+# byte-identical verdict digest.
+cargo run --offline --release -p mhw-experiments --bin serve -- \
+    --smoke --fault-plan seeded:geo=1,slow=2 --queue-cap 8 \
+    --out "$fidelity_tmp/BENCH_serve_chaos.json"
+
 echo "== bench-smoke =="
 # Scaling smoke: profile the engine at 1/2/4/8 workers on a small
 # scenario and write BENCH_scaling.json. The bench itself prints a

@@ -1,0 +1,149 @@
+//! Serve-tier chaos: under an injected geo outage plus a slow signal
+//! source, the resilient replay completes the whole stream with zero
+//! panics, keeps p99 virtual scoring latency within 2× of the clean
+//! arm, sheds a bounded (and reported) fraction of events, exercises
+//! the circuit breakers through a full open → half-open → closed
+//! cycle, and reproduces byte-identical digests on same-seed reruns.
+
+use manual_hijacking_wild::core::replay::{self, ReplayLogin, WorkloadConfig};
+use manual_hijacking_wild::core::resilience::{
+    replay_stream_resilient, ReplayStats, ServeFaultPlan, ServeOptions, ShedPolicy,
+    DEFAULT_DEADLINE_NS,
+};
+use manual_hijacking_wild::defense::{
+    BreakerConfig, ResilienceConfig, ResilienceSnapshot, RiskEngine, RiskService, ServiceLimits,
+    StreamingRiskService,
+};
+use manual_hijacking_wild::netmodel::GeoDb;
+use manual_hijacking_wild::types::SimDuration;
+
+/// ~30k events over 3 simulated days: long enough that breaker-trip
+/// transients and half-open probes stay inside the p99 tail.
+fn chaos_stream(geo: &GeoDb) -> Vec<ReplayLogin> {
+    let cfg = WorkloadConfig {
+        users: 5_000,
+        days: 3,
+        logins_per_user_day: 2,
+        wrong_password_rate: 0.03,
+        travel_rate: 0.02,
+        attack_rate: 0.01,
+        seed: 0xC4A05,
+    };
+    replay::generate_workload(&cfg, geo)
+}
+
+/// The serve posture under test: default deadline, a 12-simulated-hour
+/// breaker cooldown so an incident that outlives the stream probes a
+/// handful of times rather than thrashing.
+fn chaos_service() -> StreamingRiskService {
+    StreamingRiskService::with_resilience(
+        RiskEngine::default(),
+        ServiceLimits::default(),
+        ResilienceConfig {
+            deadline_ns: DEFAULT_DEADLINE_NS,
+            breaker: BreakerConfig { cooldown: SimDuration::from_hours(12), ..Default::default() },
+        },
+    )
+}
+
+struct ArmResult {
+    digest: u64,
+    stats: ReplayStats,
+    resilience: ResilienceSnapshot,
+    latencies_ns: Vec<u64>,
+}
+
+fn run_arm(geo: &GeoDb, events: &[ReplayLogin], faults: ServeFaultPlan) -> ArmResult {
+    let mut service = chaos_service();
+    let opts = ServeOptions {
+        queue_cap: 12,
+        shed_policy: ShedPolicy::LowestRiskFirst,
+        faults,
+        ..ServeOptions::default()
+    };
+    let mut stats = ReplayStats::default();
+    let mut latencies_ns = Vec::with_capacity(events.len());
+    let digest = replay_stream_resilient(
+        &mut service,
+        geo,
+        events,
+        replay::DIGEST_SEED,
+        &opts,
+        &mut stats,
+        |_, _, _, _, virtual_ns| latencies_ns.push(virtual_ns),
+    );
+    ArmResult { digest, stats, resilience: service.resilience_snapshot(), latencies_ns }
+}
+
+fn p99(latencies_ns: &[u64]) -> u64 {
+    let mut sorted = latencies_ns.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() * 99) / 100 - 1]
+}
+
+fn outage_plan(n_events: u64) -> ServeFaultPlan {
+    let plan = ServeFaultPlan::parse_spec("geo-down@200..400,slow-signal@history:25000", 0, n_events)
+        .expect("plan parses");
+    plan.validate(n_events).expect("plan is in range");
+    plan
+}
+
+#[test]
+fn serve_survives_geo_outage_plus_slow_signal() {
+    let geo = GeoDb::new();
+    let events = chaos_stream(&geo);
+    let n = events.len() as u64;
+    assert!(n > 10_000, "chaos needs a real stream, got {n} events");
+
+    let clean = run_arm(&geo, &events, ServeFaultPlan::new());
+    let faulted = run_arm(&geo, &events, outage_plan(n));
+
+    // The whole stream completed: every event was scored or shed, and
+    // the shed fraction is bounded and visible.
+    assert_eq!(faulted.stats.events, n);
+    assert_eq!(faulted.stats.scored + faulted.stats.shed, n, "no event was lost");
+    assert!(faulted.stats.shed > 0, "a 25µs source against a 5µs deadline must shed");
+    assert!(
+        faulted.stats.shed_rate() < 0.05,
+        "shedding must stay a transient, not the steady state: rate {}",
+        faulted.stats.shed_rate()
+    );
+
+    // Degradation is per-source and accounted: the slow history source
+    // trips its breaker and every post-trip verdict says so.
+    assert!(faulted.stats.degraded_events > 0);
+    assert!(faulted.stats.degraded_by_source[0] > 0, "history degraded");
+    assert!(faulted.stats.degraded_by_source[2] > 0, "geo degraded during the outage");
+    assert!(faulted.resilience.deadline_downgrades > 0, "the 25µs source blew its budget");
+
+    // Breakers did their job: the history breaker opened (and re-opened
+    // on failed probes); the geo breaker opened during the outage and
+    // closed again once a probe found the source healthy.
+    assert!(faulted.resilience.breakers.opened >= 2, "{:?}", faulted.resilience.breakers);
+    assert!(faulted.resilience.breakers.half_opened >= 1);
+    assert!(faulted.resilience.breakers.closed >= 1, "geo recovers after the outage window");
+
+    // Latency holds: breakers bound the tail, so p99 virtual scoring
+    // latency stays within 2× of the clean arm instead of collapsing
+    // to the queue-saturated worst case.
+    let p99_clean = p99(&clean.latencies_ns);
+    let p99_faulted = p99(&faulted.latencies_ns);
+    assert!(clean.stats.shed == 0 && clean.stats.degraded_events == 0);
+    assert!(
+        p99_faulted <= 2 * p99_clean,
+        "p99 under faults ({p99_faulted} ns) exceeds 2× clean ({p99_clean} ns)"
+    );
+}
+
+#[test]
+fn same_seed_same_plan_reruns_are_byte_identical() {
+    let geo = GeoDb::new();
+    let events = chaos_stream(&geo);
+    let n = events.len() as u64;
+    let a = run_arm(&geo, &events, outage_plan(n));
+    let b = run_arm(&geo, &events, outage_plan(n));
+    assert_eq!(a.digest, b.digest, "verdict digests diverged across reruns");
+    assert_eq!(a.stats, b.stats, "availability counters diverged across reruns");
+    assert_eq!(a.resilience, b.resilience, "breaker accounting diverged across reruns");
+    assert_eq!(a.latencies_ns, b.latencies_ns, "virtual latencies diverged across reruns");
+}

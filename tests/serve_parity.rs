@@ -41,6 +41,7 @@ fn streaming_replay_reproduces_batch_verdicts_bit_for_bit() {
                 records[i]
             );
             assert_eq!(out, records[i].outcome, "outcome diverged at event {i}");
+            assert!(v.fidelity.is_full(), "the healthy serve path never degrades (event {i})");
             i += 1;
         });
     assert_eq!(i, records.len(), "every recorded login was replayed");
