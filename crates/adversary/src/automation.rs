@@ -32,8 +32,11 @@ pub struct SpamBot {
 /// Outcome summary for one automated campaign.
 #[derive(Debug, Clone, Default)]
 pub struct BotCampaignReport {
+    /// Credential stuffing attempts made.
     pub attempts: u32,
+    /// Accounts successfully logged into.
     pub compromised: u32,
+    /// Spam messages blasted from compromised accounts.
     pub messages_sent: u32,
 }
 

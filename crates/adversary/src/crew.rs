@@ -20,11 +20,13 @@ use mhw_types::{CountryCode, CrewId, DeviceId, IpAddr, Language, PhoneNumber, Si
 /// Static description of a crew.
 #[derive(Debug, Clone)]
 pub struct CrewSpec {
+    /// The crew's operating country (Figure 12's origin mix).
     pub home: CountryCode,
     /// Share of global manual-hijacking volume.
     pub weight: f64,
     /// Fraction of exits that are foreign proxies.
     pub proxy_fraction: f64,
+    /// Countries the proxy exits sit in.
     pub proxy_countries: Vec<CountryCode>,
     /// Whether this crew experimented with the 2012 2FA lockout.
     pub uses_2fa_lockout: bool,
@@ -80,11 +82,17 @@ struct IpDiscipline {
 /// A live crew.
 #[derive(Clone)]
 pub struct Crew {
+    /// Stable crew identity.
     pub id: CrewId,
+    /// The static description this crew was built from.
     pub spec: CrewSpec,
+    /// Office-hours working schedule (§5.5).
     pub schedule: Schedule,
+    /// The crew's exit-IP pool.
     pub pool: ProxyPool,
+    /// Where phished credentials land for pickup.
     pub dropbox: Dropbox,
+    /// Era-dependent retention tactics profile.
     pub tactics: RetentionTactics,
     /// Language the crew writes scams and searches in.
     pub language: Language,
@@ -147,6 +155,7 @@ impl Crew {
 /// All crews in a scenario.
 #[derive(Clone)]
 pub struct CrewRoster {
+    /// Crews in spec order; index = `CrewId::index()`.
     pub crews: Vec<Crew>,
 }
 
@@ -189,10 +198,12 @@ impl CrewRoster {
         rng.weighted_index(&weights).expect("roster non-empty")
     }
 
+    /// The crew with identity `id`.
     pub fn get(&self, id: CrewId) -> &Crew {
         &self.crews[id.index()]
     }
 
+    /// Mutable access to the crew with identity `id`.
     pub fn get_mut(&mut self, id: CrewId) -> &mut Crew {
         &mut self.crews[id.index()]
     }

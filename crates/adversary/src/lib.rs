@@ -24,12 +24,18 @@
 //!   exploit or abandon → retention → logout;
 //! * [`automation`] — the automated (botnet) hijacking baseline used by
 //!   the Figure 1 taxonomy comparison;
+//! * [`pivot`] — the recovery-pivot playbook: crews stopped by the
+//!   login challenge filing "forgot password" claims with harvested
+//!   personal data;
 //! * [`world`] — the [`HijackerWorld`] trait
 //!   through which crews act on the ecosystem, implemented by
 //!   `mhw-core` (and by mocks in tests).
 
+#![deny(missing_docs)]
+
 pub mod automation;
 pub mod crew;
+pub mod pivot;
 pub mod playbook;
 pub mod retention;
 pub mod scamgen;
@@ -37,6 +43,7 @@ pub mod terms;
 pub mod world;
 
 pub use crew::{Crew, CrewRoster, CrewSpec};
+pub use pivot::{plan_pivot, PivotPlan};
 pub use playbook::{ExploitKind, HijackPlaybook, SessionReport};
 pub use retention::{Era, RetentionReport, RetentionTactics};
 pub use scamgen::{generate_scam, ScamStyle};

@@ -1,0 +1,108 @@
+//! The recovery-pivot playbook: when the login challenge stops a crew
+//! that *knows* it holds a working password, the crew does not always
+//! walk away — it pivots to the "forgot password" flow armed with
+//! harvested personal data (the manual-hijacking analogue of the
+//! recovery attacks in the related literature; see PAPERS.md).
+//!
+//! The pivot is a *plan*, not an outcome: this module decides whether a
+//! crew bothers and how well-researched the attempt is. Whether the
+//! claim actually takes the account over is decided by the recovery
+//! pipeline (`mhw-recovery`) against the account's real weak spots and
+//! the provider's configured `RecoveryPosture`.
+
+use crate::crew::Crew;
+use mhw_simclock::SimRng;
+
+/// One planned recovery-pivot attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PivotPlan {
+    /// How much harvested personal data backs the claim, in `[0, 1]`:
+    /// answers to likely secret questions, birthdays, contact names for
+    /// the manual-review story. Scales the takeover probability the
+    /// recovery pipeline computes.
+    pub research_quality: f64,
+}
+
+/// Decide whether `crew` pivots a challenge-blocked credential into a
+/// recovery claim, and with how much preparation.
+///
+/// Professional crews treat hijacking as a day job (§5.5) and a
+/// credential that typed correctly but hit a challenge is sunk cost
+/// worth a second route; still, research takes operator minutes, so
+/// not every blocked credential is pivoted. Crews with higher
+/// customization propensity — the ones already doing per-victim
+/// research for ≤10-recipient scams (§5.3) — pivot more and research
+/// better.
+///
+/// Draws from `rng` only when called; callers gate the call on the
+/// scenario's `adversary_pivot` switch so legacy worlds never consume
+/// these draws.
+pub fn plan_pivot(crew: &Crew, rng: &mut SimRng) -> Option<PivotPlan> {
+    let propensity = (0.45 + 2.0 * crew.spec.customization_propensity).clamp(0.0, 0.95);
+    if !rng.chance(propensity) {
+        return None;
+    }
+    let base = 0.35 + 0.5 * (rng.below(1000) as f64 / 1000.0);
+    let research_quality = (base + crew.spec.customization_propensity).clamp(0.0, 1.0);
+    Some(PivotPlan { research_quality })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crew::{CrewRoster, CrewSpec};
+    use crate::retention::Era;
+    use mhw_netmodel::GeoDb;
+    use mhw_simclock::SimRng;
+
+    fn crew(customization: f64) -> Crew {
+        let spec = CrewSpec {
+            customization_propensity: customization,
+            ..CrewSpec::paper_roster().remove(0)
+        };
+        let geo = GeoDb::new();
+        let mut rng = SimRng::from_seed(7);
+        CrewRoster::build(vec![spec], Era::Y2012, &geo, &mut rng).crews.remove(0)
+    }
+
+    #[test]
+    fn pivots_are_common_but_not_universal() {
+        let c = crew(0.06);
+        let mut rng = SimRng::from_seed(11);
+        let n = (0..1000).filter(|_| plan_pivot(&c, &mut rng).is_some()).count();
+        assert!(n > 400 && n < 750, "{n}");
+    }
+
+    #[test]
+    fn research_quality_is_bounded_and_tracks_customization() {
+        let casual = crew(0.0);
+        let careful = crew(0.40);
+        let mut r1 = SimRng::from_seed(3);
+        let mut r2 = SimRng::from_seed(3);
+        let mut sum = (0.0, 0.0);
+        let mut n = 0;
+        for _ in 0..2000 {
+            let a = plan_pivot(&casual, &mut r1);
+            let b = plan_pivot(&careful, &mut r2);
+            if let (Some(a), Some(b)) = (a, b) {
+                assert!((0.0..=1.0).contains(&a.research_quality));
+                assert!((0.0..=1.0).contains(&b.research_quality));
+                sum.0 += a.research_quality;
+                sum.1 += b.research_quality;
+                n += 1;
+            }
+        }
+        assert!(n > 100);
+        assert!(sum.1 / n as f64 > sum.0 / n as f64);
+    }
+
+    #[test]
+    fn planning_is_deterministic_per_stream() {
+        let c = crew(0.06);
+        let mut r1 = SimRng::from_seed(42);
+        let mut r2 = SimRng::from_seed(42);
+        for _ in 0..200 {
+            assert_eq!(plan_pivot(&c, &mut r1), plan_pivot(&c, &mut r2));
+        }
+    }
+}

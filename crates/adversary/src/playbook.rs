@@ -48,28 +48,47 @@ pub enum ExploitKind {
 /// Everything that happened in one session (measurement ground truth).
 #[derive(Debug, Clone)]
 pub struct SessionReport {
+    /// The crew that ran the session.
     pub crew: mhw_types::CrewId,
+    /// The address on the credential, as typed on the phishing page.
     pub address: EmailAddress,
+    /// The provider account that address resolved to, if any.
     pub account: Option<AccountId>,
+    /// When the operator picked the credential up.
     pub started_at: SimTime,
+    /// When the session ended (logout, abandon, or interruption).
     pub ended_at: SimTime,
+    /// Login attempts made, including trivial-variant retries.
     pub login_attempts: u32,
+    /// Whether any attempt produced an authenticated session.
     pub logged_in: bool,
     /// Whether the crew (eventually) presented a correct password —
     /// §5.1's "75% of the time (including retries with trivial
     /// variants)".
     pub password_eventually_correct: bool,
+    /// Seconds spent on the ~3-minute value assessment (§5.2).
     pub profiling_seconds: u64,
+    /// Search terms issued during profiling (Table 3 categories).
     pub searches: Vec<String>,
+    /// Folders opened during profiling.
     pub folders_opened: Vec<Folder>,
+    /// Contacts enumerated for scam/phishing targeting.
     pub contacts_seen: usize,
+    /// The assessed account value driving exploit-or-abandon.
     pub value_score: f64,
+    /// Whether the crew went past profiling into exploitation.
     pub exploited: bool,
+    /// Which exploitation mode ran, when one did.
     pub exploit_kind: Option<ExploitKind>,
+    /// Total messages sent from the account.
     pub messages_sent: u32,
+    /// Scam messages among those sent.
     pub scam_messages: u32,
+    /// Phishing lures among those sent.
     pub phishing_messages: u32,
+    /// Largest single-message recipient list.
     pub max_recipients: usize,
+    /// What retention tactics the crew applied (§5.4).
     pub retention: RetentionReport,
     /// The session was cut short by anti-abuse action.
     pub interrupted: bool,
@@ -81,6 +100,7 @@ pub struct SessionReport {
 /// utilities they used were the same").
 #[derive(Debug, Clone)]
 pub struct HijackPlaybook {
+    /// The Table 3 search-term distribution used during profiling.
     pub terms: SearchTermModel,
     /// Accounts scoring below this are abandoned after profiling.
     pub value_threshold: f64,

@@ -72,11 +72,17 @@ impl RetentionTactics {
 /// for the §5.4 measurements).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RetentionReport {
+    /// The crew changed the password (the §5.4 lockout).
     pub password_changed: bool,
+    /// The crew changed recovery phone/email.
     pub recovery_options_changed: bool,
+    /// The crew mass-deleted the mailbox.
     pub mass_deleted: bool,
+    /// The crew installed a forwarding/hiding filter.
     pub filter_created: bool,
+    /// The crew set a doppelganger Reply-To.
     pub reply_to_set: bool,
+    /// The crew enrolled 2FA on a burner phone (2012 tactic).
     pub twofactor_locked: bool,
 }
 

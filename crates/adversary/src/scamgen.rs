@@ -31,6 +31,7 @@ pub enum ScamStyle {
 }
 
 impl ScamStyle {
+    /// Draw a style with the observed story-frequency split.
     pub fn sample(rng: &mut SimRng) -> ScamStyle {
         if rng.chance(0.65) {
             ScamStyle::MuggedInCity

@@ -16,8 +16,11 @@ use serde::{Deserialize, Serialize};
 /// The three Table 3 categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TermCategory {
+    /// Financial standing: wire transfers, bank statements.
     Finance,
+    /// Credentials for other accounts the victim holds.
     Account,
+    /// Personal content usable for extortion.
     Content,
 }
 
@@ -65,6 +68,7 @@ const CONTENT: [(&str, f64); 9] = [
 pub struct SearchTermModel;
 
 impl SearchTermModel {
+    /// The Table 3 sampler (stateless).
     pub fn new() -> Self {
         SearchTermModel
     }

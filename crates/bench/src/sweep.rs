@@ -25,7 +25,9 @@
 //! cannot dilute what is being measured). The finished run is dropped
 //! inside the cell, so a 16-cell sweep never holds 16 worlds at once.
 
-use mhw_core::{DefenseConfig, EngineResult, ShardedEngine, WorkerPool, WorldSnapshot};
+use mhw_core::{
+    DefenseConfig, EngineResult, RecoveryConfig, ShardedEngine, WorkerPool, WorldSnapshot,
+};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
@@ -33,6 +35,23 @@ use std::time::Instant;
 /// its continuation. A `None` field keeps the snapshot's own value, so
 /// `SweepCell::baseline` reproduces the uninterrupted run byte for
 /// byte — the digest cross-check `benches/fork_sweep.rs` pins.
+///
+/// ```
+/// use mhw_bench::sweep::SweepCell;
+/// use mhw_core::{DefenseConfig, RecoveryConfig};
+///
+/// // A defense × recovery grid is cells with each axis set (or left
+/// // as the snapshot's own value for the baseline):
+/// let cells = vec![
+///     SweepCell::baseline("full/legacy"),
+///     SweepCell::baseline("full/strict").recovery(RecoveryConfig::strict()),
+///     SweepCell::baseline("none/strict")
+///         .defense(DefenseConfig::none())
+///         .recovery(RecoveryConfig::strict()),
+/// ];
+/// assert_eq!(cells[0].defense, None); // baseline keeps the snapshot's
+/// assert!(cells[2].defense.is_some() && cells[2].recovery.is_some());
+/// ```
 #[derive(Clone, Debug)]
 pub struct SweepCell {
     /// Human-readable cell name carried into the outcome row.
@@ -41,12 +60,15 @@ pub struct SweepCell {
     pub seed: Option<u64>,
     /// Divergent defense posture, or `None` to keep the snapshot's.
     pub defense: Option<DefenseConfig>,
+    /// Divergent recovery risk policy, or `None` to keep the
+    /// snapshot's.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl SweepCell {
     /// A cell that reproduces the snapshot's own run unchanged.
     pub fn baseline(label: impl Into<String>) -> Self {
-        SweepCell { label: label.into(), seed: None, defense: None }
+        SweepCell { label: label.into(), seed: None, defense: None, recovery: None }
     }
 
     /// Diverge this cell's RNG seed.
@@ -58,6 +80,13 @@ impl SweepCell {
     /// Diverge this cell's defense posture.
     pub fn defense(mut self, defense: DefenseConfig) -> Self {
         self.defense = Some(defense);
+        self
+    }
+
+    /// Diverge this cell's recovery risk policy (claim-scoring posture
+    /// + adversary pivot).
+    pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = Some(recovery);
         self
     }
 }
@@ -75,6 +104,15 @@ pub struct CellOutcome {
     pub incidents: u64,
     /// Incidents the hijacker exploited before losing access.
     pub exploited: u64,
+    /// Owner recovery claims denied by claim risk scoring (the
+    /// frontier's legitimate-lockout cost; 0 with scoring off).
+    pub recovery_lockouts: u64,
+    /// Owner claims that hit a step-up challenge.
+    pub recovery_step_ups: u64,
+    /// Hijacker recovery-pivot claims filed (0 with the pivot off).
+    pub pivot_attempts: u64,
+    /// Pivot claims that took the account over.
+    pub pivot_takeovers: u64,
     /// Wall-clock seconds producing the finished run (fork + tail days
     /// in the fork arm; build + all days in the scratch arm).
     pub run_s: f64,
@@ -101,6 +139,9 @@ pub fn fork_sweep(
         }
         if let Some(defense) = cell.defense {
             fork = fork.defense(defense);
+        }
+        if let Some(recovery) = cell.recovery {
+            fork = fork.recovery(recovery);
         }
         fork.run()
     })
@@ -148,6 +189,10 @@ fn run_cells(
                     digest,
                     incidents: stats.incidents,
                     exploited: stats.exploited,
+                    recovery_lockouts: stats.recovery_lockouts,
+                    recovery_step_ups: stats.recovery_step_ups,
+                    pivot_attempts: stats.pivot_attempts,
+                    pivot_takeovers: stats.pivot_takeovers,
                     run_s,
                     digest_s: t1.elapsed().as_secs_f64(),
                 }
@@ -191,6 +236,7 @@ mod tests {
             SweepCell::baseline("baseline"),
             SweepCell::baseline("reseeded").seed(0xFEED),
             SweepCell::baseline("undefended").defense(DefenseConfig::none()),
+            SweepCell::baseline("strict-recovery").recovery(RecoveryConfig::strict()),
         ];
         let forked = fork_sweep(&snap, &cells, 2).expect("fork sweep");
         let scratch = scratch_sweep(
@@ -202,6 +248,9 @@ mod tests {
                 if let Some(defense) = cell.defense {
                     config.defense = defense;
                 }
+                if let Some(recovery) = cell.recovery {
+                    config.recovery = recovery;
+                }
                 ShardedEngine::new(config, 2).workers(1).decoys(4, 6)
             },
             7,
@@ -209,7 +258,7 @@ mod tests {
             2,
         )
         .expect("scratch sweep");
-        assert_eq!(forked.len(), 3);
+        assert_eq!(forked.len(), 4);
         for (cell, row) in cells.iter().zip(&forked) {
             assert_eq!(row.label, cell.label, "outcomes came back out of cell order");
         }
@@ -219,6 +268,7 @@ mod tests {
         // Divergent cells actually diverged.
         assert_ne!(forked[1].digest, forked[0].digest);
         assert_ne!(forked[2].digest, forked[0].digest);
+        assert_ne!(forked[3].digest, forked[0].digest, "recovery divergence must bite");
         // Pool width is mechanics: same outcomes single-threaded.
         let single = fork_sweep(&snap, &cells, 1).expect("single-worker sweep");
         for (a, b) in forked.iter().zip(&single) {

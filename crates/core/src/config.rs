@@ -2,6 +2,7 @@
 
 use mhw_adversary::{CrewSpec, Era};
 use mhw_population::PopulationConfig;
+use mhw_recovery::RecoveryPosture;
 use serde::{Deserialize, Serialize};
 
 /// Defense toggles (the §8 ablation surface).
@@ -40,6 +41,67 @@ impl DefenseConfig {
     }
 }
 
+/// Recovery-side risk policy: whether claims are risk-scored, with what
+/// posture, and whether crews pivot to the recovery flow when the login
+/// challenge stops them.
+///
+/// The default is the **legacy** configuration — no claim scoring, no
+/// adversary pivot — so worlds built before this knob existed reproduce
+/// byte-for-byte (the same contract `market_share: 0.0` keeps for the
+/// credential market).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Score each claim with the [`mhw_recovery::RecoveryRiskService`]
+    /// before channel verification. Off reproduces the unscored §6
+    /// pipeline exactly.
+    pub claim_risk_scoring: bool,
+    /// Thresholds used when `claim_risk_scoring` is on.
+    pub posture: RecoveryPosture,
+    /// Crews that phished a working password but were stopped by the
+    /// login challenge may pivot to a recovery claim armed with
+    /// harvested personal data.
+    pub adversary_pivot: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig::legacy()
+    }
+}
+
+impl RecoveryConfig {
+    /// The pre-scoring pipeline: claims verify on channel strength
+    /// alone, crews never pivot. Byte-identical to worlds built before
+    /// recovery risk existed.
+    pub fn legacy() -> Self {
+        RecoveryConfig {
+            claim_risk_scoring: false,
+            posture: RecoveryPosture::paper(),
+            adversary_pivot: false,
+        }
+    }
+
+    /// Scored claims at the paper-calibrated posture, with the
+    /// recovery-pivot attack enabled.
+    pub fn paper() -> Self {
+        RecoveryConfig {
+            claim_risk_scoring: true,
+            posture: RecoveryPosture::paper(),
+            adversary_pivot: true,
+        }
+    }
+
+    /// Scored claims at the lenient posture, pivot enabled.
+    pub fn lenient() -> Self {
+        RecoveryConfig { posture: RecoveryPosture::lenient(), ..RecoveryConfig::paper() }
+    }
+
+    /// Scored claims at the strict posture, pivot enabled.
+    pub fn strict() -> Self {
+        RecoveryConfig { posture: RecoveryPosture::strict(), ..RecoveryConfig::paper() }
+    }
+}
+
 /// One scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -63,6 +125,8 @@ pub struct ScenarioConfig {
     pub population: PopulationConfig,
     pub crews: Vec<CrewSpec>,
     pub defense: DefenseConfig,
+    /// Recovery-side risk policy (claim scoring + adversary pivot).
+    pub recovery: RecoveryConfig,
     /// Mean phishing lures delivered per user per day (pre-filtering).
     /// The main volume knob: more lures ⇒ more captured credentials ⇒
     /// more hijackings.
@@ -91,6 +155,7 @@ impl Default for ScenarioConfig {
             population: PopulationConfig::default(),
             crews: CrewSpec::paper_roster(),
             defense: DefenseConfig::default(),
+            recovery: RecoveryConfig::default(),
             lures_per_user_day: 0.2,
             crew_creds_per_hour: 6,
             dropbox_suspension_per_day: 0.08,
@@ -154,6 +219,18 @@ mod tests {
         assert!(d.login_risk_analysis && d.activity_monitor && d.notifications && d.mail_classifier);
         let n = DefenseConfig::none();
         assert!(!n.login_risk_analysis && !n.activity_monitor && !n.notifications && !n.mail_classifier);
+    }
+
+    #[test]
+    fn recovery_default_is_the_legacy_no_op() {
+        let r = RecoveryConfig::default();
+        assert!(!r.claim_risk_scoring && !r.adversary_pivot, "default must not perturb old worlds");
+        assert_eq!(r, RecoveryConfig::legacy());
+        let p = RecoveryConfig::paper();
+        assert!(p.claim_risk_scoring && p.adversary_pivot);
+        // Posture presets carry through the shorthand constructors.
+        assert_eq!(RecoveryConfig::strict().posture, RecoveryPosture::strict());
+        assert_eq!(RecoveryConfig::lenient().posture, RecoveryPosture::lenient());
     }
 
     #[test]

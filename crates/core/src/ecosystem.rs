@@ -35,7 +35,10 @@ use mhw_phishkit::{
     PhishingPage, TakedownRecord,
 };
 use mhw_population::{Population, PopulationBuilder};
-use mhw_recovery::{run_remission, ClaimTrigger, RecoveryService, RemissionReport};
+use mhw_recovery::{
+    hijacker_takeover_probability, run_remission, ClaimAssessment, ClaimTrigger,
+    RecoveryRiskService, RecoveryService, RecoveryVerdict, RemissionReport,
+};
 use mhw_simclock::SimRng;
 use mhw_types::{
     AccountId, Actor, CampaignId, CrewId, DenseMap, EmailAddress, IncidentId, MessageId, PageId,
@@ -211,6 +214,18 @@ pub struct RunStats {
     pub incidents: u64,
     pub exploited: u64,
     pub recovered: u64,
+    /// Owner claims denied outright by recovery risk scoring — the
+    /// frontier's false-positive cost. Always 0 when
+    /// `RecoveryConfig::claim_risk_scoring` is off.
+    pub recovery_lockouts: u64,
+    /// Owner claims that hit a step-up challenge.
+    pub recovery_step_ups: u64,
+    /// Recovery-pivot claims filed by crews stopped at the login
+    /// challenge. Always 0 when `RecoveryConfig::adversary_pivot` is
+    /// off.
+    pub pivot_attempts: u64,
+    /// Pivot claims that took the account over.
+    pub pivot_takeovers: u64,
 }
 
 /// The assembled world.
@@ -538,7 +553,7 @@ impl Ecosystem {
             // Prompt pickups triggered by this event (operators grabbing
             // freshly captured credentials off the dropbox).
             while let Some((idx, credential, start)) = self.pending_pickups.pop() {
-                self.run_hijack_session(idx, &credential, start);
+                self.run_hijack_session(idx, &credential, start, true);
             }
         }
         // End-of-day queue depth: credentials captured but not yet picked
@@ -599,6 +614,15 @@ impl Ecosystem {
             };
         }
         self.config.defense = defense;
+    }
+
+    /// Swap the active recovery risk policy mid-world. Unlike the login
+    /// risk engine, nothing recovery-side is baked at build time —
+    /// claims are scored per filing against `config.recovery` — so the
+    /// swap is a plain config write. Used by forked continuations
+    /// diverging on recovery posture (the `sweep` grid's second axis).
+    pub fn set_recovery(&mut self, recovery: crate::config::RecoveryConfig) {
+        self.config.recovery = recovery;
     }
 
     /// Deterministically perturb every shard RNG stream from its
@@ -1267,7 +1291,7 @@ impl Ecosystem {
                 .captured_at
                 .plus(SimDuration::from_secs(240 + self.rng_crew.below(900)));
             let start = queue_slot.max(pickup);
-            self.run_hijack_session(crew_index, &credential, start);
+            self.run_hijack_session(crew_index, &credential, start, true);
         }
     }
 
@@ -1276,6 +1300,7 @@ impl Ecosystem {
         crew_index: usize,
         credential: &CapturedCredential,
         start: SimTime,
+        allow_pivot: bool,
     ) {
         let mut lure_sink: Vec<(MessageId, CrewId)> = Vec::new();
         let report = {
@@ -1334,7 +1359,101 @@ impl Ecosystem {
             self.lure_index.insert(id.index() as u32, LureSource::Direct(crew));
         }
         self.stats.sessions_run += 1;
+        // A crew that typed a working password but was stopped by the
+        // login challenge knows the credential is good — with the pivot
+        // enabled it may try the "forgot password" route instead. The
+        // config gate sits before any draw, and `allow_pivot` stops a
+        // pivot-won session from pivoting again.
+        let pivot_candidate = allow_pivot
+            && self.config.recovery.adversary_pivot
+            && report.password_eventually_correct
+            && !report.logged_in
+            && !report.was_decoy;
+        let ended_at = report.ended_at;
         self.register_session(report);
+        if pivot_candidate {
+            self.attempt_recovery_pivot(crew_index, credential, ended_at);
+        }
+    }
+
+    /// The recovery-pivot attack: a crew stopped at the login challenge
+    /// files a recovery claim for the account, backed by whatever
+    /// personal data its research turned up. On takeover the crew
+    /// re-enters through the ordinary session machinery, so incidents,
+    /// victim awareness and (owner) recovery all follow as usual.
+    fn attempt_recovery_pivot(
+        &mut self,
+        crew_index: usize,
+        credential: &CapturedCredential,
+        after: SimTime,
+    ) {
+        let Some(account) = self.provider.resolve(&credential.address) else {
+            return;
+        };
+        if self.disabled.contains(&account) {
+            return;
+        }
+        let Some(plan) =
+            mhw_adversary::plan_pivot(&self.crews.crews[crew_index], &mut self.rng_crew)
+        else {
+            return;
+        };
+        self.stats.pivot_attempts += 1;
+        let (exit, device, crew_id) = {
+            let crew = &self.crews.crews[crew_index];
+            (crew.current_exit(), crew.device, crew.id)
+        };
+        let country = self.geo.locate(exit);
+        // Research and form-filling take a little while.
+        let filed_at = after.plus(SimDuration::from_secs(300 + self.rng_crew.below(1800)));
+        let assessment = if self.config.recovery.claim_risk_scoring {
+            let svc = RecoveryRiskService::new(self.config.recovery.posture);
+            let signals = svc.extract(
+                self.login.service.history(account),
+                filed_at,
+                country,
+                device,
+                1,
+                self.options.get(account),
+            );
+            svc.assess(&signals)
+        } else {
+            // Unscored worlds wave every claim through — the pivot then
+            // measures the raw channel weakness.
+            ClaimAssessment { score: 0.0, verdict: RecoveryVerdict::Allow, step_up_pass: 1.0 }
+        };
+        let mut takeover_p =
+            hijacker_takeover_probability(self.options.get(account), plan.research_quality);
+        if assessment.verdict == RecoveryVerdict::StepUp {
+            // The step-up challenge (out-of-band proof) is much harder
+            // for an attacker than the knowledge test.
+            takeover_p *= 0.35;
+        }
+        let resolution = self.recovery.process_hijacker_claim(
+            account,
+            after,
+            filed_at,
+            assessment,
+            takeover_p,
+            Actor::Hijacker(crew_id),
+            &mut self.credentials,
+            &mut self.rng_recovery,
+        );
+        if resolution.password_reset {
+            self.stats.pivot_takeovers += 1;
+            let resolved_at = resolution.claim.resolved_at.unwrap_or(filed_at);
+            let fresh = CapturedCredential {
+                address: credential.address.clone(),
+                password_typed: self.credentials.password_for_capture(account).to_string(),
+                exactness: CredentialExactness::Exact,
+                page: credential.page,
+                captured_at: resolved_at,
+                victim_country: credential.victim_country,
+                is_decoy: credential.is_decoy,
+            };
+            let start = resolved_at.plus(SimDuration::from_secs(120 + self.rng_crew.below(600)));
+            self.run_hijack_session(crew_index, &fresh, start, false);
+        }
     }
 
     /// Record a finished session: incident bookkeeping and victim
@@ -1507,7 +1626,33 @@ impl Ecosystem {
         // negative recovery latencies.
         let filed_at = at.max(flagged_at);
         let failed_methods = self.users.failed_methods(account.index()).to_vec();
-        let resolution = self.recovery.process_claim(
+        // Risk-score the claim when the scenario asks for it. The gate
+        // sits before any draw (the `market_share` pattern), so worlds
+        // with scoring off keep the legacy `rng_recovery` sequence
+        // byte-for-byte.
+        let assessment = if self.config.recovery.claim_risk_scoring {
+            let user = &self.population.users[account.index()];
+            // Locked-out victims often file from a borrowed machine;
+            // the claim still originates from their home country.
+            let device = if self.rng_recovery.chance(0.25) {
+                mhw_types::DeviceId(0x4000_0000 | account.index() as u32)
+            } else {
+                user.device
+            };
+            let svc = RecoveryRiskService::new(self.config.recovery.posture);
+            let signals = svc.extract(
+                self.login.service.history(account),
+                filed_at,
+                Some(user.country),
+                device,
+                1, // the recovery portal does not share the login IP cache
+                self.options.get(account),
+            );
+            Some(svc.assess(&signals))
+        } else {
+            None
+        };
+        let resolution = self.recovery.process_claim_assessed(
             account,
             hijacked_at,
             flagged_at,
@@ -1516,8 +1661,14 @@ impl Ecosystem {
             &self.options,
             &mut self.credentials,
             &failed_methods,
+            assessment,
             &mut self.rng_recovery,
         );
+        match assessment.map(|a| a.verdict) {
+            Some(RecoveryVerdict::StepUp) => self.stats.recovery_step_ups += 1,
+            Some(RecoveryVerdict::Deny) => self.stats.recovery_lockouts += 1,
+            _ => {}
+        }
         self.users.claim_attempts[account.index()] += 1;
         if resolution.claim.succeeded {
             let resolved_at = resolution.claim.resolved_at.expect("resolved");

@@ -45,7 +45,7 @@
 //!   segment of the merged log.
 
 use crate::checkpoint::{self, Checkpoint, ShardCheckpoint};
-use crate::config::{DefenseConfig, ScenarioConfig};
+use crate::config::{DefenseConfig, RecoveryConfig, ScenarioConfig};
 use crate::ecosystem::{Ecosystem, Incident, RunStats};
 use crate::fault::FaultPlan;
 use crate::pool::WorkerPool;
@@ -1185,6 +1185,7 @@ impl WorldSnapshot {
             snapshot: self,
             seed: None,
             defense: None,
+            recovery: None,
             faults: FaultPlan::new(),
             checkpoints: None,
             workers: None,
@@ -1206,6 +1207,7 @@ pub struct ForkBuilder<'a> {
     snapshot: &'a WorldSnapshot,
     seed: Option<u64>,
     defense: Option<DefenseConfig>,
+    recovery: Option<RecoveryConfig>,
     faults: FaultPlan,
     checkpoints: Option<(PathBuf, u64)>,
     workers: Option<usize>,
@@ -1229,6 +1231,15 @@ impl<'a> ForkBuilder<'a> {
     /// `login_risk_analysis` flips.
     pub fn defense(mut self, defense: DefenseConfig) -> Self {
         self.defense = Some(defense);
+        self
+    }
+
+    /// Continue under a different recovery risk policy (claim scoring
+    /// posture + adversary pivot — the `sweep` grid's second axis).
+    /// Nothing recovery-side is baked at build time, so the swap is a
+    /// plain config write on every shard.
+    pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = Some(recovery);
         self
     }
 
@@ -1308,6 +1319,12 @@ impl<'a> ForkBuilder<'a> {
             base.defense = defense;
             for eco in &mut shards {
                 eco.set_defense(defense);
+            }
+        }
+        if let Some(recovery) = self.recovery {
+            base.recovery = recovery;
+            for eco in &mut shards {
+                eco.set_recovery(recovery);
             }
         }
         if let Some(seed) = self.seed {
@@ -1467,6 +1484,10 @@ impl ShardedRun {
             total.incidents += s.incidents;
             total.exploited += s.exploited;
             total.recovered += s.recovered;
+            total.recovery_lockouts += s.recovery_lockouts;
+            total.recovery_step_ups += s.recovery_step_ups;
+            total.pivot_attempts += s.pivot_attempts;
+            total.pivot_takeovers += s.pivot_takeovers;
         }
         total
     }

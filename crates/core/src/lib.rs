@@ -55,7 +55,7 @@ pub mod world;
 pub use builder::ScenarioBuilder;
 pub use campaigns::{run_form_campaigns, FormCampaignOutput};
 pub use checkpoint::Checkpoint;
-pub use config::{DefenseConfig, ScenarioConfig};
+pub use config::{DefenseConfig, RecoveryConfig, ScenarioConfig};
 pub use datasets::DatasetInventory;
 pub use decoy::{run_decoy_experiment, DecoyOutcome, DecoyReport};
 pub use ecosystem::{Ecosystem, Incident, RunStats};

@@ -38,6 +38,7 @@ pub mod profile;
 pub mod report;
 pub mod serve;
 pub mod snapshot;
+pub mod sweep;
 pub mod trace;
 
 pub use fidelity::{FidelityReport, FidelityStatus, TargetScore, Tolerance, FIDELITY_SCHEMA};
@@ -46,4 +47,14 @@ pub use profile::{EngineProfile, PhaseProfiler, PhaseTiming};
 pub use report::RunReport;
 pub use serve::{ServeAvailability, ServeReport, ServeRun, ARM_CLEAN, SERVE_SCHEMA};
 pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+pub use sweep::{SweepCellRow, SweepReport, SWEEP_SCHEMA};
 pub use trace::{SpanGuard, SpanRecord, TraceSink};
+
+/// Logical CPUs on this host, as `std::thread::available_parallelism`
+/// reports them (1 when the count cannot be determined). Hardware-bound
+/// artifacts ([`FidelityReport`], [`SweepReport`], `BENCH_scale.json`)
+/// record this so a reader can judge whether wall-clock numbers were
+/// taken on an oversubscribed machine.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -10,18 +10,30 @@
 //!   (mistypes ⇒ ~5% bounces, recycling ⇒ never offered), and the
 //!   fallback options (secret questions with poor recall, manual
 //!   review) whose success "is significantly worse";
-//! * [`service`] — claim processing: channel selection, verification,
-//!   and on success a system-forced password reset;
+//! * [`risk`] — risk-scored claims: the same signal machinery as the
+//!   login path ([`mhw_defense::signals`]) plus claim-specific signals
+//!   (method strength, secondary-channel reachability, secret-question
+//!   guessability), decided by a configurable [`RecoveryPosture`];
+//! * [`service`] — claim processing: channel selection, optional risk
+//!   verdicts, verification, and on success a system-forced password
+//!   reset;
 //! * [`remission`] — the §6.4 cleanup: restore hijacker-deleted mail
 //!   and contacts, remove hijacker filters, roll back Reply-To, disable
 //!   hijacker 2FA, revoke app passwords.
 
+#![deny(missing_docs)]
+
 pub mod claim;
 pub mod methods;
 pub mod remission;
+pub mod risk;
 pub mod service;
 
 pub use claim::{ClaimTrigger, RecoveryClaim};
 pub use methods::{method_success_probability, RecoveryMethod};
 pub use remission::{run_remission, RemissionReport};
+pub use risk::{
+    hijacker_takeover_probability, ClaimAssessment, ClaimSignals, RecoveryPosture,
+    RecoveryRiskService, RecoveryVerdict,
+};
 pub use service::{ClaimResolution, RecoveryService};

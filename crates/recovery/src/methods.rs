@@ -17,9 +17,11 @@ pub enum RecoveryMethod {
 }
 
 impl RecoveryMethod {
+    /// Every channel, in Figure 10 order (SMS, email, fallback).
     pub const ALL: [RecoveryMethod; 3] =
         [RecoveryMethod::Sms, RecoveryMethod::Email, RecoveryMethod::Fallback];
 
+    /// Human-readable channel name used in figures and reports.
     pub fn label(self) -> &'static str {
         match self {
             RecoveryMethod::Sms => "SMS",

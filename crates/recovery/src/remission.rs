@@ -14,12 +14,20 @@ use serde::{Deserialize, Serialize};
 /// What remission restored/reverted on one account.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RemissionReport {
+    /// Hijacker-purged messages restored from the audit trail.
     pub messages_restored: usize,
+    /// Hijacker-deleted contacts restored.
     pub contacts_restored: usize,
+    /// Hijacker-created mail filters removed.
     pub filters_removed: usize,
+    /// Whether a hijacker-set Reply-To was rolled back.
     pub reply_to_reverted: bool,
+    /// Whether hijacker-enrolled two-factor was disabled.
     pub twofactor_disabled: bool,
+    /// Whether hijacker-changed recovery options were cleared for owner
+    /// re-entry.
     pub recovery_options_reverted: bool,
+    /// App passwords revoked (always all of them — any may be phished).
     pub app_passwords_revoked: usize,
 }
 

@@ -63,6 +63,15 @@ cargo run --offline --release -p mhw-experiments --bin serve -- \
     --smoke --fault-plan seeded:geo=1,slow=2 --queue-cap 8 \
     --out "$fidelity_tmp/BENCH_serve_chaos.json"
 
+echo "== sweep-smoke =="
+# Posture-sweep gate: a tiny defense × recovery grid forked twice off
+# freshly built snapshots — the run errors unless both passes produce
+# identical per-cell digests and the written BENCH_sweep.json re-reads
+# with the same fingerprint. Does not rewrite the committed
+# BENCH_sweep.json — that comes from a full `sweep` run (docs/SWEEPS.md).
+cargo run --offline --release -p mhw-experiments --bin sweep -- \
+    --smoke --out "$fidelity_tmp/BENCH_sweep.json"
+
 echo "== bench-smoke =="
 # Scaling smoke: profile the engine at 1/2/4/8 workers on a small
 # scenario and write BENCH_scaling.json. The bench itself prints a

@@ -1,0 +1,148 @@
+//! Recovery-risk sweep contracts (ROADMAP item 4):
+//!
+//! 1. a forked sweep cell is byte-identical to running the same
+//!    configuration from scratch (same seed, same divergence applied
+//!    from day 0 for the baseline; fork-barrier divergence for the
+//!    recovery cells is pinned against a barrier-applied scratch twin);
+//! 2. the recovery-pivot adversary measurably shifts the frontier
+//!    versus a no-pivot world with identical scoring;
+//! 3. legitimate lockouts are monotone in deny-posture strictness
+//!    (lenient → paper → strict) for a fixed world;
+//! 4. the `sweep --validate` gate agrees with `repro --validate`: the
+//!    baseline cell's world scores identically to the same world built
+//!    the way the repro context builds it.
+
+use mhw_bench::sweep::{fork_sweep, SweepCell};
+use mhw_core::{
+    DefenseConfig, RecoveryConfig, ScenarioBuilder, ScenarioConfig, ShardedEngine,
+};
+use mhw_experiments::fidelity::validate_world;
+use mhw_experiments::Scale;
+use mhw_recovery::{ClaimTrigger, RecoveryPosture, RecoveryVerdict};
+
+fn config(seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::small_test(seed);
+    config.days = 10;
+    config.population.n_users = 300;
+    config
+}
+
+fn engine(seed: u64) -> ShardedEngine {
+    ShardedEngine::new(config(seed), 1).workers(1)
+}
+
+#[test]
+fn forked_cells_reproduce_from_scratch_runs() {
+    let snapshot = engine(0x5EED).snapshot_after(7).expect("snapshot");
+    let cells = vec![
+        SweepCell::baseline("full/legacy"),
+        SweepCell::baseline("none/strict")
+            .defense(DefenseConfig::none())
+            .recovery(RecoveryConfig::strict()),
+    ];
+    let forked = fork_sweep(&snapshot, &cells, 1).expect("fork sweep");
+
+    // The baseline cell applies no divergence, so it must equal the
+    // uninterrupted from-scratch world byte for byte.
+    let scratch = engine(0x5EED).run().expect("scratch baseline");
+    assert_eq!(forked[0].digest, scratch.dataset_digest(), "baseline fork must be byte-identical");
+
+    // A divergent cell reproduces a scratch run that applies the same
+    // divergence at the same fork barrier: rebuild the prefix, fork it
+    // by hand with the cell's configs, and compare digests.
+    let twin_snapshot = engine(0x5EED).snapshot_after(7).expect("twin snapshot");
+    let twin = twin_snapshot
+        .fork()
+        .workers(1)
+        .defense(DefenseConfig::none())
+        .recovery(RecoveryConfig::strict())
+        .run()
+        .expect("twin fork");
+    assert_eq!(forked[1].digest, twin.dataset_digest(), "divergent cell must be reproducible");
+    assert_ne!(forked[0].digest, forked[1].digest, "divergence must bite");
+}
+
+#[test]
+fn recovery_pivot_shifts_the_frontier() {
+    // Same scoring posture, pivot on vs off: the pivot arm must
+    // actually file hijacker claims, and the two worlds must diverge.
+    let no_pivot = RecoveryConfig { adversary_pivot: false, ..RecoveryConfig::paper() };
+    let snapshot = engine(0x71B07).snapshot_after(5).expect("snapshot");
+    let cells = vec![
+        SweepCell::baseline("pivot").recovery(RecoveryConfig::paper()),
+        SweepCell::baseline("no-pivot").recovery(no_pivot),
+    ];
+    let outcomes = fork_sweep(&snapshot, &cells, 1).expect("fork sweep");
+    let (pivot, fortress) = (&outcomes[0], &outcomes[1]);
+    assert!(pivot.pivot_attempts > 0, "pivot crews never reached the recovery flow");
+    assert_eq!(fortress.pivot_attempts, 0, "no-pivot arm must not file hijacker claims");
+    assert_eq!(fortress.pivot_takeovers, 0);
+    assert_ne!(pivot.digest, fortress.digest, "the pivot must change the world");
+}
+
+#[test]
+fn lockouts_are_monotone_in_posture_strictness() {
+    // One scored world; its recorded per-claim risk scores are replayed
+    // against each posture's deny threshold. The thresholds are nested
+    // (strict 0.75 < paper 0.90 < lenient 0.97), so the deny sets must
+    // be too — and the posture the world actually ran with must agree
+    // with its own lockout counter.
+    let mut config = config(0xBEEF);
+    // No login defense: more hijacks, more owner reclaim claims. Pivot
+    // off isolates the scores to owner claims.
+    config.defense = DefenseConfig::none();
+    config.recovery = RecoveryConfig { adversary_pivot: false, ..RecoveryConfig::strict() };
+    let eco = ScenarioBuilder::new(config).run();
+
+    let scores: Vec<f64> = eco
+        .recovery
+        .claims()
+        .iter()
+        .filter(|c| c.trigger != ClaimTrigger::HijackerPivot)
+        .filter_map(|c| c.risk_score)
+        .collect();
+    assert!(scores.len() > 20, "world produced too few scored claims ({})", scores.len());
+
+    let denied = |posture: RecoveryPosture| {
+        scores.iter().filter(|&&s| posture.decide(s) == RecoveryVerdict::Deny).count() as u64
+    };
+    let (lenient, paper, strict) = (
+        denied(RecoveryPosture::lenient()),
+        denied(RecoveryPosture::paper()),
+        denied(RecoveryPosture::strict()),
+    );
+    assert!(
+        lenient <= paper && paper <= strict,
+        "nested thresholds must deny nested claim sets: lenient {lenient} / paper {paper} / strict {strict}"
+    );
+    assert!(
+        strict > lenient,
+        "strict posture must lock out more owners than lenient ({strict} vs {lenient})"
+    );
+    assert_eq!(
+        strict,
+        eco.stats.recovery_lockouts,
+        "the world ran at the strict posture; its counter must match the replayed denials"
+    );
+}
+
+#[test]
+fn sweep_validate_agrees_with_repro_validate() {
+    // `sweep --validate` scores the baseline cell's world;
+    // `repro --validate` scores the context's main world, which the
+    // context builds as a plain single-world run of the same config.
+    // Equal configs must produce identical world-derivable scorecards.
+    let seed = 0xA9;
+    let base = config(seed);
+
+    // The sweep path: single-shard engine run of the baseline config.
+    let run = ShardedEngine::new(base.clone(), 1).workers(1).run().expect("engine run");
+    let sweep_world = &run.shards()[0];
+
+    // The repro path: the plain unsharded builder, as the context uses.
+    let repro_world = ScenarioBuilder::new(base).run();
+
+    let a = validate_world(sweep_world, Scale::Quick, seed);
+    let b = validate_world(&repro_world, Scale::Quick, seed);
+    assert_eq!(a.to_json(), b.to_json(), "the two validate paths scored different worlds");
+}
